@@ -1,0 +1,53 @@
+"""Figure 9: mpileaks built with mpich, then openmpi — shared sub-DAGs.
+
+"If two configurations share a sub-DAG, then Spack reuses the sub-DAG's
+configuration": installing mpileaks with a second MPI must rebuild only
+the MPI-dependent part (mpileaks, callpath, the new MPI) and reuse the
+dyninst/libdwarf/libelf subtree — same hashes, same prefixes, no
+rebuild.
+"""
+
+import os
+
+from conftest import write_result
+
+from repro.session import Session
+
+
+def test_fig9_shared_subdags(tmp_path_factory, benchmark):
+    session = Session.create(str(tmp_path_factory.mktemp("fig9")))
+
+    spec1, result1 = session.install("mpileaks ^mpich")
+
+    def second_install():
+        return session.install("mpileaks ^openmpi")
+
+    spec2, result2 = benchmark.pedantic(second_install, rounds=1, iterations=1)
+
+    layout = session.store.layout
+    lines = ["Figure 9: mpileaks built with mpich, then openmpi", ""]
+    lines.append("first install built:   %s" % ", ".join(result1.built_names))
+    lines.append("second install built:  %s" % ", ".join(result2.built_names))
+    lines.append("second install reused: %s" % ", ".join(result2.reused_names))
+    lines.append("")
+    lines.append("shared prefixes:")
+    for name in ("dyninst", "libdwarf", "libelf"):
+        p1 = layout.path_for_spec(spec1[name])
+        p2 = layout.path_for_spec(spec2[name])
+        lines.append("  %-10s %s  (%s)" % (name, "SHARED" if p1 == p2 else "DISTINCT", p1))
+    for name in ("callpath", "mpileaks"):
+        p1 = layout.path_for_spec(spec1[name])
+        p2 = layout.path_for_spec(spec2[name])
+        lines.append("  %-10s %s" % (name, "SHARED" if p1 == p2 else "DISTINCT"))
+    write_result("fig9_sharing.txt", "\n".join(lines) + "\n")
+
+    assert set(result2.reused_names) == {"dyninst", "libdwarf", "libelf"}
+    assert set(result2.built_names) == {"openmpi", "callpath", "mpileaks"}
+    for name in ("dyninst", "libdwarf", "libelf"):
+        assert spec1[name].dag_hash() == spec2[name].dag_hash()
+        assert layout.path_for_spec(spec1[name]) == layout.path_for_spec(spec2[name])
+    for name in ("callpath", "mpileaks"):
+        assert layout.path_for_spec(spec1[name]) != layout.path_for_spec(spec2[name])
+    # exactly one copy of the shared subtree on disk
+    libelf_prefix = layout.path_for_spec(spec1["libelf"])
+    assert os.path.isdir(libelf_prefix)

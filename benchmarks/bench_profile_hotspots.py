@@ -1,0 +1,58 @@
+"""Profiling the concretizer — the HPC-Python guides' "no optimization
+without measuring" workflow, kept as a living artifact.
+
+Runs cProfile over concretizations across the 245-package universe and
+records the top hot spots.  The assertions pin the *shape* of the
+profile so a regression (e.g. an accidental deep-copy in the hot loop)
+turns the benchmark red rather than silently doubling Figure 8.
+"""
+
+import cProfile
+import io
+import pstats
+
+from conftest import write_result
+
+from repro.spec.spec import Spec
+
+
+def test_profile_concretizer(universe_session, benchmark):
+    session = universe_session
+    concretizer = session.concretizer
+    # a mix of DAG sizes, like Figure 8's population
+    names = [n for n in session.repo.all_package_names()][:60]
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for name in names:
+        concretizer.concretize(Spec(name))
+    profiler.disable()
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative")
+    stats.print_stats(18)
+    text = stream.getvalue()
+
+    write_result(
+        "profile_hotspots.txt",
+        "Concretizer profile over %d packages (cumulative):\n\n%s" % (len(names), text),
+    )
+
+    stats.sort_stats("tottime")
+    rows = stats.get_stats_profile().func_profiles
+    total = sum(p.tottime for p in rows.values())
+
+    def tottime_of(substr):
+        return sum(p.tottime for name, p in rows.items() if substr in name)
+
+    # Shape pins: traversal/satisfies dominate (the algorithm's real
+    # work); spec copying must stay a minority share — a naive deep copy
+    # in the fixed-point loop is the classic regression.
+    copy_share = (tottime_of("_dup") + tottime_of("_copy_deps_into")) / total
+    assert copy_share < 0.35, "copying dominates the profile (%.0f%%)" % (
+        copy_share * 100
+    )
+
+    result = benchmark(concretizer.concretize, Spec(names[-1]))
+    assert result.concrete

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Use case: managing Python installations for application teams (§4.2).
+
+LLNL supported multiple teams wanting different Python stacks with
+different configurations.  This example builds a custom interpreter plus
+extensions, each in its own prefix (so combinatorial versioning works),
+then *activates* a baseline set into the interpreter so users need no
+environment settings — including the merge of the conflicting
+``easy-install.pth`` metadata file that plain symlinking would refuse.
+
+Run:  python examples/python_stack_management.py [workdir]
+"""
+
+import os
+import sys
+import tempfile
+
+from repro import Session
+from repro.extensions.activation import activated_extensions
+from repro.extensions.manager import ExtensionManager
+
+
+def main():
+    workdir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(prefix="repro-py-")
+    session = Session.create(workdir)
+
+    print("== building a custom Python stack")
+    for request in (
+        "python@2.7.9",
+        "py-setuptools ^python@2.7.9",
+        "py-numpy ^python@2.7.9 ^netlib-blas",
+        "py-scipy ^python@2.7.9 ^netlib-blas",
+    ):
+        spec, result = session.install(request)
+        print("   %-14s -> %s" % (spec.name, session.store.layout.path_for_spec(spec)))
+
+    python_spec = session.find("python")[0]
+    python_prefix = session.store.layout.path_for_spec(python_spec)
+    site = os.path.join(python_prefix, "lib", "site-packages")
+
+    print("\n== interpreter site-packages before activation:")
+    print("   %s" % sorted(os.listdir(site)))
+
+    manager = ExtensionManager(session)
+    for ext in ("py-setuptools", "py-numpy", "py-scipy"):
+        manager.activate(ext)
+        print("   activated %s" % ext)
+
+    print("\n== after activation:")
+    print("   %s" % sorted(os.listdir(site)))
+    print("   easy-install.pth (merged, not conflicting):")
+    for line in open(os.path.join(site, "easy-install.pth")):
+        print("      %s" % line.strip())
+
+    print("\n== registry (who is active):")
+    for name, info in sorted(activated_extensions(python_prefix).items()):
+        print("   %-16s %-8s %s" % (name, info["version"], info["prefix"]))
+
+    print("\n== a second team wants a different stack: deactivate scipy,")
+    print("   keep numpy — the prefix returns to exactly the smaller state")
+    manager.deactivate("py-scipy")
+    assert "scipy" not in os.listdir(site)
+    assert "numpy" in os.listdir(site)
+
+    installed, active = manager.extensions_of("python")
+    print("\n== extensions of python: %d installed, %d active" % (
+        len(installed), len(active)))
+    for spec in installed:
+        marker = "*" if spec.name in active else " "
+        print("  %s %s" % (marker, spec.node_str()))
+    print("\nOK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim for environments without the ``wheel`` package (offline CI):
+``python setup.py develop`` performs a classic editable install using
+the metadata from pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""repro — a from-scratch reproduction of the Spack package manager (SC '15).
+
+This library reimplements the system described in Gamblin et al., *The Spack
+Package Manager: Bringing Order to HPC Software Chaos* (SC '15):
+
+* the recursive **spec syntax** for constraining builds
+  (:mod:`repro.spec`),
+* **versioned virtual dependencies** and provider resolution
+  (:mod:`repro.repo`),
+* the greedy, fixed-point **concretization** algorithm
+  (:mod:`repro.core`),
+* an **install environment** with compiler wrappers and RPATH enforcement
+  (:mod:`repro.build`, :mod:`repro.store`),
+* plus environment modules, filesystem views, language-extension
+  activation, and a command line (:mod:`repro.modules`, :mod:`repro.views`,
+  :mod:`repro.extensions`, :mod:`repro.cli`).
+
+Quickstart::
+
+    from repro import Session, Spec
+
+    session = Session.create(root="/tmp/demo")          # ephemeral store
+    spec = Spec("mpileaks@1.0 ^mvapich2@1.9")           # abstract spec
+    concrete = session.concretize(spec)                 # resolve everything
+    session.install(concrete)                           # build bottom-up
+
+The public API is re-exported here; see README.md for a tour.
+"""
+
+from repro.errors import ReproError
+from repro.version import Version, VersionList, VersionRange, ver
+
+__version__ = "1.0.0"
+
+# Heavier modules are imported lazily so that `import repro` stays cheap and
+# the low-level subpackages (version, util) remain importable on their own.
+_LAZY = {
+    "Spec": ("repro.spec.spec", "Spec"),
+    "CompilerSpec": ("repro.spec.spec", "CompilerSpec"),
+    "Session": ("repro.session", "Session"),
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        module, attr = _LAZY[name]
+        return getattr(importlib.import_module(module), attr)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+__all__ = [
+    "ReproError",
+    "Version",
+    "VersionRange",
+    "VersionList",
+    "ver",
+    "Spec",
+    "CompilerSpec",
+    "Session",
+    "__version__",
+]

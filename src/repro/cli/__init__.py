@@ -1,0 +1,5 @@
+"""The ``repro-spack`` command line."""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -1,0 +1,521 @@
+"""``repro-spack``: the command-line interface.
+
+Mirrors the original tool's commands around this reproduction's Session:
+
+  install, uninstall, find, spec, explain, providers, versions,
+  compilers, graph, module, view, activate, deactivate, extensions,
+  repo-list
+
+The session root comes from ``--root`` or ``$REPRO_SPACK_ROOT`` (default
+``~/.repro-spack``); the first command against a root generates the fake
+toolchain, seeds the mock web, and loads the built-in corpus.
+"""
+
+import argparse
+import os
+import sys
+
+from repro.errors import ReproError
+
+
+def _session(args):
+    from repro.session import Session
+
+    root = args.root or os.environ.get(
+        "REPRO_SPACK_ROOT", os.path.expanduser("~/.repro-spack")
+    )
+    return Session.create(root)
+
+
+def _spec_arg(args):
+    return " ".join(args.spec)
+
+
+# -- commands ---------------------------------------------------------------
+
+def cmd_install(args):
+    session = _session(args)
+    spec, result = session.install(_spec_arg(args))
+    print("==> %s" % spec)
+    for stats in result.built:
+        print(
+        "    built  %-20s %8.2fs (model)" % (stats.spec.name, stats.virtual_seconds)
+        )
+    for node in result.reused:
+        print("    reused %s" % node.name)
+    for node in result.externals:
+        print("    external %s (%s)" % (node.name, node.external))
+    print("==> installed to %s" % session.store.layout.path_for_spec(spec))
+    return 0
+
+
+def cmd_uninstall(args):
+    session = _session(args)
+    record = session.uninstall(_spec_arg(args), force=args.force)
+    print("==> uninstalled %s" % record.spec)
+    return 0
+
+
+def cmd_find(args):
+    session = _session(args)
+    query = _spec_arg(args)
+    if query.startswith("/"):
+        specs = [r.spec for r in session.db.get_by_hash(query[1:])]
+    else:
+        specs = session.find(query or None)
+    if not specs:
+        print("==> no installed packages match")
+        return 0
+    print("==> %d installed packages" % len(specs))
+    for spec in specs:
+        if getattr(args, "deps", False):
+            print("    %s  /%s" % (spec.node_str(), spec.dag_hash(8)))
+            for d, node in spec.traverse(depth=True, root=False):
+                print("    %s%s" % ("    " * d, node.node_str()))
+        else:
+            print("    %s  /%s" % (spec, spec.dag_hash(8)))
+    return 0
+
+
+def cmd_location(args):
+    session = _session(args)
+    query = _spec_arg(args)
+    if query.startswith("/"):
+        records = session.db.get_by_hash(query[1:])
+    else:
+        records = session.db.query(query)
+    if len(records) != 1:
+        print("Error: %d installed specs match %r" % (len(records), query),
+              file=sys.stderr)
+        return 1
+    print(records[0].prefix)
+    return 0
+
+
+def cmd_spec(args):
+    session = _session(args)
+    from repro.spec.spec import Spec
+
+    abstract = Spec(_spec_arg(args))
+    print("Input spec")
+    print("------------------------------")
+    print(abstract.tree())
+    if getattr(args, "trace", False):
+        from repro.core.concretizer import Concretizer
+
+        events = []
+        concretizer = Concretizer(
+            session.repo, session.provider_index, session.compilers,
+            session.config, session.policy, trace=events.append,
+        )
+        concrete = concretizer.concretize(abstract)
+        print("Trace")
+        print("------------------------------")
+        for event in events:
+            kind = event.pop("event")
+            detail = ", ".join("%s=%s" % kv for kv in sorted(event.items()))
+            print("  [%s] %s" % (kind, detail))
+    else:
+        concrete = session.concretize(
+            abstract, backtrack=getattr(args, "backtrack", False)
+        )
+    print("Concretized")
+    print("------------------------------")
+    print(concrete.tree())
+    return 0
+
+
+def cmd_info(args):
+    session = _session(args)
+    name = _spec_arg(args)
+    cls = session.repo.get_class(name)
+    print("Package:   %s" % name)
+    print("Homepage:  %s" % (cls.homepage or "(none)"))
+    print("URL:       %s" % (cls.url or "(none)"))
+    if cls.__doc__:
+        print("Description:")
+        print("    %s" % cls.__doc__.strip().splitlines()[0])
+    print("Safe versions:")
+    for v in cls.safe_versions():
+        print("    %s" % v)
+    if cls.variants:
+        print("Variants:")
+        for vname, variant in sorted(cls.variants.items()):
+            print("    %-12s [default: %s]  %s"
+                  % (vname, variant.default, variant.description))
+    if cls.dependencies:
+        print("Dependencies:")
+        for dep_name, constraints in sorted(cls.dependencies.items()):
+            for dc in constraints:
+                when = "  when %s" % dc.when if dc.when else ""
+                print("    %s%s" % (dc.spec, when))
+    if cls.provided:
+        print("Provides:")
+        for interface in cls.provided:
+            when = "  when %s" % interface.when if interface.when else ""
+            print("    %s%s" % (interface.spec, when))
+    if cls.compiler_requirements:
+        print("Compiler requirements:")
+        for feature, when in cls.compiler_requirements:
+            suffix = "  when %s" % when if when else ""
+            print("    %s%s" % (feature, suffix))
+    return 0
+
+
+def cmd_checksum(args):
+    session = _session(args)
+    import hashlib
+
+    name = _spec_arg(args)
+    cls = session.repo.get_class(name)
+    pkg = cls(session.spec(name), session=session)
+    versions = session.fetcher.available_versions(pkg)
+    print("==> found %d versions of %s" % (len(versions), name))
+    for v in versions:
+        try:
+            url = pkg.url_for_version(v)
+            content = session.web.get(url)
+            digest = hashlib.md5(content).hexdigest()
+            print("    version(%r, %r)" % (str(v), digest))
+        except Exception as e:
+            print("    # %s: %s" % (v, e))
+    return 0
+
+
+def cmd_mirror(args):
+    session = _session(args)
+    from repro.fetch.mirror import Mirror, create_mirror
+    from repro.spec.spec import Spec
+
+    mirror = Mirror(args.dir or os.path.join(session.root, "mirror"))
+    if args.create:
+        specs = [Spec(s) for s in args.spec] or []
+        if not specs:
+            print("Error: mirror --create needs at least one spec", file=sys.stderr)
+            return 1
+        written = create_mirror(session, mirror, specs)
+        print("==> mirrored %d archives into %s" % (len(written), mirror.root))
+        for name, version in written:
+            print("    %s@%s" % (name, version))
+        return 0
+    contents = mirror.contents()
+    print("==> mirror at %s: %d packages" % (mirror.root, len(contents)))
+    for name, versions in contents.items():
+        print("    %-16s %s" % (name, ", ".join(versions)))
+    return 0
+
+
+def cmd_lmod(args):
+    session = _session(args)
+    from repro.modules.lmod import LmodHierarchy
+
+    hierarchy = LmodHierarchy(session)
+    written = hierarchy.refresh()
+    print("==> regenerated %d Lmod hierarchy files under %s"
+          % (len(written), hierarchy.root))
+    for rel in hierarchy.tree():
+        print("    %s" % rel)
+    return 0
+
+
+def cmd_explain(args):
+    from repro.spec.explain import explain
+
+    print(explain(_spec_arg(args)))
+    return 0
+
+
+def cmd_providers(args):
+    session = _session(args)
+    virtual = _spec_arg(args)
+    if not virtual:
+        names = session.provider_index.virtual_names()
+        print("==> %d virtual interfaces" % len(names))
+        for name in names:
+            provider_names = session.provider_index.providers_for_name(name)
+            print("    %-10s %s" % (name, ", ".join(provider_names)))
+        return 0
+    providers = session.provider_index.providers_for(virtual)
+    print("==> providers of %s" % virtual)
+    for provider in providers:
+        print("    %s" % provider)
+    return 0
+
+
+def cmd_versions(args):
+    session = _session(args)
+    name = _spec_arg(args)
+    cls = session.repo.get_class(name)
+    pkg = cls(session.spec(name), session=session)
+    print("==> declared (safe) versions of %s" % name)
+    for v in cls.known_versions():
+        checksum = cls.versions[v].get("checksum")
+        print("    %-12s %s" % (v, checksum or "(no checksum)"))
+    remote = session.fetcher.available_versions(pkg)
+    if remote:
+        print("==> remote versions (scraped)")
+        for v in remote:
+            print("    %s" % v)
+    return 0
+
+
+def cmd_compilers(args):
+    session = _session(args)
+    print("==> available compilers")
+    for compiler in session.compilers:
+        print("    %-16s cc=%s" % (compiler, compiler.cc))
+    return 0
+
+
+def cmd_graph(args):
+    session = _session(args)
+    concrete = session.concretize(_spec_arg(args))
+    if args.dot:
+        from repro.spec.graph import graph_dot
+
+        print(graph_dot(concrete, name=concrete.name))
+    else:
+        from repro.spec.graph import graph_ascii
+
+        print(graph_ascii(concrete))
+    return 0
+
+
+def cmd_module(args):
+    session = _session(args)
+    from repro.modules.generator import ModuleGenerator
+
+    generator = ModuleGenerator(session)
+    paths = generator.refresh()
+    print("==> regenerated %d module files under %s" % (len(paths), generator.module_root))
+    return 0
+
+
+def cmd_view(args):
+    session = _session(args)
+    from repro.views.view import View, ViewRule
+
+    view = View(session, args.view_root or os.path.join(session.root, "view"))
+    if args.link:
+        view.add_rule(ViewRule(args.link, match=_spec_arg(args)))
+    links = view.refresh()
+    print("==> view at %s (%d links)" % (view.root, len(links)))
+    for link, spec in sorted(links.items()):
+        print("    %s -> %s" % (os.path.relpath(link, view.root), spec))
+    return 0
+
+
+def cmd_activate(args):
+    session = _session(args)
+    from repro.extensions.manager import ExtensionManager
+
+    extendee = ExtensionManager(session).activate(_spec_arg(args))
+    print("==> activated %s in %s" % (_spec_arg(args), extendee))
+    return 0
+
+
+def cmd_deactivate(args):
+    session = _session(args)
+    from repro.extensions.manager import ExtensionManager
+
+    extendee = ExtensionManager(session).deactivate(_spec_arg(args))
+    print("==> deactivated %s from %s" % (_spec_arg(args), extendee))
+    return 0
+
+
+def cmd_extensions(args):
+    session = _session(args)
+    from repro.extensions.manager import ExtensionManager
+
+    installed, active = ExtensionManager(session).extensions_of(_spec_arg(args))
+    print("==> %d installed extensions" % len(installed))
+    for spec in installed:
+        marker = "*" if spec.name in active else " "
+        print("  %s %s" % (marker, spec))
+    return 0
+
+
+def cmd_verify(args):
+    session = _session(args)
+    from repro.store.verify import verify_store
+
+    issues = verify_store(session)
+    if not issues:
+        print("==> %d installed specs verified, no issues" % len(session.db))
+        return 0
+    print("==> %d issues found:" % len(issues))
+    for issue in issues:
+        print("    %s" % issue)
+    return 1
+
+
+def cmd_reindex(args):
+    session = _session(args)
+    session.db._records = {}
+    found = session.db.rebuild_from_prefixes()
+    print("==> reindexed %d installed specs from provenance files" % found)
+    return 0
+
+
+def cmd_fetch(args):
+    session = _session(args)
+    fetched = session.fetch_only(_spec_arg(args))
+    print("==> fetched %d archives" % len(fetched))
+    for name, version in fetched:
+        print("    %s@%s" % (name, version))
+    return 0
+
+
+def cmd_stage(args):
+    session = _session(args)
+    path = session.stage_only(_spec_arg(args))
+    print("==> staged in %s" % path)
+    return 0
+
+
+def cmd_clean(args):
+    session = _session(args)
+    removed = session.clean_stages()
+    print("==> removed %d stages" % len(removed))
+    return 0
+
+
+def cmd_create(args):
+    session = _session(args)
+    from repro.repo.create import create_package_skeleton
+
+    repo_root = args.repo_dir or os.path.join(session.root, "local-repo")
+    url = _spec_arg(args)
+    name, path, versions = create_package_skeleton(session, url, repo_root)
+    print("==> created package %r with %d versions" % (name, len(versions)))
+    print("    %s" % path)
+    return 0
+
+
+def cmd_dependents(args):
+    session = _session(args)
+    name = _spec_arg(args)
+    cls = session.repo.get_class(name)
+    provided = {p.spec.name for p in cls.provided}
+    declared = []
+    for other in session.repo.all_package_names():
+        other_cls = session.repo.get_class(other)
+        dep_names = set(other_cls.dependencies)
+        if name in dep_names or (provided & dep_names):
+            declared.append(other)
+    print("==> %d packages can depend on %s" % (len(declared), name))
+    for other in declared:
+        print("    %s" % other)
+    installed = session.db.query()
+    direct = [
+        r.spec for r in installed
+        if any(d.name == name for d in r.spec.dependencies.values())
+    ]
+    if direct:
+        print("==> installed dependents:")
+        for spec in direct:
+            print("    %s" % spec.node_str())
+    return 0
+
+
+def cmd_repo_list(args):
+    session = _session(args)
+    import fnmatch
+
+    names = session.repo.all_package_names()
+    pattern = _spec_arg(args)
+    if pattern:
+        names = [n for n in names if fnmatch.fnmatch(n, "*%s*" % pattern)]
+    print("==> %d packages" % len(names))
+    for name in names:
+        print("    %s" % name)
+    return 0
+
+
+# -- wiring ------------------------------------------------------------------
+
+def _add_spec_argument(parser):
+    parser.add_argument("spec", nargs="*", help="spec expression")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-spack",
+        description="Reproduction of the Spack package manager (SC '15)",
+    )
+    parser.add_argument("--root", help="session root directory")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    commands = {
+        "install": (cmd_install, "concretize and install a spec"),
+        "uninstall": (cmd_uninstall, "remove an installed spec"),
+        "find": (cmd_find, "list installed specs matching a query"),
+        "spec": (cmd_spec, "show the concretized DAG for a spec"),
+        "explain": (cmd_explain, "English meaning of a spec (Table 2)"),
+        "providers": (cmd_providers, "list providers of a virtual"),
+        "versions": (cmd_versions, "declared + scraped versions"),
+        "compilers": (cmd_compilers, "list available compilers"),
+        "graph": (cmd_graph, "print the dependency DAG"),
+        "module": (cmd_module, "regenerate module files"),
+        "view": (cmd_view, "refresh a filesystem view"),
+        "activate": (cmd_activate, "activate an extension"),
+        "deactivate": (cmd_deactivate, "deactivate an extension"),
+        "extensions": (cmd_extensions, "list extensions of a package"),
+        "repo-list": (cmd_repo_list, "list all known packages"),
+        "info": (cmd_info, "show package metadata"),
+        "checksum": (cmd_checksum, "scrape versions and compute checksums"),
+        "lmod": (cmd_lmod, "regenerate the Lmod hierarchy"),
+        "location": (cmd_location, "print the install prefix of a spec"),
+        "mirror": (cmd_mirror, "create or list a local source mirror"),
+        "verify": (cmd_verify, "check installed specs against provenance"),
+        "reindex": (cmd_reindex, "rebuild the database from provenance files"),
+        "fetch": (cmd_fetch, "download archives without installing"),
+        "stage": (cmd_stage, "fetch, expand, and patch a package's source"),
+        "clean": (cmd_clean, "remove build stages"),
+        "create": (cmd_create, "generate package boilerplate from a URL"),
+        "dependents": (cmd_dependents, "list packages that depend on one"),
+    }
+    for name, (func, help_text) in commands.items():
+        p = sub.add_parser(name, help=help_text)
+        _add_spec_argument(p)
+        p.set_defaults(func=func)
+        if name == "uninstall":
+            p.add_argument("--force", action="store_true", help="ignore dependents")
+        if name == "find":
+            p.add_argument("-d", "--deps", action="store_true",
+                           help="show dependency trees")
+        if name == "graph":
+            p.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+        if name == "view":
+            p.add_argument("--view-root", help="directory for the view")
+            p.add_argument("--link", help="projection template for matched specs")
+        if name == "spec":
+            p.add_argument(
+                "--backtrack", action="store_true",
+                help="explore provider alternatives if greedy concretization fails",
+            )
+            p.add_argument(
+                "--trace", action="store_true",
+                help="show the Figure 6 pipeline stages while concretizing",
+            )
+        if name == "mirror":
+            p.add_argument("--create", action="store_true",
+                           help="download archives for the given specs")
+            p.add_argument("--dir", help="mirror directory (default <root>/mirror)")
+        if name == "create":
+            p.add_argument("--repo-dir", help="repository directory to write into")
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as e:
+        print("Error: %s" % e, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Compiler toolchains and their registry (paper §3.2.3, "Compilers")."""
+
+from repro.compilers.registry import (
+    Compiler,
+    CompilerError,
+    CompilerRegistry,
+    NoSuchCompilerError,
+    find_compilers,
+)
+
+__all__ = [
+    "Compiler",
+    "CompilerRegistry",
+    "CompilerError",
+    "NoSuchCompilerError",
+    "find_compilers",
+]

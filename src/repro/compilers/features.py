@@ -1,0 +1,52 @@
+"""Compiler feature knowledge: which toolchain versions support what.
+
+The paper's §4.5: "our codes are relying on advanced compiler
+capabilities, like C++11 language features, OpenMP versions, and GPU
+compute capabilities.  Ideally, Spack will find suitable compilers..."
+
+This table encodes 2015-era support levels for the toolchains the fake
+universe ships.  Features are versioned like everything else in the
+system: ``cxx@11``, ``openmp@4.0``, ``cuda@7.0`` — so packages can say
+``requires_compiler('cxx@11:')`` and the concretizer can reason about
+them with the ordinary version algebra.
+"""
+
+from repro.version import Version
+
+#: per-toolchain, ascending version thresholds -> feature levels.
+#: A compiler gets the feature set of the highest threshold <= its version.
+FEATURE_TABLE = {
+    "gcc": [
+        ("4.4", {"cxx": "03", "openmp": "3.0"}),
+        ("4.7", {"cxx": "11", "openmp": "3.1"}),
+        ("4.9", {"cxx": "14", "openmp": "4.0"}),
+    ],
+    "intel": [
+        ("13", {"cxx": "03", "openmp": "3.1"}),
+        ("14", {"cxx": "11", "openmp": "4.0"}),
+        ("15", {"cxx": "14", "openmp": "4.0"}),
+    ],
+    "clang": [
+        # 2015-era clang: great C++, no OpenMP yet — the classic trap.
+        ("3.3", {"cxx": "11"}),
+        ("3.4", {"cxx": "14"}),
+    ],
+    "pgi": [
+        ("13", {"cxx": "03", "openmp": "3.1", "cuda": "6.0"}),
+        ("14", {"cxx": "03", "openmp": "3.1", "cuda": "7.0"}),
+    ],
+    "xl": [
+        ("12", {"cxx": "03", "openmp": "3.1"}),
+    ],
+}
+
+
+def features_for(name, version):
+    """Feature levels for a toolchain version: {feature: Version}."""
+    table = FEATURE_TABLE.get(name, [])
+    version = Version(str(version))
+    chosen = {}
+    for threshold, features in table:
+        if Version(threshold) <= version or version in Version(threshold):
+            chosen = features
+    return {feature: Version(level) for feature, level in chosen.items()}

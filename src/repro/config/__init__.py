@@ -1,0 +1,5 @@
+"""Layered site/user configuration and concretization preferences (§4.3)."""
+
+from repro.config.config import Config, ConfigError, ConfigScope
+
+__all__ = ["Config", "ConfigScope", "ConfigError"]

@@ -1,0 +1,169 @@
+"""Configuration scopes and merged lookups.
+
+The paper's site/user policy mechanism (§3.4.4, §4.3): configuration is a
+stack of *scopes* — ``defaults`` (shipped), ``site``, ``user``, and
+``command_line`` — each a nested dict.  Later scopes override earlier
+ones key-by-key (dicts merge recursively; lists and scalars replace).
+
+Sections used by the rest of the system:
+
+``preferences``
+    - ``compiler_order``: list of compiler specs, most preferred first
+      (the paper's ``compiler_order = icc,gcc@4.4.7`` example);
+    - ``providers``: {virtual name: [provider names in preference order]};
+    - ``architecture``: default target;
+    - ``packages``: {pkg: {``version``: [preferred...],
+      ``variants``: {name: bool}}}.
+
+``packages``
+    External installations and buildability:
+    {pkg: {``external``: {``spec``: str, ``prefix``: str}, ``buildable``: bool}}.
+
+``views``
+    Projection rules for :mod:`repro.views`.
+
+Scopes can be loaded from JSON files, so a site can ship policy in a
+plain config directory (§4.3's configuration files).
+"""
+
+import json
+import os
+
+from repro.errors import ReproError
+
+
+class ConfigError(ReproError):
+    """Bad configuration structure or file."""
+
+
+#: Scope priority, lowest first.
+SCOPE_ORDER = ("defaults", "site", "user", "command_line")
+
+
+def _deep_merge(base, overlay):
+    """Merge ``overlay`` into a copy of ``base``: dicts recurse, other
+    values replace."""
+    result = dict(base)
+    for key, value in overlay.items():
+        if key in result and isinstance(result[key], dict) and isinstance(value, dict):
+            result[key] = _deep_merge(result[key], value)
+        else:
+            result[key] = value
+    return result
+
+
+class ConfigScope:
+    """One named layer of configuration."""
+
+    def __init__(self, name, data=None, path=None):
+        if name not in SCOPE_ORDER:
+            raise ConfigError(
+                "Unknown scope %r (expected one of %s)" % (name, ", ".join(SCOPE_ORDER))
+            )
+        self.name = name
+        self.path = path
+        self.data = dict(data or {})
+
+    @classmethod
+    def from_file(cls, name, path):
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, ValueError) as e:
+            raise ConfigError("Cannot read config file %s: %s" % (path, e)) from e
+        if not isinstance(data, dict):
+            raise ConfigError("Config file %s must contain a JSON object" % path)
+        return cls(name, data, path=path)
+
+    def __repr__(self):
+        return "ConfigScope(%r, path=%r)" % (self.name, self.path)
+
+
+class Config:
+    """The merged stack of configuration scopes."""
+
+    def __init__(self, scopes=()):
+        self.scopes = {}
+        for scope in scopes:
+            self.push_scope(scope)
+
+    def push_scope(self, scope):
+        if not isinstance(scope, ConfigScope):
+            raise ConfigError("push_scope requires a ConfigScope")
+        self.scopes[scope.name] = scope
+
+    def update(self, scope_name, data):
+        """Merge ``data`` into a scope (creating it if needed)."""
+        existing = self.scopes.get(scope_name)
+        if existing is None:
+            self.push_scope(ConfigScope(scope_name, data))
+        else:
+            existing.data = _deep_merge(existing.data, data)
+
+    def merged(self):
+        """The fully merged configuration dict."""
+        result = {}
+        for name in SCOPE_ORDER:
+            scope = self.scopes.get(name)
+            if scope is not None:
+                result = _deep_merge(result, scope.data)
+        return result
+
+    def get(self, *path, default=None):
+        """Look up a merged value by key path.
+
+        ``config.get('preferences', 'providers', 'mpi', default=[])``.
+        A single argument may also be a ``:``-separated path string.
+        """
+        if len(path) == 1 and isinstance(path[0], str) and ":" in path[0]:
+            path = tuple(path[0].split(":"))
+        node = self.merged()
+        for key in path:
+            if not isinstance(node, dict) or key not in node:
+                return default
+            node = node[key]
+        return node
+
+    # -- convenience accessors used by the concretizer ----------------------
+    def compiler_order(self):
+        return list(self.get("preferences", "compiler_order", default=[]))
+
+    def provider_order(self, virtual_name):
+        return list(self.get("preferences", "providers", virtual_name, default=[]))
+
+    def preferred_versions(self, package_name):
+        return list(
+            self.get("preferences", "packages", package_name, "version", default=[])
+        )
+
+    def preferred_variants(self, package_name):
+        return dict(
+            self.get("preferences", "packages", package_name, "variants", default={})
+        )
+
+    def default_architecture(self):
+        return self.get("preferences", "architecture")
+
+    def external_for(self, package_name):
+        """``(spec_string, prefix)`` for a configured external, or None."""
+        ext = self.get("packages", package_name, "external")
+        if not ext:
+            return None
+        return ext.get("spec", package_name), ext.get("prefix")
+
+    def is_buildable(self, package_name):
+        value = self.get("packages", package_name, "buildable")
+        return True if value is None else bool(value)
+
+    def view_rules(self):
+        return dict(self.get("views", default={}))
+
+
+def load_config_dir(directory):
+    """Load ``<scope>.json`` files from a directory into a Config."""
+    config = Config()
+    for scope_name in SCOPE_ORDER:
+        path = os.path.join(directory, "%s.json" % scope_name)
+        if os.path.isfile(path):
+            config.push_scope(ConfigScope.from_file(scope_name, path))
+    return config

@@ -1,0 +1,33 @@
+"""The concretizer: abstract spec DAG → concrete build DAG (paper §3.4).
+
+This is the paper's primary contribution.  :class:`Concretizer` implements
+the Figure 6 pipeline: intersect user constraints with package-file
+constraints, resolve versioned virtual dependencies through the provider
+index, fill in unspecified parameters from site/user policies, and iterate
+to a fixed point.  The algorithm is greedy — it never backtracks; an
+inconsistent first choice raises an error the user resolves by being more
+explicit (§4.5).
+"""
+
+from repro.core.concretizer import (
+    ConcretizationError,
+    Concretizer,
+    CyclicDependencyError,
+    NoBuildableProviderError,
+    NoSatisfyingVersionError,
+    UnknownPackageError,
+)
+from repro.core.backtracking import BacktrackingConcretizer, BacktrackLimitError
+from repro.core.policies import DefaultPolicy
+
+__all__ = [
+    "Concretizer",
+    "BacktrackingConcretizer",
+    "BacktrackLimitError",
+    "DefaultPolicy",
+    "ConcretizationError",
+    "UnknownPackageError",
+    "NoSatisfyingVersionError",
+    "NoBuildableProviderError",
+    "CyclicDependencyError",
+]

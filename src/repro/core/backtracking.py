@@ -1,0 +1,118 @@
+"""Backtracking concretization — the paper's §4.5 future work.
+
+The shipped algorithm is greedy: "Spack currently avoids an exhaustive
+search... It will not backtrack to try other options if its first policy
+choice leads to an inconsistency."  The paper's motivating failure is
+the hwloc case: P depends on ``hwloc@1.9`` and ``mpi``; the
+policy-preferred MPI strictly requires ``hwloc@1.8``; greedy stops with
+an error even though another MPI would work.
+
+:class:`BacktrackingConcretizer` adds the "automatic constraint space
+exploration" the paper deferred: when the greedy pass fails, it
+enumerates the *virtual provider* choice points (the dominant source of
+greedy dead ends — provider choice changes whole subtrees) and searches
+assignments depth-first in policy-preference order, so the first
+success is still the most-preferred consistent solution.  Version and
+variant choice points are not explored (they are policy-monotone in
+this model: a different version choice never fixes a constraint
+conflict that intersecting the constraints did not, because declared
+constraints are intersected *before* versions are chosen).
+
+The search is bounded by ``max_attempts``; each attempt is one full
+greedy concretization, so worst-case cost is attempts × greedy — the
+ablation benchmark quantifies this against the greedy baseline.
+"""
+
+import itertools
+
+from repro.core.concretizer import (
+    ConcretizationError,
+    Concretizer,
+)
+from repro.spec.errors import SpecError
+from repro.spec.spec import Spec
+
+
+class BacktrackLimitError(ConcretizationError):
+    def __init__(self, spec, attempts):
+        super().__init__(
+            "No consistent configuration for %s found in %d attempts" % (spec, attempts)
+        )
+
+
+class BacktrackingConcretizer(Concretizer):
+    """Greedy first; on failure, explore virtual-provider assignments."""
+
+    def __init__(self, *args, max_attempts=256, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.max_attempts = max_attempts
+        #: number of greedy passes the last concretize() consumed
+        self.last_attempts = 0
+
+    def concretize(self, abstract_spec):
+        if isinstance(abstract_spec, str):
+            abstract_spec = Spec(abstract_spec)
+        self.last_attempts = 1
+        try:
+            return super().concretize(abstract_spec)
+        except ConcretizationError as first_error:
+            return self._search(abstract_spec, first_error)
+
+    # -- the search ---------------------------------------------------------
+    def _search(self, abstract_spec, first_error):
+        choice_points = self._virtual_choice_points(abstract_spec)
+        if not choice_points:
+            raise first_error
+
+        names = sorted(choice_points)
+        last_error = first_error
+        for assignment in itertools.product(*(choice_points[v] for v in names)):
+            if self.last_attempts >= self.max_attempts:
+                raise BacktrackLimitError(abstract_spec, self.last_attempts)
+            candidate = abstract_spec.copy()
+            try:
+                for provider_name in assignment:
+                    if provider_name not in candidate.flat_dependencies():
+                        candidate._add_dependency(Spec(name=provider_name))
+                self.last_attempts += 1
+                return super().concretize(candidate)
+            except (ConcretizationError, SpecError) as e:
+                last_error = e
+                continue
+        raise ConcretizationError(
+            "All %d provider assignments for %s are inconsistent"
+            % (self.last_attempts - 1, abstract_spec),
+            long_message="last failure: %s" % last_error,
+        )
+
+    def _virtual_choice_points(self, abstract_spec):
+        """{virtual name: [provider names, policy-preferred first]} for
+        every virtual reachable from the root's package metadata.
+
+        Reachability over-approximates (conditional deps are assumed
+        possible); an assignment whose provider ends up unused simply
+        fails the pruned-edge validation and the search moves on.
+        """
+        reachable = set()
+        virtuals = {}
+        stack = [abstract_spec.name]
+        seen = set()
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            if self._is_virtual(name):
+                candidates = self.provider_index.providers_for(Spec(name=name))
+                ordered = self.policy.order_providers(name, candidates)
+                provider_names = list(dict.fromkeys(c.name for c in ordered))
+                if len(provider_names) > 1:
+                    virtuals[name] = provider_names
+                stack.extend(provider_names)
+                continue
+            if not self.repo.exists(name):
+                continue
+            reachable.add(name)
+            cls = self.repo.get_class(name)
+            stack.extend(cls.dependencies)
+        return virtuals

@@ -1,0 +1,138 @@
+"""Concretization policies: how unconstrained parameters get values.
+
+The paper separates the *mechanism* of concretization from site/user
+*policy* (§3.4.4): "the site or the user can set default versions to use
+for any library that is not specified explicitly."  :class:`DefaultPolicy`
+reads those preferences from :class:`~repro.config.Config`; a site can
+subclass it and hand its subclass to the Session for fully custom rules.
+
+Default preference order (matching §4.3.1): newer versions over older,
+explicitly preferred compilers/providers first, anything unlisted after
+everything listed, then a deterministic tie-break.
+"""
+
+from repro.spec.spec import CompilerSpec
+from repro.version import Version
+
+
+class DefaultPolicy:
+    """Config-driven choices for versions, providers, compilers, variants,
+    and architecture."""
+
+    def __init__(self, config):
+        self.config = config
+
+    # -- versions ---------------------------------------------------------
+    def choose_version(self, package_name, declared_versions, constraint):
+        """Pick a version for a node from the package's declared versions.
+
+        Order: site/user preferred versions that satisfy the constraint,
+        then the highest declared safe (checksummed) version satisfying
+        it, then the highest declared version at all.  Returns None when
+        nothing declared matches (the caller then decides whether the
+        constraint itself names an exact version to fetch, §3.2.3).
+        """
+        satisfying = [
+            v for v in sorted(declared_versions, reverse=True)
+            if constraint.contains_version(v)
+        ]
+        if not satisfying:
+            return None
+        for preferred in self.config.preferred_versions(package_name):
+            pv = Version(str(preferred))
+            for v in satisfying:
+                if v.satisfies(pv):
+                    return v
+        checksummed = [
+            v for v in satisfying if declared_versions[v].get("checksum")
+        ]
+        return checksummed[0] if checksummed else satisfying[0]
+
+    # -- virtual providers -----------------------------------------------------
+    def order_providers(self, virtual_name, candidates):
+        """Sort candidate provider specs: config order first, then name,
+        then higher version constraints first."""
+        preference = self.config.provider_order(virtual_name)
+
+        def rank(provider_spec):
+            name = provider_spec.name
+            listed = preference.index(name) if name in preference else len(preference)
+            highest = provider_spec.versions.highest()
+            # invert version ordering: higher versions first
+            version_key = tuple(
+                (-k[0], _negate(k[1])) for k in (highest.key if highest else ())
+            )
+            return (listed, name, version_key)
+
+        return sorted(candidates, key=rank)
+
+    # -- compilers -----------------------------------------------------------------
+    def choose_compiler(self, registry, parent_compiler=None, requirements=()):
+        """Default compiler for a node with no ``%`` constraint.
+
+        Inherit the parent/root compiler when there is one (keeps a DAG
+        single-toolchain by default) — unless it cannot satisfy the
+        node's feature ``requirements`` — otherwise the first entry of
+        ``compiler_order`` with a satisfying version, then the newest
+        gcc, then anything that works.
+        """
+        def some_version_supports(cspec):
+            return any(
+                all(c.supports(f) for f in requirements)
+                for c in registry.compilers_for(cspec)
+            )
+
+        if parent_compiler is not None:
+            if not requirements or some_version_supports(parent_compiler):
+                return parent_compiler.copy()
+        for entry in self.config.compiler_order():
+            cspec = CompilerSpec(entry)
+            if registry.exists(cspec) and (not requirements or some_version_supports(cspec)):
+                return cspec
+        gcc = CompilerSpec("gcc")
+        if registry.exists(gcc) and (not requirements or some_version_supports(gcc)):
+            return gcc
+        for compiler in reversed(registry.all_compilers()):
+            cspec = CompilerSpec(compiler.name)
+            if not requirements or some_version_supports(cspec):
+                return cspec
+        return None
+
+    def choose_compiler_version(self, registry, cspec, requirements=()):
+        """Resolve a compiler constraint to the best registered version
+        that satisfies every required feature."""
+        from repro.compilers.registry import CompilerFeatureError
+
+        matches = registry.compilers_for(cspec)
+        if not matches:
+            from repro.compilers.registry import NoSuchCompilerError
+
+            raise NoSuchCompilerError(cspec)
+        supporting = [
+            c for c in matches if all(c.supports(f) for f in requirements)
+        ]
+        if not supporting:
+            raise CompilerFeatureError(cspec, requirements, matches)
+        return supporting[-1]
+
+    # -- variants -----------------------------------------------------------------------
+    def choose_variant(self, package_name, variant):
+        """Value for a variant the spec leaves unset: user preference,
+        else the package's declared default."""
+        prefs = self.config.preferred_variants(package_name)
+        if variant.name in prefs:
+            return bool(prefs[variant.name])
+        return variant.default
+
+    # -- architecture ----------------------------------------------------------------------
+    def choose_architecture(self, parent_arch=None):
+        if parent_arch is not None:
+            return parent_arch
+        return self.config.default_architecture() or "linux-x86_64"
+
+
+def _negate(value):
+    """Order-inverting key for ints and strings."""
+    if isinstance(value, int):
+        return -value
+    return tuple(-ord(ch) for ch in value)

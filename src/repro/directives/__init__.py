@@ -1,0 +1,47 @@
+"""The embedded package DSL (paper §3.1).
+
+Package files are Python classes; the directives exported here —
+``version``, ``depends_on``, ``provides``, ``patch``, ``variant``,
+``extends``, ``conflicts`` — are called in the class body and record
+metadata onto the class via :class:`DirectiveMeta`.  ``@when`` provides
+build specialization: multiple definitions of one method, dispatched on
+the package's concretized spec (§3.2.5, Figure 4).
+"""
+
+from repro.directives.directives import (
+    DependencyConstraint,
+    DirectiveError,
+    DirectiveMeta,
+    Patch,
+    ProvidedInterface,
+    Variant,
+    conflicts,
+    depends_on,
+    extends,
+    patch,
+    provides,
+    requires_compiler,
+    variant,
+    version,
+)
+from repro.directives.multimethod import NoSuchMethodError, SpecMultiMethod, when
+
+__all__ = [
+    "DirectiveMeta",
+    "DirectiveError",
+    "version",
+    "depends_on",
+    "provides",
+    "patch",
+    "variant",
+    "extends",
+    "conflicts",
+    "requires_compiler",
+    "when",
+    "SpecMultiMethod",
+    "NoSuchMethodError",
+    "Variant",
+    "Patch",
+    "DependencyConstraint",
+    "ProvidedInterface",
+]

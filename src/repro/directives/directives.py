@@ -1,0 +1,314 @@
+"""Directives: functions called inside ``Package`` class bodies (§3.1).
+
+Mechanics: a directive call runs *while the class body executes*, before
+the class object exists.  Each call pushes a closure onto a pending list;
+:class:`DirectiveMeta` pops and applies them when it constructs the class.
+Metadata containers are copied down the inheritance chain, so a site
+package that subclasses a built-in one (§4.3.2) starts from its parent's
+versions/dependencies and may add or override without mutating the parent.
+
+``when=`` arguments make any directive conditional: the constraint is only
+merged into the DAG when the package's current spec satisfies the
+predicate (evaluated during normalization, §3.4).
+"""
+
+from repro.errors import ReproError
+from repro.spec.spec import Spec
+from repro.version import Version
+
+
+class DirectiveError(ReproError):
+    """A directive was used incorrectly in a package definition."""
+
+
+class Variant:
+    """Declaration of a named boolean build option (``variant`` directive)."""
+
+    __slots__ = ("name", "default", "description")
+
+    def __init__(self, name, default, description):
+        self.name = name
+        self.default = default
+        self.description = description
+
+    def __repr__(self):
+        return "Variant(%r, default=%r)" % (self.name, self.default)
+
+
+class DependencyConstraint:
+    """One ``depends_on`` declaration: a dep constraint plus a predicate."""
+
+    __slots__ = ("spec", "when")
+
+    def __init__(self, spec, when):
+        self.spec = spec
+        self.when = when  # Spec or None (None == unconditional)
+
+    def __repr__(self):
+        return "DependencyConstraint(%r, when=%r)" % (
+            str(self.spec),
+            str(self.when) if self.when else None,
+        )
+
+
+class ProvidedInterface:
+    """One ``provides`` declaration: a virtual spec plus a predicate (§3.3)."""
+
+    __slots__ = ("spec", "when")
+
+    def __init__(self, spec, when):
+        self.spec = spec
+        self.when = when
+
+    def __repr__(self):
+        return "ProvidedInterface(%r, when=%r)" % (
+            str(self.spec),
+            str(self.when) if self.when else None,
+        )
+
+
+class Patch:
+    """One ``patch`` declaration.
+
+    In this reproduction a patch is applied by the stage machinery as a
+    marker file plus a transformation of the fake source tree, so tests
+    can assert *which* patches were applied for a given spec (the paper's
+    gperftools and Python/BG|Q use cases, §4.1–4.2).
+    """
+
+    __slots__ = ("name", "when", "level")
+
+    def __init__(self, name, when, level):
+        self.name = name
+        self.when = when
+        self.level = level
+
+    def __repr__(self):
+        return "Patch(%r, when=%r)" % (self.name, str(self.when) if self.when else None)
+
+
+def _as_when(when):
+    """Normalize a ``when=`` argument to a Spec predicate or None."""
+    if when is None:
+        return None
+    if isinstance(when, Spec):
+        return when
+    if isinstance(when, str):
+        return Spec(when)
+    if when is True:
+        return None
+    if when is False:
+        # A never-true predicate: used by packages that disable an
+        # inherited directive.  An impossible anonymous constraint.
+        never = Spec()
+        never.variants["__never__"] = True
+        return never
+    raise DirectiveError("Invalid when= argument: %r" % (when,))
+
+
+class DirectiveMeta(type):
+    """Metaclass collecting directive calls into class-level metadata.
+
+    Containers created on every class (inherited entries are *copied*):
+
+    - ``versions``: {Version: {'checksum': str|None, 'url': str|None}}
+    - ``dependencies``: {dep_name: [DependencyConstraint, ...]}
+    - ``provided``: [ProvidedInterface, ...]
+    - ``patches``: [Patch, ...]
+    - ``variants``: {name: Variant}
+    - ``extendees``: {name: (Spec, kwargs)}
+    - ``conflict_specs``: [(Spec, when, msg), ...]
+    """
+
+    #: closures pending application to the class being defined
+    _pending = []
+
+    _CONTAINERS = (
+        "versions",
+        "dependencies",
+        "provided",
+        "patches",
+        "variants",
+        "extendees",
+        "conflict_specs",
+        "compiler_requirements",
+    )
+
+    def __new__(mcls, name, bases, attrs):
+        cls = super().__new__(mcls, name, bases, attrs)
+
+        # Merge (copies of) metadata from bases, nearest-first.
+        cls.versions = _merged_dicts(bases, "versions")
+        cls.dependencies = _merged_dep_maps(bases)
+        cls.provided = _merged_lists(bases, "provided")
+        cls.patches = _merged_lists(bases, "patches")
+        cls.variants = _merged_dicts(bases, "variants")
+        cls.extendees = _merged_dicts(bases, "extendees")
+        cls.conflict_specs = _merged_lists(bases, "conflict_specs")
+        cls.compiler_requirements = _merged_lists(bases, "compiler_requirements")
+
+        pending, DirectiveMeta._pending = DirectiveMeta._pending, []
+        for apply_directive in pending:
+            apply_directive(cls)
+        return cls
+
+    @staticmethod
+    def push(closure):
+        DirectiveMeta._pending.append(closure)
+
+
+def _merged_dicts(bases, attr):
+    result = {}
+    for base in reversed(bases):
+        result.update(getattr(base, attr, {}))
+    return dict(result)
+
+
+def _merged_lists(bases, attr):
+    result = []
+    for base in reversed(bases):
+        for item in getattr(base, attr, ()):
+            if item not in result:
+                result.append(item)
+    return result
+
+
+def _merged_dep_maps(bases):
+    result = {}
+    for base in reversed(bases):
+        for dep_name, constraints in getattr(base, "dependencies", {}).items():
+            result.setdefault(dep_name, [])
+            for c in constraints:
+                if c not in result[dep_name]:
+                    result[dep_name].append(c)
+    return {k: list(v) for k, v in result.items()}
+
+
+# --------------------------------------------------------------------------
+# The directives themselves.
+# --------------------------------------------------------------------------
+
+def version(ver_string, checksum=None, url=None, when=None):
+    """Declare a known version, optionally with an MD5 checksum and a
+    version-specific download URL (Figure 1, lines 7–8)."""
+    v = Version(str(ver_string))
+    when_spec = _as_when(when)
+
+    def apply_(cls):
+        cls.versions = dict(cls.versions)
+        cls.versions[v] = {"checksum": checksum, "url": url, "when": when_spec}
+
+    DirectiveMeta.push(apply_)
+
+
+def depends_on(*spec_strings, when=None):
+    """Declare prerequisite packages (Figure 1, lines 10–11).
+
+    Each argument is a spec expression — constraints included, e.g.
+    ``depends_on('boost@1.54.0', when='%gcc@:4')`` (§3.2.4).
+    """
+    when_spec = _as_when(when)
+
+    def apply_(cls):
+        cls.dependencies = {k: list(v) for k, v in cls.dependencies.items()}
+        for spec_string in spec_strings:
+            dep_spec = Spec(spec_string)
+            if dep_spec.name is None:
+                raise DirectiveError(
+                    "depends_on requires a named spec: %r" % spec_string
+                )
+            cls.dependencies.setdefault(dep_spec.name, []).append(
+                DependencyConstraint(dep_spec, when_spec)
+            )
+
+    DirectiveMeta.push(apply_)
+
+
+def provides(*spec_strings, when=None):
+    """Declare that this package provides a (versioned) virtual interface,
+    e.g. ``provides('mpi@:2.2', when='@1.9')`` (§3.3, Figure 5)."""
+    when_spec = _as_when(when)
+
+    def apply_(cls):
+        cls.provided = list(cls.provided)
+        for spec_string in spec_strings:
+            vspec = Spec(spec_string)
+            if vspec.name is None:
+                raise DirectiveError("provides requires a named spec: %r" % spec_string)
+            cls.provided.append(ProvidedInterface(vspec, when_spec))
+
+    DirectiveMeta.push(apply_)
+
+
+def patch(patch_name, when=None, level=1):
+    """Declare a patch to apply to the staged source when the predicate
+    holds, e.g. ``patch('python-bgq-xlc.patch', when='=bgq%xl')``."""
+    when_spec = _as_when(when)
+
+    def apply_(cls):
+        cls.patches = list(cls.patches)
+        cls.patches.append(Patch(patch_name, when_spec, level))
+
+    DirectiveMeta.push(apply_)
+
+
+def variant(name, default=False, description=""):
+    """Declare a named boolean build option with its default value."""
+
+    def apply_(cls):
+        cls.variants = dict(cls.variants)
+        cls.variants[name] = Variant(name, bool(default), description)
+
+    DirectiveMeta.push(apply_)
+
+
+def extends(spec_string, **kwargs):
+    """Declare that this package extends another (e.g. Python modules use
+    ``extends('python')``, §4.2).  Implies ``depends_on`` and enables
+    activate/deactivate into the extendee's prefix."""
+
+    def apply_(cls):
+        ext_spec = Spec(spec_string)
+        if ext_spec.name is None:
+            raise DirectiveError("extends requires a named spec: %r" % spec_string)
+        cls.extendees = dict(cls.extendees)
+        cls.extendees[ext_spec.name] = (ext_spec, kwargs)
+        cls.dependencies = {k: list(v) for k, v in cls.dependencies.items()}
+        cls.dependencies.setdefault(ext_spec.name, []).append(
+            DependencyConstraint(ext_spec, None)
+        )
+
+    DirectiveMeta.push(apply_)
+
+
+def requires_compiler(feature_spec, when=None):
+    """Declare a compiler-feature requirement (§4.5 future work,
+    implemented): ``requires_compiler('cxx@11:')``,
+    ``requires_compiler('openmp@4:', when='+openmp')``.
+
+    The concretizer only selects compilers whose feature table satisfies
+    every active requirement, and rejects explicit ``%compiler`` choices
+    that cannot provide them.
+    """
+    from repro.spec.spec import CompilerSpec
+
+    when_spec = _as_when(when)
+    feature = CompilerSpec(feature_spec)
+
+    def apply_(cls):
+        cls.compiler_requirements = list(cls.compiler_requirements)
+        cls.compiler_requirements.append((feature, when_spec))
+
+    DirectiveMeta.push(apply_)
+
+
+def conflicts(spec_string, when=None, msg=None):
+    """Declare that specs matching ``spec_string`` cannot be built (used
+    by corpus packages for known-broken compiler/platform combinations)."""
+    when_spec = _as_when(when)
+
+    def apply_(cls):
+        cls.conflict_specs = list(cls.conflict_specs)
+        cls.conflict_specs.append((Spec(spec_string), when_spec, msg))
+
+    DirectiveMeta.push(apply_)

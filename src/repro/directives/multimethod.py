@@ -1,0 +1,114 @@
+"""``@when`` build specialization (paper §3.2.5, Figure 4).
+
+A package may define a method several times, each guarded by a spec
+predicate::
+
+    def install(self, spec, prefix):        # default: cmake build
+        ...
+
+    @when('@:8.1')                          # <= 8.1 uses autotools
+    def install(self, spec, prefix):
+        ...
+
+``@when`` captures the previously-defined function (by inspecting the
+class body namespace, exactly as the original implementation does) and
+replaces the name with a :class:`SpecMultiMethod` — a descriptor that
+dispatches on ``self.spec`` at call time.  Conditions are checked in
+definition order; the first satisfied predicate wins; the plain (guarded
+by nothing) definition is the fallback.  Define the default *before* any
+``@when`` variants, or it will shadow them.
+"""
+
+import functools
+import inspect
+
+from repro.errors import ReproError
+from repro.spec.spec import Spec
+
+
+class NoSuchMethodError(ReproError):
+    """No @when condition matched and the class has no default method."""
+
+    def __init__(self, cls, method_name, spec):
+        super().__init__(
+            "Package class %s has no method %r matching spec %s"
+            % (cls.__name__, method_name, spec)
+        )
+
+
+class SpecMultiMethod:
+    """Descriptor holding (condition, function) pairs plus a default.
+
+    On attribute access it returns a bound dispatcher that evaluates
+    ``self.spec.satisfies(condition)`` against each registered predicate.
+    If nothing matches and there is no local default, lookup continues up
+    the MRO (so a subclass can add specialized cases atop an inherited
+    implementation).
+    """
+
+    def __init__(self, default=None):
+        self.method_map = []
+        self.default = default
+        self._name = None
+        self._owner = None
+        if default is not None:
+            functools.update_wrapper(self, default)
+
+    def register(self, condition, method):
+        condition_spec = condition if isinstance(condition, Spec) else Spec(condition)
+        self.method_map.append((condition_spec, method))
+        if self.default is None:
+            functools.update_wrapper(self, method)
+
+    def __set_name__(self, owner, name):
+        self._name = name
+        self._owner = owner
+
+    def _resolve(self, instance):
+        spec = getattr(instance, "spec", None)
+        if spec is not None:
+            for condition, method in self.method_map:
+                if spec.satisfies(condition):
+                    return method
+        if self.default is not None:
+            return self.default
+        # Fall back to an inherited implementation, skipping this
+        # descriptor itself.
+        if self._owner is not None:
+            for klass in self._owner.__mro__[1:]:
+                candidate = klass.__dict__.get(self._name)
+                if candidate is None:
+                    continue
+                if isinstance(candidate, SpecMultiMethod):
+                    return candidate._resolve(instance)
+                return candidate
+        raise NoSuchMethodError(type(instance), self._name or "?", spec)
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        method = self._resolve(instance)
+        return method.__get__(instance, owner)
+
+
+class when:
+    """Decorator: guard the following method definition with a predicate.
+
+    ``@when('@:8.1')`` — condition is any spec expression; it is matched
+    against the package's (possibly concrete) spec at call time.
+    """
+
+    def __init__(self, condition):
+        self.condition = condition if isinstance(condition, Spec) else Spec(condition)
+
+    def __call__(self, method):
+        # The class body is still executing; its namespace is the caller's
+        # frame locals.  Capture any prior definition of this name.
+        frame = inspect.currentframe().f_back
+        existing = frame.f_locals.get(method.__name__)
+        if isinstance(existing, SpecMultiMethod):
+            multimethod = existing
+        else:
+            multimethod = SpecMultiMethod(default=existing if callable(existing) else None)
+        multimethod.register(self.condition, method)
+        return multimethod

@@ -1,0 +1,32 @@
+"""Root exception hierarchy for repro.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the top level (the CLI does exactly that).
+Subsystems define their own subclasses next to the code that raises them.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library.
+
+    Parameters
+    ----------
+    message:
+        Short, user-facing description of what went wrong.
+    long_message:
+        Optional multi-line elaboration (e.g. which constraints conflicted).
+    """
+
+    def __init__(self, message, long_message=None):
+        super().__init__(message)
+        self.message = message
+        self.long_message = long_message
+
+    def __str__(self):
+        if self.long_message:
+            return "%s\n%s" % (self.message, self.long_message)
+        return str(self.message)
+
+
+class UnsupportedOperationError(ReproError):
+    """An operation is not valid for the object's current state."""

@@ -1,0 +1,19 @@
+"""Extension packages: activate/deactivate into an extendee (paper §4.2)."""
+
+from repro.extensions.activation import (
+    ExtensionError,
+    ExtensionConflictError,
+    default_activate,
+    default_deactivate,
+    activated_extensions,
+)
+from repro.extensions.manager import ExtensionManager
+
+__all__ = [
+    "ExtensionManager",
+    "ExtensionError",
+    "ExtensionConflictError",
+    "default_activate",
+    "default_deactivate",
+    "activated_extensions",
+]

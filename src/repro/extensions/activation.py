@@ -1,0 +1,111 @@
+"""Symlink mechanics of extension activation (paper §4.2).
+
+"The activate operation symbolically links each file in the extension
+prefix into the Python installation prefix, as if it were installed
+directly.  If any file conflict would arise from this operation,
+activate fails.  Similarly, the deactivate operation removes the
+symbolic links and restores the Python installation to its pristine
+state."
+
+Extendable packages may override the hooks to merge known-conflicting
+files (Python's ``easy-install.pth``); this module provides the default
+behaviour plus the activation registry kept in the extendee's metadata
+directory.
+"""
+
+import json
+import os
+
+from repro.errors import ReproError
+from repro.store.layout import METADATA_DIR
+from repro.util.filesystem import FilesystemError, LinkTree, mkdirp
+
+
+class ExtensionError(ReproError):
+    """Activation/deactivation failed."""
+
+
+class ExtensionConflictError(ExtensionError):
+    """A file in the extension already exists in the extendee."""
+
+    def __init__(self, extendee, extension, path):
+        super().__init__(
+            "Cannot activate %s in %s: %s already exists"
+            % (extension, extendee, path)
+        )
+        self.path = path
+
+
+_REGISTRY_NAME = "extensions.json"
+
+
+def _registry_path(extendee_prefix):
+    return os.path.join(extendee_prefix, METADATA_DIR, _REGISTRY_NAME)
+
+
+def _load_registry(extendee_prefix):
+    path = _registry_path(extendee_prefix)
+    if not os.path.isfile(path):
+        return {}
+    with open(path) as f:
+        return json.load(f)
+
+
+def _save_registry(extendee_prefix, registry):
+    path = _registry_path(extendee_prefix)
+    mkdirp(os.path.dirname(path))
+    with open(path, "w") as f:
+        json.dump(registry, f, indent=1, sort_keys=True)
+
+
+def activated_extensions(extendee_prefix):
+    """{extension name: {'version':..., 'hash':..., 'prefix':...}}."""
+    return _load_registry(extendee_prefix)
+
+
+def record_activation(extendee_prefix, ext_spec, ext_prefix):
+    registry = _load_registry(extendee_prefix)
+    registry[ext_spec.name] = {
+        "version": str(ext_spec.version),
+        "hash": ext_spec.dag_hash(),
+        "prefix": ext_prefix,
+    }
+    _save_registry(extendee_prefix, registry)
+
+
+def record_deactivation(extendee_prefix, ext_name):
+    registry = _load_registry(extendee_prefix)
+    registry.pop(ext_name, None)
+    _save_registry(extendee_prefix, registry)
+
+
+def _default_ignore(extra=None):
+    """Never link the extension's own metadata directory."""
+
+    def ignore(rel):
+        if rel == METADATA_DIR or rel.startswith(METADATA_DIR + os.sep):
+            return True
+        return bool(extra and extra(rel))
+
+    return ignore
+
+
+def default_activate(extendee_pkg, extension_pkg, ignore=None, **kwargs):
+    """Merge the extension's files into the extendee prefix as symlinks."""
+    tree = LinkTree(extension_pkg.prefix)
+    full_ignore = _default_ignore(ignore)
+    conflict = tree.find_conflict(extendee_pkg.prefix, ignore=full_ignore)
+    if conflict is not None:
+        raise ExtensionConflictError(
+            extendee_pkg.name, extension_pkg.name, conflict
+        )
+    try:
+        tree.merge(extendee_pkg.prefix, ignore=full_ignore)
+    except FilesystemError as e:
+        raise ExtensionError(str(e)) from e
+
+
+def default_deactivate(extendee_pkg, extension_pkg, ignore=None, **kwargs):
+    """Remove the extension's symlinks, restoring the pristine prefix."""
+    tree = LinkTree(extension_pkg.prefix)
+    tree.unmerge(extendee_pkg.prefix, ignore=_default_ignore(ignore))

@@ -1,0 +1,21 @@
+"""Fetching: a deterministic mock internet, checksums, staging (§3.2.3)."""
+
+from repro.fetch.mockweb import MockWeb, NotOnWebError, mock_tarball, mock_checksum
+from repro.fetch.fetcher import ChecksumError, Fetcher, FetchError
+from repro.fetch.stage import Stage, StageError
+from repro.fetch.mirror import Mirror, MirrorError, create_mirror
+
+__all__ = [
+    "Mirror",
+    "MirrorError",
+    "create_mirror",
+    "MockWeb",
+    "NotOnWebError",
+    "mock_tarball",
+    "mock_checksum",
+    "Fetcher",
+    "FetchError",
+    "ChecksumError",
+    "Stage",
+    "StageError",
+]

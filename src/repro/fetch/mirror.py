@@ -1,0 +1,95 @@
+"""Source mirrors: local tarball caches for air-gapped machines.
+
+HPC compute centers routinely build on machines without outbound
+network; the original tool shipped ``spack mirror`` for exactly this.
+A mirror is a directory of tarballs laid out as::
+
+    <mirror-root>/<package>/<package>-<version>.tar.gz
+
+The fetcher consults mirrors *before* the (mock) web, so a populated
+mirror makes a session fully self-contained; checksum verification
+applies to mirrored content identically (a tampered mirror is caught).
+"""
+
+import os
+
+from repro.errors import ReproError
+from repro.util.filesystem import mkdirp
+
+
+class MirrorError(ReproError):
+    """Mirror layout or population problems."""
+
+
+class Mirror:
+    """One on-disk tarball cache."""
+
+    def __init__(self, root):
+        self.root = os.path.abspath(root)
+
+    def archive_path(self, pkg_name, version):
+        return os.path.join(
+            self.root, pkg_name, "%s-%s.tar.gz" % (pkg_name, version)
+        )
+
+    def has(self, pkg_name, version):
+        return os.path.isfile(self.archive_path(pkg_name, version))
+
+    def fetch(self, pkg_name, version):
+        path = self.archive_path(pkg_name, version)
+        if not os.path.isfile(path):
+            return None
+        with open(path, "rb") as f:
+            return f.read()
+
+    def put(self, pkg_name, version, content):
+        path = self.archive_path(pkg_name, version)
+        mkdirp(os.path.dirname(path))
+        with open(path, "wb") as f:
+            f.write(content)
+        return path
+
+    def contents(self):
+        """{package: [versions]} of everything mirrored."""
+        found = {}
+        if not os.path.isdir(self.root):
+            return found
+        for pkg_name in sorted(os.listdir(self.root)):
+            pkg_dir = os.path.join(self.root, pkg_name)
+            if not os.path.isdir(pkg_dir):
+                continue
+            versions = []
+            prefix = pkg_name + "-"
+            for entry in sorted(os.listdir(pkg_dir)):
+                if entry.startswith(prefix) and entry.endswith(".tar.gz"):
+                    versions.append(entry[len(prefix):-len(".tar.gz")])
+            found[pkg_name] = versions
+        return found
+
+    def __repr__(self):
+        return "Mirror(%r)" % self.root
+
+
+def create_mirror(session, mirror, specs):
+    """Populate a mirror with everything needed to build ``specs``.
+
+    Concretizes each request and downloads the tarball of every
+    non-external node (verified against declared checksums).  Returns
+    the list of (package, version) pairs written.
+    """
+    written = []
+    seen = set()
+    for spec in specs:
+        concrete = spec if getattr(spec, "concrete", False) else session.concretize(spec)
+        for node in concrete.traverse():
+            if node.external:
+                continue
+            key = (node.name, str(node.version))
+            if key in seen:
+                continue
+            seen.add(key)
+            pkg = session.package_for(node)
+            content = session.fetcher.fetch(pkg, node.version)
+            mirror.put(node.name, node.version, content)
+            written.append(key)
+    return written

@@ -1,0 +1,108 @@
+"""A deterministic in-memory web (DESIGN.md §3 substitution for the
+internet).
+
+Serves two kinds of resources:
+
+* **tarballs** — generated deterministically from (package, version), so
+  their MD5 checksums are stable across machines and sessions.  Package
+  files declare ``version('1.0', mock_checksum('pkg', '1.0'))`` and the
+  fetcher *really verifies* the digest, exercising the paper's
+  download-verification path (Figure 1's MD5 arguments).
+* **listing pages** — HTML-ish text with links to every registered
+  version, so the version-scraping path ("Spack uses the same model to
+  scrape webpages and find new versions") works end to end.
+
+Failure injection: ``corrupt(url)`` makes a URL serve altered bytes so
+tests can assert checksum verification catches tampering.
+"""
+
+import hashlib
+import json
+import posixpath
+
+from repro.errors import ReproError
+
+
+class NotOnWebError(ReproError):
+    """404: nothing registered at this URL."""
+
+    def __init__(self, url):
+        super().__init__("URL not found on mock web: %s" % url)
+        self.url = url
+
+
+def mock_tarball(name, version):
+    """Deterministic 'tarball' bytes for a package version.
+
+    The payload is a JSON description of the source tree the stage will
+    expand; a pseudo-random pad derived from (name, version) makes each
+    artifact unique and checksum-meaningful.
+    """
+    seed = hashlib.sha256(("%s@%s" % (name, version)).encode()).hexdigest()
+    payload = {
+        "kind": "mock-source-tarball",
+        "name": str(name),
+        "version": str(version),
+        "pad": seed,
+    }
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def mock_checksum(name, version):
+    """MD5 of :func:`mock_tarball` — what corpus package files declare."""
+    return hashlib.md5(mock_tarball(name, version)).hexdigest()
+
+
+class MockWeb:
+    """URL → bytes store with listing pages."""
+
+    def __init__(self):
+        self._pages = {}
+        self._corrupted = set()
+
+    # -- registration ----------------------------------------------------
+    def put(self, url, content):
+        if isinstance(content, str):
+            content = content.encode()
+        self._pages[url] = content
+
+    def register_package(self, pkg_class, versions=None):
+        """Serve tarballs (and a listing page) for a package class.
+
+        ``versions`` defaults to every version the class declares; extra
+        versions may be listed to exercise URL extrapolation for versions
+        the package file does not know about.
+        """
+        if pkg_class.url is None:
+            return
+        if versions is None:
+            versions = list(pkg_class.versions)
+        urls = []
+        for v in versions:
+            from repro.version.url import substitute_version
+
+            url = substitute_version(pkg_class.url, str(v))
+            self.put(url, mock_tarball(pkg_class.name, v))
+            urls.append(url)
+        listing_url = posixpath.dirname(pkg_class.url) + "/"
+        links = "\n".join('<a href="%s">%s</a>' % (u, posixpath.basename(u)) for u in urls)
+        self.put(listing_url, "<html><body>\n%s\n</body></html>" % links)
+
+    def corrupt(self, url):
+        """Make this URL serve tampered bytes (checksum-failure tests)."""
+        self._corrupted.add(url)
+
+    # -- access --------------------------------------------------------------
+    def get(self, url):
+        if url not in self._pages:
+            raise NotOnWebError(url)
+        content = self._pages[url]
+        if url in self._corrupted:
+            content = b"TAMPERED" + content
+        return content
+
+    def exists(self, url):
+        return url in self._pages
+
+    def urls(self):
+        return sorted(self._pages)

@@ -1,0 +1,9 @@
+"""Environment-module generation: dotkit and TCL modules (paper §3.5.4)."""
+
+from repro.modules.generator import (
+    DotkitModule,
+    ModuleGenerator,
+    TclModule,
+)
+
+__all__ = ["ModuleGenerator", "DotkitModule", "TclModule"]

@@ -1,0 +1,148 @@
+"""Generate dotkit and TCL environment-module files for installed specs.
+
+"Spack can automatically create simple dotkit and Module configuration
+files for its packages, allowing users to setup their runtime
+environment using familiar systems" (§3.5.4).  Although RPATH-built
+packages do not need ``LD_LIBRARY_PATH`` to run, the generated modules
+set it anyway — build systems and non-RPATH dependents use it — along
+with ``PATH``, ``MANPATH``, ``PKG_CONFIG_PATH`` and
+``CMAKE_PREFIX_PATH``.
+
+Module file names use the readable spec rendering plus the DAG hash, so
+every configuration gets a distinct module (no "matrix problem").
+"""
+
+import os
+
+from repro.build.environment import dependency_prefixes, runtime_environment
+from repro.util.environment import (
+    AppendPath,
+    PrependPath,
+    RemovePath,
+    SetEnv,
+    UnsetEnv,
+)
+from repro.util.filesystem import mkdirp
+
+
+class ModuleFile:
+    """Base: computes content from a spec's runtime environment mods."""
+
+    #: subdirectory under the module root; subclasses override
+    kind = None
+
+    def __init__(self, spec, layout):
+        self.spec = spec
+        self.layout = layout
+        self.prefix = spec.external or layout.path_for_spec(spec)
+
+    @property
+    def file_name(self):
+        return "%s-%s-%s" % (
+            self.spec.name,
+            self.spec.versions,
+            self.spec.dag_hash(8),
+        )
+
+    def path_in(self, module_root):
+        return os.path.join(
+            module_root, self.kind, self.spec.architecture or "any", self.file_name
+        )
+
+    def environment(self):
+        deps = dependency_prefixes(self.spec, self.layout)
+        return runtime_environment(self.spec, self.prefix, deps)
+
+    def content(self):
+        raise NotImplementedError
+
+    def write(self, module_root):
+        path = self.path_in(module_root)
+        mkdirp(os.path.dirname(path))
+        with open(path, "w") as f:
+            f.write(self.content())
+        return path
+
+
+class DotkitModule(ModuleFile):
+    """LLNL dotkit format (§2's LC convention)."""
+
+    kind = "dotkit"
+
+    def content(self):
+        lines = [
+            "#c spack",
+            "#d %s @%s" % (self.spec.name, self.spec.versions),
+            "#h built with %s for %s"
+            % (self.spec.compiler, self.spec.architecture),
+        ]
+        for op in self.environment():
+            if isinstance(op, (PrependPath, AppendPath)):
+                lines.append("dk_alter %s %s" % (op.name, op.value))
+            elif isinstance(op, SetEnv):
+                lines.append("dk_setenv %s %s" % (op.name, op.value))
+            elif isinstance(op, (RemovePath, UnsetEnv)):
+                lines.append("dk_unalter %s %s" % (op.name, op.value or ""))
+        return "\n".join(lines) + "\n"
+
+
+class TclModule(ModuleFile):
+    """Classic TCL environment-modules format."""
+
+    kind = "tcl"
+
+    def content(self):
+        lines = [
+            "#%Module1.0",
+            "## %s @%s built with %s"
+            % (self.spec.name, self.spec.versions, self.spec.compiler),
+            "proc ModulesHelp { } {",
+            '    puts stderr "%s"' % (self.spec.name,),
+            "}",
+            'module-whatis "%s @%s"' % (self.spec.name, self.spec.versions),
+        ]
+        for op in self.environment():
+            if isinstance(op, PrependPath):
+                lines.append("prepend-path %s %s" % (op.name, op.value))
+            elif isinstance(op, AppendPath):
+                lines.append("append-path %s %s" % (op.name, op.value))
+            elif isinstance(op, SetEnv):
+                lines.append("setenv %s %s" % (op.name, op.value))
+            elif isinstance(op, UnsetEnv):
+                lines.append("unsetenv %s" % op.name)
+        return "\n".join(lines) + "\n"
+
+
+class ModuleGenerator:
+    """Write module files for installed specs under ``<root>/modules``."""
+
+    FORMATS = {"dotkit": DotkitModule, "tcl": TclModule}
+
+    def __init__(self, session):
+        self.session = session
+        self.module_root = os.path.join(session.root, "modules")
+
+    def write_for_spec(self, spec, kinds=("dotkit", "tcl")):
+        paths = []
+        layout = self.session.store.layout
+        for kind in kinds:
+            module = self.FORMATS[kind](spec, layout)
+            paths.append(module.write(self.module_root))
+        return paths
+
+    def refresh(self, kinds=("dotkit", "tcl")):
+        """Regenerate modules for everything installed."""
+        paths = []
+        for record in self.session.db.all_records():
+            paths.extend(self.write_for_spec(record.spec, kinds))
+        return paths
+
+    def remove_for_spec(self, spec):
+        removed = []
+        layout = self.session.store.layout
+        for kind, cls in self.FORMATS.items():
+            path = cls(spec, layout).path_in(self.module_root)
+            if os.path.isfile(path):
+                os.unlink(path)
+                removed.append(path)
+        return removed

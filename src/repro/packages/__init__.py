@@ -1,0 +1,48 @@
+"""The built-in package corpus.
+
+Every package the paper names is here, written in the Figure 1 DSL:
+
+* the mpileaks stack of the running example (Figures 1, 2, 7, 9);
+* the MPI implementations and their versioned ``provides`` (Figure 5);
+* BLAS/LAPACK providers (§3.3's second archetype);
+* gperftools with its per-compiler/platform patches (§4.1, Figure 12);
+* Python and extension packages (§4.2);
+* the full 47-package ARES stack with its support matrix (Figure 13,
+  Table 3);
+* assorted external libraries those stacks depend on.
+
+``builtin_repo()`` assembles them into a Repository; the deterministic
+synthetic corpus (:mod:`repro.packages.synthetic`) extends the universe
+to the paper's 245 packages for the Figure 8 benchmark.
+
+Cost-model calibration: the seven packages of Figures 10–11 carry
+``build_units`` / ``unit_cost`` / ``io_ops_per_unit`` attributes chosen
+so the *percentage* overheads match the paper's bars (the percentages
+are scale-invariant in the model; see EXPERIMENTS.md).
+"""
+
+from repro.repo.repository import Repository
+
+
+def builtin_repo():
+    """A Repository containing the whole built-in corpus."""
+    repo = Repository(namespace="builtin")
+    from repro.packages import (
+        ares,
+        blas_providers,
+        mpi_providers,
+        mpileaks_stack,
+        python_stack,
+        tools,
+    )
+
+    for module in (
+        mpileaks_stack,
+        mpi_providers,
+        blas_providers,
+        python_stack,
+        tools,
+        ares,
+    ):
+        module.register(repo)
+    return repo

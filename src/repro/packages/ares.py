@@ -1,0 +1,191 @@
+"""The ARES multi-physics stack (paper §4.4, Figure 13, Table 3).
+
+ARES is the paper's flagship use case: a production radiation-
+hydrodynamics code with 46 dependencies — 11 LLNL physics packages, 4
+LLNL math/meshing libraries, 8 LLNL utility libraries, and 23 external
+packages (including MPI and BLAS as virtuals).  This module defines the
+whole stack and the Table 3 support matrix.
+
+Four code configurations (Table 3): **C**\\urrent production
+(``ares@2015.06``), **P**\\revious production (``ares@2014.11``),
+**L**\\ite (``ares@2015.06+lite`` — fewer features and dependencies), and
+**D**\\evelopment (``ares@develop``).  The matrix cells reconstruct the
+paper's table: 10 architecture-compiler-MPI combinations, 36 total
+configurations (the extracted text garbles the exact cell layout; the
+reconstruction preserves the row/column structure and the 36/10 totals —
+see EXPERIMENTS.md).
+"""
+
+from repro.directives import depends_on, variant, version
+from repro.directives.directives import DirectiveMeta
+from repro.fetch.mockweb import mock_checksum
+from repro.package.package import Package
+from repro.util.naming import mod_to_class
+
+#: Figure 13's node categories (colors).
+PHYSICS = [
+    "leos", "mslib", "laser", "cretin", "tdf", "cheetah",
+    "dsd", "teton", "nuclear", "asclaser", "matprop",
+]
+MATH = ["samrai", "hypre", "qd", "overlink"]
+UTILITY = [
+    "bdivxml", "sgeos_xml", "scallop", "rng",
+    "perflib", "memusage", "timers", "silo",
+]
+#: External packages (Figure 13 right-hand legend); 'mpi' and 'blas'
+#: are virtuals — their providers stand in for them in a concrete DAG.
+EXTERNAL = [
+    "tcl", "tk", "py-scipy", "python", "cmake", "hpdf", "opclient",
+    "boost", "zlib", "py-numpy", "bzip2", "lapack", "gsl", "hdf5",
+    "gperftools", "papi", "ga", "mpi", "ncurses", "sqlite", "readline",
+    "openssl", "blas",
+]
+
+
+def category_of(name, provided_virtuals=()):
+    """Figure 13 category for a node of the concretized ARES DAG."""
+    if name == "ares":
+        return "ares"
+    if name in PHYSICS:
+        return "physics"
+    if name in MATH:
+        return "math"
+    if name in UTILITY:
+        return "utility"
+    return "external"
+
+
+#: extra dependencies of the LLNL packages (beyond what ares pulls in)
+_LLNL_DEPS = {
+    "silo": ["hdf5"],
+    "samrai": ["hdf5", "boost", "mpi"],
+    "hypre": ["blas", "lapack", "mpi"],
+    "overlink": ["qd"],
+    "laser": ["mpi"],
+    "teton": ["mpi"],
+    "cheetah": ["mpi"],
+    "cretin": ["mslib"],
+}
+
+
+def _llnl_package(name, units=10, cost=0.1):
+    """Manufacture one LLNL physics/math/utility package class."""
+    ns = {}
+    ns["homepage"] = "https://lc.llnl.gov/%s" % name
+    ns["url"] = "https://mock.llnl.gov/%s/%s-1.0.tar.gz" % (name, name)
+    ns["build_units"] = units
+    ns["unit_cost"] = cost
+    ns["__doc__"] = "LLNL %s package (mock; category %s)." % (name, category_of(name))
+    version("1.0", mock_checksum(name, "1.0"))
+    version("1.1", mock_checksum(name, "1.1"))
+    for dep in _LLNL_DEPS.get(name, ()):
+        depends_on(dep)
+    return DirectiveMeta(mod_to_class(name), (Package,), ns)
+
+
+class Ares(Package):
+    """ARES: 1/2/3-D radiation hydrodynamics (munitions modeling and
+    inertial confinement fusion)."""
+
+    homepage = "https://lc.llnl.gov/ares"
+    url = "https://mock.llnl.gov/ares/ares-2015.06.tar.gz"
+
+    version("2015.06", mock_checksum("ares", "2015.06"))   # Current (C)
+    version("2014.11", mock_checksum("ares", "2014.11"))   # Previous (P)
+    version("develop", mock_checksum("ares", "develop"))   # Development (D)
+
+    variant("lite", default=False, description="Smaller feature/dependency set (L)")
+
+    # -- physics -----------------------------------------------------------
+    depends_on("leos")
+    depends_on("mslib")
+    depends_on("matprop")
+    depends_on("tdf")
+    depends_on("cheetah")
+    depends_on("teton")
+    # the full configurations carry the whole physics suite; lite drops these
+    depends_on("laser", when="~lite")
+    depends_on("cretin", when="~lite")
+    depends_on("dsd", when="~lite")
+    depends_on("nuclear", when="~lite")
+    depends_on("asclaser", when="~lite")
+
+    # -- math/meshing ----------------------------------------------------------
+    depends_on("samrai")
+    depends_on("hypre")
+    depends_on("overlink")  # overlink pulls in qd
+
+    # -- LLNL utilities ----------------------------------------------------------
+    depends_on("bdivxml")
+    depends_on("sgeos_xml")
+    depends_on("scallop")
+    depends_on("rng")
+    depends_on("perflib")
+    depends_on("memusage")
+    depends_on("timers")
+    depends_on("silo")
+
+    # -- externals ------------------------------------------------------------------
+    depends_on("mpi")
+    depends_on("python")          # ARES builds its own Python (§4.4)
+    depends_on("python@2.7.9", when="=bgq")  # BG/Q: native stack lacks 2.7.9
+    depends_on("tcl")
+    depends_on("tk")
+    depends_on("py-scipy", when="~lite")
+    depends_on("py-numpy")
+    depends_on("cmake")
+    depends_on("hpdf", when="~lite")
+    depends_on("opclient")
+    depends_on("boost")
+    depends_on("gsl")
+    depends_on("gperftools")
+    depends_on("papi")
+    depends_on("ga")
+
+    # configuration-specific dependency versions (Table 3's "slightly
+    # different set of dependencies and dependency versions")
+    depends_on("boost@1.54.0", when="@2014.11")
+    depends_on("boost@1.55.0", when="@2015.06")
+    depends_on("boost@1.55.0", when="@develop")
+
+    build_units = 80
+    unit_cost = 0.3
+
+
+#: Table 3 configurations: letter -> spec template.
+CONFIGS = {
+    "C": "ares@2015.06",
+    "P": "ares@2014.11",
+    "L": "ares@2015.06+lite",
+    "D": "ares@develop",
+}
+
+#: Table 3 support matrix: (compiler, architecture, mpi, configs).
+#: 10 architecture-compiler-MPI combinations; 36 configurations total.
+SUPPORT_MATRIX = [
+    ("%gcc", "=linux-x86_64", "^mvapich", "CPLD"),
+    ("%gcc", "=bgq", "^bgq-mpi", "CPLD"),
+    ("%intel@14.0.3", "=linux-x86_64", "^mvapich", "CPLD"),
+    ("%intel@15.0.1", "=linux-x86_64", "^mvapich", "CPLD"),
+    ("%intel@15.0.1", "=linux-x86_64", "^mvapich2", "D"),
+    ("%pgi", "=linux-x86_64", "^mvapich", "CPLD"),
+    ("%pgi", "=cray_xe6", "^cray-mpich", "CPLD"),
+    ("%clang", "=linux-x86_64", "^mvapich", "CPLD"),
+    ("%clang", "=cray_xe6", "^cray-mpich", "CLD"),
+    ("%xl", "=bgq", "^bgq-mpi", "CPLD"),
+]
+
+
+def matrix_spec_strings():
+    """All 36 concrete ARES build requests from the support matrix."""
+    specs = []
+    for compiler, arch, mpi, configs in SUPPORT_MATRIX:
+        for letter in configs:
+            specs.append("%s %s %s %s" % (CONFIGS[letter], compiler, arch, mpi))
+    return specs
+
+
+def register(repo):
+    repo.add_class("ares", Ares)
+    for name in PHYSICS + MATH + UTILITY:
+        repo.add_class(name, _llnl_package(name))

@@ -1,0 +1,115 @@
+"""BLAS/LAPACK providers — the paper's second virtual-interface family.
+
+"Another example is the Basic Linear Algebra Subroutines (BLAS), which
+has many fungible implementations (e.g., ATLAS, LAPACK-BLAS, and MKL)"
+(§3.3).  The ``blas`` virtual is versioned by BLAS *level* (1–3), so
+``depends_on('blas@3:')`` expresses "needs level-3 routines".
+"""
+
+from repro.directives import depends_on, provides, variant, version
+from repro.fetch.mockweb import mock_checksum
+from repro.package.package import Package
+
+
+class NetlibBlas(Package):
+    """Reference BLAS from netlib (the paper's "LAPACK-BLAS")."""
+
+    homepage = "https://www.netlib.org/blas"
+    url = "https://www.netlib.org/blas/blas-3.5.0.tar.gz"
+
+    version("3.5.0", mock_checksum("netlib-blas", "3.5.0"))
+    version("3.4.2", mock_checksum("netlib-blas", "3.4.2"))
+
+    provides("blas@:3")
+
+    build_units = 20
+    unit_cost = 0.1
+
+
+class NetlibLapack(Package):
+    """Reference LAPACK (the 'LAPACK' build of Figures 10/11)."""
+
+    homepage = "https://www.netlib.org/lapack"
+    url = "https://www.netlib.org/lapack/lapack-3.5.0.tar.gz"
+
+    version("3.5.0", mock_checksum("netlib-lapack", "3.5.0"))
+    version("3.4.2", mock_checksum("netlib-lapack", "3.4.2"))
+
+    provides("lapack@:3")
+    depends_on("blas")
+
+    # Figure 10/11 calibration ("LAPACK" bars).
+    build_units = 45
+    unit_cost = 0.167
+    io_ops_per_unit = 7
+
+    def install(self, spec, prefix):
+        from repro.build import shell
+        from repro.util.filesystem import working_dir
+
+        with working_dir("spack-build", create=True):
+            shell.cmake("..", *shell.std_cmake_args)
+            shell.make()
+            shell.make("install")
+
+
+class Atlas(Package):
+    """ATLAS: auto-tuned BLAS + a subset of LAPACK."""
+
+    homepage = "http://math-atlas.sourceforge.net"
+    url = "https://downloads.sourceforge.net/math-atlas/atlas-3.10.2.tar.gz"
+
+    version("3.10.2", mock_checksum("atlas", "3.10.2"))
+    version("3.8.4", mock_checksum("atlas", "3.8.4"))
+
+    provides("blas@:3")
+    provides("lapack@:3", when="@3.10:")
+
+    build_units = 40
+    unit_cost = 0.2
+
+
+class Mkl(Package):
+    """Intel MKL (vendor library; usually configured external)."""
+
+    homepage = "https://software.intel.com/mkl"
+    url = "https://mock.intel.com/mkl/mkl-11.2.tar.gz"
+
+    version("11.2", mock_checksum("mkl", "11.2"))
+
+    provides("blas@:3")
+    provides("lapack@:3")
+    provides("fft@:3")
+
+    build_units = 8
+    unit_cost = 0.1
+
+
+class Fftw(Package):
+    """FFTW: fast Fourier transforms (one of §4.2's "fast, compiled
+    numerical libraries").  The ``fft`` interface is versioned by API
+    generation: FFTW 2 and 3 are source-incompatible."""
+
+    homepage = "http://www.fftw.org"
+    url = "http://www.fftw.org/fftw-3.3.4.tar.gz"
+
+    version("3.3.4", mock_checksum("fftw", "3.3.4"))
+    version("3.3.3", mock_checksum("fftw", "3.3.3"))
+    version("2.1.5", mock_checksum("fftw", "2.1.5"))
+
+    provides("fft@3", when="@3:")
+    provides("fft@2", when="@2.1:2.9")
+
+    variant("mpi", default=False, description="Build distributed transforms")
+    depends_on("mpi", when="+mpi")
+
+    build_units = 28
+    unit_cost = 0.12
+
+
+def register(repo):
+    repo.add_class("netlib-blas", NetlibBlas)
+    repo.add_class("netlib-lapack", NetlibLapack)
+    repo.add_class("atlas", Atlas)
+    repo.add_class("mkl", Mkl)
+    repo.add_class("fftw", Fftw)

@@ -1,0 +1,129 @@
+"""MPI implementations: the archetypal versioned virtual (§3.3, Figure 5).
+
+The ``provides('mpi@...', when='@...')`` declarations for mvapich2 and
+mpich are verbatim from Figure 5.  ``bgq-mpi`` and ``cray-mpich`` are the
+vendor MPIs of the ARES study (§4.4) — normally configured as externals
+so the host's optimized network drivers are used.
+"""
+
+from repro.directives import depends_on, provides, variant, version
+from repro.fetch.mockweb import mock_checksum
+from repro.package.package import Package
+
+
+class Mvapich2(Package):
+    """MVAPICH2: MPI over InfiniBand."""
+
+    homepage = "http://mvapich.cse.ohio-state.edu"
+    url = "http://mvapich.cse.ohio-state.edu/download/mvapich2-1.9.tar.gz"
+
+    version("1.9", mock_checksum("mvapich2", "1.9"))
+    version("2.0", mock_checksum("mvapich2", "2.0"))
+
+    provides("mpi@:2.2", when="@1.9")  # Figure 5, verbatim
+    provides("mpi@:3.0", when="@2.0")
+
+    build_units = 30
+    unit_cost = 0.12
+
+
+class Mvapich(Package):
+    """MVAPICH 1.x (the Table 3 Linux columns distinguish it from 2.x)."""
+
+    homepage = "http://mvapich.cse.ohio-state.edu"
+    url = "http://mvapich.cse.ohio-state.edu/download/mvapich-1.2.tar.gz"
+
+    version("1.2", mock_checksum("mvapich", "1.2"))
+
+    provides("mpi@:1", when="@1.2")
+
+    build_units = 24
+    unit_cost = 0.12
+
+
+class Mpich(Package):
+    """MPICH: portable reference MPI."""
+
+    homepage = "https://www.mpich.org"
+    url = "https://www.mpich.org/static/downloads/3.0.4/mpich-3.0.4.tar.gz"
+
+    version("3.0.4", mock_checksum("mpich", "3.0.4"))
+    version("3.0.3", mock_checksum("mpich", "3.0.3"))
+    version("1.5", mock_checksum("mpich", "1.5"))
+    version("1.4.1", mock_checksum("mpich", "1.4.1"))
+
+    provides("mpi@:3", when="@3:")  # Figure 5, verbatim
+    provides("mpi@:1", when="@:1.5")
+
+    build_units = 30
+    unit_cost = 0.12
+
+
+class Openmpi(Package):
+    """Open MPI."""
+
+    homepage = "https://www.open-mpi.org"
+    url = "https://www.open-mpi.org/software/ompi/v1.8/downloads/openmpi-1.8.2.tar.gz"
+
+    version("1.4.7", mock_checksum("openmpi", "1.4.7"))
+    version("1.6.5", mock_checksum("openmpi", "1.6.5"))
+    version("1.8.2", mock_checksum("openmpi", "1.8.2"))
+
+    provides("mpi@:2.2")
+
+    variant("verbs", default=False, description="Build with InfiniBand verbs")
+
+    build_units = 34
+    unit_cost = 0.12
+
+
+class BgqMpi(Package):
+    """IBM Blue Gene/Q system MPI (vendor-supplied; usually external)."""
+
+    homepage = "https://www.ibm.com"
+    url = "https://mock.ibm.com/bgq-mpi/bgq-mpi-1.0.tar.gz"
+
+    version("1.0", mock_checksum("bgq-mpi", "1.0"))
+
+    provides("mpi@:2.2")
+
+    build_units = 10
+    unit_cost = 0.1
+
+
+class CrayMpich(Package):
+    """Cray MPT / cray-mpich (vendor-supplied; usually external)."""
+
+    homepage = "https://www.cray.com"
+    url = "https://mock.cray.com/cray-mpich/cray-mpich-7.0.0.tar.gz"
+
+    version("7.0.0", mock_checksum("cray-mpich", "7.0.0"))
+
+    provides("mpi@:3")
+
+    build_units = 10
+    unit_cost = 0.1
+
+
+class Gerris(Package):
+    """CFD solver; needs MPI-2 or higher (the §3.3 example dependent)."""
+
+    homepage = "http://gfs.sourceforge.net"
+    url = "http://gfs.sourceforge.net/gerris/gerris-1.0.tar.gz"
+
+    version("1.0", mock_checksum("gerris", "1.0"))
+
+    depends_on("mpi@2:")
+
+    build_units = 12
+    unit_cost = 0.1
+
+
+def register(repo):
+    repo.add_class("mvapich2", Mvapich2)
+    repo.add_class("mvapich", Mvapich)
+    repo.add_class("mpich", Mpich)
+    repo.add_class("openmpi", Openmpi)
+    repo.add_class("bgq-mpi", BgqMpi)
+    repo.add_class("cray-mpich", CrayMpich)
+    repo.add_class("gerris", Gerris)

@@ -1,0 +1,157 @@
+"""The paper's running example: mpileaks and its dependency stack.
+
+``Mpileaks`` is a near-verbatim transcription of Figure 1; ``Dyninst``
+demonstrates ``@when`` build specialization exactly as Figure 4 (CMake
+by default, autotools at or below 8.1).  ``build_units``/``unit_cost``/
+``io_ops_per_unit`` on libelf/libpng/mpileaks/libdwarf/dyninst are the
+Figure 10–11 calibration (see EXPERIMENTS.md).
+"""
+
+from repro.directives import depends_on, variant, version, when
+from repro.fetch.mockweb import mock_checksum
+from repro.package.package import Package
+
+
+class Mpileaks(Package):
+    """Tool to detect and report leaked MPI objects."""
+
+    homepage = "https://github.com/hpc/mpileaks"
+    url = homepage + "/releases/download/v1.0/mpileaks-1.0.tar.gz"
+
+    version("1.0", mock_checksum("mpileaks", "1.0"))
+    version("1.1", mock_checksum("mpileaks", "1.1"))
+    version("1.1.2", mock_checksum("mpileaks", "1.1.2"))
+    version("2.3", mock_checksum("mpileaks", "2.3"))
+
+    variant("debug", default=False, description="Build with debugging symbols")
+
+    depends_on("mpi")
+    depends_on("callpath")
+
+    build_units = 43
+    unit_cost = 0.081
+    io_ops_per_unit = 7
+
+    def install(self, spec, prefix):
+        from repro.build.shell import configure, make
+
+        configure(
+            "--prefix=" + str(prefix),
+            "--with-callpath=" + str(spec["callpath"].prefix),
+        )
+        make()
+        make("install")
+
+
+class Callpath(Package):
+    """Library for representing and manipulating call paths."""
+
+    homepage = "https://github.com/llnl/callpath"
+    url = homepage + "/archive/v1.0.2.tar.gz"
+
+    version("0.9", mock_checksum("callpath", "0.9"))
+    version("1.0.1", mock_checksum("callpath", "1.0.1"))
+    version("1.0.2", mock_checksum("callpath", "1.0.2"))
+    version("1.1", mock_checksum("callpath", "1.1"))
+
+    variant("debug", default=False, description="Debug variant (Figure 2c)")
+
+    depends_on("dyninst")
+    depends_on("mpi")
+
+    build_units = 16
+    unit_cost = 0.09
+
+
+class Dyninst(Package):
+    """Dynamic binary instrumentation; Figure 4's build specialization."""
+
+    homepage = "https://www.dyninst.org"
+    url = "https://www.dyninst.org/sites/default/files/downloads/dyninst-8.2.tar.gz"
+
+    version("8.2", mock_checksum("dyninst", "8.2"))
+    version("8.1.2", mock_checksum("dyninst", "8.1.2"))
+    version("8.1.1", mock_checksum("dyninst", "8.1.1"))
+    version("8.0", mock_checksum("dyninst", "8.0"))
+
+    depends_on("libelf")
+    depends_on("libdwarf")
+
+    build_units = 14
+    unit_cost = 2.0
+    io_ops_per_unit = 25
+
+    def install(self, spec, prefix):  # default build uses cmake
+        from repro.build import shell
+        from repro.util.filesystem import working_dir
+
+        with working_dir("spack-build", create=True):
+            shell.cmake("..", *shell.std_cmake_args)
+            shell.make()
+            shell.make("install")
+
+    @when("@:8.1")  # <= 8.1 uses autotools
+    def install(self, spec, prefix):
+        from repro.build.shell import configure, make
+
+        configure("--prefix=" + str(prefix))
+        make()
+        make("install")
+
+
+class Libdwarf(Package):
+    """DWARF debugging-information library."""
+
+    homepage = "https://www.prevanders.net/dwarf.html"
+    url = "https://www.prevanders.net/libdwarf-20130729.tar.gz"
+
+    version("20130729", mock_checksum("libdwarf", "20130729"))
+    version("20130207", mock_checksum("libdwarf", "20130207"))
+    version("20111030", mock_checksum("libdwarf", "20111030"))
+
+    depends_on("libelf")
+
+    build_units = 33
+    unit_cost = 0.152
+    io_ops_per_unit = 7
+
+
+class Libelf(Package):
+    """ELF object-file access library (the paper's two-ABI cautionary
+    tale, §3.5.1)."""
+
+    homepage = "https://directory.fsf.org/wiki/Libelf"
+    url = "https://www.mr511.de/software/libelf-0.8.13.tar.gz"
+
+    version("0.8.13", mock_checksum("libelf", "0.8.13"))
+    version("0.8.12", mock_checksum("libelf", "0.8.12"))
+    version("0.8.11", mock_checksum("libelf", "0.8.11"))
+
+    build_units = 14
+    unit_cost = 0.107
+    io_ops_per_unit = 13
+
+
+class Libpng(Package):
+    """PNG reference library (a Figure 10/11 subject)."""
+
+    homepage = "http://www.libpng.org"
+    url = "https://download.sourceforge.net/libpng/libpng-1.6.16.tar.gz"
+
+    version("1.6.16", mock_checksum("libpng", "1.6.16"))
+    version("1.6.15", mock_checksum("libpng", "1.6.15"))
+
+    depends_on("zlib")
+
+    build_units = 19
+    unit_cost = 0.106
+    io_ops_per_unit = 17
+
+
+def register(repo):
+    repo.add_class("mpileaks", Mpileaks)
+    repo.add_class("callpath", Callpath)
+    repo.add_class("dyninst", Dyninst)
+    repo.add_class("libdwarf", Libdwarf)
+    repo.add_class("libelf", Libelf)
+    repo.add_class("libpng", Libpng)

@@ -1,0 +1,228 @@
+"""Python and its extension ecosystem (paper §4.2).
+
+Python is ``extendable``: extension packages say ``extends('python')``
+and install into their own prefixes, and activation symlinks them into
+the interpreter prefix so a baseline stack works with no environment
+settings.  Python overrides the activate/deactivate hooks to *merge* the
+known-conflicting metadata file (``easy-install.pth``) instead of
+failing — the package-specialized activation the paper added for
+"many Python packages install their own package manager" conflicts.
+
+The BG/Q patches are verbatim from §3.2.4::
+
+    patch('python-bgq-xlc.patch',   when='=bgq%xl')
+    patch('python-bgq-clang.patch', when='=bgq%clang')
+"""
+
+import json
+import os
+
+from repro.directives import depends_on, extends, patch, variant, version
+from repro.fetch.mockweb import mock_checksum
+from repro.package.package import Package
+from repro.util.filesystem import mkdirp
+
+#: the merge-conflicting metadata file every extension writes
+EASY_INSTALL_PTH = os.path.join("lib", "site-packages", "easy-install.pth")
+
+
+class Python(Package):
+    """The CPython interpreter (extendable)."""
+
+    homepage = "https://www.python.org"
+    url = "https://www.python.org/ftp/python/2.7.9/python-2.7.9.tar.gz"
+
+    version("2.7.9", mock_checksum("python", "2.7.9"))
+    version("2.7.8", mock_checksum("python", "2.7.8"))
+    version("3.4.2", mock_checksum("python", "3.4.2"))
+
+    extendable = True
+
+    depends_on("zlib")
+    depends_on("openssl")
+    depends_on("readline")
+    depends_on("sqlite")
+    depends_on("ncurses")
+    depends_on("bzip2")
+
+    patch("python-bgq-xlc.patch", when="=bgq%xl")
+    patch("python-bgq-clang.patch", when="=bgq%clang")
+
+    # Figure 10/11 calibration ("python" bars).
+    build_units = 112
+    unit_cost = 0.098
+    io_ops_per_unit = 11
+
+    def install(self, spec, prefix):
+        from repro.build.shell import configure, make
+
+        configure("--prefix=" + str(prefix))
+        make()
+        make("install")
+        mkdirp(os.path.join(prefix, "lib", "site-packages"))
+
+    # -- package-specialized activation (§4.2) ---------------------------
+    def activate(self, extension, **kwargs):
+        from repro.extensions.activation import default_activate
+
+        ignore = lambda rel: rel == EASY_INSTALL_PTH
+        default_activate(self, extension, ignore=ignore, **kwargs)
+        self._merge_pth(extension)
+
+    def deactivate(self, extension, **kwargs):
+        from repro.extensions.activation import default_deactivate
+
+        ignore = lambda rel: rel == EASY_INSTALL_PTH
+        default_deactivate(self, extension, ignore=ignore, **kwargs)
+        self._unmerge_pth(extension)
+
+    def _pth_paths(self, extension):
+        return (
+            os.path.join(extension.prefix, EASY_INSTALL_PTH),
+            os.path.join(self.prefix, EASY_INSTALL_PTH),
+        )
+
+    def _merge_pth(self, extension):
+        ext_pth, own_pth = self._pth_paths(extension)
+        if not os.path.isfile(ext_pth):
+            return
+        existing = []
+        if os.path.isfile(own_pth):
+            with open(own_pth) as f:
+                existing = [line.rstrip("\n") for line in f if line.strip()]
+        with open(ext_pth) as f:
+            new_lines = [line.rstrip("\n") for line in f if line.strip()]
+        merged = existing + [l for l in new_lines if l not in existing]
+        mkdirp(os.path.dirname(own_pth))
+        with open(own_pth, "w") as f:
+            f.write("\n".join(merged) + "\n")
+
+    def _unmerge_pth(self, extension):
+        ext_pth, own_pth = self._pth_paths(extension)
+        if not (os.path.isfile(ext_pth) and os.path.isfile(own_pth)):
+            return
+        with open(ext_pth) as f:
+            remove = {line.rstrip("\n") for line in f if line.strip()}
+        with open(own_pth) as f:
+            keep = [l.rstrip("\n") for l in f if l.strip() and l.rstrip("\n") not in remove]
+        if keep:
+            with open(own_pth, "w") as f:
+                f.write("\n".join(keep) + "\n")
+        else:
+            os.unlink(own_pth)
+
+
+class PythonExtension(Package):
+    """Base for py-* packages: builds normally, then installs a module
+    tree plus its own ``easy-install.pth`` into ``lib/site-packages``."""
+
+    extends("python")
+
+    build_units = 6
+    unit_cost = 0.05
+
+    @property
+    def module_name(self):
+        return self.name[3:] if self.name.startswith("py-") else self.name
+
+    def install(self, spec, prefix):
+        from repro.build.shell import configure, make
+
+        configure("--prefix=" + str(prefix))
+        make()
+        make("install")
+        site = os.path.join(prefix, "lib", "site-packages", self.module_name)
+        mkdirp(site)
+        with open(os.path.join(site, "__init__.py"), "w") as f:
+            f.write("# %s %s\n" % (self.module_name, spec.version))
+        with open(os.path.join(site, "version.json"), "w") as f:
+            json.dump({"name": self.module_name, "version": str(spec.version)}, f)
+        with open(os.path.join(prefix, EASY_INSTALL_PTH), "w") as f:
+            f.write("./%s\n" % self.module_name)
+
+
+class PyNumpy(PythonExtension):
+    """NumPy (the paper's "friendlier interface to compiled libraries")."""
+
+    homepage = "https://www.numpy.org"
+    url = "https://pypi.io/packages/source/n/numpy/numpy-1.9.1.tar.gz"
+
+    version("1.9.1", mock_checksum("py-numpy", "1.9.1"))
+    version("1.8.2", mock_checksum("py-numpy", "1.8.2"))
+
+    variant("fft", default=False, description="Link a fast FFT backend")
+
+    depends_on("blas")
+    depends_on("lapack")
+    depends_on("fft@3:", when="+fft")  # needs the FFTW-3 generation API
+
+
+class PyScipy(PythonExtension):
+    """SciPy: scientific algorithms atop NumPy."""
+
+    homepage = "https://www.scipy.org"
+    url = "https://pypi.io/packages/source/s/scipy/scipy-0.15.1.tar.gz"
+
+    version("0.15.1", mock_checksum("py-scipy", "0.15.1"))
+    version("0.14.0", mock_checksum("py-scipy", "0.14.0"))
+
+    depends_on("py-numpy")
+    depends_on("blas")
+    depends_on("lapack")
+
+
+class PyNose(PythonExtension):
+    """nose: unit-test discovery for Python."""
+
+    homepage = "https://nose.readthedocs.io"
+    url = "https://pypi.io/packages/source/n/nose/nose-1.3.4.tar.gz"
+
+    version("1.3.4", mock_checksum("py-nose", "1.3.4"))
+
+
+class PySetuptools(PythonExtension):
+    """setuptools: the package manager Python extensions ship (§4.2)."""
+
+    homepage = "https://pypi.org/project/setuptools"
+    url = "https://pypi.io/packages/source/s/setuptools/setuptools-11.3.tar.gz"
+
+    version("11.3", mock_checksum("py-setuptools", "11.3"))
+    version("11.3.1", mock_checksum("py-setuptools", "11.3.1"))
+
+
+class Tcl(Package):
+    """The Tcl scripting language."""
+
+    homepage = "https://www.tcl.tk"
+    url = "https://downloads.sourceforge.net/tcl/tcl8.6.3-src.tar.gz"
+
+    version("8.6.3", mock_checksum("tcl", "8.6.3"))
+
+    depends_on("zlib")
+
+    build_units = 18
+    unit_cost = 0.08
+
+
+class Tk(Package):
+    """Tk GUI toolkit for Tcl."""
+
+    homepage = "https://www.tcl.tk"
+    url = "https://downloads.sourceforge.net/tcl/tk8.6.3-src.tar.gz"
+
+    version("8.6.3", mock_checksum("tk", "8.6.3"))
+
+    depends_on("tcl")
+
+    build_units = 16
+    unit_cost = 0.08
+
+
+def register(repo):
+    repo.add_class("python", Python)
+    repo.add_class("py-numpy", PyNumpy)
+    repo.add_class("py-scipy", PyScipy)
+    repo.add_class("py-nose", PyNose)
+    repo.add_class("py-setuptools", PySetuptools)
+    repo.add_class("tcl", Tcl)
+    repo.add_class("tk", Tk)

@@ -1,0 +1,97 @@
+"""Deterministic synthetic package corpus (Figure 8's 245-package universe).
+
+The paper timed concretization over all 245 packages in its repository.
+Our hand-written corpus covers every package the paper names (~60); this
+generator manufactures the rest with realistic shape: a layered random
+DAG whose transitive closures range from singletons to 50+ nodes (the
+x-axis of Figure 8), a few version choices per package, and a sprinkle
+of virtual interfaces so provider resolution stays on the measured path.
+
+Everything is seeded — the same corpus is generated on every machine, so
+the benchmark's package population is reproducible.
+"""
+
+import random
+
+from repro.directives import depends_on, provides, variant, version
+from repro.directives.directives import DirectiveMeta
+from repro.fetch.mockweb import mock_checksum
+from repro.package.package import Package
+from repro.repo.repository import Repository
+from repro.util.naming import mod_to_class
+
+#: every 17th package provides this virtual; every 11th depends on it
+SYN_VIRTUAL = "synapi"
+
+
+def _make_package(name, dep_names, versions, provides_virtual=None, with_variant=False):
+    ns = {
+        "homepage": "https://mock.example.org/%s" % name,
+        "url": "https://mock.example.org/%s/%s-%s.tar.gz" % (name, name, versions[0]),
+        "__doc__": "Synthetic package %s (generated, seeded)." % name,
+        "build_units": 4,
+        "unit_cost": 0.02,
+    }
+    for v in versions:
+        version(v, mock_checksum(name, v))
+    for dep in dep_names:
+        depends_on(dep)
+    if provides_virtual:
+        provides(provides_virtual)
+    if with_variant:
+        variant("shared", default=True, description="build shared library")
+    return DirectiveMeta(mod_to_class(name), (Package,), ns)
+
+
+def synthetic_repo(count=185, seed=42, namespace="synthetic"):
+    """Generate ``count`` packages into a fresh Repository.
+
+    Layered DAG construction: package *i* may only depend on packages
+    with smaller indices, so the result is acyclic by construction.  Most
+    packages have 0–4 direct dependencies; every 23rd is a "big
+    application" with up to 12, which pushes transitive DAG sizes past 50
+    nodes — matching the population Figure 8 plots.
+    """
+    rng = random.Random(seed)
+    repo = Repository(namespace=namespace)
+    names = []
+
+    for i in range(count):
+        name = "syn-%03d" % i
+        provides_virtual = i % 17 == 3
+        if i == 0 or provides_virtual:
+            # interface providers are leaves (like MPI implementations),
+            # so virtual resolution can never introduce a cycle
+            deps = []
+        elif i % 23 == 0:
+            deps = rng.sample(names, min(len(names), rng.randint(6, 12)))
+        else:
+            deps = rng.sample(names, min(len(names), rng.randint(0, 4)))
+        if i % 11 == 7 and i > 17 and not provides_virtual:
+            deps.append(SYN_VIRTUAL)
+        n_versions = rng.randint(2, 4)
+        versions = ["%d.%d" % (1 + v, rng.randint(0, 9)) for v in range(n_versions)]
+        cls = _make_package(
+            name,
+            deps,
+            versions,
+            provides_virtual=SYN_VIRTUAL if provides_virtual else None,
+            with_variant=(i % 5 == 0),
+        )
+        repo.add_class(name, cls)
+        names.append(name)
+    return repo
+
+
+def full_universe(total=245, seed=42):
+    """Built-in corpus + enough synthetic packages to reach ``total``.
+
+    Returns a RepoPath layering the two, mirroring the paper's single
+    245-package repository.
+    """
+    from repro.packages import builtin_repo
+    from repro.repo.repository import RepoPath
+
+    builtin = builtin_repo()
+    need = max(0, total - len(builtin))
+    return RepoPath([builtin, synthetic_repo(count=need, seed=seed)])

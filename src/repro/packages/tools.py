@@ -1,0 +1,148 @@
+"""Utility and external libraries: gperftools (§4.1) and the common
+dependencies the ARES and Python stacks pull in.
+
+``Gperftools`` is Figure 12 nearly verbatim: a patch for 2.4 + XL, and
+per-platform/compiler configure lines.  The rest are small, plain
+packages — exactly the kind the default ``Package.install`` handles.
+"""
+
+from repro.directives import depends_on, patch, variant, version
+from repro.fetch.mockweb import mock_checksum
+from repro.package.package import Package
+
+
+class Gperftools(Package):
+    """Google performance tools: thread-safe heap + lightweight profilers."""
+
+    homepage = "https://github.com/gperftools/gperftools"
+    url = homepage + "/releases/download/gperftools-2.4/gperftools-2.4.tar.gz"
+
+    version("2.4", mock_checksum("gperftools", "2.4"))
+    version("2.3", mock_checksum("gperftools", "2.3"))
+    version("2.1", mock_checksum("gperftools", "2.1"))
+
+    patch("patch.gperftools2.4_xlc", when="@2.4 %xl")
+
+    build_units = 20
+    unit_cost = 0.1
+
+    def install(self, spec, prefix):
+        from repro.build.shell import configure, make
+
+        # Figure 12: per-platform, per-compiler configure lines.
+        if spec.architecture == "bgq" and self.spec.compiler.name == "xl":
+            configure("--prefix=" + str(prefix), "LDFLAGS=-qnostaticlink")
+        elif spec.architecture == "bgq":
+            configure("--prefix=" + str(prefix), "LDFLAGS=-dynamic")
+        else:
+            configure("--prefix=" + str(prefix))
+        make()
+        make("install")
+
+
+def _simple(class_name, pkg_name, url, versions, deps=(), units=12, cost=0.08,
+            variants=()):
+    """Manufacture a small library package class.
+
+    These are ordinary DSL classes (the directives run in the class body
+    via ``type()``'s namespace execution); using a factory just avoids
+    sixteen near-identical class statements for leaf libraries.
+    """
+    from repro.directives.directives import DirectiveMeta
+
+    def body(ns):
+        ns["homepage"] = url.rsplit("/", 2)[0]
+        ns["url"] = url
+        ns["build_units"] = units
+        ns["unit_cost"] = cost
+        ns["__doc__"] = "External library %s (mock)." % pkg_name
+        for v in versions:
+            version(v, mock_checksum(pkg_name, v))
+        for dep in deps:
+            depends_on(dep)
+        for vname, default, desc in variants:
+            variant(vname, default=default, description=desc)
+
+    return DirectiveMeta(class_name, (Package,), _exec_body(body))
+
+
+def _exec_body(body):
+    ns = {}
+    body(ns)
+    return ns
+
+
+Zlib = _simple("Zlib", "zlib", "https://zlib.net/zlib-1.2.8.tar.gz", ["1.2.8", "1.2.7"])
+Bzip2 = _simple("Bzip2", "bzip2", "https://www.bzip.org/bzip2-1.0.6.tar.gz", ["1.0.6"])
+Ncurses = _simple("Ncurses", "ncurses", "https://ftp.gnu.org/gnu/ncurses/ncurses-5.9.tar.gz", ["5.9"])
+Readline = _simple(
+    "Readline", "readline", "https://ftp.gnu.org/gnu/readline/readline-6.3.tar.gz",
+    ["6.3"], deps=["ncurses"],
+)
+Sqlite = _simple("Sqlite", "sqlite", "https://sqlite.org/2015/sqlite-3.8.5.tar.gz", ["3.8.5"])
+Openssl = _simple(
+    "Openssl", "openssl", "https://www.openssl.org/source/openssl-1.0.1h.tar.gz",
+    ["1.0.1h"], deps=["zlib"], units=40, cost=0.1,
+)
+Boost = _simple(
+    "Boost", "boost", "https://downloads.sourceforge.net/boost/boost-1.55.0.tar.gz",
+    ["1.55.0", "1.54.0", "1.52.0"], units=60, cost=0.15,
+)
+Cmake = _simple(
+    "Cmake", "cmake", "https://cmake.org/files/v3.0/cmake-3.0.2.tar.gz",
+    ["3.0.2", "2.8.12"], units=30, cost=0.1,
+)
+Gsl = _simple("Gsl", "gsl", "https://ftp.gnu.org/gnu/gsl/gsl-1.16.tar.gz", ["1.16"],
+              units=25, cost=0.12)
+Hdf5 = _simple(
+    "Hdf5", "hdf5", "https://www.hdfgroup.org/ftp/HDF5/hdf5-1.8.13.tar.gz",
+    ["1.8.13", "1.8.12"], deps=["zlib", "mpi"], units=35, cost=0.12,
+    variants=(("debug", False, "debug build"),),
+)
+Papi = _simple("Papi", "papi", "https://icl.utk.edu/projects/papi/downloads/papi-5.3.0.tar.gz",
+               ["5.3.0"], units=15, cost=0.1)
+Hpdf = _simple("Hpdf", "hpdf", "https://github.com/libharu/libharu/archive/hpdf-2.3.0.tar.gz",
+               ["2.3.0"], deps=["zlib"])
+Opclient = _simple("Opclient", "opclient",
+                   "https://mock.llnl.gov/opclient/opclient-2.0.1.tar.gz", ["2.0.1"])
+Ga = _simple("Ga", "ga", "https://hpc.pnl.gov/globalarrays/download/ga-5.3.tar.gz",
+             ["5.3"], deps=["mpi"], units=20, cost=0.1)
+
+
+class Rose(Package):
+    """ROSE compiler: the §3.2.4 conditional-boost-dependency example."""
+
+    homepage = "http://rosecompiler.org"
+    url = "https://github.com/rose-compiler/rose/archive/v0.9.6.tar.gz"
+
+    version("0.9.6", mock_checksum("rose", "0.9.6"))
+
+    # §3.2.4, verbatim semantics: boost version depends on the compiler.
+    depends_on("boost@1.54.0", when="%gcc@:4")
+    depends_on("boost@1.55.0", when="%gcc@5:")
+    depends_on("boost@1.55.0", when="%intel")
+    depends_on("boost@1.55.0", when="%clang")
+    depends_on("boost@1.55.0", when="%pgi")
+    depends_on("boost@1.55.0", when="%xl")
+
+    build_units = 50
+    unit_cost = 0.3
+
+
+def register(repo):
+    repo.add_class("gperftools", Gperftools)
+    repo.add_class("zlib", Zlib)
+    repo.add_class("bzip2", Bzip2)
+    repo.add_class("ncurses", Ncurses)
+    repo.add_class("readline", Readline)
+    repo.add_class("sqlite", Sqlite)
+    repo.add_class("openssl", Openssl)
+    repo.add_class("boost", Boost)
+    repo.add_class("cmake", Cmake)
+    repo.add_class("gsl", Gsl)
+    repo.add_class("hdf5", Hdf5)
+    repo.add_class("papi", Papi)
+    repo.add_class("hpdf", Hpdf)
+    repo.add_class("opclient", Opclient)
+    repo.add_class("ga", Ga)
+    repo.add_class("rose", Rose)

@@ -1,0 +1,9 @@
+"""Architecture descriptions (§4.5 future work, implemented)."""
+
+from repro.platforms.platforms import (
+    DEFAULT_PLATFORMS,
+    Platform,
+    PlatformRegistry,
+)
+
+__all__ = ["Platform", "PlatformRegistry", "DEFAULT_PLATFORMS"]

@@ -1,0 +1,96 @@
+"""Per-architecture build knowledge, factored out of package files.
+
+The paper's §4.5: "we cannot currently factor common preferences (like
+configure arguments and architecture-specific compiler flags) out of
+packages and into separate architecture descriptions, which leads to
+some clutter in the package files when too many per-platform conditions
+accumulate."
+
+A :class:`Platform` centralizes exactly those two things:
+
+* ``configure_args`` — appended to every ``configure`` run on that
+  architecture (cross-compilation ``--host`` triples and friends);
+* ``compiler_flags`` — per-toolchain target flags, injected by the
+  compiler wrappers alongside the dependency flags, so ``-qarch=qp``
+  lives *here* once instead of in every package that builds on BG/Q.
+
+Packages keep working unmodified; platform knowledge comes in through
+the build environment (``SPACK_TARGET_FLAGS``) and the fake build
+system, the same paths a real build would use.
+"""
+
+
+class Platform:
+    """One architecture description."""
+
+    def __init__(self, name, configure_args=(), compiler_flags=None, description=""):
+        self.name = name
+        self.configure_args = list(configure_args)
+        self.compiler_flags = {k: list(v) for k, v in (compiler_flags or {}).items()}
+        self.description = description
+
+    def flags_for(self, compiler_name):
+        return list(self.compiler_flags.get(compiler_name, ()))
+
+    def __repr__(self):
+        return "Platform(%r)" % self.name
+
+
+#: the architectures the paper's evaluation spans (Table 3)
+DEFAULT_PLATFORMS = [
+    Platform(
+        "linux-x86_64",
+        description="commodity Linux cluster",
+    ),
+    Platform(
+        "linux-ppc64",
+        compiler_flags={"gcc": ["-mcpu=power7"], "xl": ["-qarch=pwr7"]},
+        description="Power7 front-end node",
+    ),
+    Platform(
+        "bgq",
+        configure_args=["--host=powerpc64-bgq-linux"],
+        compiler_flags={
+            "xl": ["-qarch=qp", "-q64"],
+            "gcc": ["-mcpu=a2"],
+            "clang": ["--target=powerpc64-bgq-linux"],
+        },
+        description="Blue Gene/Q compute node (cross-compiled)",
+    ),
+    Platform(
+        "cray_xe6",
+        configure_args=["--host=x86_64-cray-linux"],
+        compiler_flags={
+            "pgi": ["-tp=istanbul-64"],
+            "gcc": ["-march=amdfam10"],
+            "clang": ["-march=amdfam10"],
+        },
+        description="Cray XE6 (Cielo-class)",
+    ),
+]
+
+
+class PlatformRegistry:
+    """Known architecture descriptions for a session."""
+
+    def __init__(self, platforms=None):
+        self._platforms = {}
+        for platform in platforms if platforms is not None else DEFAULT_PLATFORMS:
+            self.add(platform)
+
+    def add(self, platform):
+        self._platforms[platform.name] = platform
+
+    def get(self, name):
+        """The Platform for an architecture; unknown names get an empty
+        description (no special args/flags) so builds never fail on a
+        new architecture string."""
+        if name in self._platforms:
+            return self._platforms[name]
+        return Platform(name or "unknown")
+
+    def names(self):
+        return sorted(self._platforms)
+
+    def __contains__(self, name):
+        return name in self._platforms

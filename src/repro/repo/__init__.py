@@ -1,0 +1,17 @@
+"""Package repositories and virtual-dependency providers (§3.3, §4.3.2)."""
+
+from repro.repo.repository import (
+    NoSuchPackageError,
+    RepoError,
+    RepoPath,
+    Repository,
+)
+from repro.repo.providers import ProviderIndex
+
+__all__ = [
+    "Repository",
+    "RepoPath",
+    "ProviderIndex",
+    "RepoError",
+    "NoSuchPackageError",
+]

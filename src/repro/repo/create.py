@@ -1,0 +1,101 @@
+"""``create``: generate package boilerplate from a download URL.
+
+The original tool's ``spack create <url>`` workflow: detect the package
+name and version from the URL, scrape the listing page for sibling
+versions, checksum what is available, and write a ready-to-edit
+``package.py`` into a repository directory.
+"""
+
+import hashlib
+import os
+import posixpath
+import re
+
+from repro.errors import ReproError
+from repro.util.filesystem import mkdirp
+from repro.util.naming import mod_to_class, valid_name
+from repro.version.url import parse_version_from_url
+
+
+class PackageCreationError(ReproError):
+    """Could not derive a package skeleton from the URL."""
+
+
+_NAME_RE = re.compile(r"([A-Za-z][A-Za-z0-9_+-]*?)[-_.]?v?\d")
+
+
+def guess_name_from_url(url):
+    """Package name from the archive file name (``libelf-0.8.13.tar.gz``
+    → ``libelf``)."""
+    base = posixpath.basename(url)
+    match = _NAME_RE.match(base)
+    if not match:
+        raise PackageCreationError("Cannot guess a package name from %r" % url)
+    name = match.group(1).lower().rstrip("-_.")
+    if not valid_name(name):
+        raise PackageCreationError("Guessed name %r is not a valid package name" % name)
+    return name
+
+
+_TEMPLATE = '''\
+class {class_name}(Package):
+    """FIXME: describe {name} here."""
+
+    homepage = "{homepage}"
+    url = "{url}"
+
+{versions}
+    # FIXME: add dependencies, e.g.:
+    # depends_on('mpi')
+
+    def install(self, spec, prefix):
+        configure("--prefix=" + prefix)
+        make()
+        make("install")
+'''
+
+
+def create_package_skeleton(session, url, repo_root, name=None):
+    """Write ``<repo_root>/<name>/package.py``; return (name, path, versions).
+
+    Versions come from scraping the URL's listing page on the session's
+    web; each available tarball is downloaded and checksummed so the
+    generated ``version()`` directives verify out of the box.
+    """
+    name = name or guess_name_from_url(url)
+    version, _, _ = parse_version_from_url(url)
+
+    # a throwaway package object just for URL machinery
+    from repro.package.package import Package
+    from repro.spec.spec import Spec
+
+    probe_cls = type(mod_to_class(name), (Package,), {"url": url})
+    probe_cls.name = name
+    probe = probe_cls(Spec(name=name), session=session)
+
+    found = session.fetcher.available_versions(probe)
+    if not found:
+        found = [version]
+
+    version_lines = []
+    for v in sorted(found, reverse=True):
+        try:
+            content = session.web.get(probe.url_for_version(v))
+            digest = hashlib.md5(content).hexdigest()
+            version_lines.append("    version('%s', '%s')" % (v, digest))
+        except Exception:
+            version_lines.append("    # version('%s', md5='FIXME')" % v)
+
+    text = _TEMPLATE.format(
+        class_name=mod_to_class(name),
+        name=name,
+        homepage=posixpath.dirname(url) or url,
+        url=url,
+        versions="\n".join(version_lines) + "\n",
+    )
+    pkg_dir = os.path.join(repo_root, name)
+    mkdirp(pkg_dir)
+    path = os.path.join(pkg_dir, "package.py")
+    with open(path, "w") as f:
+        f.write(text)
+    return name, path, found

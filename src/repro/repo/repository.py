@@ -1,0 +1,242 @@
+"""Package repositories: where package classes live and how they layer.
+
+A :class:`Repository` maps package names to :class:`~repro.package.Package`
+subclasses.  On-disk repositories use the layout::
+
+    repo_root/
+        mpileaks/package.py
+        sgeos_xml/package.py          # names may contain '_' or '-'
+        ...
+
+where the *directory name* is the package name verbatim and ``package.py``
+defines a class whose name is the CamelCase form of it.
+
+:class:`RepoPath` stacks repositories: earlier repos shadow later ones, so
+a site can override or extend built-in recipes without touching them
+(§4.3.2).  Site package classes may subclass the built-in class they
+replace; directive metadata is inherited by copy (see
+:class:`~repro.directives.directives.DirectiveMeta`).
+"""
+
+import importlib.util
+import os
+import sys
+
+from repro.errors import ReproError
+from repro.package.package import Package
+from repro.util.naming import mod_to_class, valid_name
+
+
+class RepoError(ReproError):
+    """Problem loading or using a package repository."""
+
+
+class NoSuchPackageError(RepoError):
+    """The named package is in no repository on the path."""
+
+    def __init__(self, name, repo=None):
+        where = " in repository %s" % repo if repo else ""
+        super().__init__("Package %r not found%s" % (name, where))
+        self.name = name
+
+
+class Repository:
+    """One namespace of package classes.
+
+    Parameters
+    ----------
+    root:
+        Directory in the layout described above, or None for a purely
+        programmatic repository (the synthetic corpus uses this).
+    namespace:
+        Short dotted name, used to keep imported modules distinct.
+    """
+
+    def __init__(self, root=None, namespace="repo"):
+        self.root = os.path.abspath(root) if root else None
+        self.namespace = namespace
+        self._classes = {}
+        self._scanned = False
+
+    # -- registration -----------------------------------------------------
+    def add_class(self, name, cls):
+        """Register a package class programmatically."""
+        if not valid_name(name):
+            raise RepoError("Invalid package name %r" % name)
+        if not (isinstance(cls, type) and issubclass(cls, Package)):
+            raise RepoError("%r is not a Package subclass" % (cls,))
+        cls.name = name
+        cls.namespace = self.namespace
+        self._classes[name] = cls
+        return cls
+
+    def register(self, name):
+        """Decorator form of :meth:`add_class`."""
+
+        def _register(cls):
+            return self.add_class(name, cls)
+
+        return _register
+
+    # -- on-disk scanning ----------------------------------------------------
+    def _scan(self):
+        if self._scanned or self.root is None:
+            self._scanned = True
+            return
+        if not os.path.isdir(self.root):
+            raise RepoError("Repository root does not exist: %s" % self.root)
+        for entry in sorted(os.listdir(self.root)):
+            pkg_dir = os.path.join(self.root, entry)
+            pkg_file = os.path.join(pkg_dir, "package.py")
+            if not os.path.isfile(pkg_file):
+                continue
+            if not valid_name(entry):
+                raise RepoError("Invalid package directory name %r" % entry)
+            self._load_package(entry, pkg_file)
+        self._scanned = True
+
+    def _load_package(self, name, pkg_file):
+        module_name = "repro._repos.%s.%s" % (
+            self.namespace,
+            name.replace("-", "_").replace(".", "_"),
+        )
+        spec = importlib.util.spec_from_file_location(module_name, pkg_file)
+        module = importlib.util.module_from_spec(spec)
+        # Give package files the DSL without imports, as the original does:
+        # directives and common helpers are pre-seeded into the module.
+        _seed_package_module(module)
+        sys.modules[module_name] = module
+        try:
+            spec.loader.exec_module(module)
+        except Exception as e:
+            raise RepoError("Error loading package %r: %s" % (name, e)) from e
+
+        expected = mod_to_class(name)
+        cls = getattr(module, expected, None)
+        if cls is None:
+            candidates = [
+                v
+                for v in vars(module).values()
+                if isinstance(v, type)
+                and issubclass(v, Package)
+                and v.__module__ == module_name
+            ]
+            if len(candidates) != 1:
+                raise RepoError(
+                    "Package file for %r must define class %s" % (name, expected)
+                )
+            cls = candidates[0]
+        self.add_class(name, cls)
+
+    # -- queries ----------------------------------------------------------------
+    def exists(self, name):
+        self._scan()
+        return name in self._classes
+
+    def get_class(self, name):
+        self._scan()
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise NoSuchPackageError(name, self.namespace) from None
+
+    def all_package_names(self):
+        self._scan()
+        return sorted(self._classes)
+
+    def all_classes(self):
+        self._scan()
+        return dict(self._classes)
+
+    def __contains__(self, name):
+        return self.exists(name)
+
+    def __len__(self):
+        self._scan()
+        return len(self._classes)
+
+    def __repr__(self):
+        return "Repository(%r, namespace=%r)" % (self.root, self.namespace)
+
+
+def _seed_package_module(module):
+    """Pre-seed a package module's namespace with the DSL (Figure 1 uses
+    ``version``/``depends_on``/``Package`` without imports)."""
+    from repro import directives
+    from repro.spec.spec import Spec
+    from repro.util.filesystem import join_path, working_dir
+    from repro.version import Version
+
+    from repro.build import shell
+
+    module.Package = Package
+    module.Spec = Spec
+    module.Version = Version
+    module.working_dir = working_dir
+    module.join_path = join_path
+    # Build-tool proxies resolve the active build context at call time,
+    # so seeding them at import time is safe.
+    module.configure = shell.configure
+    module.make = shell.make
+    module.cmake = shell.cmake
+    for directive_name in (
+        "version",
+        "depends_on",
+        "provides",
+        "patch",
+        "variant",
+        "extends",
+        "conflicts",
+        "when",
+    ):
+        setattr(module, directive_name, getattr(directives, directive_name))
+
+
+class RepoPath:
+    """An ordered stack of repositories; earlier entries win (§4.3.2)."""
+
+    def __init__(self, repos=()):
+        self.repos = list(repos)
+
+    def prepend(self, repo):
+        self.repos.insert(0, repo)
+
+    def append(self, repo):
+        self.repos.append(repo)
+
+    def exists(self, name):
+        return any(repo.exists(name) for repo in self.repos)
+
+    def get_class(self, name):
+        for repo in self.repos:
+            if repo.exists(name):
+                return repo.get_class(name)
+        raise NoSuchPackageError(name)
+
+    def repo_for(self, name):
+        for repo in self.repos:
+            if repo.exists(name):
+                return repo
+        raise NoSuchPackageError(name)
+
+    def all_package_names(self):
+        names = []
+        seen = set()
+        for repo in self.repos:
+            for name in repo.all_package_names():
+                if name not in seen:
+                    seen.add(name)
+                    names.append(name)
+        return sorted(names)
+
+    def all_classes(self):
+        return {name: self.get_class(name) for name in self.all_package_names()}
+
+    def __contains__(self, name):
+        return self.exists(name)
+
+    def __iter__(self):
+        return iter(self.repos)
+
+    def __len__(self):
+        return len(self.all_package_names())

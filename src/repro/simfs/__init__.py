@@ -1,0 +1,31 @@
+"""Simulated filesystem cost models and the virtual build clock.
+
+Substitution documented in DESIGN.md §3: the paper's Figures 10–11 time
+real builds on NFS vs a node-local temp filesystem, with and without
+compiler wrappers.  We have neither NFS nor hours of compilation, so the
+build substrate *counts* its work — compiler invocations, file
+operations, compile units — and a :class:`CostModel` converts the counts
+into virtual seconds: per-operation filesystem latency (NFS ≫ tmpfs) plus
+per-unit compile cost plus per-invocation wrapper overhead.  The shape of
+the paper's results (wrapper overhead inversely proportional to compile
+time per invocation; NFS uniformly inflating I/O-heavy phases) is a
+property of this accounting, not of magic constants.
+"""
+
+from repro.simfs.model import (
+    NFS,
+    TMPFS,
+    CostModel,
+    FSProfile,
+    VirtualClock,
+    measure_wrapper_overhead,
+)
+
+__all__ = [
+    "FSProfile",
+    "CostModel",
+    "VirtualClock",
+    "NFS",
+    "TMPFS",
+    "measure_wrapper_overhead",
+]

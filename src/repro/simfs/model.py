@@ -1,0 +1,96 @@
+"""Cost-model types for the simulated build-time experiments."""
+
+import time
+
+
+class FSProfile:
+    """Per-operation latency profile of a filesystem.
+
+    ``per_op_seconds`` charges every metadata or small-I/O operation
+    (stat, open, small read/write).  The NFS profile reflects a remotely
+    mounted home directory (the paper: "building this way can be as much
+    as 62.7% slower"); the temp profile a node-local scratch filesystem.
+    """
+
+    def __init__(self, name, per_op_seconds):
+        self.name = name
+        self.per_op_seconds = float(per_op_seconds)
+
+    def __repr__(self):
+        return "FSProfile(%r, %gs/op)" % (self.name, self.per_op_seconds)
+
+
+#: Remote NFS-like home directory: a few ms per round trip.
+NFS = FSProfile("nfs", 0.004)
+
+#: Node-local temporary filesystem.
+TMPFS = FSProfile("tmp", 0.00008)
+
+
+class VirtualClock:
+    """Accumulates virtual seconds plus an audit trail of counts."""
+
+    def __init__(self):
+        self.seconds = 0.0
+        self.counts = {}
+
+    def charge(self, category, seconds, count=1):
+        self.seconds += seconds
+        self.counts[category] = self.counts.get(category, 0) + count
+
+    def snapshot(self):
+        return dict(self.counts, seconds=self.seconds)
+
+    def reset(self):
+        self.seconds = 0.0
+        self.counts = {}
+
+
+class CostModel:
+    """Converts build-substrate work items into virtual seconds.
+
+    Parameters
+    ----------
+    fs : FSProfile
+        Where the *stage* (build tree) lives.
+    wrapper_overhead_s : float
+        Extra cost per compiler invocation when wrappers are enabled:
+        process spawn + argv parsing + indirection (§3.5.3).  Calibrate
+        with :func:`measure_wrapper_overhead` for an honest local value.
+    install_fs : FSProfile
+        Where the install prefix lives (always local in the paper's
+        setup; defaults to the stage profile).
+    """
+
+    def __init__(self, fs=TMPFS, wrapper_overhead_s=0.010, install_fs=None):
+        self.fs = fs
+        self.wrapper_overhead_s = float(wrapper_overhead_s)
+        self.install_fs = install_fs or fs
+
+    def charge_file_ops(self, clock, n, install=False):
+        profile = self.install_fs if install else self.fs
+        clock.charge("file_ops", profile.per_op_seconds * n, count=n)
+
+    def charge_compile(self, clock, unit_cost_s, wrapped):
+        clock.charge("compile_units", unit_cost_s)
+        if wrapped:
+            clock.charge("wrapper_invocations", self.wrapper_overhead_s)
+
+    def charge_link(self, clock, cost_s, wrapped):
+        clock.charge("links", cost_s)
+        if wrapped:
+            clock.charge("wrapper_invocations", self.wrapper_overhead_s)
+
+
+def measure_wrapper_overhead(wrapper_callable, argv, env, trials=20):
+    """Measure the real cost of one wrapper pass (argv rewrite).
+
+    Used by the Figure 10/11 harness to calibrate
+    ``wrapper_overhead_s`` from this machine rather than a constant:
+    we time the actual argument-injection code path.
+    """
+    start = time.perf_counter()
+    for _ in range(trials):
+        wrapper_callable(list(argv), dict(env))
+    elapsed = time.perf_counter() - start
+    return elapsed / trials

@@ -1,0 +1,30 @@
+"""The spec DAG model and the recursive constraint syntax (paper §3.2).
+
+A *spec* is a partially- or fully-constrained description of one build of a
+package and all of its dependencies.  This package provides:
+
+* :class:`repro.spec.spec.Spec` — the DAG node/graph type with
+  ``satisfies`` / ``constrain`` / ``copy`` / ``traverse`` / ``dag_hash``;
+* :mod:`repro.spec.parser` — lexer + recursive-descent parser for the
+  EBNF grammar of Figure 3;
+* :mod:`repro.spec.explain` — English rendering of a spec's meaning
+  (used to regenerate Table 2);
+* :mod:`repro.spec.graph` — ASCII DAG drawings (Figures 2, 7, 13).
+"""
+
+from repro.spec.spec import CompilerSpec, Spec
+from repro.spec.errors import (
+    SpecError,
+    SpecParseError,
+    UnsatisfiableSpecError,
+)
+from repro.spec.parser import parse_specs
+
+__all__ = [
+    "Spec",
+    "CompilerSpec",
+    "SpecError",
+    "SpecParseError",
+    "UnsatisfiableSpecError",
+    "parse_specs",
+]

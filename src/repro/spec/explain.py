@@ -1,0 +1,95 @@
+"""Render a spec's meaning in English (regenerates Table 2 of the paper).
+
+Given ``mpileaks@1.1.2 %intel@14.1 +debug`` this produces
+"mpileaks package, version 1.1.2, built with Intel compiler version 14.1,
+with the 'debug' build option." — the same prose style as the paper's
+examples, assembled mechanically from the parsed constraint structure.
+"""
+
+from repro.spec.spec import Spec
+from repro.version import Version, VersionRange
+
+#: Display names for compilers that appear in the paper's prose.
+_COMPILER_DISPLAY = {
+    "gcc": "gcc",
+    "intel": "Intel compiler",
+    "pgi": "PGI compiler",
+    "clang": "Clang compiler",
+    "xl": "XL compiler",
+    "xlc": "XL C compiler",
+}
+
+#: Display names for architectures that appear in the paper's prose.
+_ARCH_DISPLAY = {
+    "bgq": "the Blue Gene/Q platform (BG/Q)",
+    "linux-x86_64": "the Linux x86_64 platform",
+    "linux-ppc64": "the Linux ppc64 platform",
+    "cray_xe6": "the Cray XE6 platform",
+}
+
+
+def _explain_versions(versions):
+    if versions.universal:
+        return None
+    parts = []
+    for constraint in versions:
+        if isinstance(constraint, Version):
+            parts.append("version %s" % constraint)
+        elif isinstance(constraint, VersionRange):
+            if constraint.lo is not None and constraint.hi is not None:
+                parts.append(
+                    "any version between %s and %s (inclusive)"
+                    % (constraint.lo, constraint.hi)
+                )
+            elif constraint.lo is not None:
+                parts.append("version %s or higher" % constraint.lo)
+            else:
+                parts.append("version %s or lower" % constraint.hi)
+    return " or ".join(parts)
+
+
+def _explain_compiler(compiler):
+    display = _COMPILER_DISPLAY.get(compiler.name, compiler.name)
+    if compiler.versions.universal:
+        return "built with %s at the default version" % display
+    return "built with %s version %s" % (display, compiler.versions)
+
+
+def _explain_node(spec, is_root):
+    clauses = []
+    head = "%s package" % spec.name if is_root else spec.name
+    vtext = _explain_versions(spec.versions)
+    if vtext:
+        clauses.append(vtext)
+    if spec.compiler is not None:
+        clauses.append(_explain_compiler(spec.compiler))
+    for name, value in sorted(spec.variants.items()):
+        if value:
+            clauses.append("with the %r build option" % name)
+        else:
+            clauses.append("without the %r option" % name)
+    if spec.architecture is not None:
+        arch = _ARCH_DISPLAY.get(spec.architecture, "the %s platform" % spec.architecture)
+        clauses.append("built for %s" % arch)
+    if clauses:
+        return "%s, %s" % (head, ", ".join(clauses))
+    return head
+
+
+def explain(spec_like):
+    """One-sentence English meaning of a spec (Table 2 style)."""
+    spec = spec_like if isinstance(spec_like, Spec) else Spec(spec_like)
+    if spec.name is None:
+        text = "any package, %s" % _explain_node(spec, is_root=False).lstrip(", ")
+    else:
+        text = _explain_node(spec, is_root=True)
+    if not spec.dependencies and spec.versions.universal and spec.compiler is None \
+            and not spec.variants and spec.architecture is None:
+        return "%s, no constraints." % text
+    dep_texts = []
+    for name in sorted(spec.dependencies):
+        dep = spec.dependencies[name]
+        dep_texts.append("linked with %s" % _explain_node(dep, is_root=False))
+    if dep_texts:
+        text = "%s, %s" % (text, ", ".join(dep_texts))
+    return text + "."

@@ -1,0 +1,81 @@
+"""ASCII and DOT renderings of spec DAGs (Figures 2, 7, 9, 13).
+
+``graph_ascii`` prints an indented tree with back-edges annotated;
+``graph_dot`` emits Graphviz for the benchmark harnesses that regenerate
+the paper's DAG figures.
+"""
+
+from repro.spec.spec import Spec
+
+
+def graph_ascii(spec, show_params=True):
+    """Indented-tree rendering; repeated nodes are marked with ``*``.
+
+    One version of each package appears per DAG (§3.2.1), so a node seen
+    again is the same build — the ``*`` marks a shared sub-DAG edge.
+    """
+    lines = []
+    seen = set()
+
+    def walk(node, depth):
+        label = node.node_str() if show_params else (node.name or "?")
+        if node.name in seen:
+            lines.append("%s%s *" % ("  " * depth, label))
+            return
+        seen.add(node.name)
+        lines.append("%s%s" % ("  " * depth, label))
+        for name in sorted(node.dependencies):
+            walk(node.dependencies[name], depth + 1)
+
+    walk(spec, 0)
+    return "\n".join(lines)
+
+
+def graph_dot(spec, name="spec", node_attrs=None):
+    """Graphviz DOT text for a spec DAG.
+
+    ``node_attrs`` may be a callable ``spec_node -> dict`` adding per-node
+    attributes (Figure 13 colors nodes by package category this way).
+    """
+    node_attrs = node_attrs or (lambda node: {})
+    lines = ["digraph \"%s\" {" % name, "  rankdir=TB;"]
+    emitted = set()
+    edges = set()
+
+    def node_id(node):
+        return '"%s"' % (node.name or "anonymous")
+
+    def walk(node):
+        nid = node_id(node)
+        if node.name not in emitted:
+            emitted.add(node.name)
+            attrs = {"label": node.name or "?"}
+            attrs.update(node_attrs(node))
+            attr_text = ", ".join('%s="%s"' % kv for kv in sorted(attrs.items()))
+            lines.append("  %s [%s];" % (nid, attr_text))
+        for name in sorted(node.dependencies):
+            child = node.dependencies[name]
+            edge = (node.name, child.name)
+            walk(child)
+            if edge not in edges:
+                edges.add(edge)
+                lines.append("  %s -> %s;" % (nid, node_id(child)))
+
+    walk(spec if isinstance(spec, Spec) else Spec(spec))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def edge_list(spec):
+    """Sorted unique ``(parent, child)`` name pairs — handy for tests."""
+    edges = set()
+
+    def walk(node):
+        for name, child in node.dependencies.items():
+            edge = (node.name, child.name)
+            if edge not in edges:
+                edges.add(edge)
+                walk(child)
+
+    walk(spec)
+    return sorted(edges)

@@ -1,0 +1,701 @@
+"""The :class:`Spec` DAG type — the paper's central data structure (§3.2).
+
+A spec describes one build configuration of a package: its version,
+compiler (with version), named boolean variants, target architecture, and
+a dependency map to further specs.  A spec may be *abstract* (any of these
+unconstrained — describing a family of builds) or *concrete* (every
+parameter fixed, every dependency resolved — describing exactly one
+build).  Concretization (:mod:`repro.core`) turns the former into the
+latter.
+
+Two comparison semantics matter everywhere (DESIGN.md §5):
+
+* ``a.satisfies(b)`` — *compatibility*: could one build satisfy both ``a``
+  and ``b``?  Used for ``when=`` predicates evaluated against
+  partially-concrete specs during normalization.
+* ``a.satisfies(b, strict=True)`` — *containment*: is every build matching
+  ``a`` also matched by ``b``?  Used to verify a concrete result honors
+  the user's abstract request.
+
+``a.constrain(b)`` intersects ``b``'s constraints into ``a`` and raises an
+:class:`~repro.spec.errors.UnsatisfiableSpecError` subclass naming the
+conflicting parameter kind when the intersection is empty.
+"""
+
+import hashlib
+
+from repro.spec import errors as err
+from repro.util.lang import key_ordering
+from repro.util.naming import validate_name
+from repro.version import VersionList, any_version, ver
+
+
+@key_ordering
+class CompilerSpec:
+    """A compiler constraint: toolchain name plus a version constraint.
+
+    ``%gcc`` → any gcc; ``%[email protected]`` → that version family.  A compiler
+    name refers to the full toolchain (C, C++, Fortran), per §3.2.3.
+    """
+
+    __slots__ = ("name", "versions")
+
+    def __init__(self, name, versions=None):
+        if isinstance(name, CompilerSpec):
+            self.name = name.name
+            self.versions = name.versions.copy()
+            return
+        if "@" in name:
+            name, _, vstring = name.partition("@")
+            if versions is not None:
+                raise err.SpecError("CompilerSpec given both @ string and versions")
+            versions = vstring
+        self.name = validate_name(name)
+        if versions is None:
+            self.versions = any_version()
+        elif isinstance(versions, VersionList):
+            self.versions = versions.copy()
+        else:
+            self.versions = VersionList(ver(versions))
+
+    @property
+    def concrete(self):
+        return self.versions.concrete is not None
+
+    @property
+    def version(self):
+        """The single concrete version (only valid on concrete compiler specs)."""
+        v = self.versions.concrete
+        if v is None:
+            raise err.SpecError("CompilerSpec %s is not concrete" % self)
+        return v
+
+    def satisfies(self, other, strict=False):
+        other = CompilerSpec(other) if isinstance(other, str) else other
+        if self.name != other.name:
+            return False
+        return self.versions.satisfies(other.versions, strict=strict)
+
+    def constrain(self, other):
+        """Intersect ``other`` into self; return True if changed."""
+        other = CompilerSpec(other) if isinstance(other, str) else other
+        if self.name != other.name:
+            raise err.UnsatisfiableCompilerSpecError(self, other)
+        if not self.versions.overlaps(other.versions):
+            raise err.UnsatisfiableCompilerSpecError(self, other)
+        return self.versions.intersect(other.versions)
+
+    def copy(self):
+        return CompilerSpec(self.name, self.versions.copy())
+
+    def _cmp_key(self):
+        return (self.name, tuple(str(c) for c in self.versions))
+
+    def __str__(self):
+        if self.versions.universal:
+            return self.name
+        return "%s@%s" % (self.name, self.versions)
+
+    def __repr__(self):
+        return "CompilerSpec(%r)" % str(self)
+
+
+class VariantMap(dict):
+    """Named boolean build options on one spec node (§3.2.3, "Variants")."""
+
+    def satisfies(self, other, strict=False):
+        for name, value in other.items():
+            if name in self:
+                if self[name] != value:
+                    return False
+            elif strict:
+                return False
+        return True
+
+    def constrain(self, other):
+        changed = False
+        for name, value in other.items():
+            if name in self:
+                if self[name] != value:
+                    raise err.UnsatisfiableVariantSpecError(
+                        "%s%s" % ("+" if self[name] else "~", name),
+                        "%s%s" % ("+" if value else "~", name),
+                    )
+            else:
+                self[name] = value
+                changed = True
+        return changed
+
+    def copy(self):
+        new = VariantMap()
+        new.update(self)
+        return new
+
+    def __str__(self):
+        return "".join(
+            ("+%s" % name) if value else ("~%s" % name)
+            for name, value in sorted(self.items())
+        )
+
+
+class Spec:
+    """A node in (and handle to) a spec DAG.
+
+    Construct from a spec expression (``Spec("mpileaks@1.2 %gcc ^mpich")``),
+    from another Spec (copy), or programmatically via keywords.
+
+    Attributes
+    ----------
+    name : str or None
+        Package name; None for anonymous constraint specs (``when='%gcc'``).
+    versions : VersionList
+        Version constraint; the universal list when unconstrained.
+    compiler : CompilerSpec or None
+    variants : VariantMap
+    architecture : str or None
+    dependencies : dict[str, Spec]
+        Direct dependency edges, keyed by package name.  A DAG never
+        contains two nodes with the same name (§3.2.1), so names are
+        unique identifiers within one spec.
+    external : str or None
+        Install prefix of a pre-existing (non-built) installation; set by
+        the concretizer from ``packages`` config (used e.g. for vendor MPI
+        in the ARES study, §4.4).
+    provided_virtuals : set[str]
+        Virtual names this node was chosen to provide (stamped by the
+        concretizer when it swaps a provider in for a virtual node).
+    """
+
+    def __init__(
+        self,
+        spec_like=None,
+        *,
+        name=None,
+        versions=None,
+        compiler=None,
+        variants=None,
+        architecture=None,
+        dependencies=None,
+    ):
+        if isinstance(spec_like, Spec):
+            self._init_empty()
+            self._dup(spec_like)
+            return
+        if isinstance(spec_like, str):
+            from repro.spec.parser import parse_specs
+
+            specs = parse_specs(spec_like)
+            if len(specs) != 1:
+                raise err.SpecParseError(
+                    "Expected exactly one spec, got %d from %r"
+                    % (len(specs), spec_like)
+                )
+            self._init_empty()
+            self._dup(specs[0])
+            return
+        if spec_like is not None:
+            raise TypeError("Cannot construct Spec from %r" % (spec_like,))
+
+        self._init_empty()
+        if name is not None:
+            self.name = validate_name(name)
+        if versions is not None:
+            vl = ver(versions)
+            self.versions = vl if isinstance(vl, VersionList) else VersionList([vl])
+        if compiler is not None:
+            self.compiler = (
+                compiler if isinstance(compiler, CompilerSpec) else CompilerSpec(compiler)
+            )
+        if variants:
+            self.variants.update(variants)
+        if architecture is not None:
+            self.architecture = architecture
+        for dep in dependencies or ():
+            self._add_dependency(dep if isinstance(dep, Spec) else Spec(dep))
+
+    def _init_empty(self):
+        self.name = None
+        self.versions = any_version()
+        self.compiler = None
+        self.variants = VariantMap()
+        self.architecture = None
+        self.dependencies = {}
+        self.external = None
+        self.provided_virtuals = set()
+        self.namespace = None
+        self._concrete = False
+        self._normal = False
+        self._hash = None
+
+    def _dup_node(self, other):
+        """Copy ``other``'s node-level fields (everything but edges)."""
+        self.name = other.name
+        self.versions = other.versions.copy()
+        self.compiler = other.compiler.copy() if other.compiler else None
+        self.variants = other.variants.copy()
+        self.architecture = other.architecture
+        self.external = other.external
+        self.provided_virtuals = set(other.provided_virtuals)
+        self.namespace = other.namespace
+        self._concrete = other._concrete
+        self._normal = other._normal
+        self._hash = other._hash
+
+    def _dup(self, other, deps=True):
+        """Become a copy of ``other`` (used by copy() and __init__).
+
+        The copy is DAG-aware: shared nodes in ``other`` (a diamond like
+        mpileaks→callpath→dyninst / mpileaks→dyninst) stay shared in the
+        copy, preserving the one-node-per-name invariant structurally.
+        """
+        self._dup_node(other)
+        self.dependencies = {}
+        if deps:
+            memo = {other.name or id(other): self}
+            other._copy_deps_into(self, memo)
+        else:
+            self._concrete = False
+            self._normal = False
+            self._hash = None
+
+    def _copy_deps_into(self, new, memo):
+        for name, dep in self.dependencies.items():
+            key = dep.name or id(dep)
+            child = memo.get(key)
+            if child is None:
+                child = Spec()
+                child._dup_node(dep)
+                memo[key] = child
+                dep._copy_deps_into(child, memo)
+            new.dependencies[name] = child
+
+    # -- construction helpers ---------------------------------------------
+    def _add_dependency(self, dep_spec):
+        if dep_spec.name is None:
+            raise err.SpecParseError("Dependency specs must be named")
+        if dep_spec.name in self.dependencies:
+            raise err.DuplicateDependencyError(
+                "Cannot depend on %r twice" % dep_spec.name
+            )
+        self.dependencies[dep_spec.name] = dep_spec
+        self.invalidate_caches()
+
+    def invalidate_caches(self):
+        self._hash = None
+        self._concrete = False
+        self._normal = False
+
+    def copy(self, deps=True):
+        new = Spec()
+        new._dup(self, deps=deps)
+        return new
+
+    # -- predicates ---------------------------------------------------------
+    @property
+    def anonymous(self):
+        return self.name is None
+
+    @property
+    def concrete(self):
+        """True when every parameter on every node is fixed.
+
+        The concretizer stamps ``_concrete`` after validation; for
+        hand-built specs this falls back to a structural check (which
+        cannot validate variant *completeness* without the package file).
+        """
+        if self._concrete:
+            return True
+        return (
+            self.name is not None
+            and self.versions.concrete is not None
+            and self.compiler is not None
+            and self.compiler.concrete
+            and self.architecture is not None
+            and all(d.concrete for d in self.dependencies.values())
+        )
+
+    @property
+    def version(self):
+        v = self.versions.concrete
+        if v is None:
+            raise err.SpecError("Spec %s has no concrete version" % self)
+        return v
+
+    @property
+    def prefix(self):
+        """Install prefix of this node (Figure 1's ``spec['callpath'].prefix``).
+
+        Stamped by the installer/store before a build; external packages
+        use their configured path.
+        """
+        if self.external:
+            return self.external
+        stamped = getattr(self, "_prefix", None)
+        if stamped is None:
+            raise err.SpecError(
+                "Spec %s has no install prefix (not attached to a store)" % self.name
+            )
+        return stamped
+
+    @prefix.setter
+    def prefix(self, value):
+        self._prefix = value
+
+    # -- traversal ----------------------------------------------------------
+    def traverse(self, order="pre", root=True, depth=False, _visited=None, _d=0):
+        """Iterate over the DAG's unique nodes (by name).
+
+        ``order``: 'pre' (parents first) or 'post' (children first).
+        ``depth``: yield ``(depth, spec)`` tuples instead of specs.
+        """
+        if _visited is None:
+            _visited = set()
+        key = self.name or id(self)
+        if key in _visited:
+            return
+        _visited.add(key)
+
+        def emit():
+            return (_d, self) if depth else self
+
+        if order == "pre" and root:
+            yield emit()
+        for name in sorted(self.dependencies):
+            yield from self.dependencies[name].traverse(
+                order=order, root=True, depth=depth, _visited=_visited, _d=_d + 1
+            )
+        if order == "post" and root:
+            yield emit()
+
+    def flat_dependencies(self):
+        """All nodes below the root, keyed by name (copies not made)."""
+        return {s.name: s for s in self.traverse(root=False)}
+
+    def __contains__(self, spec_like):
+        """True if some node in this DAG satisfies ``spec_like``.
+
+        Enables idioms like ``'mpich' in spec`` and
+        ``Spec('callpath@1.2') in spec`` from package code.
+        """
+        other = spec_like if isinstance(spec_like, Spec) else Spec(spec_like)
+        return any(
+            node.satisfies(other) for node in self.traverse()
+            if other.name is None or node.name == other.name
+        )
+
+    def __getitem__(self, name):
+        """Look up a dependency (or self) by package name or virtual name.
+
+        Packages use ``spec['callpath'].prefix`` in install() (Figure 1).
+        Virtual lookups (``spec['mpi']``) resolve through
+        ``provided_virtuals`` stamps on concretized nodes.
+        """
+        for node in self.traverse():
+            if node.name == name or name in node.provided_virtuals:
+                return node
+        raise KeyError("No node named %r in spec %s" % (name, self))
+
+    # -- satisfies / constrain ----------------------------------------------
+    def satisfies_node(self, other, strict=False):
+        """Node-only satisfaction: ignore dependency structure."""
+        if other.name is not None and self.name != other.name:
+            return False
+        if not self.versions.satisfies(other.versions, strict=strict):
+            return False
+        if other.compiler is not None:
+            if self.compiler is None:
+                if strict:
+                    return False
+            elif not self.compiler.satisfies(other.compiler, strict=strict):
+                return False
+        if not self.variants.satisfies(other.variants, strict=strict):
+            return False
+        if other.architecture is not None:
+            if self.architecture is None:
+                if strict:
+                    return False
+            elif self.architecture != other.architecture:
+                return False
+        return True
+
+    def satisfies(self, other, strict=False):
+        """See the module docstring for the two semantics.
+
+        ``other`` may be a Spec or a spec string.  Dependency constraints
+        in ``other`` are matched against *any* node of this DAG with the
+        same name (names are unique per DAG).
+        """
+        other = other if isinstance(other, Spec) else Spec(other)
+        if not self.satisfies_node(other, strict=strict):
+            return False
+        if not other.dependencies:
+            return True
+        mine = {s.name: s for s in self.traverse()}
+        for name, odep in other.flat_dependencies().items():
+            sdep = mine.get(name)
+            if sdep is None:
+                if strict:
+                    return False
+                continue
+            if not sdep.satisfies_node(odep, strict=strict):
+                return False
+        return True
+
+    def constrain(self, other, deps=True):
+        """Intersect ``other``'s constraints into this spec.
+
+        Returns True if anything changed; raises an UnsatisfiableSpecError
+        subclass if the constraints cannot be merged.
+        """
+        other = other if isinstance(other, Spec) else Spec(other)
+        if other.name is not None and self.name is not None and self.name != other.name:
+            raise err.UnsatisfiableSpecNameError(self.name, other.name)
+
+        changed = False
+        if self.name is None and other.name is not None:
+            self.name = other.name
+            changed = True
+        if not self.versions.overlaps(other.versions):
+            raise err.UnsatisfiableVersionSpecError(self.versions, other.versions)
+        changed |= self.versions.intersect(other.versions)
+        if other.compiler is not None:
+            if self.compiler is None:
+                self.compiler = other.compiler.copy()
+                changed = True
+            else:
+                changed |= self.compiler.constrain(other.compiler)
+        changed |= self.variants.constrain(other.variants)
+        if other.architecture is not None:
+            if self.architecture is None:
+                self.architecture = other.architecture
+                changed = True
+            elif self.architecture != other.architecture:
+                raise err.UnsatisfiableArchitectureSpecError(
+                    self.architecture, other.architecture
+                )
+        if other.external is not None:
+            if self.external is None:
+                self.external = other.external
+                changed = True
+        if deps and other.dependencies:
+            changed |= self._constrain_dependencies(other)
+        if changed:
+            self.invalidate_caches()
+        return changed
+
+    def _constrain_dependencies(self, other):
+        changed = False
+        for name, odep in other.dependencies.items():
+            if name in self.dependencies:
+                changed |= self.dependencies[name].constrain(odep)
+            else:
+                self.dependencies[name] = odep.copy()
+                changed = True
+        return changed
+
+    def intersects(self, other):
+        """True if a build could satisfy both specs (symmetric overlap)."""
+        try:
+            self.copy().constrain(other)
+            return True
+        except err.UnsatisfiableSpecError:
+            return False
+
+    # -- hashing -------------------------------------------------------------
+    def node_repr(self):
+        """Canonical tuple describing this node, without dependencies."""
+        return (
+            self.name or "",
+            str(self.versions),
+            str(self.compiler) if self.compiler else "",
+            tuple(sorted(self.variants.items())),
+            self.architecture or "",
+            self.external or "",
+        )
+
+    def dag_hash(self, length=None):
+        """Stable content hash of the full DAG (paper §3.4.2's SHA hash).
+
+        Cached once the spec is marked concrete; abstract specs recompute
+        since they may still be mutated.
+        """
+        if self._hash is None or not self._concrete:
+            digest = hashlib.sha1()
+            self._hash_into(digest, set())
+            h = digest.hexdigest()
+            if not self._concrete:
+                return h[:length] if length else h
+            self._hash = h
+        return self._hash[:length] if length else self._hash
+
+    def _hash_into(self, digest, visited):
+        key = self.name or id(self)
+        if key in visited:
+            return
+        visited.add(key)
+        digest.update(repr(self.node_repr()).encode())
+        for name in sorted(self.dependencies):
+            digest.update(name.encode())
+            self.dependencies[name]._hash_into(digest, visited)
+
+    # -- equality --------------------------------------------------------------
+    def eq_node(self, other):
+        return self.node_repr() == other.node_repr()
+
+    def _dag_repr(self, visited):
+        key = self.name or id(self)
+        if key in visited:
+            return (self.name,)
+        visited.add(key)
+        return self.node_repr() + tuple(
+            (name, self.dependencies[name]._dag_repr(visited))
+            for name in sorted(self.dependencies)
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, Spec):
+            return NotImplemented
+        return self._dag_repr(set()) == other._dag_repr(set())
+
+    def __ne__(self, other):
+        return not self == other
+
+    def __hash__(self):
+        return hash(self._dag_repr(set()))
+
+    def __lt__(self, other):
+        if not isinstance(other, Spec):
+            return NotImplemented
+        return self._dag_repr(set()) < other._dag_repr(set())
+
+    # -- rendering ---------------------------------------------------------------
+    def node_str(self):
+        """Canonical text for this node alone (no dependencies)."""
+        parts = [self.name or ""]
+        if not self.versions.universal:
+            parts.append("@%s" % self.versions)
+        if self.compiler is not None:
+            parts.append("%%%s" % self.compiler)
+        if self.variants:
+            parts.append(str(self.variants))
+        if self.architecture is not None:
+            parts.append("=%s" % self.architecture)
+        return "".join(parts)
+
+    def __str__(self):
+        """Canonical, re-parseable rendering: root node, then each unique
+        dependency node flattened with ``^`` in name order (as the original
+        prints specs — edge structure is re-derived by normalization)."""
+        parts = [self.node_str()]
+        for name in sorted(self.flat_dependencies()):
+            parts.append("^%s" % self.flat_dependencies()[name].node_str())
+        return " ".join(parts)
+
+    def __repr__(self):
+        return "Spec(%r)" % str(self)
+
+    def format(self, fmt, **extra):
+        """Expand ``${...}`` tokens for view projections and layouts (§4.3.1).
+
+        Supported tokens: PACKAGE, VERSION, COMPILER, COMPILERNAME,
+        COMPILERVER, OPTIONS, ARCHITECTURE, HASH (or HASH:n), and
+        <VIRTUAL>NAME / <VIRTUAL>VER for any virtual provided by a
+        dependency (e.g. MPINAME, MPIVER).  Extra keyword tokens override.
+        """
+        import re as _re
+
+        def lookup(token):
+            if token in extra:
+                return str(extra[token])
+            if token == "PACKAGE":
+                return self.name or ""
+            if token == "VERSION":
+                v = self.versions.concrete
+                return str(v) if v else str(self.versions)
+            if token == "COMPILER":
+                return str(self.compiler) if self.compiler else ""
+            if token == "COMPILERNAME":
+                return self.compiler.name if self.compiler else ""
+            if token == "COMPILERVER":
+                return str(self.compiler.versions) if self.compiler else ""
+            if token == "OPTIONS":
+                return str(self.variants)
+            if token == "ARCHITECTURE":
+                return self.architecture or ""
+            if token == "HASH" or token.startswith("HASH:"):
+                length = int(token.split(":")[1]) if ":" in token else None
+                return self.dag_hash(length)
+            if token.endswith("NAME") or token.endswith("VER"):
+                virtual = token[:-4] if token.endswith("NAME") else token[:-3]
+                virtual = virtual.lower()
+                for node in self.traverse():
+                    if virtual in node.provided_virtuals:
+                        if token.endswith("NAME"):
+                            return node.name
+                        v = node.versions.concrete
+                        return str(v) if v else str(node.versions)
+                return ""
+            raise err.SpecError("Unknown format token ${%s}" % token)
+
+        return _re.sub(r"\$\{([A-Za-z0-9:_]+)\}", lambda m: lookup(m.group(1)), fmt)
+
+    # -- serialization ---------------------------------------------------------------
+    def to_dict(self):
+        """JSON-able representation of the whole DAG.
+
+        Nodes are listed once each (they are unique by name) with their
+        parameters; edges are recorded as name lists — this is the format
+        of the provenance ``spec.json`` files the installer writes
+        (§3.4.3) and of the install database.
+        """
+        nodes = []
+        for node in self.traverse():
+            nodes.append(
+                {
+                    "name": node.name,
+                    "versions": str(node.versions),
+                    "compiler": str(node.compiler) if node.compiler else None,
+                    "variants": dict(node.variants),
+                    "architecture": node.architecture,
+                    "external": node.external,
+                    "provided_virtuals": sorted(node.provided_virtuals),
+                    "dependencies": sorted(node.dependencies),
+                    "concrete": bool(node._concrete),
+                }
+            )
+        return {"root": self.name, "nodes": nodes}
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a spec DAG written by :meth:`to_dict` (sharing preserved)."""
+        built = {}
+        node_data = {nd["name"]: nd for nd in data["nodes"]}
+
+        def build(name):
+            if name in built:
+                return built[name]
+            nd = node_data[name]
+            node = cls()
+            node.name = nd["name"]
+            node.versions = VersionList(nd["versions"])
+            node.compiler = CompilerSpec(nd["compiler"]) if nd["compiler"] else None
+            node.variants.update(nd["variants"])
+            node.architecture = nd["architecture"]
+            node.external = nd["external"]
+            node.provided_virtuals = set(nd["provided_virtuals"])
+            built[name] = node
+            for dep_name in nd["dependencies"]:
+                node.dependencies[dep_name] = build(dep_name)
+            node._concrete = bool(nd.get("concrete"))
+            node._normal = node._concrete
+            return node
+
+        return build(data["root"])
+
+    # -- misc ---------------------------------------------------------------------
+    def tree(self, indent=2):
+        """Indented multi-line rendering of the DAG (CLI ``spec`` output)."""
+        lines = []
+        for d, node in self.traverse(depth=True):
+            lines.append("%s%s" % (" " * (indent * d), node.node_str()))
+        return "\n".join(lines)

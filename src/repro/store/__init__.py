@@ -1,0 +1,18 @@
+"""The install store: directory layout, database, installer (§3.4.2–3.4.3)."""
+
+from repro.store.layout import DirectoryLayout, SiteConvention, SITE_CONVENTIONS
+from repro.store.database import Database, InstallRecord
+from repro.store.installer import Installer, InstallError, UninstallError
+from repro.store.store import Store
+
+__all__ = [
+    "Store",
+    "DirectoryLayout",
+    "SiteConvention",
+    "SITE_CONVENTIONS",
+    "Database",
+    "InstallRecord",
+    "Installer",
+    "InstallError",
+    "UninstallError",
+]

@@ -1,0 +1,212 @@
+"""The installed-package database.
+
+A JSON index under the store root records every installed spec by DAG
+hash: the full serialized spec, its prefix, whether the user asked for it
+*explicitly* or it came in as a dependency, and when it was installed.
+``spack find``-style queries and safe uninstalls (refusing to remove a
+package something else links against) are answered from here.
+
+The database is rebuildable: if the index file is corrupt or missing, it
+is reconstructed from the per-prefix provenance files the installer
+writes (§3.4.3) — tested by the failure-injection suite.
+"""
+
+import json
+import os
+import time
+
+from repro.errors import ReproError
+from repro.spec.spec import Spec
+from repro.store.layout import METADATA_DIR
+from repro.util.filesystem import mkdirp
+
+
+class DatabaseError(ReproError):
+    """Database file problems."""
+
+
+class InstallRecord:
+    """One installed spec: the spec, its prefix, and bookkeeping."""
+
+    def __init__(self, spec, prefix, explicit=False, installed_at=None):
+        self.spec = spec
+        self.prefix = prefix
+        self.explicit = explicit
+        self.installed_at = installed_at if installed_at is not None else time.time()
+
+    def to_dict(self):
+        return {
+            "spec": self.spec.to_dict(),
+            "prefix": self.prefix,
+            "explicit": self.explicit,
+            "installed_at": self.installed_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            Spec.from_dict(data["spec"]),
+            data["prefix"],
+            explicit=data.get("explicit", False),
+            installed_at=data.get("installed_at"),
+        )
+
+    def __repr__(self):
+        return "InstallRecord(%s, %r)" % (self.spec, self.prefix)
+
+
+class Database:
+    """Hash-keyed index of installed specs, persisted as JSON."""
+
+    _INDEX_NAME = "index.json"
+
+    def __init__(self, root):
+        from repro.util.lock import Lock
+
+        self.root = os.path.abspath(root)
+        self.db_dir = os.path.join(self.root, ".spack-db")
+        self.index_path = os.path.join(self.db_dir, self._INDEX_NAME)
+        #: serializes read-modify-write cycles across sessions/processes
+        self.lock = Lock(os.path.join(self.db_dir, "index.lock"))
+        self._records = {}
+        self._load()
+
+    # -- persistence ---------------------------------------------------------
+    def _load(self):
+        if not os.path.isfile(self.index_path):
+            # Missing index with existing prefixes (deleted, new mount):
+            # reconstruct from provenance.  A fresh store scans nothing.
+            self.rebuild_from_prefixes()
+            return
+        try:
+            with open(self.index_path) as f:
+                data = json.load(f)
+            self._records = {
+                h: InstallRecord.from_dict(rd) for h, rd in data.get("installs", {}).items()
+            }
+        except (ValueError, KeyError, OSError):
+            # Corrupt index: rebuild from provenance files.
+            self._records = {}
+            self.rebuild_from_prefixes()
+
+    def _save(self):
+        mkdirp(self.db_dir)
+        tmp = self.index_path + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(
+                {"installs": {h: r.to_dict() for h, r in self._records.items()}},
+                f,
+                indent=1,
+                sort_keys=True,
+            )
+        os.replace(tmp, self.index_path)
+
+    def rebuild_from_prefixes(self):
+        """Reconstruct the index from per-prefix ``spec.json`` provenance."""
+        from repro.store.layout import DirectoryLayout
+
+        layout = DirectoryLayout(os.path.join(self.root, "opt"))
+        found = 0
+        for prefix in layout.all_specs_dirs():
+            spec_file = os.path.join(prefix, METADATA_DIR, "spec.json")
+            if not os.path.isfile(spec_file):
+                continue
+            try:
+                with open(spec_file) as f:
+                    spec = Spec.from_dict(json.load(f))
+            except (ValueError, KeyError):
+                continue
+            self._records[spec.dag_hash()] = InstallRecord(spec, prefix)
+            found += 1
+        if found:
+            self._save()
+        return found
+
+    def refresh(self):
+        """Re-read the index (pick up other sessions' writes)."""
+        self._records = {}
+        self._load()
+
+    # -- mutation --------------------------------------------------------------
+    def add(self, spec, prefix, explicit=False):
+        if not spec.concrete:
+            raise DatabaseError("Only concrete specs can be installed: %s" % spec)
+        with self.lock:
+            self.refresh()
+            record = InstallRecord(spec.copy(), prefix, explicit=explicit)
+            self._records[spec.dag_hash()] = record
+            self._save()
+        return record
+
+    def remove(self, spec):
+        with self.lock:
+            self.refresh()
+            key = spec.dag_hash()
+            if key not in self._records:
+                raise DatabaseError("Spec is not installed: %s" % spec)
+            record = self._records.pop(key)
+            self._save()
+        return record
+
+    def mark_explicit(self, spec, explicit=True):
+        with self.lock:
+            self.refresh()
+            record = self.get(spec)
+            if record:
+                record.explicit = explicit
+                self._save()
+
+    # -- queries ----------------------------------------------------------------
+    def get(self, spec):
+        return self._records.get(spec.dag_hash())
+
+    def installed(self, spec):
+        return spec.dag_hash() in self._records
+
+    def all_records(self):
+        return sorted(self._records.values(), key=lambda r: str(r.spec))
+
+    def query(self, query_spec=None, explicit=None):
+        """Installed specs satisfying an (abstract) query spec.
+
+        ``session.find('mpileaks@1.0 %gcc')`` resolves here: each installed
+        concrete spec is matched with strict satisfaction against the query.
+        """
+        results = []
+        for record in self._records.values():
+            if explicit is not None and record.explicit != explicit:
+                continue
+            if query_spec is not None:
+                qs = query_spec if isinstance(query_spec, Spec) else Spec(query_spec)
+                if not record.spec.satisfies(qs, strict=True):
+                    continue
+            results.append(record)
+        return sorted(results, key=lambda r: str(r.spec))
+
+    def get_by_hash(self, hash_prefix):
+        """Records whose DAG hash starts with ``hash_prefix`` (the CLI's
+        ``find /db4650`` syntax)."""
+        return [
+            record
+            for full_hash, record in sorted(self._records.items())
+            if full_hash.startswith(hash_prefix)
+        ]
+
+    def dependents_of(self, spec):
+        """Installed specs that depend (transitively) on ``spec``."""
+        key = spec.dag_hash()
+        dependents = []
+        for record in self._records.values():
+            if record.spec.dag_hash() == key:
+                continue
+            for node in record.spec.traverse(root=False):
+                if node.dag_hash() == key:
+                    dependents.append(record)
+                    break
+        return dependents
+
+    def __len__(self):
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self.all_records())

@@ -1,0 +1,256 @@
+"""The installer: bottom-up DAG builds, sub-DAG reuse, provenance.
+
+``install(spec)`` walks a *concrete* spec post-order (dependencies
+first, §3.4) and, per node:
+
+* **reuses** an existing installation when the node's DAG hash is already
+  in the database — this is the shared sub-DAG behaviour of Figure 9
+  (mpileaks built with mpich, then with openmpi, shares the whole dyninst
+  subtree);
+* **registers** configured externals without building them (§4.4's
+  vendor MPI);
+* otherwise **builds**: fetch + verify, stage, patch, set up the isolated
+  environment with wrappers, run the package's ``install()``, sanity-check
+  the result, and write provenance (§3.4.3: the spec, the package file
+  used, the build log, the applied patches, the environment).
+
+A failing build tears down its partial prefix and raises
+:class:`InstallError` carrying the tail of the build log.
+"""
+
+import inspect
+import json
+import os
+import shutil
+import time
+
+from repro.build.context import BuildContext, build_context
+from repro.build.environment import build_environment, dependency_prefixes
+from repro.build.wrappers import write_wrappers
+from repro.errors import ReproError
+from repro.fetch.stage import Stage
+from repro.simfs import VirtualClock
+from repro.store.layout import METADATA_DIR
+from repro.util.filesystem import mkdirp, working_dir
+
+
+class InstallError(ReproError):
+    """A package failed to install."""
+
+
+class UninstallError(ReproError):
+    """Removal refused (dependents exist) or failed."""
+
+
+class BuildStats:
+    """Per-build accounting: virtual (modeled) and real elapsed seconds."""
+
+    def __init__(self, spec, virtual_seconds, real_seconds, counts):
+        self.spec = spec
+        self.virtual_seconds = virtual_seconds
+        self.real_seconds = real_seconds
+        self.counts = counts
+
+    def __repr__(self):
+        return "BuildStats(%s, %.3fs virtual)" % (self.spec.name, self.virtual_seconds)
+
+
+class InstallResult:
+    """What an ``install()`` call did: built / reused / external nodes."""
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.built = []
+        self.reused = []
+        self.externals = []
+
+    @property
+    def built_names(self):
+        return [s.spec.name for s in self.built]
+
+    @property
+    def reused_names(self):
+        return [s.name for s in self.reused]
+
+
+class Installer:
+    """Installs concrete specs into a session's store."""
+
+    def __init__(self, session):
+        self.session = session
+
+    # -- public ------------------------------------------------------------
+    def install(self, spec, explicit=True, keep_stage=False):
+        if not spec.concrete:
+            raise InstallError("Only concrete specs can be installed: %s" % spec)
+        db = self.session.db
+        layout = self.session.store.layout
+        result = InstallResult(spec)
+
+        for node in spec.traverse(order="post"):
+            node.prefix = node.external or layout.path_for_spec(node)
+            if node.external:
+                if not db.installed(node):
+                    db.add(node, node.external, explicit=False)
+                result.externals.append(node)
+                continue
+            if db.installed(node):
+                result.reused.append(node)
+                continue
+            stats = self._build_one(node, keep_stage=keep_stage)
+            db.add(node, node.prefix, explicit=(node is spec and explicit))
+            result.built.append(stats)
+            if self.session.generate_modules:
+                from repro.modules.generator import ModuleGenerator
+
+                ModuleGenerator(self.session).write_for_spec(node)
+
+        if db.installed(spec):
+            db.mark_explicit(spec, explicit)
+        return result
+
+    def uninstall(self, spec, force=False):
+        db = self.session.db
+        record = db.get(spec)
+        if record is None:
+            raise UninstallError("Spec is not installed: %s" % spec)
+        dependents = db.dependents_of(spec)
+        if dependents and not force:
+            raise UninstallError(
+                "Cannot uninstall %s: required by %s"
+                % (spec.name, ", ".join(str(d.spec.name) for d in dependents)),
+            )
+        if not record.spec.external and os.path.isdir(record.prefix):
+            shutil.rmtree(record.prefix)
+        db.remove(spec)
+        if self.session.generate_modules:
+            from repro.modules.generator import ModuleGenerator
+
+            ModuleGenerator(self.session).remove_for_spec(record.spec)
+        return record
+
+    # -- building one node ------------------------------------------------------
+    def _build_one(self, node, keep_stage=False):
+        session = self.session
+        pkg = session.package_for(node)
+        layout = session.store.layout
+        compiler = session.compilers.compiler_for(node.compiler)
+
+        stage = Stage(session.stage_root, pkg).create()
+        pkg.stage = stage
+        prefix = None
+        log_file = None
+        start = time.perf_counter()
+        try:
+            tarball = session.fetcher.fetch(pkg, node.version)
+            stage.expand_tarball(tarball)
+            for patch_decl in pkg.patches_for_spec():
+                stage.apply_patch(patch_decl)
+            pkg.applied_patches = list(stage.applied_patches)
+
+            prefix = layout.create_install_directory(node)
+            dep_prefixes = dependency_prefixes(node, layout)
+            wrapper_paths = None
+            if session.subprocess_mode and session.use_wrappers:
+                wrapper_paths = write_wrappers(os.path.join(stage.path, "wrappers"))
+            platform = session.platforms.get(node.architecture)
+            env = build_environment(
+                node,
+                compiler,
+                prefix,
+                dep_prefixes,
+                wrapper_paths=wrapper_paths,
+                use_wrappers=session.use_wrappers,
+                target_flags=platform.flags_for(compiler.name),
+            )
+            self._apply_env_hooks(pkg, node, env)
+
+            log_path = os.path.join(prefix, METADATA_DIR, "build.log")
+            log_file = open(log_path, "w")
+            clock = VirtualClock()
+            ctx = BuildContext(
+                pkg,
+                prefix,
+                env,
+                stage=stage,
+                cost_model=session.cost_model,
+                clock=clock,
+                use_wrappers=session.use_wrappers,
+                subprocess_mode=session.subprocess_mode,
+                build_log=log_file,
+                platform=platform,
+            )
+            with build_context(ctx), working_dir(stage.source_path):
+                pkg.install(node, prefix)
+
+            self._sanity_check(node, prefix)
+            self._write_provenance(node, pkg, prefix, env)
+            real = time.perf_counter() - start
+            return BuildStats(node, clock.seconds, real, clock.snapshot())
+        except Exception as e:
+            tail = self._log_tail(log_file)
+            if prefix and os.path.isdir(prefix):
+                shutil.rmtree(prefix, ignore_errors=True)
+            if isinstance(e, ReproError):
+                raise InstallError(
+                    "Install of %s failed: %s" % (node.name, e.message),
+                    long_message=tail or e.long_message,
+                ) from e
+            raise
+        finally:
+            if log_file is not None:
+                log_file.close()
+            if not keep_stage:
+                stage.destroy()
+
+    def _apply_env_hooks(self, pkg, node, env):
+        """Run the package's and its dependencies' environment hooks."""
+        from repro.util.environment import EnvironmentModifications
+
+        build_mods = EnvironmentModifications()
+        run_mods = EnvironmentModifications()
+        pkg.setup_environment(build_mods, run_mods)
+        for dep in node.traverse(root=False):
+            if not self.session.repo.exists(dep.name):
+                continue
+            dep_pkg = self.session.package_for(dep)
+            dep_pkg.setup_dependent_environment(build_mods, node)
+        build_mods.apply(env)
+
+    def _sanity_check(self, node, prefix):
+        """The paper's "did the install actually do anything" check."""
+        contents = [
+            entry for entry in os.listdir(prefix) if entry != METADATA_DIR
+        ]
+        if not contents:
+            raise InstallError(
+                "Install of %s produced an empty prefix %s" % (node.name, prefix)
+            )
+
+    def _write_provenance(self, node, pkg, prefix, env):
+        meta = os.path.join(prefix, METADATA_DIR)
+        mkdirp(meta)
+        with open(os.path.join(meta, "spec.json"), "w") as f:
+            json.dump(node.to_dict(), f, indent=1, sort_keys=True)
+        try:
+            source = inspect.getsource(type(pkg))
+        except (OSError, TypeError):
+            source = "# source unavailable for %s\n" % type(pkg).__name__
+        with open(os.path.join(meta, "package.py"), "w") as f:
+            f.write(source)
+        with open(os.path.join(meta, "build_env.json"), "w") as f:
+            json.dump(env, f, indent=1, sort_keys=True)
+        with open(os.path.join(meta, "applied_patches.json"), "w") as f:
+            json.dump(pkg.applied_patches, f)
+
+    @staticmethod
+    def _log_tail(log_file, lines=20):
+        if log_file is None:
+            return None
+        try:
+            log_file.flush()
+            with open(log_file.name) as f:
+                content = f.readlines()
+            return "".join(content[-lines:]) if content else None
+        except OSError:
+            return None

@@ -1,0 +1,144 @@
+"""Install-prefix layout and the site naming conventions of Table 1.
+
+The default layout is the paper's "Spack default" row::
+
+    <root>/opt/<arch>/<compiler>-<comp_version>/<package>-<version>-<options>-<hash>
+
+Every concrete spec gets a unique prefix; the trailing component is a
+SHA1 prefix of the dependency DAG (§3.4.2), so two builds that differ
+only in a transitive dependency still land in different directories,
+while identical sub-DAGs are shared (Figure 9).
+
+:class:`SiteConvention` renders the other rows of Table 1 (LLNL, ORNL,
+TACC/Lmod) so the naming-convention comparison can be regenerated
+mechanically — including the ways those conventions *lose information*
+(no dependency identity, at most one distinguishing build tag).
+"""
+
+import os
+
+from repro.errors import ReproError
+from repro.util.filesystem import mkdirp
+
+#: length of the hash component in directory names
+HASH_LEN = 8
+
+#: name of the per-prefix metadata directory (provenance, §3.4.3)
+METADATA_DIR = ".spack"
+
+
+class DirectoryLayoutError(ReproError):
+    """Prefix computation or creation failed."""
+
+
+class DirectoryLayout:
+    """Hash-addressed install prefixes under a store root."""
+
+    def __init__(self, root):
+        self.root = os.path.abspath(root)
+
+    def relative_path_for_spec(self, spec):
+        if not spec.concrete:
+            raise DirectoryLayoutError(
+                "Cannot compute a prefix for abstract spec %s" % spec
+            )
+        compiler = "%s-%s" % (spec.compiler.name, spec.compiler.versions)
+        dir_name = "%s-%s%s-%s" % (
+            spec.name,
+            spec.versions,
+            str(spec.variants),
+            spec.dag_hash(HASH_LEN),
+        )
+        return os.path.join(spec.architecture, compiler, dir_name)
+
+    def path_for_spec(self, spec):
+        """The unique install prefix for a concrete spec.
+
+        Externals (§4.4's vendor MPI) keep their configured prefix.
+        """
+        if spec.external:
+            return spec.external
+        return os.path.join(self.root, self.relative_path_for_spec(spec))
+
+    def metadata_path(self, spec):
+        return os.path.join(self.path_for_spec(spec), METADATA_DIR)
+
+    def create_install_directory(self, spec):
+        prefix = self.path_for_spec(spec)
+        if os.path.exists(prefix):
+            raise DirectoryLayoutError("Install prefix already exists: %s" % prefix)
+        mkdirp(prefix, self.metadata_path(spec))
+        return prefix
+
+    def all_specs_dirs(self):
+        """Yield every install prefix currently present under the root."""
+        if not os.path.isdir(self.root):
+            return
+        for arch in sorted(os.listdir(self.root)):
+            arch_dir = os.path.join(self.root, arch)
+            if not os.path.isdir(arch_dir):
+                continue
+            for compiler in sorted(os.listdir(arch_dir)):
+                comp_dir = os.path.join(arch_dir, compiler)
+                if not os.path.isdir(comp_dir):
+                    continue
+                for pkg_dir in sorted(os.listdir(comp_dir)):
+                    yield os.path.join(comp_dir, pkg_dir)
+
+
+class SiteConvention:
+    """A named path-template convention from Table 1 of the paper."""
+
+    def __init__(self, site, template, description=""):
+        self.site = site
+        self.template = template
+        self.description = description
+
+    def path_for_spec(self, spec, build_tag="1"):
+        """Render the convention's path for a concrete spec.
+
+        ``build_tag`` stands in for the ad-hoc "$build" identifiers sites
+        invent; the conventions cannot derive it from the spec — which is
+        exactly the paper's point.
+        """
+        mpi = spec.format("${MPINAME}") or "nompi"
+        mpi_version = spec.format("${MPIVER}") or "0"
+        return spec.format(
+            self.template,
+            BUILD=build_tag,
+            MPI=mpi,
+            MPI_VERSION=mpi_version,
+        )
+
+    def __repr__(self):
+        return "SiteConvention(%r)" % self.site
+
+
+#: The rows of Table 1.  ``${...}`` tokens expand via Spec.format().
+SITE_CONVENTIONS = [
+    SiteConvention(
+        "LLNL (global)",
+        "/usr/global/tools/${ARCHITECTURE}/${PACKAGE}/${VERSION}",
+        "architecture/package/version",
+    ),
+    SiteConvention(
+        "LLNL (local)",
+        "/usr/local/tools/${PACKAGE}-${COMPILERNAME}-${BUILD}-${VERSION}",
+        "package-compiler-build-version",
+    ),
+    SiteConvention(
+        "ORNL",
+        "/${ARCHITECTURE}/${PACKAGE}/${VERSION}/${BUILD}",
+        "arch/package/version/build",
+    ),
+    SiteConvention(
+        "TACC / Lmod",
+        "/${COMPILERNAME}-${COMPILERVER}/${MPI}/${MPI_VERSION}/${PACKAGE}/${VERSION}",
+        "compiler/mpi/package/version hierarchy",
+    ),
+    SiteConvention(
+        "Spack default",
+        "/${ARCHITECTURE}/${COMPILERNAME}-${COMPILERVER}/${PACKAGE}-${VERSION}-${OPTIONS}-${HASH:8}",
+        "every parameter plus a dependency hash",
+    ),
+]

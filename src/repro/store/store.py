@@ -1,0 +1,20 @@
+"""The Store: a root directory holding prefixes, the database, and stages."""
+
+import os
+
+from repro.store.database import Database
+from repro.store.layout import DirectoryLayout
+from repro.util.filesystem import mkdirp
+
+
+class Store:
+    """One installation tree: ``<root>/opt/...`` prefixes + the database."""
+
+    def __init__(self, root):
+        self.root = os.path.abspath(root)
+        mkdirp(self.root)
+        self.layout = DirectoryLayout(os.path.join(self.root, "opt"))
+        self.db = Database(self.root)
+
+    def __repr__(self):
+        return "Store(%r)" % self.root

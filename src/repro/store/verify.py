@@ -1,0 +1,94 @@
+"""Install-tree integrity checking.
+
+Verifies that what the database believes matches what is on disk:
+prefix present, provenance spec identical (by DAG hash) to the database
+record, artifacts well-formed, and every binary's libraries resolvable
+through its RPATHs alone — the §3.5.2 guarantee, re-checked at rest.
+Used by operators after filesystem mishaps, and by the failure-injection
+tests.
+"""
+
+import json
+import os
+
+from repro.spec.spec import Spec
+from repro.store.layout import METADATA_DIR
+
+
+class VerificationIssue:
+    """One problem found with one installed spec."""
+
+    def __init__(self, spec, kind, detail):
+        self.spec = spec
+        self.kind = kind
+        self.detail = detail
+
+    def __repr__(self):
+        return "VerificationIssue(%s: %s, %s)" % (self.spec.name, self.kind, self.detail)
+
+    def __str__(self):
+        return "%s /%s: %s (%s)" % (
+            self.spec.name,
+            self.spec.dag_hash(8),
+            self.kind,
+            self.detail,
+        )
+
+
+def verify_install(session, record):
+    """Issues for one install record (empty list == healthy)."""
+    issues = []
+    spec = record.spec
+    prefix = record.prefix
+
+    if not os.path.isdir(prefix):
+        return [VerificationIssue(spec, "missing-prefix", prefix)]
+    if spec.external:
+        return issues  # externals: presence is all we can promise
+
+    meta = os.path.join(prefix, METADATA_DIR)
+    spec_file = os.path.join(meta, "spec.json")
+    if not os.path.isfile(spec_file):
+        issues.append(VerificationIssue(spec, "missing-provenance", spec_file))
+    else:
+        try:
+            with open(spec_file) as f:
+                on_disk = Spec.from_dict(json.load(f))
+            if on_disk.dag_hash() != spec.dag_hash():
+                issues.append(
+                    VerificationIssue(
+                        spec, "provenance-mismatch",
+                        "disk=%s db=%s" % (on_disk.dag_hash(8), spec.dag_hash(8)),
+                    )
+                )
+        except (ValueError, KeyError) as e:
+            issues.append(VerificationIssue(spec, "corrupt-provenance", str(e)))
+
+    lib = os.path.join(prefix, "lib", "lib%s.so.json" % spec.name)
+    binary = os.path.join(prefix, "bin", spec.name)
+    for artifact in (lib, binary):
+        if not os.path.isfile(artifact):
+            issues.append(VerificationIssue(spec, "missing-artifact", artifact))
+            continue
+        try:
+            with open(artifact) as f:
+                json.load(f)
+        except ValueError:
+            issues.append(VerificationIssue(spec, "corrupt-artifact", artifact))
+
+    if os.path.isfile(binary):
+        from repro.build.loader import LoaderError, load_binary
+
+        try:
+            load_binary(binary, env={})  # RPATHs only — the paper's promise
+        except LoaderError as e:
+            issues.append(VerificationIssue(spec, "unresolvable-libraries", e.message))
+    return issues
+
+
+def verify_store(session):
+    """Issues across every installed record."""
+    issues = []
+    for record in session.db.all_records():
+        issues.extend(verify_install(session, record))
+    return issues

@@ -1,0 +1,1 @@
+"""Shared low-level utilities: language helpers, naming, filesystem, env."""

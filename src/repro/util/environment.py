@@ -1,0 +1,107 @@
+"""Declarative environment-variable modifications.
+
+The build environment (paper §3.5.1) and generated module files (§3.5.4)
+both need to describe *changes* to a process environment — set this, prepend
+that path — independent of when/where they are applied.
+:class:`EnvironmentModifications` records an ordered list of operations that
+can be applied to any dict (``os.environ`` or a fresh sandbox), or rendered
+to dotkit / TCL module syntax by :mod:`repro.modules`.
+"""
+
+import os
+
+
+class EnvOperation:
+    """A single recorded modification; subclasses implement ``apply``."""
+
+    def __init__(self, name, value=None, separator=":"):
+        self.name = name
+        self.value = value
+        self.separator = separator
+
+    def apply(self, env):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "%s(%r, %r)" % (type(self).__name__, self.name, self.value)
+
+
+class SetEnv(EnvOperation):
+    def apply(self, env):
+        env[self.name] = str(self.value)
+
+
+class UnsetEnv(EnvOperation):
+    def apply(self, env):
+        env.pop(self.name, None)
+
+
+class AppendPath(EnvOperation):
+    def apply(self, env):
+        current = env.get(self.name, "")
+        parts = [p for p in current.split(self.separator) if p]
+        parts.append(str(self.value))
+        env[self.name] = self.separator.join(parts)
+
+
+class PrependPath(EnvOperation):
+    def apply(self, env):
+        current = env.get(self.name, "")
+        parts = [p for p in current.split(self.separator) if p]
+        parts.insert(0, str(self.value))
+        env[self.name] = self.separator.join(parts)
+
+
+class RemovePath(EnvOperation):
+    def apply(self, env):
+        current = env.get(self.name, "")
+        parts = [p for p in current.split(self.separator) if p and p != str(self.value)]
+        if parts:
+            env[self.name] = self.separator.join(parts)
+        else:
+            env.pop(self.name, None)
+
+
+class EnvironmentModifications:
+    """An ordered, replayable list of environment modifications."""
+
+    def __init__(self):
+        self.operations = []
+
+    def set(self, name, value):
+        self.operations.append(SetEnv(name, value))
+
+    def unset(self, name):
+        self.operations.append(UnsetEnv(name))
+
+    def append_path(self, name, value, separator=":"):
+        self.operations.append(AppendPath(name, value, separator))
+
+    def prepend_path(self, name, value, separator=":"):
+        self.operations.append(PrependPath(name, value, separator))
+
+    def remove_path(self, name, value, separator=":"):
+        self.operations.append(RemovePath(name, value, separator))
+
+    def extend(self, other):
+        self.operations.extend(other.operations)
+
+    def apply(self, env=None):
+        """Apply all operations to ``env`` (default: ``os.environ``)."""
+        if env is None:
+            env = os.environ
+        for op in self.operations:
+            op.apply(env)
+        return env
+
+    def applied_to(self, base=None):
+        """Return a *new* dict: ``base`` (default empty) plus these mods."""
+        env = dict(base or {})
+        self.apply(env)
+        return env
+
+    def __iter__(self):
+        return iter(self.operations)
+
+    def __len__(self):
+        return len(self.operations)

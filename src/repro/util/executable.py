@@ -1,0 +1,114 @@
+"""Subprocess wrapper giving package recipes shell-like command objects.
+
+The paper's package DSL lets ``install()`` call ``configure(...)``,
+``make(...)``, etc. as Python functions (§3.1).  :class:`Executable` is the
+object behind those names: calling it runs the program, captures output
+into the build log, and raises on failure.
+"""
+
+import os
+import subprocess
+
+from repro.errors import ReproError
+
+
+class ProcessError(ReproError):
+    """A child process exited with a non-zero status."""
+
+    def __init__(self, command, returncode, output=""):
+        super().__init__(
+            "Command exited with status %d: %s" % (returncode, " ".join(command)),
+            long_message=output[-4000:] if output else None,
+        )
+        self.command = command
+        self.returncode = returncode
+        self.output = output
+
+
+class Executable:
+    """A named external program, callable with string arguments.
+
+    Attributes
+    ----------
+    exe:
+        Base argv list (program path plus baked-in leading arguments).
+    returncode:
+        Exit status of the most recent invocation.
+    """
+
+    def __init__(self, path, *baked_args):
+        self.exe = [str(path)] + [str(a) for a in baked_args]
+        self.returncode = None
+
+    @property
+    def command(self):
+        return self.exe[0]
+
+    @property
+    def name(self):
+        return os.path.basename(self.command)
+
+    def add_default_arg(self, arg):
+        self.exe.append(str(arg))
+
+    def __call__(self, *args, **kwargs):
+        """Run the program.
+
+        Keyword arguments:
+          - ``output``/``error``: ``str`` to capture and return text, or an
+            open file object to stream into (the installer passes the build
+            log here).
+          - ``env``: full replacement environment for the child.
+          - ``fail_on_error`` (default True): raise :class:`ProcessError`
+            on non-zero exit instead of returning.
+          - ``ignore_errors``: iterable of acceptable non-zero statuses.
+        """
+        fail_on_error = kwargs.pop("fail_on_error", True)
+        ignore_errors = tuple(kwargs.pop("ignore_errors", ()))
+        output = kwargs.pop("output", None)
+        error = kwargs.pop("error", None)
+        env = kwargs.pop("env", None)
+        if kwargs:
+            raise TypeError("Unknown kwargs for Executable: %s" % sorted(kwargs))
+
+        cmd = self.exe + [str(a) for a in args]
+
+        capture = output is str or error is str
+        stdout = subprocess.PIPE if capture else (output or None)
+        stderr = subprocess.STDOUT if capture else (error or None)
+
+        proc = subprocess.run(
+            cmd,
+            stdout=stdout,
+            stderr=stderr,
+            env=env,
+            text=True,
+        )
+        self.returncode = proc.returncode
+        out_text = proc.stdout or ""
+
+        if proc.returncode not in (0,) + ignore_errors and fail_on_error:
+            raise ProcessError(cmd, proc.returncode, out_text)
+        if capture:
+            return out_text
+        return None
+
+    def __repr__(self):
+        return "<Executable: %s>" % " ".join(self.exe)
+
+
+def which(name, path=None, required=False):
+    """Find ``name`` on ``path`` (default ``$PATH``); return an Executable.
+
+    Returns ``None`` when not found unless ``required`` is set.
+    """
+    search = path if path is not None else os.environ.get("PATH", "").split(os.pathsep)
+    if isinstance(search, str):
+        search = search.split(os.pathsep)
+    for directory in search:
+        candidate = os.path.join(directory, name)
+        if os.path.isfile(candidate) and os.access(candidate, os.X_OK):
+            return Executable(candidate)
+    if required:
+        raise ReproError("Executable %r not found in PATH" % name)
+    return None

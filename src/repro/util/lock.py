@@ -1,0 +1,81 @@
+"""Advisory file locking for shared stores.
+
+Multiple sessions (or users — the paper's setting is a multi-user HPC
+center) may point at one install tree.  The database serializes its
+read-modify-write cycles through an ``fcntl`` advisory lock so
+concurrent installs cannot interleave index updates and lose records.
+"""
+
+import contextlib
+import errno
+import fcntl
+import os
+import time
+
+from repro.errors import ReproError
+
+
+class LockTimeoutError(ReproError):
+    def __init__(self, path, timeout):
+        super().__init__(
+            "Could not acquire lock %s within %.1fs" % (path, timeout)
+        )
+
+
+class Lock:
+    """An exclusive advisory lock on a file path (re-entrant per object)."""
+
+    def __init__(self, path):
+        self.path = path
+        self._fd = None
+        self._depth = 0
+
+    def acquire(self, timeout=60.0, poll=0.05):
+        if self._depth > 0:
+            self._depth += 1
+            return self
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                self._depth = 1
+                return self
+            except OSError as err:
+                if err.errno not in (errno.EAGAIN, errno.EACCES):
+                    raise
+                if time.monotonic() >= deadline:
+                    os.close(self._fd)
+                    self._fd = None
+                    raise LockTimeoutError(self.path, timeout) from None
+                time.sleep(poll)
+
+    def release(self):
+        if self._depth == 0:
+            return
+        self._depth -= 1
+        if self._depth == 0 and self._fd is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+            self._fd = None
+
+    @property
+    def held(self):
+        return self._depth > 0
+
+    @contextlib.contextmanager
+    def __call__(self, timeout=60.0):
+        self.acquire(timeout=timeout)
+        try:
+            yield self
+        finally:
+            self.release()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False

@@ -1,0 +1,38 @@
+"""Version algebra: points, ranges, and unions thereof (paper §3.2.3).
+
+The spec grammar's ``version-list`` rule allows precise versions
+(``@2.5.1``), ranges (``@2.5:4.4``), open ranges (``@2.5:``), and comma
+unions (``@1.2,2.0:``).  This package implements the algebra the
+concretizer needs over those constraints: membership, overlap,
+intersection, union, and subset tests — with the original system's
+*prefix family* semantics, where ``1.4.2`` satisfies ``@1.4`` and falls
+inside ``@:1.4``.
+"""
+
+from repro.version.version import (
+    Version,
+    VersionList,
+    VersionRange,
+    VersionParseError,
+    any_version,
+    ver,
+)
+from repro.version.url import (
+    UndetectableVersionError,
+    parse_version_from_url,
+    substitute_version,
+    wildcard_version_pattern,
+)
+
+__all__ = [
+    "Version",
+    "VersionRange",
+    "VersionList",
+    "VersionParseError",
+    "ver",
+    "any_version",
+    "parse_version_from_url",
+    "substitute_version",
+    "wildcard_version_pattern",
+    "UndetectableVersionError",
+]

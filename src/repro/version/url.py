@@ -1,0 +1,96 @@
+"""URL version extrapolation (paper §3.2.3, "Versions").
+
+Packages give one example ``url`` for a known version; when a user asks for
+a version the package file does not list, the system extrapolates the
+download URL by substituting the new version into the example.  The same
+machinery produces a wildcard regex used to *scrape* listing pages for new
+versions (``spack checksum``-style behaviour against :mod:`repro.fetch`'s
+mock web).
+"""
+
+import re
+
+from repro.errors import ReproError
+from repro.version.version import Version
+
+
+class UndetectableVersionError(ReproError):
+    """The version could not be located inside the URL."""
+
+    def __init__(self, url):
+        super().__init__("Could not detect a version in URL: %s" % url)
+        self.url = url
+
+
+#: Candidate version patterns, most specific first.  Each must expose a
+#: single group capturing the version text.
+_VERSION_PATTERNS = [
+    # version right before an archive suffix: name-1.2.3.tar.gz,
+    # v1.0.2.tar.gz, tcl8.6.3-src.tar.gz, libdwarf-20130729.tar.gz,
+    # openssl-1.0.1h.tar.gz.  Leftmost-longest via greedy \d+.
+    re.compile(r"(\d+(?:\.\d+)*[a-z]?(?:[-_]?(?:rc|alpha|beta)\d*)?)"
+               r"(?=[-_.](?:tar|t[gbx]z|tgz|zip|gz|bz2|xz|src))"),
+    # /v1.2.3/ or /1.2.3/ path components
+    re.compile(r"/v?(\d+(?:\.\d+)+)/"),
+    # trailing -1.2.3 before end
+    re.compile(r"[-_](\d+(?:\.\d+)+)$"),
+    # any dotted number sequence (last resort)
+    re.compile(r"(\d+(?:\.\d+)+)"),
+]
+
+
+def parse_version_from_url(url):
+    """Extract ``(version, start, end)`` from a download URL.
+
+    Raises :class:`UndetectableVersionError` when nothing version-like is
+    present.  When the version occurs several times (common: once in the
+    path, once in the file name) the *first* occurrence anchors the span
+    and all occurrences are substituted by :func:`substitute_version`.
+    """
+    for pattern in _VERSION_PATTERNS:
+        match = pattern.search(url)
+        if match:
+            return Version(match.group(1)), match.start(1), match.end(1)
+    raise UndetectableVersionError(url)
+
+
+def substitute_version(url, new_version):
+    """Return ``url`` with every occurrence of its version replaced.
+
+    This implements the paper's footnote 2: extrapolation "works for
+    packages with consistently named URLs".
+    """
+    old_version, _, _ = parse_version_from_url(url)
+    old = str(old_version)
+    new = str(new_version)
+    # Replace whole-token occurrences only: not preceded by a digit (or
+    # digit-dot) and not followed by a digit (or dot-digit), so 1.2 does
+    # not match inside 11.22 or 1.2.3, but does match before ".tar.gz".
+    token = re.compile(r"(?<!\d)(?<!\d\.)%s(?!\.?\d)" % re.escape(old))
+    result = token.sub(new, url)
+    if result == url and old != new:
+        raise UndetectableVersionError(url)
+    return result
+
+
+def wildcard_version_pattern(url):
+    """A regex matching sibling URLs of ``url`` with any version.
+
+    The returned pattern has one group capturing the version.  Used to
+    scrape listing pages for available versions.
+    """
+    old_version, _, _ = parse_version_from_url(url)
+    old = str(old_version)
+    escaped = re.escape(url)
+    token = re.compile(r"(?<![0-9.])%s(?![0-9.])" % re.escape(re.escape(old)))
+    # First occurrence becomes the capture group; later ones backreference it.
+    count = [0]
+
+    def _sub(_match):
+        count[0] += 1
+        return r"(\d+(?:\.\d+)*[a-z]?)" if count[0] == 1 else r"\1"
+
+    pattern = token.sub(_sub, escaped)
+    if count[0] == 0:
+        raise UndetectableVersionError(url)
+    return re.compile(pattern)

@@ -1,0 +1,429 @@
+"""Core version classes: :class:`Version`, :class:`VersionRange`,
+:class:`VersionList`.
+
+Semantics
+---------
+A version string is split into components at ``.``, ``-`` and ``_``
+boundaries and at letter/digit transitions; numeric components compare
+numerically and sort *after* alphabetic ones at the same position (so
+``1.2a < 1.2.0``).  A shorter version that is a prefix of a longer one
+compares less (``1.2 < 1.2.1`` and also ``1.2 < 1.2alpha`` — suffixes
+always extend the family upward, exactly as in the 2015-era original;
+"prerelease" ordering is *not* special-cased).
+
+**Prefix families.**  A bare version constraint like ``@1.4`` denotes the
+whole family ``1.4, 1.4.0, 1.4.2, ...`` — anything whose components start
+with ``1.4``.  Range endpoints inherit this: ``@:1.4`` includes ``1.4.2``.
+Internally every constraint is mapped to a closed interval in *key space*,
+where the family of ``v`` is ``[key(v), key(v) + (SUP,)]`` with ``SUP`` a
+sentinel sorting after any real component.  Intersection, union, and
+subset then reduce to interval arithmetic — one code path for all nine
+Version/Range/List combinations.
+"""
+
+import re
+
+from repro.errors import ReproError
+from repro.util.lang import key_ordering
+
+__all__ = ["Version", "VersionRange", "VersionList", "ver", "any_version"]
+
+
+class VersionParseError(ReproError):
+    """Raised for strings that cannot be parsed as a version constraint."""
+
+
+#: Valid version text: like grammar ids but may not contain ':' or ','.
+_VALID_VERSION = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_.\-]*$")
+
+#: Split into alternating digit / alpha runs; separators are dropped.
+_SEGMENT_RE = re.compile(r"[0-9]+|[A-Za-z]+")
+
+#: Sentinel component key that sorts after every real component key.
+_SUP = (2,)
+
+#: Interval endpoints for fully open ranges.
+_NEG_INF = ()
+_POS_INF = ((3,),)
+
+
+def _component_key(component):
+    """Key for one component: alphabetic sorts before numeric."""
+    if isinstance(component, int):
+        return (1, component)
+    return (0, component)
+
+
+@key_ordering
+class Version:
+    """A single version, e.g. ``1.4.2`` or ``2.0-beta1``.
+
+    As a *constraint*, a Version denotes its whole prefix family (see
+    module docstring); as a *concrete value* it is just a point.  The
+    original, unnormalized string is preserved for display.
+    """
+
+    __slots__ = ("string", "components", "_key")
+
+    def __init__(self, string):
+        if isinstance(string, (int, float)):
+            string = str(string)
+        if not isinstance(string, str) or not _VALID_VERSION.match(string):
+            raise VersionParseError("Invalid version string: %r" % (string,))
+        self.string = string
+        self.components = tuple(
+            int(seg) if seg.isdigit() else seg for seg in _SEGMENT_RE.findall(string)
+        )
+        self._key = tuple(_component_key(c) for c in self.components)
+
+    def _cmp_key(self):
+        return self._key
+
+    @property
+    def key(self):
+        """Component-key tuple used for interval arithmetic."""
+        return self._key
+
+    def up_to(self, index):
+        """The version formed by the first ``index`` components.
+
+        ``Version('1.23.4').up_to(2) == Version('1.23')``.  Useful for
+        family checks and for URL extrapolation.
+        """
+        return Version(".".join(str(c) for c in self.components[:index]))
+
+    def is_predecessor(self, other):
+        """True if ``other`` is this version with the last component + 1."""
+        if len(self.components) != len(other.components):
+            return False
+        if self.components[:-1] != other.components[:-1]:
+            return False
+        a, b = self.components[-1], other.components[-1]
+        return isinstance(a, int) and isinstance(b, int) and b == a + 1
+
+    def __contains__(self, other):
+        """Prefix-family membership: ``Version('1.4.2') in Version('1.4')``."""
+        if isinstance(other, str):
+            other = Version(other)
+        if isinstance(other, Version):
+            return other.components[: len(self.components)] == self.components
+        return _interval(other)[0] >= self.key and _interval(other)[1] <= _family_sup(self)
+
+    def satisfies(self, other):
+        """True if this version meets the constraint ``other``.
+
+        ``other`` may be a Version (family membership), VersionRange,
+        VersionList, or string form of any of these.
+        """
+        other = ver(other)
+        if isinstance(other, Version):
+            return self in other
+        return other.contains_version(self)
+
+    def __str__(self):
+        return self.string
+
+    def __repr__(self):
+        return "Version(%r)" % self.string
+
+    def __format__(self, spec):
+        return format(self.string, spec)
+
+
+def _family_sup(version):
+    """Upper interval endpoint of a version's prefix family."""
+    return version.key + (_SUP,)
+
+
+def _interval(constraint):
+    """Map a Version or VersionRange to a closed interval in key space."""
+    if isinstance(constraint, Version):
+        return (constraint.key, _family_sup(constraint))
+    lo = constraint.lo.key if constraint.lo is not None else _NEG_INF
+    hi = _family_sup(constraint.hi) if constraint.hi is not None else _POS_INF
+    return (lo, hi)
+
+
+def _from_interval(lo_key, hi_key, lo_obj, hi_obj):
+    """Map an interval back to a Version (if it is exactly one family) or
+    a VersionRange.  ``lo_obj``/``hi_obj`` are the Version objects whose
+    keys produced the endpoints (None for open ends)."""
+    if lo_obj is not None and hi_obj is not None:
+        if lo_key == lo_obj.key and hi_key == _family_sup(lo_obj) and lo_obj == hi_obj:
+            return lo_obj
+    return VersionRange(lo_obj, hi_obj)
+
+
+@key_ordering
+class VersionRange:
+    """An inclusive range ``lo:hi``; either end may be open (None).
+
+    Endpoints use prefix-family semantics: ``1.2:1.4`` contains ``1.4.2``
+    (the paper's "between 2.3 and 2.5.6 inclusive" reading).
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo, hi):
+        if isinstance(lo, str):
+            lo = Version(lo)
+        if isinstance(hi, str):
+            hi = Version(hi)
+        self.lo = lo
+        self.hi = hi
+        if lo is not None and hi is not None:
+            ilo, ihi = _interval(self)
+            if ilo > ihi:
+                raise VersionParseError("Empty version range: %s:%s" % (lo, hi))
+
+    def _cmp_key(self):
+        return _interval(self)
+
+    def contains_version(self, version):
+        lo, hi = _interval(self)
+        return lo <= version.key <= hi
+
+    __contains__ = contains_version
+
+    def satisfies(self, other):
+        """Non-strict satisfaction: ranges are compatible if they overlap."""
+        return VersionList([self]).overlaps(other)
+
+    def overlaps(self, other):
+        return VersionList([self]).overlaps(other)
+
+    def __str__(self):
+        return "%s:%s" % (self.lo or "", self.hi or "")
+
+    def __repr__(self):
+        return "VersionRange(%r, %r)" % (
+            str(self.lo) if self.lo else None,
+            str(self.hi) if self.hi else None,
+        )
+
+
+def _parse_single(text):
+    """Parse one constraint atom: ``1.2``, ``1.2:1.4``, ``:1.4``, ``1.2:``, ``:``."""
+    text = text.strip()
+    if ":" in text:
+        lo_s, _, hi_s = text.partition(":")
+        lo = Version(lo_s) if lo_s else None
+        hi = Version(hi_s) if hi_s else None
+        return VersionRange(lo, hi)
+    return Version(text)
+
+
+class VersionList:
+    """An ordered union of disjoint Versions and VersionRanges.
+
+    This is the type stored on every spec node.  The universal constraint
+    (no restriction at all) is ``VersionList(':')``; the empty list is
+    unsatisfiable and only appears transiently during intersection.
+    """
+
+    def __init__(self, constraints=None):
+        self.constraints = []
+        if constraints is None:
+            return
+        if isinstance(constraints, str):
+            if not constraints.strip():
+                raise VersionParseError("Empty version constraint string")
+            parts = [p for p in constraints.split(",")]
+            for part in parts:
+                self.add(_parse_single(part))
+        elif isinstance(constraints, (Version, VersionRange)):
+            self.add(constraints)
+        elif isinstance(constraints, VersionList):
+            self.constraints = [c for c in constraints.constraints]
+        else:
+            for item in constraints:
+                self.add(ver(item) if isinstance(item, str) else item)
+
+    # -- construction ----------------------------------------------------
+    def add(self, constraint):
+        """Union a Version/VersionRange/VersionList into this list."""
+        if isinstance(constraint, VersionList):
+            for c in constraint.constraints:
+                self.add(c)
+            return
+        if not isinstance(constraint, (Version, VersionRange)):
+            raise TypeError("Cannot add %r to VersionList" % (constraint,))
+
+        lo, hi = _interval(constraint)
+        lo_obj = constraint if isinstance(constraint, Version) else constraint.lo
+        hi_obj = constraint if isinstance(constraint, Version) else constraint.hi
+
+        merged = []
+        for existing in self.constraints:
+            elo, ehi = _interval(existing)
+            if ehi < lo or hi < elo:  # disjoint
+                merged.append(existing)
+                continue
+            # overlapping: absorb into the new interval
+            if elo < lo:
+                lo, lo_obj = elo, existing if isinstance(existing, Version) else existing.lo
+            if ehi > hi:
+                hi, hi_obj = ehi, existing if isinstance(existing, Version) else existing.hi
+        merged.append(_from_interval(lo, hi, lo_obj, hi_obj))
+        merged.sort(key=_interval)
+        self.constraints = merged
+
+    def copy(self):
+        new = VersionList()
+        new.constraints = list(self.constraints)
+        return new
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def concrete(self):
+        """The single Version in this list, or None if not exactly one."""
+        if len(self.constraints) == 1 and isinstance(self.constraints[0], Version):
+            return self.constraints[0]
+        return None
+
+    def contains_version(self, version):
+        """True if the concrete ``version`` falls in this union."""
+        if isinstance(version, str):
+            version = Version(version)
+        return any(
+            lo <= version.key <= hi
+            for lo, hi in (_interval(c) for c in self.constraints)
+        )
+
+    __contains__ = contains_version
+
+    def overlaps(self, other):
+        """True if some version could satisfy both lists."""
+        other = _as_list(other)
+        for a in self.constraints:
+            alo, ahi = _interval(a)
+            for b in other.constraints:
+                blo, bhi = _interval(b)
+                if alo <= bhi and blo <= ahi:
+                    return True
+        return False
+
+    def satisfies(self, other, strict=False):
+        """Compatibility (overlap) or, with ``strict``, containment in other."""
+        other = _as_list(other)
+        if strict:
+            return self.intersection(other) == self
+        return self.overlaps(other)
+
+    def intersection(self, other):
+        """Return a new VersionList: pairwise interval intersection."""
+        other = _as_list(other)
+        result = VersionList()
+        for a in self.constraints:
+            alo, ahi = _interval(a)
+            a_lo_obj = a if isinstance(a, Version) else a.lo
+            a_hi_obj = a if isinstance(a, Version) else a.hi
+            for b in other.constraints:
+                blo, bhi = _interval(b)
+                b_lo_obj = b if isinstance(b, Version) else b.lo
+                b_hi_obj = b if isinstance(b, Version) else b.hi
+                lo, lo_obj = max((alo, a_lo_obj), (blo, b_lo_obj), key=lambda t: t[0])
+                hi, hi_obj = min((ahi, a_hi_obj), (bhi, b_hi_obj), key=lambda t: t[0])
+                if lo <= hi:
+                    result.add(_from_interval(lo, hi, lo_obj, hi_obj))
+        return result
+
+    def intersect(self, other):
+        """Intersect in place; return True if this list changed."""
+        new = self.intersection(other)
+        changed = new != self
+        self.constraints = new.constraints
+        return changed
+
+    def union(self, other):
+        new = self.copy()
+        new.add(_as_list(other))
+        return new
+
+    def highest(self):
+        """Highest point version mentioned: top of the last interval."""
+        if not self.constraints:
+            return None
+        last = self.constraints[-1]
+        return last if isinstance(last, Version) else (last.hi or last.lo)
+
+    def lowest(self):
+        if not self.constraints:
+            return None
+        first = self.constraints[0]
+        return first if isinstance(first, Version) else (first.lo or first.hi)
+
+    @property
+    def universal(self):
+        """True if this is the unconstrained list ``:``."""
+        return (
+            len(self.constraints) == 1
+            and isinstance(self.constraints[0], VersionRange)
+            and self.constraints[0].lo is None
+            and self.constraints[0].hi is None
+        )
+
+    # -- dunder ------------------------------------------------------------
+    def __eq__(self, other):
+        return isinstance(other, VersionList) and [
+            _interval(c) for c in self.constraints
+        ] == [_interval(c) for c in other.constraints]
+
+    def __ne__(self, other):
+        return not self == other
+
+    def __hash__(self):
+        return hash(tuple(_interval(c) for c in self.constraints))
+
+    def __len__(self):
+        return len(self.constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def __bool__(self):
+        return bool(self.constraints)
+
+    def __str__(self):
+        return ",".join(str(c) for c in self.constraints)
+
+    def __repr__(self):
+        return "VersionList(%r)" % str(self)
+
+
+def _as_list(obj):
+    """Coerce any version constraint (or string) to a VersionList."""
+    if isinstance(obj, VersionList):
+        return obj
+    if isinstance(obj, (Version, VersionRange)):
+        return VersionList([obj])
+    if isinstance(obj, str):
+        return VersionList(obj)
+    raise TypeError("Cannot coerce %r to a VersionList" % (obj,))
+
+
+def ver(obj):
+    """Coerce strings/objects into the narrowest version type.
+
+    ``'1.2'`` → Version; ``'1.2:'`` → VersionList of one range... actually:
+    strings with ``,`` or ``:`` become a VersionList; plain version strings
+    become a Version; existing version objects pass through unchanged.
+    """
+    if isinstance(obj, (Version, VersionRange, VersionList)):
+        return obj
+    if isinstance(obj, (int, float)):
+        return Version(str(obj))
+    if isinstance(obj, str):
+        if "," in obj:
+            return VersionList(obj)
+        if ":" in obj:
+            return VersionList(obj)
+        return Version(obj)
+    if isinstance(obj, (list, tuple)):
+        return VersionList(obj)
+    raise TypeError("Cannot coerce %r to a version" % (obj,))
+
+
+def any_version():
+    """A fresh universal VersionList (``:``)."""
+    return VersionList(":")

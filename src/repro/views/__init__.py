@@ -1,0 +1,5 @@
+"""Filesystem views: human-readable symlink layouts (paper §4.3.1)."""
+
+from repro.views.view import View, ViewError, ViewRule, preference_key
+
+__all__ = ["View", "ViewRule", "ViewError", "preference_key"]

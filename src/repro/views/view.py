@@ -1,0 +1,189 @@
+"""Views: projections from concretized specs to readable link names.
+
+"Spack's views are a projection from points in a high-dimensional space
+(concretized specs, which fully specify all parameters) to points in a
+lower-dimensional space (link names, which may only contain a few
+parameters).  Several installations may map to the same link." (§4.3.1)
+
+A :class:`ViewRule` pairs a match query with a parameterized link
+template like ``/opt/${PACKAGE}-${VERSION}-${MPINAME}``.  When several
+installed specs project to one link, the conflict is resolved by a
+well-defined preference order: site/user ``compiler_order`` first, then
+newer versions, then provider preference, then a deterministic hash
+tie-break — "by default, Spack prefers newer versions of packages
+compiled with newer compilers to older packages built with older
+compilers", overridable in configuration.
+"""
+
+import os
+
+from repro.core.policies import _negate
+from repro.errors import ReproError
+from repro.spec.spec import Spec
+from repro.util.filesystem import mkdirp
+
+
+def _inverted_version_key(version):
+    """Sort key putting *newer* versions first."""
+    if version is None:
+        return ()
+    return tuple((-k[0], _negate(k[1])) for k in version.key)
+
+
+class ViewError(ReproError):
+    """View rule or linking problems."""
+
+
+def preference_key(spec, config):
+    """Sort key: *smaller is preferred*.
+
+    Order: position in ``compiler_order`` (unlisted compilers come after
+    all listed ones), newer package version first, newer compiler version
+    first, then DAG hash for determinism.
+    """
+    order = config.compiler_order()
+
+    def compiler_rank():
+        if spec.compiler is None:
+            return len(order) + 1
+        for index, entry in enumerate(order):
+            from repro.spec.spec import CompilerSpec
+
+            want = CompilerSpec(entry)
+            if spec.compiler.satisfies(want):
+                return index
+        return len(order)
+
+    version_key = _inverted_version_key(spec.versions.highest())
+    comp_key = _inverted_version_key(
+        spec.compiler.versions.highest() if spec.compiler is not None else None
+    )
+    return (compiler_rank(), version_key, comp_key, spec.dag_hash())
+
+
+class ViewRule:
+    """One projection rule: which specs it covers and what gets linked.
+
+    ``link_template`` (if given) links the whole install prefix;
+    ``file_links`` maps link-name templates to prefix-relative files —
+    the paper's "views can also be used to create symbolic links to
+    specific executables or libraries", e.g.::
+
+        ViewRule(match="gcc", file_links={"/bin/gcc${VERSION}": "bin/gcc"})
+    """
+
+    def __init__(self, link_template=None, match="", name=None, file_links=None):
+        if link_template is None and not file_links:
+            raise ViewError("A view rule needs a link template or file links")
+        self.link_template = link_template
+        self.file_links = dict(file_links or {})
+        self.match = match  # spec query string; '' matches everything
+        self.name = name or link_template or next(iter(self.file_links))
+
+    def matches(self, spec):
+        if not self.match:
+            return True
+        query = Spec(self.match)
+        if query.name is not None and query.name != spec.name:
+            return False
+        return spec.satisfies(query, strict=True)
+
+    def projections(self, spec, prefix):
+        """Yield ``(rendered_link, target_path)`` pairs for one spec."""
+        if self.link_template is not None:
+            yield spec.format(self.link_template), prefix
+        for template, rel_source in self.file_links.items():
+            yield spec.format(template), os.path.join(prefix, rel_source)
+
+    @classmethod
+    def from_config(cls, entry):
+        if isinstance(entry, str):
+            return cls(entry)
+        return cls(
+            entry.get("link"),
+            match=entry.get("match", ""),
+            name=entry.get("name"),
+            file_links=entry.get("files"),
+        )
+
+
+class View:
+    """A directory of symlinks governed by rules, kept consistent with
+    the install database."""
+
+    def __init__(self, session, root, rules=None):
+        self.session = session
+        self.root = os.path.abspath(root)
+        if rules is None:
+            rules = [
+                ViewRule.from_config(e)
+                for e in session.config.get("views", "rules", default=[])
+            ]
+        self.rules = list(rules)
+
+    def add_rule(self, rule):
+        self.rules.append(rule)
+
+    # -- core ----------------------------------------------------------------
+    def _winner(self, candidates):
+        """Pick (spec, target) with the most-preferred spec."""
+        return min(
+            candidates, key=lambda st: preference_key(st[0], self.session.config)
+        )
+
+    def _point_link(self, link_path, target):
+        mkdirp(os.path.dirname(link_path))
+        if os.path.islink(link_path):
+            os.unlink(link_path)
+        elif os.path.exists(link_path):
+            raise ViewError("View target exists and is not a link: %s" % link_path)
+        os.symlink(target, link_path)
+
+    # -- public -------------------------------------------------------------------
+    def refresh(self):
+        """(Re)compute every link from the database and the rules.
+
+        Returns {link_path: winning spec}.
+        """
+        links = {}
+        for record in self.session.db.all_records():
+            spec = record.spec
+            prefix = spec.external or self.session.store.layout.path_for_spec(spec)
+            for rule in self.rules:
+                if not rule.matches(spec):
+                    continue
+                for rendered, target in rule.projections(spec, prefix):
+                    link_path = os.path.join(self.root, rendered.lstrip("/"))
+                    links.setdefault(link_path, []).append((spec, target))
+        result = {}
+        for link_path, candidates in links.items():
+            winner_spec, target = self._winner(candidates)
+            self._point_link(link_path, target)
+            result[link_path] = winner_spec
+        self._prune_stale(set(links))
+        return result
+
+    def _prune_stale(self, valid_links):
+        if not os.path.isdir(self.root):
+            return
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for entry in filenames:
+                full = os.path.join(dirpath, entry)
+                if os.path.islink(full) and full not in valid_links:
+                    os.unlink(full)
+
+    def resolve(self, link_rel):
+        """Where a view link currently points (its install prefix)."""
+        full = os.path.join(self.root, link_rel.lstrip("/"))
+        if not os.path.islink(full):
+            raise ViewError("No such view link: %s" % full)
+        return os.readlink(full)
+
+    def links(self):
+        found = {}
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for entry in filenames:
+                full = os.path.join(dirpath, entry)
+                if os.path.islink(full):
+                    found[os.path.relpath(full, self.root)] = os.readlink(full)
+        return found

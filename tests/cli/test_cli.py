@@ -1,0 +1,135 @@
+"""CLI smoke + behaviour tests (one per command)."""
+
+import os
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+@pytest.fixture
+def root(tmp_path):
+    return str(tmp_path / "universe")
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestCommands:
+    def test_explain(self, root, capsys):
+        code, out, _ = run(capsys, "--root", root, "explain", "mpileaks@1.1.2 %gcc")
+        assert code == 0
+        assert "mpileaks package, version 1.1.2" in out
+
+    def test_spec_shows_abstract_and_concrete(self, root, capsys):
+        code, out, _ = run(capsys, "--root", root, "spec", "mpileaks ^mpich")
+        assert code == 0
+        assert "Input spec" in out and "Concretized" in out
+        assert "mpich@3.0.4" in out
+
+    def test_install_find_uninstall(self, root, capsys):
+        code, out, _ = run(capsys, "--root", root, "install", "libdwarf")
+        assert code == 0
+        assert "built  libelf" in out and "built  libdwarf" in out
+
+        code, out, _ = run(capsys, "--root", root, "find")
+        assert code == 0 and "2 installed packages" in out
+
+        code, out, _ = run(capsys, "--root", root, "find", "libdwarf")
+        assert "1 installed packages" in out
+
+        code, out, err = run(capsys, "--root", root, "uninstall", "libelf")
+        assert code == 1 and "required by" in err
+
+        code, out, _ = run(capsys, "--root", root, "uninstall", "libdwarf")
+        assert code == 0
+        code, out, _ = run(capsys, "--root", root, "uninstall", "libelf")
+        assert code == 0
+
+    def test_install_reuses(self, root, capsys):
+        run(capsys, "--root", root, "install", "libdwarf")
+        code, out, _ = run(capsys, "--root", root, "install", "libdwarf")
+        assert code == 0 and "reused libdwarf" in out
+
+    def test_providers(self, root, capsys):
+        code, out, _ = run(capsys, "--root", root, "providers", "mpi@2:")
+        assert code == 0
+        assert "mvapich2@1.9" in out
+        assert "mpich@3:" in out
+
+    def test_versions(self, root, capsys):
+        code, out, _ = run(capsys, "--root", root, "versions", "mpileaks")
+        assert code == 0
+        assert "declared (safe) versions" in out
+        assert "2.3" in out and "remote versions" in out
+
+    def test_compilers(self, root, capsys):
+        code, out, _ = run(capsys, "--root", root, "compilers")
+        assert code == 0
+        assert "gcc@4.9.2" in out and "xl@12.1" in out
+
+    def test_graph_ascii_and_dot(self, root, capsys):
+        code, out, _ = run(capsys, "--root", root, "graph", "mpileaks")
+        assert code == 0 and "mpileaks" in out
+        code, out, _ = run(capsys, "--root", root, "graph", "--dot", "mpileaks")
+        assert code == 0 and out.startswith("digraph")
+
+    def test_module(self, root, capsys):
+        run(capsys, "--root", root, "install", "libelf")
+        code, out, _ = run(capsys, "--root", root, "module")
+        assert code == 0 and "regenerated 2 module files" in out
+
+    def test_view(self, root, capsys, tmp_path):
+        run(capsys, "--root", root, "install", "libelf")
+        code, out, _ = run(
+            capsys, "--root", root, "view",
+            "--view-root", str(tmp_path / "v"),
+            "--link", "/opt/${PACKAGE}-${VERSION}",
+            "libelf",
+        )
+        assert code == 0
+        assert "opt/libelf-0.8.13" in out
+
+    def test_activate_extensions_deactivate(self, root, capsys):
+        run(capsys, "--root", root, "install", "python@2.7.9")
+        run(capsys, "--root", root, "install", "py-nose ^python@2.7.9")
+        code, out, _ = run(capsys, "--root", root, "activate", "py-nose")
+        assert code == 0 and "activated" in out
+        code, out, _ = run(capsys, "--root", root, "extensions", "python")
+        assert code == 0 and "* py-nose" in out
+        code, out, _ = run(capsys, "--root", root, "deactivate", "py-nose")
+        assert code == 0
+
+    def test_repo_list(self, root, capsys):
+        code, out, _ = run(capsys, "--root", root, "repo-list")
+        assert code == 0
+        assert "mpileaks" in out and "ares" in out
+
+    def test_errors_are_reported_not_raised(self, root, capsys):
+        code, _, err = run(capsys, "--root", root, "install", "no-such-pkg")
+        assert code == 1
+        assert "Error:" in err
+
+    def test_parse_error_reported(self, root, capsys):
+        code, _, err = run(capsys, "--root", root, "spec", "mpileaks@@@")
+        assert code == 1 and "Error:" in err
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["find"])
+        assert args.command == "find"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_env_var_root(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SPACK_ROOT", str(tmp_path / "envroot"))
+        code, out, _ = run(capsys, "compilers")
+        assert code == 0
+        assert os.path.isdir(str(tmp_path / "envroot"))

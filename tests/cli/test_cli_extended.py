@@ -1,0 +1,119 @@
+"""CLI tests for the extension commands: info, checksum, lmod, --backtrack,
+and auto-generated modules."""
+
+import os
+
+import pytest
+
+from repro.cli.main import main
+
+
+@pytest.fixture
+def root(tmp_path):
+    return str(tmp_path / "universe")
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestInfo:
+    def test_full_metadata(self, root, capsys):
+        code, out, _ = run(capsys, "--root", root, "info", "mpileaks")
+        assert code == 0
+        assert "Package:   mpileaks" in out
+        assert "https://github.com/hpc/mpileaks" in out
+        assert "Safe versions:" in out and "2.3" in out
+        assert "Variants:" in out and "debug" in out
+        assert "Dependencies:" in out and "mpi" in out and "callpath" in out
+
+    def test_provider_info(self, root, capsys):
+        code, out, _ = run(capsys, "--root", root, "info", "mvapich2")
+        assert code == 0
+        assert "Provides:" in out
+        assert "mpi@:2.2  when @1.9" in out
+
+    def test_conditional_dep_info(self, root, capsys):
+        code, out, _ = run(capsys, "--root", root, "info", "rose")
+        assert code == 0
+        assert "when %gcc@:4" in out
+
+    def test_unknown_package(self, root, capsys):
+        code, _, err = run(capsys, "--root", root, "info", "nope")
+        assert code == 1 and "Error" in err
+
+
+class TestChecksum:
+    def test_checksums_scraped_and_computed(self, root, capsys):
+        code, out, _ = run(capsys, "--root", root, "checksum", "libelf")
+        assert code == 0
+        assert "found 3 versions" in out
+        # output is paste-able version() directives with real md5s
+        from repro.fetch.mockweb import mock_checksum
+
+        assert "version('0.8.13', '%s')" % mock_checksum("libelf", "0.8.13") in out
+
+
+class TestLmodCommand:
+    def test_hierarchy_regenerated(self, root, capsys):
+        run(capsys, "--root", root, "install", "mpileaks")
+        code, out, _ = run(capsys, "--root", root, "lmod")
+        assert code == 0
+        assert "regenerated" in out
+        assert "Core" in out and "mvapich2" in out
+
+
+class TestBacktrackFlag:
+    def test_spec_backtrack_flag(self, root, capsys):
+        code, out, _ = run(capsys, "--root", root, "spec", "--backtrack", "mpileaks")
+        assert code == 0
+        assert "Concretized" in out
+
+
+class TestFindByHashAndLocation:
+    def test_find_by_hash_prefix(self, root, capsys):
+        run(capsys, "--root", root, "install", "libelf")
+        code, out, _ = run(capsys, "--root", root, "find", "libelf")
+        full_hash = out.strip().splitlines()[-1].split("/")[-1]
+        code, out, _ = run(capsys, "--root", root, "find", "/" + full_hash[:6])
+        assert code == 0 and "libelf" in out
+
+    def test_location(self, root, capsys):
+        run(capsys, "--root", root, "install", "libelf")
+        code, out, _ = run(capsys, "--root", root, "location", "libelf")
+        assert code == 0
+        assert os.path.isdir(out.strip())
+        assert "libelf" in out
+
+    def test_location_ambiguous(self, root, capsys):
+        run(capsys, "--root", root, "install", "libelf@0.8.13")
+        run(capsys, "--root", root, "install", "libelf@0.8.12")
+        code, _, err = run(capsys, "--root", root, "location", "libelf")
+        assert code == 1 and "2 installed specs" in err
+
+    def test_find_deps_tree(self, root, capsys):
+        run(capsys, "--root", root, "install", "libdwarf")
+        code, out, _ = run(capsys, "--root", root, "find", "-d", "libdwarf")
+        assert code == 0
+        assert "libelf" in out
+
+
+class TestAutoModules:
+    def test_modules_generated_on_install(self, root, capsys):
+        run(capsys, "--root", root, "install", "libelf")
+        module_root = os.path.join(root, "modules")
+        found = []
+        for dirpath, _dirs, files in os.walk(module_root):
+            found.extend(files)
+        assert any("libelf" in f for f in found)
+
+    def test_modules_removed_on_uninstall(self, root, capsys):
+        run(capsys, "--root", root, "install", "libelf")
+        run(capsys, "--root", root, "uninstall", "libelf")
+        module_root = os.path.join(root, "modules")
+        found = []
+        for dirpath, _dirs, files in os.walk(module_root):
+            found.extend(files)
+        assert not any("libelf" in f for f in found)

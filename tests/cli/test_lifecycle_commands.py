@@ -1,0 +1,97 @@
+"""fetch / stage / clean / create / dependents commands."""
+
+import os
+
+import pytest
+
+from repro.cli.main import main
+
+
+@pytest.fixture
+def root(tmp_path):
+    return str(tmp_path / "universe")
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestFetchStageClean:
+    def test_fetch(self, root, capsys):
+        code, out, _ = run(capsys, "--root", root, "fetch", "libdwarf")
+        assert code == 0
+        assert "fetched 2 archives" in out
+        assert "libelf@0.8.13" in out
+
+    def test_stage(self, root, capsys):
+        code, out, _ = run(capsys, "--root", root, "stage", "python@2.7.9 =bgq %xl")
+        assert code == 0
+        source_path = out.strip().split()[-1]
+        assert os.path.isfile(os.path.join(source_path, "configure"))
+        # §3.2.4's conditional patch applied during staging
+        assert os.path.isfile(
+            os.path.join(source_path, ".patches", "python-bgq-xlc.patch")
+        )
+
+    def test_clean(self, root, capsys):
+        run(capsys, "--root", root, "stage", "libelf")
+        code, out, _ = run(capsys, "--root", root, "clean")
+        assert code == 0
+        assert "removed 1 stages" in out
+        code, out, _ = run(capsys, "--root", root, "clean")
+        assert "removed 0 stages" in out
+
+
+class TestCreate:
+    def test_skeleton_from_known_url(self, root, capsys, tmp_path):
+        # the mock web serves libelf tarballs; creating from its URL
+        # scrapes real versions and computes real checksums
+        url = "https://www.mr511.de/software/libelf-0.8.13.tar.gz"
+        repo_dir = str(tmp_path / "myrepo")
+        code, out, _ = run(
+            capsys, "--root", root, "create", "--repo-dir", repo_dir, url
+        )
+        assert code == 0
+        assert "created package 'libelf' with 3 versions" in out
+        pkg_file = os.path.join(repo_dir, "libelf", "package.py")
+        text = open(pkg_file).read()
+        assert "class Libelf(Package):" in text
+        from repro.fetch.mockweb import mock_checksum
+
+        assert "version('0.8.13', '%s')" % mock_checksum("libelf", "0.8.13") in text
+
+        # and the generated file actually loads as a repository package
+        from repro.repo.repository import Repository
+
+        repo = Repository(repo_dir, namespace="created")
+        assert repo.exists("libelf")
+        assert len(repo.get_class("libelf").safe_versions()) == 3
+
+    def test_guess_name(self):
+        from repro.repo.create import guess_name_from_url
+
+        assert guess_name_from_url("https://x.org/libelf-0.8.13.tar.gz") == "libelf"
+        assert guess_name_from_url("https://x.org/tcl8.6.3-src.tar.gz") == "tcl"
+        assert guess_name_from_url("https://x.org/mpich-3.0.4.tar.gz") == "mpich"
+
+
+class TestDependents:
+    def test_metadata_dependents(self, root, capsys):
+        code, out, _ = run(capsys, "--root", root, "dependents", "libelf")
+        assert code == 0
+        assert "libdwarf" in out and "dyninst" in out
+
+    def test_virtual_provider_dependents(self, root, capsys):
+        # packages depending on 'mpi' count as potential dependents of a
+        # provider
+        code, out, _ = run(capsys, "--root", root, "dependents", "mvapich2")
+        assert code == 0
+        assert "mpileaks" in out and "gerris" in out
+
+    def test_installed_dependents_shown(self, root, capsys):
+        run(capsys, "--root", root, "install", "libdwarf")
+        code, out, _ = run(capsys, "--root", root, "dependents", "libelf")
+        assert "installed dependents:" in out
+        assert "libdwarf@" in out

@@ -1,0 +1,59 @@
+"""Manual compiler registration through configuration (§3.2.3)."""
+
+import pytest
+
+from repro.session import Session
+from repro.spec.spec import Spec
+
+
+@pytest.fixture
+def configured_session(tmp_path):
+    return Session.create(
+        str(tmp_path / "u"),
+        config_overrides={
+            "compilers": [
+                {
+                    "name": "gcc",
+                    "version": "5.2.0",
+                    "cc": "/opt/site/gcc-5.2.0/bin/gcc",
+                    "cxx": "/opt/site/gcc-5.2.0/bin/g++",
+                },
+                {
+                    "name": "xl",
+                    "version": "13.1",
+                    "cc": "/opt/ibm/xlc-13.1",
+                    "features": {"cxx": "11", "openmp": "3.1"},
+                },
+            ]
+        },
+    )
+
+
+class TestConfigCompilers:
+    def test_registered_alongside_detected(self, configured_session):
+        names = {str(c) for c in configured_session.compilers}
+        assert "gcc@5.2.0" in names       # from config
+        assert "gcc@4.9.2" in names       # auto-detected toolchain
+        assert "xl@13.1" in names
+
+    def test_paths_from_config(self, configured_session):
+        gcc52 = configured_session.compilers.compiler_for("gcc@5.2.0")
+        assert gcc52.cc == "/opt/site/gcc-5.2.0/bin/gcc"
+
+    def test_usable_in_concretization(self, configured_session):
+        concrete = configured_session.concretize(Spec("libelf%gcc@5.2.0"))
+        assert str(concrete.compiler) == "gcc@5.2.0"
+
+    def test_newest_registered_wins_unqualified(self, configured_session):
+        concrete = configured_session.concretize(Spec("libelf%gcc@5:"))
+        assert str(concrete.compiler) == "gcc@5.2.0"
+
+    def test_feature_overrides_respected(self, configured_session):
+        xl = configured_session.compilers.compiler_for("xl@13.1")
+        assert xl.supports("cxx@11")
+        assert not xl.supports("cxx@14:")
+
+    def test_default_features_when_unspecified(self, configured_session):
+        gcc52 = configured_session.compilers.compiler_for("gcc@5.2.0")
+        # 5.2.0 passes the 4.9 threshold in the feature table
+        assert gcc52.supports("cxx@14")

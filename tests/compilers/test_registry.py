@@ -1,0 +1,91 @@
+"""Compiler registry and PATH auto-detection (§3.2.3)."""
+
+import pytest
+
+from repro.build.toolchain import write_toolchain
+from repro.compilers.registry import (
+    Compiler,
+    CompilerRegistry,
+    NoSuchCompilerError,
+    find_compilers,
+)
+from repro.spec.spec import CompilerSpec
+from repro.version import Version
+
+
+class TestRegistry:
+    def _registry(self):
+        return CompilerRegistry(
+            [
+                Compiler("gcc", "4.9.2", cc="/t/gcc-4.9.2"),
+                Compiler("gcc", "4.7.3", cc="/t/gcc-4.7.3"),
+                Compiler("intel", "15.0.1", cc="/t/icc-15.0.1"),
+            ]
+        )
+
+    def test_compilers_for_name(self):
+        reg = self._registry()
+        assert [str(c.version) for c in reg.compilers_for("gcc")] == ["4.7.3", "4.9.2"]
+
+    def test_compilers_for_constraint(self):
+        reg = self._registry()
+        matches = reg.compilers_for(CompilerSpec("gcc@4.9"))
+        assert [str(c.version) for c in matches] == ["4.9.2"]
+
+    def test_best_match(self):
+        reg = self._registry()
+        assert reg.compiler_for("gcc").version == Version("4.9.2")
+
+    def test_no_match(self):
+        with pytest.raises(NoSuchCompilerError):
+            self._registry().compiler_for("pgi")
+        with pytest.raises(NoSuchCompilerError):
+            self._registry().compiler_for("gcc@5:")
+
+    def test_exists(self):
+        reg = self._registry()
+        assert reg.exists("intel")
+        assert not reg.exists("xl")
+
+    def test_satisfies(self):
+        c = Compiler("gcc", "4.9.2")
+        assert c.satisfies("gcc")
+        assert c.satisfies("gcc@4.9")
+        assert not c.satisfies("gcc@5:")
+        assert not c.satisfies("intel")
+
+    def test_dedup(self):
+        reg = CompilerRegistry(
+            [Compiler("gcc", "4.9.2"), Compiler("gcc", "4.9.2")]
+        )
+        assert len(reg) == 1
+
+    def test_toolchain_names(self):
+        assert self._registry().toolchain_names() == ["gcc", "intel"]
+
+
+class TestDetection:
+    def test_detect_generated_toolchain(self, tmp_path):
+        write_toolchain(str(tmp_path), [("gcc", "4.9.2"), ("intel", "15.0.1"), ("xl", "12.1")])
+        found = find_compilers([str(tmp_path)])
+        by_name = {(c.name, str(c.version)) for c in found}
+        assert ("gcc", "4.9.2") in by_name
+        assert ("intel", "15.0.1") in by_name
+        assert ("xl", "12.1") in by_name
+        gcc = next(c for c in found if c.name == "gcc")
+        assert gcc.cc and gcc.cc.endswith("gcc-4.9.2")
+        assert gcc.cxx and gcc.cxx.endswith("g++-4.9.2")
+        assert gcc.fc and gcc.fc.endswith("gfortran-4.9.2")
+
+    def test_detect_ignores_non_compilers(self, tmp_path):
+        (tmp_path / "random-file").write_text("hi")
+        (tmp_path / "gcc").write_text("no version suffix")
+        assert find_compilers([str(tmp_path)]) == []
+
+    def test_missing_dir(self):
+        assert find_compilers(["/no/such/dir"]) == []
+
+    def test_path_string_form(self, tmp_path):
+        write_toolchain(str(tmp_path), [("clang", "3.5.0")])
+        found = find_compilers(str(tmp_path))
+        assert [c.name for c in found] == ["clang"]

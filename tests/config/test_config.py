@@ -1,0 +1,115 @@
+"""Configuration scopes, merging, and preference accessors (§4.3)."""
+
+import json
+
+import pytest
+
+from repro.config.config import Config, ConfigError, ConfigScope, load_config_dir
+
+
+class TestScopes:
+    def test_priority_order(self):
+        config = Config()
+        config.update("defaults", {"preferences": {"architecture": "default-arch"}})
+        config.update("site", {"preferences": {"architecture": "site-arch"}})
+        assert config.default_architecture() == "site-arch"
+        config.update("user", {"preferences": {"architecture": "user-arch"}})
+        assert config.default_architecture() == "user-arch"
+        config.update("command_line", {"preferences": {"architecture": "cli-arch"}})
+        assert config.default_architecture() == "cli-arch"
+
+    def test_deep_merge_dicts(self):
+        config = Config()
+        config.update("site", {"preferences": {"providers": {"mpi": ["mvapich2"]}}})
+        config.update("user", {"preferences": {"providers": {"blas": ["atlas"]}}})
+        assert config.provider_order("mpi") == ["mvapich2"]
+        assert config.provider_order("blas") == ["atlas"]
+
+    def test_lists_replace(self):
+        config = Config()
+        config.update("site", {"preferences": {"compiler_order": ["gcc"]}})
+        config.update("user", {"preferences": {"compiler_order": ["icc", "gcc@4.4.7"]}})
+        assert config.compiler_order() == ["icc", "gcc@4.4.7"]
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ConfigError):
+            ConfigScope("bogus", {})
+
+    def test_update_merges_within_scope(self):
+        config = Config()
+        config.update("user", {"a": {"x": 1}})
+        config.update("user", {"a": {"y": 2}})
+        assert config.get("a") == {"x": 1, "y": 2}
+
+
+class TestLookups:
+    def test_get_path(self):
+        config = Config()
+        config.update("site", {"preferences": {"providers": {"mpi": ["openmpi"]}}})
+        assert config.get("preferences", "providers", "mpi") == ["openmpi"]
+        assert config.get("preferences:providers:mpi") == ["openmpi"]
+        assert config.get("nothing", "here", default=42) == 42
+
+    def test_preferred_versions_and_variants(self):
+        config = Config()
+        config.update(
+            "user",
+            {
+                "preferences": {
+                    "packages": {
+                        "mpileaks": {"version": ["1.1"], "variants": {"debug": True}}
+                    }
+                }
+            },
+        )
+        assert config.preferred_versions("mpileaks") == ["1.1"]
+        assert config.preferred_variants("mpileaks") == {"debug": True}
+        assert config.preferred_versions("other") == []
+
+    def test_externals(self):
+        config = Config()
+        config.update(
+            "site",
+            {
+                "packages": {
+                    "openmpi": {
+                        "external": {"spec": "openmpi@1.8.2", "prefix": "/opt/ompi"},
+                        "buildable": False,
+                    }
+                }
+            },
+        )
+        assert config.external_for("openmpi") == ("openmpi@1.8.2", "/opt/ompi")
+        assert config.external_for("mpich") is None
+        assert config.is_buildable("openmpi") is False
+        assert config.is_buildable("mpich") is True
+
+
+class TestFiles:
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "site.json"
+        path.write_text(json.dumps({"preferences": {"architecture": "bgq"}}))
+        scope = ConfigScope.from_file("site", str(path))
+        assert scope.data["preferences"]["architecture"] == "bgq"
+
+    def test_bad_file(self, tmp_path):
+        path = tmp_path / "user.json"
+        path.write_text("{ not json")
+        with pytest.raises(ConfigError):
+            ConfigScope.from_file("user", str(path))
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "user.json"
+        path.write_text("[1,2,3]")
+        with pytest.raises(ConfigError):
+            ConfigScope.from_file("user", str(path))
+
+    def test_load_config_dir(self, tmp_path):
+        (tmp_path / "site.json").write_text(
+            json.dumps({"preferences": {"architecture": "site-arch"}})
+        )
+        (tmp_path / "user.json").write_text(
+            json.dumps({"preferences": {"architecture": "user-arch"}})
+        )
+        config = load_config_dir(str(tmp_path))
+        assert config.default_architecture() == "user-arch"

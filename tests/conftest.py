@@ -1,0 +1,25 @@
+"""Shared fixtures: ephemeral sessions and pre-installed stacks."""
+
+import pytest
+
+from repro.session import Session
+
+
+@pytest.fixture
+def session(tmp_path):
+    """A full builtin-corpus session rooted in a temp directory."""
+    return Session.create(str(tmp_path / "universe"))
+
+
+@pytest.fixture
+def installed_mpileaks(session):
+    """A session with the default mpileaks stack already installed."""
+    spec, result = session.install("mpileaks")
+    return session, spec, result
+
+
+@pytest.fixture
+def bare_repo_session(tmp_path):
+    """A session with an empty programmatic repository (tests register
+    their own packages)."""
+    return Session.create(str(tmp_path / "bare"), packages=None)

@@ -1,0 +1,126 @@
+"""Compiler-feature dependencies (§4.5 future work, implemented)."""
+
+import pytest
+
+from repro.compilers.features import features_for
+from repro.compilers.registry import Compiler, CompilerFeatureError
+from repro.core.concretizer import ConcretizationError
+from repro.directives import depends_on, requires_compiler, variant, version
+from repro.package.package import Package
+from repro.spec.spec import Spec
+from repro.version import Version
+
+
+class TestFeatureTable:
+    def test_gcc_generations(self):
+        assert features_for("gcc", "4.4.7")["cxx"] == Version("03")
+        assert features_for("gcc", "4.7.3")["cxx"] == Version("11")
+        assert features_for("gcc", "4.9.2")["cxx"] == Version("14")
+        assert features_for("gcc", "4.9.2")["openmp"] == Version("4.0")
+
+    def test_clang_has_no_openmp(self):
+        features = features_for("clang", "3.5.0")
+        assert features["cxx"] == Version("14")
+        assert "openmp" not in features
+
+    def test_unknown_toolchain_empty(self):
+        assert features_for("mycc", "1.0") == {}
+
+
+class TestCompilerSupports:
+    def test_supports_levels(self):
+        gcc = Compiler("gcc", "4.7.3")
+        assert gcc.supports("cxx@11")
+        assert gcc.supports("cxx@:11")
+        assert not gcc.supports("cxx@14:")
+        assert gcc.supports("openmp")
+        assert not gcc.supports("cuda")
+
+    def test_explicit_features_override(self):
+        custom = Compiler("gcc", "4.7.3", features={"cxx": "17"})
+        assert custom.supports("cxx@17")
+        assert not custom.supports("openmp")
+
+
+@pytest.fixture
+def feature_session(session):
+    repo = session.repo.repos[0]
+    from repro.fetch.mockweb import mock_checksum
+
+    class Needs14(Package):
+        """Requires C++14 unconditionally."""
+
+        url = "https://mock.example.org/needs14/needs14-1.0.tar.gz"
+        version("1.0", mock_checksum("needs14", "1.0"))
+        requires_compiler("cxx@14:")
+
+    class NeedsOmp(Package):
+        """Requires OpenMP 4 only with +openmp."""
+
+        url = "https://mock.example.org/needsomp/needsomp-1.0.tar.gz"
+        version("1.0", mock_checksum("needsomp", "1.0"))
+        variant("openmp", default=False, description="threaded build")
+        requires_compiler("openmp@4:", when="+openmp")
+
+    repo.add_class("needs14", Needs14)
+    repo.add_class("needsomp", NeedsOmp)
+    session.seed_web()
+    return session
+
+
+class TestConcretization:
+    def test_default_compiler_satisfies(self, feature_session):
+        c = feature_session.concretize(Spec("needs14"))
+        assert str(c.compiler) == "gcc@4.9.2"  # supports cxx14
+
+    def test_constraint_narrows_to_supporting_version(self, feature_session):
+        # %gcc unqualified: must land on 4.9.2, never 4.7.3
+        c = feature_session.concretize(Spec("needs14%gcc"))
+        assert str(c.compiler.version) == "4.9.2"
+
+    def test_explicit_unsupporting_compiler_rejected(self, feature_session):
+        with pytest.raises((CompilerFeatureError, ConcretizationError)):
+            feature_session.concretize(Spec("needs14%gcc@4.7.3"))
+        with pytest.raises((CompilerFeatureError, ConcretizationError)):
+            feature_session.concretize(Spec("needs14%xl"))
+
+    def test_conditional_requirement_inactive(self, feature_session):
+        # without +openmp, clang is fine
+        c = feature_session.concretize(Spec("needsomp%clang"))
+        assert c.compiler.name == "clang"
+
+    def test_conditional_requirement_active(self, feature_session):
+        # with +openmp, clang (no OpenMP in 3.5) must be rejected
+        with pytest.raises((CompilerFeatureError, ConcretizationError)):
+            feature_session.concretize(Spec("needsomp+openmp%clang"))
+        c = feature_session.concretize(Spec("needsomp+openmp%gcc"))
+        assert str(c.compiler.version) == "4.9.2"
+
+    def test_defaulted_compiler_rechosen_on_late_requirement(self, feature_session):
+        """compiler_order prefers clang; +openmp activates a requirement
+        clang cannot meet; the non-explicit choice is silently re-made."""
+        feature_session.config.update(
+            "user", {"preferences": {"compiler_order": ["clang"]}}
+        )
+        plain = feature_session.concretize(Spec("needsomp"))
+        assert plain.compiler.name == "clang"
+        threaded = feature_session.concretize(Spec("needsomp+openmp"))
+        assert threaded.compiler.name != "clang"
+        assert threaded.compiler.name in ("gcc", "intel")
+
+    def test_inheritance_with_requirements(self, feature_session):
+        """A dependency with stricter needs than its parent's compiler
+        picks its own suitable compiler rather than failing."""
+        repo = feature_session.repo.repos[0]
+        from repro.fetch.mockweb import mock_checksum
+
+        class OldApp(Package):
+            url = "https://mock.example.org/oldapp/oldapp-1.0.tar.gz"
+            version("1.0", mock_checksum("oldapp", "1.0"))
+            depends_on("needs14")
+
+        repo.add_class("oldapp", OldApp)
+        feature_session.seed_web()
+        c = feature_session.concretize(Spec("oldapp%gcc@4.7.3"))
+        assert str(c.compiler) == "gcc@4.7.3"          # parent keeps its pin
+        assert str(c["needs14"].compiler) == "gcc@4.9.2"  # dep re-chooses

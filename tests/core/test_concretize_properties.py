@@ -1,0 +1,125 @@
+"""Property-based concretizer invariants over the synthetic universe.
+
+For arbitrary (seeded) packages and arbitrary constraint combinations the
+concretizer must uphold its §3.4 contract: results are concrete, contain
+no virtuals, honor the abstract request (strict satisfaction), keep one
+version per package name, and are deterministic.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compilers.registry import Compiler, CompilerRegistry
+from repro.config.config import Config
+from repro.core.concretizer import ConcretizationError, Concretizer
+from repro.errors import ReproError
+from repro.packages.synthetic import synthetic_repo
+from repro.repo.providers import ProviderIndex
+from repro.spec.spec import Spec
+
+
+@pytest.fixture(scope="module")
+def universe():
+    repo = synthetic_repo(count=80, seed=7)
+    index = ProviderIndex.from_repo(repo)
+    registry = CompilerRegistry(
+        [
+            Compiler("gcc", "4.9.2", cc="/t/gcc-4.9.2"),
+            Compiler("gcc", "4.7.3", cc="/t/gcc-4.7.3"),
+            Compiler("intel", "15.0.1", cc="/t/icc-15.0.1"),
+        ]
+    )
+    config = Config()
+    config.update("site", {"preferences": {"architecture": "linux-x86_64"}})
+    return repo, Concretizer(repo, index, registry, config)
+
+
+package_indices = st.integers(min_value=0, max_value=79)
+compilers = st.sampled_from(["", "%gcc", "%gcc@4.7", "%intel"])
+arches = st.sampled_from(["", "=bgq", "=linux-x86_64"])
+
+
+@st.composite
+def requests(draw):
+    name = "syn-%03d" % draw(package_indices)
+    text = name + draw(compilers) + draw(arches)
+    return text
+
+
+common = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@given(requests())
+@common
+def test_concrete_and_satisfying(universe, request_text):
+    repo, concretizer = universe
+    abstract = Spec(request_text)
+    concrete = concretizer.concretize(abstract)
+    assert concrete.concrete
+    assert concrete.satisfies(abstract, strict=True)
+
+
+@given(requests())
+@common
+def test_no_virtuals_and_all_known(universe, request_text):
+    repo, concretizer = universe
+    concrete = concretizer.concretize(Spec(request_text))
+    for node in concrete.traverse():
+        assert repo.exists(node.name)
+        assert concretizer.provider_index.is_virtual(node.name) is False
+
+
+@given(requests())
+@common
+def test_one_node_per_name_and_shared(universe, request_text):
+    _, concretizer = universe
+    concrete = concretizer.concretize(Spec(request_text))
+    seen = {}
+    for node in concrete.traverse():
+        for name, child in node.dependencies.items():
+            if name in seen:
+                assert seen[name] is child  # same object: shared sub-DAG
+            seen[name] = child
+
+
+@given(requests())
+@common
+def test_deterministic(universe, request_text):
+    _, concretizer = universe
+    a = concretizer.concretize(Spec(request_text))
+    b = concretizer.concretize(Spec(request_text))
+    assert a == b
+    assert a.dag_hash() == b.dag_hash()
+
+
+@given(requests())
+@common
+def test_idempotent(universe, request_text):
+    _, concretizer = universe
+    once = concretizer.concretize(Spec(request_text))
+    twice = concretizer.concretize(once)
+    assert twice == once
+
+
+@given(requests())
+@common
+def test_every_declared_dep_resolved(universe, request_text):
+    repo, concretizer = universe
+    concrete = concretizer.concretize(Spec(request_text))
+    for node in concrete.traverse():
+        cls = repo.get_class(node.name)
+        for dep_name, constraints in cls.dependencies.items():
+            for dc in constraints:
+                if dc.when is not None and not node.satisfies(dc.when, strict=True):
+                    continue
+                if concretizer.provider_index.is_virtual(dep_name):
+                    assert any(
+                        dep_name in d.provided_virtuals
+                        for d in node.dependencies.values()
+                    )
+                else:
+                    assert dep_name in node.dependencies

@@ -1,0 +1,377 @@
+"""Concretizer behaviour (§3.4, Figure 6) against the built-in corpus."""
+
+import pytest
+
+from repro.core.concretizer import (
+    ConcretizationError,
+    CyclicDependencyError,
+    NoBuildableProviderError,
+    NoSatisfyingVersionError,
+    UnknownPackageError,
+)
+from repro.directives import depends_on, provides, variant, version
+from repro.package.package import Package
+from repro.spec.spec import Spec
+
+
+def concretize(session, text):
+    return session.concretize(Spec(text))
+
+
+class TestBasic:
+    def test_figure7_fully_concrete(self, session):
+        c = concretize(session, "mpileaks")
+        assert c.concrete
+        for node in c.traverse():
+            assert node.versions.concrete is not None
+            assert node.compiler is not None and node.compiler.concrete
+            assert node.architecture is not None
+
+    def test_figure2a_structure(self, session):
+        c = concretize(session, "mpileaks")
+        names = sorted(n.name for n in c.traverse())
+        assert names == ["callpath", "dyninst", "libdwarf", "libelf",
+                         "mpileaks", "mvapich2"]
+
+    def test_result_satisfies_input(self, session):
+        abstract = Spec("mpileaks@2.3 ^callpath@0.9+debug ^libelf@0.8.11")
+        c = session.concretize(abstract)
+        assert c.satisfies(abstract, strict=True)
+
+    def test_highest_version_chosen(self, session):
+        assert str(concretize(session, "mpileaks").version) == "2.3"
+        assert str(concretize(session, "libelf").version) == "0.8.13"
+
+    def test_version_constraint_respected(self, session):
+        # family semantics: :1.1 includes 1.1.2, and highest wins
+        assert str(concretize(session, "mpileaks@1.0:1.1").version) == "1.1.2"
+        assert str(concretize(session, "mpileaks@1.0:1.0").version) == "1.0"
+
+    def test_unknown_point_version_kept(self, session):
+        # §3.2.3: a specific unknown version is fetched by extrapolation.
+        assert str(concretize(session, "mpileaks@9.9").version) == "9.9"
+
+    def test_unknown_range_fails(self, session):
+        with pytest.raises(NoSatisfyingVersionError):
+            concretize(session, "mpileaks@9.1:9.2")
+
+    def test_deterministic(self, session):
+        a = concretize(session, "mpileaks")
+        b = concretize(session, "mpileaks")
+        assert a == b and a.dag_hash() == b.dag_hash()
+
+    def test_idempotent_on_concrete(self, session):
+        c = concretize(session, "mpileaks")
+        again = session.concretize(c)
+        assert again == c
+
+    def test_anonymous_rejected(self, session):
+        with pytest.raises(ConcretizationError):
+            session.concretize(Spec("@1.0"))
+
+    def test_unknown_package(self, session):
+        with pytest.raises((UnknownPackageError, Exception)):
+            concretize(session, "no-such-package-xyz")
+
+
+class TestVirtualResolution:
+    def test_default_provider_from_policy(self, session):
+        # site preference order: mvapich2, openmpi, mpich
+        c = concretize(session, "mpileaks")
+        assert c["mpi"].name == "mvapich2"
+
+    def test_user_forced_provider(self, session):
+        c = concretize(session, "mpileaks ^mpich")
+        assert c["mpi"].name == "mpich"
+
+    def test_forced_provider_version(self, session):
+        c = concretize(session, "mpileaks ^mpich@1.5")
+        assert str(c["mpich"].version) == "1.5"
+
+    def test_versioned_virtual_constrains_provider(self, session):
+        # gerris needs mpi@2:; mpich 1.x only provides mpi@:1
+        c = concretize(session, "gerris ^mpich")
+        assert str(c["mpich"].version) == "3.0.4"
+
+    def test_provided_virtuals_stamped(self, session):
+        c = concretize(session, "mpileaks")
+        assert "mpi" in c["mvapich2"].provided_virtuals
+
+    def test_provider_preference_config(self, tmp_path):
+        from repro.session import Session
+
+        s = Session.create(
+            str(tmp_path / "u"),
+            config_overrides={"preferences": {"providers": {"mpi": ["openmpi"]}}},
+        )
+        assert s.concretize(Spec("mpileaks"))["mpi"].name == "openmpi"
+
+    def test_no_provider_satisfies(self, session):
+        with pytest.raises(NoBuildableProviderError):
+            concretize(session, "gerris ^mpi@99:")
+
+    def test_two_dependents_intersect_virtual(self, bare_repo_session):
+        repo = bare_repo_session.repo.repos[0]
+
+        @repo.register("prov")
+        class Prov(Package):
+            version("1.0", "x")
+            version("2.0", "y")
+            provides("vapi@:1", when="@1.0")
+            provides("vapi@:2", when="@2.0")
+
+        @repo.register("needs1")
+        class Needs1(Package):
+            version("1.0", "x")
+            depends_on("vapi")
+
+        @repo.register("needs2")
+        class Needs2(Package):
+            version("1.0", "x")
+            depends_on("vapi@2:")
+
+        @repo.register("top")
+        class Top(Package):
+            version("1.0", "x")
+            depends_on("needs1")
+            depends_on("needs2")
+
+        bare_repo_session.seed_web()
+        c = bare_repo_session.concretize(Spec("top"))
+        # the single vapi provider node must satisfy BOTH dependents
+        assert str(c["prov"].version) == "2.0"
+
+    def test_blas_virtual(self, session):
+        c = concretize(session, "py-numpy")
+        assert c["blas"].name == "netlib-blas"
+        assert c["lapack"].name == "netlib-lapack"
+
+
+class TestCompilers:
+    def test_default_compiler(self, session):
+        c = concretize(session, "libelf")
+        assert str(c.compiler) == "gcc@4.9.2"  # compiler_order default
+
+    def test_compiler_version_resolution(self, session):
+        c = concretize(session, "libelf%gcc@4.7")
+        assert str(c.compiler) == "gcc@4.7.3"
+
+    def test_compiler_propagates_to_deps(self, session):
+        c = concretize(session, "mpileaks%intel")
+        assert all(n.compiler.name == "intel" for n in c.traverse())
+
+    def test_per_node_compiler(self, session):
+        c = concretize(session, "mpileaks%gcc@4.7.3 ^callpath%intel@15.0.1")
+        assert str(c.compiler) == "gcc@4.7.3"
+        assert str(c["callpath"].compiler) == "intel@15.0.1"
+        assert str(c["dyninst"].compiler) == "gcc@4.7.3"
+
+    def test_unregistered_compiler_fails(self, session):
+        from repro.compilers.registry import NoSuchCompilerError
+
+        with pytest.raises(NoSuchCompilerError):
+            concretize(session, "libelf%gcc@9.9")
+
+    def test_compiler_order_preference(self, tmp_path):
+        from repro.session import Session
+
+        s = Session.create(
+            str(tmp_path / "u"),
+            config_overrides={"preferences": {"compiler_order": ["intel@14", "gcc"]}},
+        )
+        c = s.concretize(Spec("libelf"))
+        assert str(c.compiler) == "intel@14.0.3"
+
+
+class TestVariants:
+    def test_default_variant(self, session):
+        c = concretize(session, "mpileaks")
+        assert c.variants["debug"] is False
+
+    def test_explicit_variant(self, session):
+        c = concretize(session, "mpileaks+debug")
+        assert c.variants["debug"] is True
+
+    def test_variant_preference_config(self, tmp_path):
+        from repro.session import Session
+
+        s = Session.create(
+            str(tmp_path / "u"),
+            config_overrides={
+                "preferences": {"packages": {"mpileaks": {"variants": {"debug": True}}}}
+            },
+        )
+        assert s.concretize(Spec("mpileaks")).variants["debug"] is True
+
+    def test_unknown_variant_rejected(self, session):
+        from repro.spec.errors import UnknownVariantError
+
+        with pytest.raises(UnknownVariantError):
+            concretize(session, "mpileaks+bogusvariant")
+
+    def test_conditional_dependency_on_variant(self, bare_repo_session):
+        repo = bare_repo_session.repo.repos[0]
+
+        @repo.register("base")
+        class BaseLib(Package):
+            version("1.0", "x")
+
+        @repo.register("opt")
+        class Opt(Package):
+            version("1.0", "x")
+            variant("extras", default=False, description="pull in base")
+            depends_on("base", when="+extras")
+
+        without = bare_repo_session.concretize(Spec("opt"))
+        assert "base" not in [n.name for n in without.traverse()]
+        with_extras = bare_repo_session.concretize(Spec("opt+extras"))
+        assert "base" in [n.name for n in with_extras.traverse()]
+
+
+class TestArchitecture:
+    def test_default_arch(self, session):
+        assert concretize(session, "libelf").architecture == "linux-x86_64"
+
+    def test_explicit_arch_propagates(self, session):
+        c = concretize(session, "mpileaks=bgq")
+        assert all(n.architecture == "bgq" for n in c.traverse())
+
+    def test_conditional_dep_on_arch(self, session):
+        c = concretize(session, "ares=bgq %xl ^bgq-mpi")
+        assert str(c["python"].version) == "2.7.9"  # §4.4: BG/Q pins python
+
+
+class TestConditionalDependencies:
+    def test_rose_boost_by_compiler(self, session):
+        # §3.2.4's example: boost version depends on the compiler.
+        old = concretize(session, "rose%gcc@4.7.3")
+        assert str(old["boost"].version) == "1.54.0"
+        new = concretize(session, "rose%intel")
+        assert str(new["boost"].version) == "1.55.0"
+
+    def test_version_conditioned_dep(self, session):
+        prev = concretize(session, "ares@2014.11 ^mvapich")
+        assert str(prev["boost"].version) == "1.54.0"
+        cur = concretize(session, "ares@2015.06 ^mvapich")
+        assert str(cur["boost"].version) == "1.55.0"
+
+
+class TestErrors:
+    def test_conflicting_user_and_package_constraints(self, session):
+        # gerris needs mpi@2:, user forces an MPI that cannot provide it
+        with pytest.raises(ConcretizationError):
+            concretize(session, "gerris ^mvapich")
+
+    def test_dependency_version_conflict(self, bare_repo_session):
+        repo = bare_repo_session.repo.repos[0]
+
+        @repo.register("leaf")
+        class Leaf(Package):
+            version("1.0", "x")
+            version("2.0", "y")
+
+        @repo.register("wants1")
+        class Wants1(Package):
+            version("1.0", "x")
+            depends_on("leaf@1.0")
+
+        @repo.register("wants2")
+        class Wants2(Package):
+            version("1.0", "x")
+            depends_on("leaf@2.0")
+
+        @repo.register("both")
+        class Both(Package):
+            version("1.0", "x")
+            depends_on("wants1")
+            depends_on("wants2")
+
+        with pytest.raises(ConcretizationError):
+            bare_repo_session.concretize(Spec("both"))
+
+    def test_cycle_detected(self, bare_repo_session):
+        repo = bare_repo_session.repo.repos[0]
+
+        @repo.register("cyc-a")
+        class CycA(Package):
+            version("1.0", "x")
+            depends_on("cyc-b")
+
+        @repo.register("cyc-b")
+        class CycB(Package):
+            version("1.0", "x")
+            depends_on("cyc-a")
+
+        with pytest.raises(CyclicDependencyError):
+            bare_repo_session.concretize(Spec("cyc-a"))
+
+    def test_greedy_no_backtrack_hwloc_case(self, bare_repo_session):
+        """§4.5's limitation, reproduced: P needs hwloc@1.9 and mpi; the
+        preferred MPI strictly needs hwloc@1.8 -> error (no backtracking),
+        but forcing the other MPI works."""
+        repo = bare_repo_session.repo.repos[0]
+
+        @repo.register("hwloc")
+        class Hwloc(Package):
+            version("1.8", "x")
+            version("1.9", "y")
+
+        @repo.register("ampi")
+        class Ampi(Package):
+            version("1.0", "x")
+            provides("mpi2")
+            depends_on("hwloc@1.8")
+
+        @repo.register("bmpi")
+        class Bmpi(Package):
+            version("1.0", "x")
+            provides("mpi2")
+            depends_on("hwloc@1.9")
+
+        @repo.register("p")
+        class P(Package):
+            version("1.0", "x")
+            depends_on("hwloc@1.9")
+            depends_on("mpi2")
+
+        bare_repo_session.config.update(
+            "user", {"preferences": {"providers": {"mpi2": ["ampi", "bmpi"]}}}
+        )
+        with pytest.raises(ConcretizationError):
+            bare_repo_session.concretize(Spec("p"))
+        c = bare_repo_session.concretize(Spec("p ^bmpi"))
+        assert str(c["hwloc"].version) == "1.9"
+
+
+class TestExternals:
+    def test_external_resolved(self, session):
+        prefix = session.register_external("openmpi@1.8.2")
+        c = session.concretize(Spec("mpileaks ^openmpi"))
+        assert c["openmpi"].external == prefix
+        assert str(c["openmpi"].version) == "1.8.2"
+
+    def test_nonbuildable_without_external(self, tmp_path):
+        from repro.session import Session
+
+        s = Session.create(
+            str(tmp_path / "u"),
+            config_overrides={"packages": {"mpich": {"buildable": False}}},
+        )
+        with pytest.raises(ConcretizationError):
+            s.concretize(Spec("mpileaks ^mpich"))
+
+
+class TestConflictsDirective:
+    def test_conflicting_spec_rejected(self, bare_repo_session):
+        from repro.directives import conflicts
+
+        repo = bare_repo_session.repo.repos[0]
+
+        @repo.register("picky")
+        class Picky(Package):
+            version("1.0", "x")
+            conflicts("%xl", msg="does not build with XL")
+
+        with pytest.raises(Exception, match="does not build with XL"):
+            bare_repo_session.concretize(Spec("picky%xl"))
+        bare_repo_session.concretize(Spec("picky%gcc"))

@@ -1,0 +1,149 @@
+"""Property-based tests of the policy/preference machinery.
+
+Random site preferences (provider orders, preferred versions, variant
+defaults) must always be *honored when feasible* and never produce an
+invalid concretization.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compilers.registry import Compiler, CompilerRegistry
+from repro.config.config import Config
+from repro.core.concretizer import Concretizer
+from repro.core.policies import DefaultPolicy
+from repro.directives import depends_on, provides, variant, version
+from repro.package.package import Package
+from repro.repo.providers import ProviderIndex
+from repro.repo.repository import Repository
+from repro.spec.spec import Spec
+from repro.version import Version
+
+
+@pytest.fixture(scope="module")
+def fixed_universe():
+    repo = Repository(namespace="policy-prop")
+
+    @repo.register("iface-a")
+    class IfaceA(Package):
+        version("1.0", "x")
+        version("2.0", "y")
+        provides("papi9")
+
+    @repo.register("iface-b")
+    class IfaceB(Package):
+        version("1.5", "x")
+        provides("papi9")
+
+    @repo.register("leaf")
+    class Leaf(Package):
+        version("1.0", "a")
+        version("1.1", "b")
+        version("2.0", "c")
+        variant("shared", default=True, description="s")
+        variant("debug", default=False, description="d")
+
+    @repo.register("app")
+    class App(Package):
+        version("3.0", "a")
+        version("3.1", "b")
+        depends_on("leaf")
+        depends_on("papi9")
+
+    registry = CompilerRegistry(
+        [Compiler("gcc", "4.9.2", cc="/t/gcc"), Compiler("intel", "15.0.1", cc="/t/icc")]
+    )
+    index = ProviderIndex.from_repo(repo)
+    return repo, index, registry
+
+
+provider_orders = st.permutations(["iface-a", "iface-b"])
+version_prefs = st.sampled_from([[], ["1.0"], ["1.1"], ["2.0"], ["1.1", "2.0"]])
+variant_prefs = st.fixed_dictionaries(
+    {}, optional={"shared": st.booleans(), "debug": st.booleans()}
+)
+compiler_orders = st.sampled_from([[], ["gcc"], ["intel"], ["intel", "gcc"]])
+
+common = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def _concretizer(fixed_universe, prefs):
+    repo, index, registry = fixed_universe
+    config = Config()
+    config.update("site", {"preferences": {"architecture": "linux-x86_64"}})
+    config.update("user", {"preferences": prefs})
+    return Concretizer(repo, index, registry, config, DefaultPolicy(config))
+
+
+@given(order=provider_orders)
+@common
+def test_provider_order_always_honored(fixed_universe, order):
+    concretizer = _concretizer(fixed_universe, {"providers": {"papi9": list(order)}})
+    concrete = concretizer.concretize(Spec("app"))
+    assert concrete["papi9"].name == order[0]
+
+
+@given(prefs=version_prefs)
+@common
+def test_version_preferences_honored(fixed_universe, prefs):
+    concretizer = _concretizer(
+        fixed_universe, {"packages": {"leaf": {"version": prefs}}}
+    )
+    concrete = concretizer.concretize(Spec("app"))
+    chosen = concrete["leaf"].version
+    if prefs:
+        assert chosen == Version(prefs[0])
+    else:
+        assert chosen == Version("2.0")  # newest by default
+
+
+@given(prefs=version_prefs)
+@common
+def test_explicit_constraint_beats_preference(fixed_universe, prefs):
+    concretizer = _concretizer(
+        fixed_universe, {"packages": {"leaf": {"version": prefs}}}
+    )
+    concrete = concretizer.concretize(Spec("app ^leaf@1.0"))
+    assert concrete["leaf"].version == Version("1.0")
+
+
+@given(vprefs=variant_prefs)
+@common
+def test_variant_preferences_honored(fixed_universe, vprefs):
+    concretizer = _concretizer(
+        fixed_universe, {"packages": {"leaf": {"variants": dict(vprefs)}}}
+    )
+    concrete = concretizer.concretize(Spec("app"))
+    leaf = concrete["leaf"]
+    assert leaf.variants["shared"] == vprefs.get("shared", True)
+    assert leaf.variants["debug"] == vprefs.get("debug", False)
+
+
+@given(order=compiler_orders)
+@common
+def test_compiler_order_honored(fixed_universe, order):
+    concretizer = _concretizer(fixed_universe, {"compiler_order": list(order)})
+    concrete = concretizer.concretize(Spec("app"))
+    expected = order[0] if order else "gcc"
+    assert concrete.compiler.name == expected
+    # whole DAG inherits
+    assert all(n.compiler.name == expected for n in concrete.traverse())
+
+
+@given(order=provider_orders, prefs=version_prefs, vprefs=variant_prefs)
+@common
+def test_any_preference_combination_is_valid(fixed_universe, order, prefs, vprefs):
+    concretizer = _concretizer(
+        fixed_universe,
+        {
+            "providers": {"papi9": list(order)},
+            "packages": {"leaf": {"version": prefs, "variants": dict(vprefs)}},
+        },
+    )
+    concrete = concretizer.concretize(Spec("app"))
+    assert concrete.concrete
+    assert concrete.satisfies(Spec("app"), strict=True)

@@ -1,0 +1,59 @@
+"""Concretizer trace events (Figure 6 observability)."""
+
+import pytest
+
+from repro.core.concretizer import Concretizer
+from repro.spec.spec import Spec
+
+
+def traced_concretizer(session, events):
+    return Concretizer(
+        session.repo, session.provider_index, session.compilers,
+        session.config, session.policy, trace=events.append,
+    )
+
+
+class TestTrace:
+    def test_events_cover_pipeline(self, session):
+        events = []
+        traced_concretizer(session, events).concretize(Spec("mpileaks"))
+        kinds = [e["event"] for e in events]
+        assert "expand" in kinds
+        assert "virtual-resolved" in kinds
+        assert "iteration" in kinds
+
+    def test_virtual_resolution_event(self, session):
+        events = []
+        traced_concretizer(session, events).concretize(Spec("mpileaks ^mpich"))
+        resolved = [e for e in events if e["event"] == "virtual-resolved"]
+        assert len(resolved) == 1
+        assert resolved[0]["virtual"].startswith("mpi")
+        assert resolved[0]["provider"] == "mpich"
+
+    def test_converges_with_final_unchanged_iteration(self, session):
+        events = []
+        traced_concretizer(session, events).concretize(Spec("mpileaks"))
+        iterations = [e for e in events if e["event"] == "iteration"]
+        assert iterations[-1]["changed"] is False
+        assert all(e["changed"] for e in iterations[:-1])
+
+    def test_expand_reports_growing_node_set(self, session):
+        events = []
+        traced_concretizer(session, events).concretize(Spec("mpileaks"))
+        expands = [e for e in events if e["event"] == "expand"]
+        assert "mpileaks" in expands[0]["nodes"]
+        assert "callpath" in expands[-1]["nodes"]
+
+    def test_no_trace_by_default(self, session):
+        concrete = session.concretize(Spec("mpileaks"))
+        assert concrete.concrete  # and no callback machinery engaged
+
+    def test_cli_trace_flag(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        code = main(["--root", str(tmp_path / "u"), "spec", "--trace", "mpileaks"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Trace" in out
+        assert "[virtual-resolved]" in out
+        assert "provider=mvapich2" in out

@@ -1,0 +1,157 @@
+"""Directive mechanics: metadata accumulation and inheritance (§3.1)."""
+
+import pytest
+
+from repro.directives import (
+    DirectiveError,
+    conflicts,
+    depends_on,
+    extends,
+    patch,
+    provides,
+    variant,
+    version,
+)
+from repro.package.package import Package
+from repro.spec.spec import Spec
+from repro.version import Version
+
+
+class Example(Package):
+    homepage = "https://example.org"
+    url = "https://example.org/example-1.0.tar.gz"
+
+    version("1.0", "aaaa")
+    version("2.0", "bbbb", url="https://mirror.org/example-2.0.tgz")
+    variant("debug", default=False, description="debug build")
+    variant("shared", default=True, description="shared libs")
+    depends_on("libelf")
+    depends_on("libdwarf@20130729:", when="+debug")
+    provides("exampleapi@:2", when="@2:")
+    patch("fix-things.patch", when="%xl")
+    conflicts("%pgi@:13", msg="known miscompilation")
+
+
+Example.name = "example"
+
+
+class TestVersionDirective:
+    def test_versions_recorded(self):
+        assert Version("1.0") in Example.versions
+        assert Example.versions[Version("1.0")]["checksum"] == "aaaa"
+
+    def test_per_version_url(self):
+        assert Example.versions[Version("2.0")]["url"] == "https://mirror.org/example-2.0.tgz"
+
+    def test_known_versions_sorted_newest_first(self):
+        assert Example.known_versions()[0] == Version("2.0")
+
+
+class TestDependsOn:
+    def test_unconditional(self):
+        constraints = Example.dependencies["libelf"]
+        assert len(constraints) == 1
+        assert constraints[0].when is None
+
+    def test_conditional(self):
+        dc = Example.dependencies["libdwarf"][0]
+        assert dc.when == Spec("+debug")
+        assert str(dc.spec.versions) == "20130729:"
+
+    def test_requires_named_spec(self):
+        with pytest.raises(DirectiveError):
+            class Bad(Package):
+                depends_on("@1.2")
+
+
+class TestProvides:
+    def test_recorded_with_condition(self):
+        interface = Example.provided[0]
+        assert interface.spec.name == "exampleapi"
+        assert interface.when == Spec("@2:")
+
+    def test_provided_virtuals_evaluation(self):
+        assert Example.provided_virtuals(Spec("example@2.1"))
+        assert not Example.provided_virtuals(Spec("example@1.0"))
+
+    def test_provides_query(self):
+        assert Example.provides("exampleapi")
+        assert not Example.provides("mpi")
+
+
+class TestVariants:
+    def test_declared(self):
+        assert Example.variants["debug"].default is False
+        assert Example.variants["shared"].default is True
+        assert Example.variants["debug"].description == "debug build"
+
+
+class TestPatchesAndConflicts:
+    def test_patch_condition(self):
+        pkg = Example(Spec("example@1.0%xl@12.1=bgq"))
+        assert [p.name for p in pkg.patches_for_spec()] == ["fix-things.patch"]
+
+    def test_patch_not_applied(self):
+        pkg = Example(Spec("example@1.0%gcc@4.9=bgq"))
+        assert pkg.patches_for_spec() == []
+
+    def test_conflict_detected(self):
+        pkg = Example(Spec("example@1.0%pgi@13.1"))
+        from repro.package.package import PackageError
+
+        with pytest.raises(PackageError, match="miscompilation"):
+            pkg.validate_conflicts()
+
+    def test_no_conflict(self):
+        Example(Spec("example@1.0%pgi@14.10")).validate_conflicts()
+
+
+class TestInheritance:
+    def test_subclass_inherits_and_extends(self):
+        class SiteExample(Example):
+            version("3.0-site", "cccc")
+            depends_on("zlib")
+
+        SiteExample.name = "example"
+        assert Version("1.0") in SiteExample.versions
+        assert Version("3.0-site") in SiteExample.versions
+        assert "zlib" in SiteExample.dependencies
+        assert "libelf" in SiteExample.dependencies
+
+    def test_parent_not_mutated(self):
+        class Child(Example):
+            version("9.9", "dddd")
+            variant("extra", default=True, description="x")
+
+        assert Version("9.9") not in Example.versions
+        assert "extra" not in Example.variants
+
+
+class TestExtends:
+    def test_extends_implies_dependency(self):
+        class Ext(Package):
+            extends("python")
+            version("1.0", "eeee")
+
+        Ext.name = "ext"
+        assert "python" in Ext.extendees
+        assert "python" in Ext.dependencies
+        assert Ext(Spec("ext")).is_extension
+
+    def test_non_extension(self):
+        assert not Example(Spec("example@1.0")).is_extension
+
+
+class TestUrlForVersion:
+    def test_extrapolated(self):
+        pkg = Example(Spec("example@1.5"))
+        assert pkg.url_for_version("1.5") == "https://example.org/example-1.5.tar.gz"
+
+    def test_per_version_override(self):
+        pkg = Example(Spec("example@2.0"))
+        assert pkg.url_for_version("2.0") == "https://mirror.org/example-2.0.tgz"
+
+    def test_checksum_lookup(self):
+        pkg = Example(Spec("example@1.0"))
+        assert pkg.checksum_for("1.0") == "aaaa"
+        assert pkg.checksum_for("7.7") is None

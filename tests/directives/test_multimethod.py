@@ -1,0 +1,116 @@
+"""@when build specialization (§3.2.5, Figure 4)."""
+
+import pytest
+
+from repro.directives import NoSuchMethodError, when
+from repro.directives.multimethod import SpecMultiMethod
+from repro.package.package import Package
+from repro.spec.spec import Spec
+
+
+class FigureFour(Package):
+    """The Dyninst example from Figure 4."""
+
+    def install(self, spec, prefix):  # default: cmake
+        return "cmake"
+
+    @when("@:8.1")
+    def install(self, spec, prefix):  # <= 8.1: autotools
+        return "autotools"
+
+
+FigureFour.name = "figurefour"
+
+
+class TestFigureFour:
+    def test_new_version_uses_default(self):
+        pkg = FigureFour(Spec("figurefour@8.2"))
+        assert pkg.install(None, None) == "cmake"
+
+    def test_old_version_uses_specialized(self):
+        assert FigureFour(Spec("figurefour@8.1")).install(None, None) == "autotools"
+        assert FigureFour(Spec("figurefour@8.0")).install(None, None) == "autotools"
+
+    def test_boundary_family(self):
+        assert FigureFour(Spec("figurefour@8.1.2")).install(None, None) == "autotools"
+
+
+class ManyConditions(Package):
+    def build_flavor(self):
+        return "default"
+
+    @when("%xl")
+    def build_flavor(self):
+        return "xl"
+
+    @when("=bgq")
+    def build_flavor(self):
+        return "bgq"
+
+
+ManyConditions.name = "many"
+
+
+class TestDispatchOrder:
+    def test_first_matching_condition_wins(self):
+        pkg = ManyConditions(Spec("many%xl@12.1=bgq"))
+        assert pkg.build_flavor() == "xl"
+
+    def test_second_condition(self):
+        pkg = ManyConditions(Spec("many%gcc@4.9=bgq"))
+        assert pkg.build_flavor() == "bgq"
+
+    def test_default_fallback(self):
+        pkg = ManyConditions(Spec("many%gcc@4.9=linux-x86_64"))
+        assert pkg.build_flavor() == "default"
+
+
+class OnlyConditional(Package):
+    @when("@2:")
+    def helper(self):
+        return "v2"
+
+
+OnlyConditional.name = "onlycond"
+
+
+class TestNoDefault:
+    def test_matching(self):
+        assert OnlyConditional(Spec("onlycond@2.1")).helper() == "v2"
+
+    def test_no_match_raises(self):
+        with pytest.raises(NoSuchMethodError):
+            OnlyConditional(Spec("onlycond@1.0")).helper()
+
+
+class Parent(Package):
+    def greet(self):
+        return "parent"
+
+
+class Child(Parent):
+    @when("@5:")
+    def greet(self):
+        return "child-v5"
+
+
+Parent.name = "parent"
+Child.name = "child"
+
+
+class TestInheritanceFallback:
+    def test_subclass_condition(self):
+        assert Child(Spec("child@6")).greet() == "child-v5"
+
+    def test_falls_back_to_inherited(self):
+        assert Child(Spec("child@1")).greet() == "parent"
+
+
+class TestDescriptor:
+    def test_class_access_returns_descriptor(self):
+        assert isinstance(FigureFour.__dict__["install"], SpecMultiMethod)
+
+    def test_bound_method(self):
+        pkg = FigureFour(Spec("figurefour@8.0"))
+        bound = pkg.install
+        assert bound(None, None) == "autotools"

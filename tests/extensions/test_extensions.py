@@ -1,0 +1,144 @@
+"""Python-style extension activation (§4.2)."""
+
+import json
+import os
+
+import pytest
+
+from repro.extensions.activation import ExtensionConflictError, activated_extensions
+from repro.extensions.manager import ExtensionError, ExtensionManager
+from repro.spec.spec import Spec
+
+
+@pytest.fixture
+def python_session(session):
+    """Session with python + py-setuptools + py-nose installed."""
+    session.install("python@2.7.9")
+    session.install("py-setuptools@11.3 ^python@2.7.9")
+    session.install("py-nose ^python@2.7.9")
+    return session
+
+
+def python_prefix(session):
+    return session.store.layout.path_for_spec(session.find("python")[0])
+
+
+class TestActivate:
+    def test_activate_symlinks_files(self, python_session):
+        manager = ExtensionManager(python_session)
+        manager.activate("py-nose")
+        prefix = python_prefix(python_session)
+        module_dir = os.path.join(prefix, "lib", "site-packages", "nose")
+        assert os.path.isdir(module_dir)
+        init = os.path.join(module_dir, "__init__.py")
+        assert os.path.islink(init)
+
+    def test_activation_recorded(self, python_session):
+        manager = ExtensionManager(python_session)
+        manager.activate("py-nose")
+        active = activated_extensions(python_prefix(python_session))
+        assert "py-nose" in active
+        assert active["py-nose"]["version"] == "1.3.4"
+
+    def test_double_activation_rejected(self, python_session):
+        manager = ExtensionManager(python_session)
+        manager.activate("py-nose")
+        with pytest.raises(ExtensionError, match="already activated"):
+            manager.activate("py-nose")
+
+    def test_two_versions_rejected(self, python_session):
+        newer, _ = python_session.install("py-setuptools@11.3.1 ^python@2.7.9")
+        # note: a query spec "@11.3" matches BOTH (family semantics), so
+        # resolve by exact concrete specs here
+        older = python_session.find("py-setuptools@11.3.0:11.3.0")  # no match: point
+        manager = ExtensionManager(python_session)
+        older_spec = next(
+            s for s in python_session.find("py-setuptools") if str(s.version) == "11.3"
+        )
+        manager.activate(older_spec)
+        with pytest.raises(ExtensionError, match="Another version"):
+            manager.activate(newer)
+
+    def test_pth_files_merged_not_conflicting(self, python_session):
+        """The package-specialized activation: easy-install.pth would
+        conflict; Python's activate merges it instead (§4.2)."""
+        manager = ExtensionManager(python_session)
+        manager.activate("py-nose")
+        manager.activate("py-setuptools")  # would conflict on the .pth
+        pth = os.path.join(
+            python_prefix(python_session), "lib", "site-packages", "easy-install.pth"
+        )
+        lines = open(pth).read().splitlines()
+        assert "./nose" in lines and "./setuptools" in lines
+
+    def test_not_an_extension(self, python_session):
+        python_session.install("libelf")
+        with pytest.raises(ExtensionError, match="does not extend"):
+            ExtensionManager(python_session).activate("libelf")
+
+    def test_not_installed(self, session):
+        session.install("python@2.7.9")
+        with pytest.raises(ExtensionError, match="not installed"):
+            ExtensionManager(session).activate("py-nose")
+
+    def test_genuine_conflict_fails(self, python_session):
+        """Two extensions shipping the same real file must refuse."""
+        manager = ExtensionManager(python_session)
+        manager.activate("py-nose")
+        # fabricate a conflicting real file where setuptools will land
+        target = os.path.join(
+            python_prefix(python_session), "lib", "site-packages",
+            "setuptools", "__init__.py",
+        )
+        os.makedirs(os.path.dirname(target))
+        with open(target, "w") as f:
+            f.write("# pre-existing\n")
+        with pytest.raises((ExtensionConflictError, ExtensionError)):
+            manager.activate("py-setuptools")
+
+
+class TestDeactivate:
+    def test_restores_pristine_prefix(self, python_session):
+        manager = ExtensionManager(python_session)
+        prefix = python_prefix(python_session)
+        site = os.path.join(prefix, "lib", "site-packages")
+        before = set(os.listdir(site))
+        manager.activate("py-nose")
+        manager.deactivate("py-nose")
+        assert set(os.listdir(site)) == before
+        assert "py-nose" not in activated_extensions(prefix)
+
+    def test_pth_unmerged(self, python_session):
+        manager = ExtensionManager(python_session)
+        manager.activate("py-nose")
+        manager.activate("py-setuptools")
+        manager.deactivate("py-nose")
+        pth = os.path.join(
+            python_prefix(python_session), "lib", "site-packages", "easy-install.pth"
+        )
+        lines = open(pth).read().splitlines()
+        assert "./nose" not in lines and "./setuptools" in lines
+
+    def test_deactivate_inactive_rejected(self, python_session):
+        with pytest.raises(ExtensionError, match="not activated"):
+            ExtensionManager(python_session).deactivate("py-nose")
+
+
+class TestQueries:
+    def test_extensions_of(self, python_session):
+        manager = ExtensionManager(python_session)
+        manager.activate("py-nose")
+        installed, active = manager.extensions_of("python")
+        names = {s.name for s in installed}
+        assert names == {"py-setuptools", "py-nose"}
+        assert set(active) == {"py-nose"}
+
+    def test_extension_installs_own_prefix(self, python_session):
+        """Extensions install into their own prefixes (combinatorial
+        versioning), not into the interpreter (§4.2)."""
+        ext = python_session.find("py-nose")[0]
+        ext_prefix = python_session.store.layout.path_for_spec(ext)
+        assert os.path.isfile(
+            os.path.join(ext_prefix, "lib", "site-packages", "nose", "__init__.py")
+        )
+        assert python_prefix(python_session) != ext_prefix

@@ -1,0 +1,143 @@
+"""Mock web, fetcher (checksums, scraping), and staging (§3.2.3, §3.5.3)."""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.fetch.fetcher import ChecksumError, Fetcher, FetchError
+from repro.fetch.mockweb import MockWeb, NotOnWebError, mock_checksum, mock_tarball
+from repro.fetch.stage import Stage, StageError
+
+
+class TestMockWeb:
+    def test_tarball_deterministic(self):
+        assert mock_tarball("foo", "1.0") == mock_tarball("foo", "1.0")
+        assert mock_tarball("foo", "1.0") != mock_tarball("foo", "1.1")
+        assert mock_tarball("foo", "1.0") != mock_tarball("bar", "1.0")
+
+    def test_checksum_is_real_md5(self):
+        assert mock_checksum("foo", "1.0") == hashlib.md5(mock_tarball("foo", "1.0")).hexdigest()
+
+    def test_put_get(self):
+        web = MockWeb()
+        web.put("http://x/y", b"content")
+        assert web.get("http://x/y") == b"content"
+
+    def test_404(self):
+        with pytest.raises(NotOnWebError):
+            MockWeb().get("http://nothing/here")
+
+    def test_corruption(self):
+        web = MockWeb()
+        web.put("http://x/y", b"content")
+        web.corrupt("http://x/y")
+        assert web.get("http://x/y") != b"content"
+
+
+class TestFetcher:
+    def _pkg_and_web(self, session):
+        cls = session.repo.get_class("mpileaks")
+        from repro.spec.spec import Spec
+
+        pkg = cls(Spec("mpileaks@1.0"), session=session)
+        return pkg, session.web
+
+    def test_fetch_verifies_checksum(self, session):
+        pkg, web = self._pkg_and_web(session)
+        content = session.fetcher.fetch(pkg, "1.0")
+        assert json.loads(content)["name"] == "mpileaks"
+
+    def test_checksum_mismatch_detected(self, session):
+        pkg, web = self._pkg_and_web(session)
+        web.corrupt(pkg.url_for_version("1.0"))
+        with pytest.raises(ChecksumError):
+            session.fetcher.fetch(pkg, "1.0")
+
+    def test_unknown_version_not_on_web(self, session):
+        pkg, _ = self._pkg_and_web(session)
+        with pytest.raises(FetchError):
+            session.fetcher.fetch(pkg, "77.0")
+
+    def test_unknown_version_fetchable_when_published(self, session):
+        # §3.2.3: "If the user requests a specific version ... unknown to
+        # Spack, Spack will attempt to fetch and install it."
+        pkg, web = self._pkg_and_web(session)
+        url = pkg.url_for_version("3.1.4")
+        web.put(url, mock_tarball("mpileaks", "3.1.4"))
+        content = session.fetcher.fetch(pkg, "3.1.4")  # no declared checksum
+        assert json.loads(content)["version"] == "3.1.4"
+
+    def test_scrape_versions(self, session):
+        pkg, _ = self._pkg_and_web(session)
+        versions = session.fetcher.available_versions(pkg)
+        assert [str(v) for v in versions][:2] == ["2.3", "1.1.2"]
+
+    def test_scrape_sees_new_releases(self, session):
+        pkg, web = self._pkg_and_web(session)
+        web.register_package(type(pkg), versions=["1.0", "1.1", "9.0"])
+        versions = session.fetcher.available_versions(pkg)
+        assert "9.0" in [str(v) for v in versions]
+
+
+class TestStage:
+    def _staged(self, session, tmp_path, name="libelf", version="0.8.13"):
+        from repro.spec.spec import Spec
+
+        cls = session.repo.get_class(name)
+        pkg = cls(session.concretize(Spec("%s@%s" % (name, version))), session=session)
+        stage = Stage(str(tmp_path / "stage"), pkg).create()
+        content = session.fetcher.fetch(pkg, version)
+        stage.expand_tarball(content)
+        return pkg, stage
+
+    def test_expand_creates_source_tree(self, session, tmp_path):
+        pkg, stage = self._staged(session, tmp_path)
+        assert os.path.isfile(os.path.join(stage.source_path, "configure"))
+        units = [f for f in os.listdir(os.path.join(stage.source_path, "src")) if f.endswith(".c")]
+        assert len(units) == pkg.build_units
+
+    def test_unit_content(self, session, tmp_path):
+        _, stage = self._staged(session, tmp_path)
+        text = open(os.path.join(stage.source_path, "src", "unit_000.c")).read()
+        assert "PACKAGE libelf" in text
+        assert "INCLUDE config.h" in text
+
+    def test_garbage_tarball_rejected(self, session, tmp_path):
+        from repro.spec.spec import Spec
+
+        cls = session.repo.get_class("libelf")
+        pkg = cls(Spec("libelf@0.8.13"), session=session)
+        stage = Stage(str(tmp_path), pkg).create()
+        with pytest.raises(StageError):
+            stage.expand_tarball(b"not json at all")
+        with pytest.raises(StageError):
+            stage.expand_tarball(json.dumps({"kind": "other"}).encode())
+
+    def test_patch_application(self, session, tmp_path):
+        from repro.directives.directives import Patch
+
+        _, stage = self._staged(session, tmp_path)
+        stage.apply_patch(Patch("fix-unaligned.patch", None, 1))
+        text = open(os.path.join(stage.source_path, "src", "unit_000.c")).read()
+        assert "PATCHED fix-unaligned.patch" in text
+        assert os.path.isfile(
+            os.path.join(stage.source_path, ".patches", "fix-unaligned.patch")
+        )
+        assert stage.applied_patches == ["fix-unaligned.patch"]
+
+    def test_patch_before_expand_fails(self, session, tmp_path):
+        from repro.directives.directives import Patch
+        from repro.spec.spec import Spec
+
+        cls = session.repo.get_class("libelf")
+        pkg = cls(Spec("libelf@0.8.13"), session=session)
+        stage = Stage(str(tmp_path), pkg).create()
+        with pytest.raises(StageError):
+            stage.apply_patch(Patch("x.patch", None, 1))
+
+    def test_destroy(self, session, tmp_path):
+        _, stage = self._staged(session, tmp_path)
+        stage.destroy()
+        assert not os.path.exists(stage.path)

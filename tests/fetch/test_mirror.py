@@ -1,0 +1,95 @@
+"""Source mirrors: air-gapped fetching with verification."""
+
+import os
+
+import pytest
+
+from repro.fetch.fetcher import ChecksumError
+from repro.fetch.mirror import Mirror, create_mirror
+from repro.spec.spec import Spec
+
+
+class TestMirrorStore:
+    def test_put_fetch(self, tmp_path):
+        mirror = Mirror(str(tmp_path / "m"))
+        mirror.put("libelf", "0.8.13", b"tarball-bytes")
+        assert mirror.has("libelf", "0.8.13")
+        assert mirror.fetch("libelf", "0.8.13") == b"tarball-bytes"
+        assert mirror.fetch("libelf", "9.9") is None
+
+    def test_layout(self, tmp_path):
+        mirror = Mirror(str(tmp_path / "m"))
+        path = mirror.put("libelf", "0.8.13", b"x")
+        assert path.endswith(os.path.join("libelf", "libelf-0.8.13.tar.gz"))
+
+    def test_contents(self, tmp_path):
+        mirror = Mirror(str(tmp_path / "m"))
+        mirror.put("libelf", "0.8.13", b"x")
+        mirror.put("libelf", "0.8.12", b"y")
+        mirror.put("zlib", "1.2.8", b"z")
+        assert mirror.contents() == {
+            "libelf": ["0.8.12", "0.8.13"],
+            "zlib": ["1.2.8"],
+        }
+
+    def test_empty(self, tmp_path):
+        assert Mirror(str(tmp_path / "nothing")).contents() == {}
+
+
+class TestCreateMirror:
+    def test_mirrors_full_dag(self, session, tmp_path):
+        mirror = Mirror(str(tmp_path / "m"))
+        written = create_mirror(session, mirror, [Spec("libdwarf")])
+        assert set(written) == {("libdwarf", "20130729"), ("libelf", "0.8.13")}
+        assert mirror.has("libelf", "0.8.13")
+
+    def test_externals_skipped(self, session, tmp_path):
+        session.register_external("openmpi@1.8.2")
+        mirror = Mirror(str(tmp_path / "m"))
+        written = create_mirror(session, mirror, [Spec("mpileaks ^openmpi")])
+        assert ("openmpi", "1.8.2") not in written
+        assert ("mpileaks", "2.3") in written
+
+
+class TestAirGappedFetch:
+    def test_mirror_preferred_over_web(self, session, tmp_path):
+        mirror = Mirror(str(tmp_path / "m"))
+        create_mirror(session, mirror, [Spec("libelf")])
+        session.fetcher.add_mirror(mirror)
+        # kill the web: fetch must still work from the mirror
+        session.web._pages.clear()
+        spec, result = session.install("libelf")
+        assert "libelf" in [s.spec.name for s in result.built]
+
+    def test_without_mirror_dead_web_fails(self, session):
+        session.web._pages.clear()
+        from repro.store.installer import InstallError
+
+        with pytest.raises(InstallError):
+            session.install("libelf")
+
+    def test_tampered_mirror_caught(self, session, tmp_path):
+        mirror = Mirror(str(tmp_path / "m"))
+        mirror.put("libelf", "0.8.13", b"TAMPERED CONTENT")
+        session.fetcher.add_mirror(mirror)
+        cls = session.repo.get_class("libelf")
+        pkg = cls(session.concretize(Spec("libelf@0.8.13")), session=session)
+        with pytest.raises(ChecksumError):
+            session.fetcher.fetch(pkg, "0.8.13")
+
+
+class TestMirrorCLI:
+    def test_create_and_list(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        root = str(tmp_path / "u")
+        mirror_dir = str(tmp_path / "mir")
+        code = main(["--root", root, "mirror", "--create", "--dir", mirror_dir,
+                     "libdwarf"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mirrored 2 archives" in out
+        code = main(["--root", root, "mirror", "--dir", mirror_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "libelf" in out and "libdwarf" in out

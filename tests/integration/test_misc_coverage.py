@@ -1,0 +1,118 @@
+"""Coverage sweep for smaller behaviours across subsystems."""
+
+import os
+
+import pytest
+
+from repro.spec.spec import Spec
+
+
+class TestProvidersCLI:
+    def test_list_all_virtuals(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        code = main(["--root", str(tmp_path / "u"), "providers"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for virtual in ("mpi", "blas", "lapack", "fft"):
+            assert virtual in out
+        assert "mvapich2" in out and "fftw" in out
+
+
+class TestInstallerOptions:
+    def test_keep_stage(self, session):
+        session.install("libelf", keep_stage=True)
+        stages = os.listdir(session.stage_root)
+        assert any("libelf" in s for s in stages)
+
+    def test_stage_destroyed_by_default(self, session):
+        session.install("libelf")
+        assert not any("libelf" in s for s in os.listdir(session.stage_root))
+
+
+class TestSpecMisc:
+    def test_contains_spec_object(self, session):
+        concrete = session.concretize(Spec("mpileaks"))
+        assert Spec("libelf@0.8:") in concrete
+        assert Spec("libelf@9:") not in concrete
+
+    def test_repr_round_trip_hint(self):
+        s = Spec("mpileaks@1.0+debug")
+        assert "mpileaks@1.0+debug" in repr(s)
+
+    def test_node_str_omits_universal_versions(self):
+        assert Spec("mpileaks").node_str() == "mpileaks"
+
+    def test_eq_node(self):
+        a, b = Spec("x@1%gcc"), Spec("x@1%gcc")
+        b._add_dependency(Spec("y"))
+        assert a.eq_node(b)
+        assert a != b
+
+
+class TestConfigMisc:
+    def test_merged_full_dict(self, session):
+        merged = session.config.merged()
+        assert "preferences" in merged
+        assert merged["preferences"]["providers"]["mpi"][0] == "mvapich2"
+
+    def test_view_rules_accessor(self, session):
+        session.config.update("user", {"views": {"rules": [{"link": "/x/${PACKAGE}"}]}})
+        assert session.config.view_rules()["rules"][0]["link"] == "/x/${PACKAGE}"
+
+
+class TestPackageMisc:
+    def test_safe_vs_known_versions(self, session):
+        cls = session.repo.get_class("mpileaks")
+        assert cls.safe_versions() == cls.known_versions()  # all checksummed
+
+    def test_extendee_spec(self, session):
+        concrete = session.concretize(Spec("py-nose"))
+        pkg = session.package_for(concrete)
+        assert pkg.extendee_spec.name == "python"
+
+    def test_package_requires_matching_spec(self, session):
+        cls = session.repo.get_class("libelf")
+        from repro.package.package import PackageError
+
+        with pytest.raises(PackageError):
+            cls(Spec("mpileaks"), session=session)
+
+    def test_corpus_cost_attributes_sane(self, session):
+        for name in session.repo.all_package_names():
+            cls = session.repo.get_class(name)
+            assert getattr(cls, "build_units", 20) > 0
+            assert getattr(cls, "unit_cost", 0.05) > 0
+
+
+class TestModulesMisc:
+    def test_external_module_generated(self, session):
+        from repro.modules.generator import ModuleGenerator
+
+        session.register_external("openmpi@1.8.2")
+        spec, _ = session.install("mpileaks ^openmpi")
+        paths = ModuleGenerator(session).write_for_spec(spec["openmpi"])
+        text = open(paths[0]).read()
+        assert "openmpi" in text
+
+    def test_module_file_names_stable(self, installed_mpileaks):
+        from repro.modules.generator import TclModule
+
+        session, spec, _ = installed_mpileaks
+        a = TclModule(spec, session.store.layout).file_name
+        b = TclModule(spec, session.store.layout).file_name
+        assert a == b
+
+
+class TestStoreMisc:
+    def test_all_specs_dirs(self, installed_mpileaks):
+        session, _, _ = installed_mpileaks
+        dirs = list(session.store.layout.all_specs_dirs())
+        assert len(dirs) == 6
+        assert all(os.path.isdir(d) for d in dirs)
+
+    def test_metadata_path(self, installed_mpileaks):
+        session, spec, _ = installed_mpileaks
+        meta = session.store.layout.metadata_path(spec)
+        assert meta.endswith(".spack")
+        assert os.path.isdir(meta)

@@ -1,0 +1,60 @@
+"""Whole-pipeline fuzz: random requests → concretize → install → verify.
+
+Hypothesis drives random (but valid) build requests through the entire
+stack; every one must either concretize+install+verify cleanly or fail
+with a *typed* error — never corrupt the store, never leave a partial
+prefix, never break an earlier install.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.session import Session
+from repro.spec.spec import Spec
+from repro.store.verify import verify_store
+
+
+@pytest.fixture(scope="module")
+def fuzz_session(tmp_path_factory):
+    return Session.create(str(tmp_path_factory.mktemp("fuzz")))
+
+
+packages = st.sampled_from(
+    ["libelf", "libdwarf", "libpng", "zlib", "gperftools", "mpileaks",
+     "callpath", "gerris", "hdf5", "py-nose", "fftw"]
+)
+compilers = st.sampled_from(["", " %gcc", " %gcc@4.7.3", " %intel", " %clang"])
+arches = st.sampled_from(["", " =linux-x86_64", " =bgq"])
+mpis = st.sampled_from(["", " ^mvapich2", " ^openmpi", " ^mpich"])
+
+
+@st.composite
+def requests(draw):
+    return draw(packages) + draw(compilers) + draw(arches) + draw(mpis)
+
+
+@given(requests())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_random_request_never_corrupts_store(fuzz_session, request_text):
+    session = fuzz_session
+    try:
+        spec, result = session.install(request_text)
+    except ReproError:
+        # a typed failure (bad provider combo, conflict, ...) is fine —
+        # but it must not damage what is already installed
+        assert verify_store(session) == []
+        return
+    # success path: record present, prefix present, everything verifies
+    assert session.db.installed(spec)
+    prefix = session.store.layout.path_for_spec(spec)
+    assert os.path.isdir(prefix)
+    assert verify_store(session) == []
+    # and the result honors the request
+    assert spec.satisfies(Spec(request_text.strip()), strict=True)

@@ -1,0 +1,132 @@
+"""End-to-end reproductions of the paper's four use cases (§4)."""
+
+import json
+import os
+
+import pytest
+
+from repro.spec.spec import Spec
+
+
+class TestUseCase1CombinatorialNaming:
+    """§4.1: gperftools across compilers; mpileaks across compilers AND
+    MPIs, with new MPIs composed without editing the package."""
+
+    def test_gperftools_central_install_matrix(self, session):
+        specs = []
+        for compiler in ("%gcc@4.9.2", "%gcc@4.7.3", "%intel@15.0.1"):
+            spec, _ = session.install("gperftools@2.4 " + compiler)
+            specs.append(spec)
+        prefixes = {session.store.layout.path_for_spec(s) for s in specs}
+        assert len(prefixes) == 3
+        assert len(session.find("gperftools")) == 3
+
+    def test_mpileaks_with_new_mpi_without_editing_package(self, session):
+        """'Spack's virtual dependency system allows us to compose a new
+        mpileaks build quickly when a new MPI library is deployed.'"""
+        for mpi in ("^mvapich2", "^mpich", "^openmpi"):
+            session.install("mpileaks " + mpi)
+        mpis = {s["mpi"].name for s in session.find("mpileaks")}
+        assert mpis == {"mvapich2", "mpich", "openmpi"}
+
+
+class TestUseCase2PythonSupport:
+    """§4.2: per-prefix extensions + activation into a baseline stack."""
+
+    def test_custom_python_stack(self, session):
+        session.install("python@2.7.9")
+        session.install("py-numpy ^python@2.7.9")
+        session.install("py-scipy ^python@2.7.9")
+        from repro.extensions.manager import ExtensionManager
+
+        manager = ExtensionManager(session)
+        manager.activate("py-numpy")
+        manager.activate("py-scipy")
+
+        python_prefix = session.store.layout.path_for_spec(session.find("python")[0])
+        site = os.path.join(python_prefix, "lib", "site-packages")
+        assert os.path.isfile(os.path.join(site, "numpy", "__init__.py"))
+        assert os.path.isfile(os.path.join(site, "scipy", "__init__.py"))
+        pth = open(os.path.join(site, "easy-install.pth")).read().splitlines()
+        assert set(pth) == {"./numpy", "./scipy"}
+
+    def test_two_interpreter_versions_coexist(self, session):
+        session.install("python@2.7.9")
+        session.install("python@3.4.2")
+        assert len(session.find("python")) == 2
+
+
+class TestUseCase3SitePolicies:
+    """§4.3: views, preference policies, and site package repositories."""
+
+    def test_view_with_policy_change(self, session, tmp_path):
+        from repro.views.view import View, ViewRule
+
+        session.install("mpileaks %gcc@4.9.2")
+        session.install("mpileaks %intel@15.0.1")
+        view = View(session, str(tmp_path / "view"))
+        view.add_rule(ViewRule("/opt/${PACKAGE}-${VERSION}-${MPINAME}", match="mpileaks"))
+        # ambiguous link: both builds project to the same name
+        links = view.refresh()
+        assert len(links) == 1
+        session.config.update("user", {"preferences": {"compiler_order": ["intel"]}})
+        links = view.refresh()
+        assert next(iter(links.values())).compiler.name == "intel"
+
+    def test_site_repo_overrides_builtin(self, session):
+        """A site class inheriting the built-in recipe (§4.3.2)."""
+        from repro.directives import version
+        from repro.fetch.mockweb import mock_checksum
+        from repro.repo.repository import Repository
+
+        builtin_cls = session.repo.get_class("libelf")
+
+        class SiteLibelf(builtin_cls):
+            version("0.8.13-llnl", mock_checksum("libelf", "0.8.13-llnl"))
+
+        site = Repository(namespace="site")
+        site.add_class("libelf", SiteLibelf)
+        session.add_repo(site)
+        session.seed_web()
+
+        assert session.repo.get_class("libelf") is SiteLibelf
+        concrete = session.concretize(Spec("libelf@0.8.13-llnl"))
+        spec, result = session.install(concrete)
+        assert session.db.installed(spec)
+        # builtin recipe unchanged for other sessions
+        from repro.version import Version
+
+        assert Version("0.8.13-llnl") not in builtin_cls.versions
+
+
+class TestUseCase4Ares:
+    """§4.4: the production multi-physics stack, with vendor MPI external."""
+
+    def test_ares_full_install(self, session):
+        session.config.update(
+            "user", {"preferences": {"providers": {"mpi": ["mvapich"]}}}
+        )
+        spec, result = session.install("ares@2015.06+lite %gcc")
+        assert session.db.installed(spec)
+        built = set(result.built_names)
+        assert "ares" in built and "samrai" in built and "python" in built
+        # binary resolves its whole stack with an empty environment
+        from repro.build.loader import ldd
+
+        binary = os.path.join(session.store.layout.path_for_spec(spec), "bin", "ares")
+        resolved = ldd(binary, env={})
+        assert "libsamrai.so.json" in resolved
+        assert "libhypre.so.json" in resolved
+
+    def test_ares_with_external_vendor_mpi(self, session):
+        """'We have configured Spack to build ARES with external MPI
+        implementations, depending on the host system.'"""
+        prefix = session.register_external("cray-mpich@7.0.0")
+        spec, result = session.install("ares@2015.06+lite %pgi =cray_xe6 ^cray-mpich")
+        assert spec["mpi"].external == prefix
+        assert "cray-mpich" not in result.built_names
+        binary = os.path.join(session.store.layout.path_for_spec(spec), "bin", "ares")
+        from repro.build.loader import ldd
+
+        resolved = ldd(binary, env={})
+        assert resolved["libcray-mpich.so.json"].startswith(prefix)

@@ -1,0 +1,110 @@
+"""Lmod hierarchy generation (§3.5.4 future work, implemented)."""
+
+import os
+
+import pytest
+
+from repro.modules.lmod import LmodHierarchy
+from repro.spec.spec import Spec
+
+
+@pytest.fixture
+def hierarchy(session):
+    """Installs spanning all three levels: a leaf library (compiler
+    level), two MPIs (providers), and mpileaks under each MPI."""
+    session.install("libelf")
+    session.install("mpileaks ^mvapich2")
+    session.install("mpileaks ^openmpi")
+    lmod = LmodHierarchy(session)
+    lmod.refresh()
+    return session, lmod
+
+
+class TestLayout:
+    def test_core_compiler_module(self, hierarchy):
+        _, lmod = hierarchy
+        tree = lmod.tree()
+        assert any(t.startswith(os.path.join("linux-x86_64", "Core", "gcc")) for t in tree)
+
+    def test_compiler_level_for_non_mpi_packages(self, hierarchy):
+        _, lmod = hierarchy
+        tree = lmod.tree()
+        assert any(
+            t.startswith(os.path.join("linux-x86_64", "gcc", "4.9.2", "libelf"))
+            for t in tree
+        )
+
+    def test_mpi_providers_at_compiler_level(self, hierarchy):
+        _, lmod = hierarchy
+        tree = lmod.tree()
+        assert any(
+            t.startswith(os.path.join("linux-x86_64", "gcc", "4.9.2", "mvapich2"))
+            for t in tree
+        )
+
+    def test_mpi_level_for_mpi_dependents(self, hierarchy):
+        """The matrix problem, solved: one mpileaks module under each MPI
+        subtree, same module *name* inside each level."""
+        _, lmod = hierarchy
+        tree = lmod.tree()
+        under_mvapich2 = [t for t in tree if t.startswith(
+            os.path.join("linux-x86_64", "mvapich2", "2.0", "gcc", "4.9.2", "mpileaks"))]
+        under_openmpi = [t for t in tree if t.startswith(
+            os.path.join("linux-x86_64", "openmpi", "1.8.2", "gcc", "4.9.2", "mpileaks"))]
+        assert len(under_mvapich2) == 1
+        assert len(under_openmpi) == 1
+
+    def test_dependencies_of_mpi_dependents_also_placed(self, hierarchy):
+        # callpath (depends on MPI) is under the MPI level; dyninst
+        # (no MPI) at the compiler level
+        _, lmod = hierarchy
+        tree = lmod.tree()
+        assert any("mvapich2/2.0/gcc/4.9.2/callpath" in t.replace(os.sep, "/") for t in tree)
+        assert any(
+            t.startswith(os.path.join("linux-x86_64", "gcc", "4.9.2", "dyninst"))
+            for t in tree
+        )
+
+
+class TestContent:
+    def _read(self, lmod, predicate):
+        for rel in lmod.tree():
+            if predicate(rel.replace(os.sep, "/")):
+                return open(os.path.join(lmod.root, rel)).read()
+        raise AssertionError("no module matched")
+
+    def test_core_module_extends_modulepath(self, hierarchy):
+        _, lmod = hierarchy
+        text = self._read(lmod, lambda r: r.startswith("linux-x86_64/Core/gcc/"))
+        assert 'family("compiler")' in text
+        assert 'prepend_path("MODULEPATH"' in text
+        assert "gcc/4.9.2" in text
+
+    def test_mpi_module_extends_modulepath_and_family(self, hierarchy):
+        _, lmod = hierarchy
+        text = self._read(lmod, lambda r: "/mvapich2/" in r and r.endswith(".lua")
+                          and "/gcc/4.9.2/mvapich2/" in r)
+        assert 'family("mpi")' in text
+        assert 'prepend_path("MODULEPATH"' in text
+
+    def test_package_module_sets_runtime_env(self, hierarchy):
+        session, lmod = hierarchy
+        text = self._read(lmod, lambda r: "/mpileaks/" in r and "mvapich2" in r)
+        spec = next(s for s in session.find("mpileaks") if s["mpi"].name == "mvapich2")
+        prefix = session.store.layout.path_for_spec(spec)
+        assert 'prepend_path("PATH", "%s")' % os.path.join(prefix, "bin") in text
+        assert "LD_LIBRARY_PATH" in text
+
+    def test_distinct_configurations_distinct_files(self, session):
+        session.install("libelf@0.8.13")
+        session.install("libelf@0.8.12")
+        lmod = LmodHierarchy(session)
+        lmod.refresh()
+        libelf_modules = [t for t in lmod.tree() if "libelf" in t]
+        assert len(libelf_modules) == 2
+
+    def test_refresh_idempotent(self, hierarchy):
+        _, lmod = hierarchy
+        before = lmod.tree()
+        lmod.refresh()
+        assert lmod.tree() == before

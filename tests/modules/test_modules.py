@@ -1,0 +1,88 @@
+"""Environment-module generation (§3.5.4)."""
+
+import os
+
+import pytest
+
+from repro.modules.generator import DotkitModule, ModuleGenerator, TclModule
+from repro.spec.spec import Spec
+
+
+@pytest.fixture
+def generated(installed_mpileaks):
+    session, spec, _ = installed_mpileaks
+    generator = ModuleGenerator(session)
+    paths = generator.write_for_spec(spec)
+    return session, spec, generator, paths
+
+
+class TestGeneration:
+    def test_both_formats_written(self, generated):
+        _, _, _, paths = generated
+        assert len(paths) == 2
+        assert any("/dotkit/" in p for p in paths)
+        assert any("/tcl/" in p for p in paths)
+        for p in paths:
+            assert os.path.isfile(p)
+
+    def test_file_name_has_hash_no_matrix_problem(self, generated):
+        session, spec, generator, paths = generated
+        # two configurations -> two distinct module files
+        spec2, _ = session.install("mpileaks ^openmpi")
+        paths2 = generator.write_for_spec(spec2)
+        assert set(paths) != set(paths2)
+        assert spec.dag_hash(8) in os.path.basename(paths[0])
+
+    def test_dotkit_content(self, generated):
+        session, spec, _, paths = generated
+        dotkit = open(next(p for p in paths if "/dotkit/" in p)).read()
+        assert dotkit.startswith("#c spack")
+        assert "#d mpileaks" in dotkit
+        prefix = session.store.layout.path_for_spec(spec)
+        assert "dk_alter PATH %s" % os.path.join(prefix, "bin") in dotkit
+        assert "dk_alter MANPATH" in dotkit
+        assert "dk_alter LD_LIBRARY_PATH %s" % os.path.join(prefix, "lib") in dotkit
+
+    def test_tcl_content(self, generated):
+        session, spec, _, paths = generated
+        tcl = open(next(p for p in paths if "/tcl/" in p)).read()
+        assert tcl.startswith("#%Module1.0")
+        assert "module-whatis" in tcl
+        assert "prepend-path PATH" in tcl
+        assert "prepend-path LD_LIBRARY_PATH" in tcl
+        assert "prepend-path PKG_CONFIG_PATH" in tcl
+
+    def test_ld_library_path_includes_dependencies(self, generated):
+        """§3.5.4: LD_LIBRARY_PATH set even though RPATHs make it
+        unnecessary, for non-RPATH dependents and build systems."""
+        session, spec, _, paths = generated
+        tcl = open(next(p for p in paths if "/tcl/" in p)).read()
+        libelf_lib = os.path.join(
+            session.store.layout.path_for_spec(spec["libelf"]), "lib"
+        )
+        assert libelf_lib in tcl
+
+    def test_module_env_actually_works(self, generated):
+        """Applying the module's operations yields a usable environment."""
+        session, spec, _, _ = generated
+        module = TclModule(spec, session.store.layout)
+        env = module.environment().applied_to({})
+        prefix = session.store.layout.path_for_spec(spec)
+        assert env["PATH"].split(os.pathsep)[0] == os.path.join(prefix, "bin")
+        assert os.path.join(prefix, "lib") in env["LD_LIBRARY_PATH"]
+
+
+class TestRefresh:
+    def test_refresh_covers_all_installed(self, installed_mpileaks):
+        session, _, _ = installed_mpileaks
+        generator = ModuleGenerator(session)
+        paths = generator.refresh()
+        # 6 installed specs x 2 formats
+        assert len(paths) == 12
+
+    def test_remove(self, generated):
+        _, spec, generator, paths = generated
+        removed = generator.remove_for_spec(spec)
+        assert len(removed) == 2
+        for p in paths:
+            assert not os.path.exists(p)

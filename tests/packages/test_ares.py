@@ -1,0 +1,128 @@
+"""The ARES stack (§4.4): Figure 13 structure and Table 3 matrix."""
+
+import pytest
+
+from repro.packages import ares
+from repro.spec.spec import Spec
+
+
+@pytest.fixture(scope="module")
+def ares_session(tmp_path_factory):
+    from repro.session import Session
+
+    return Session.create(str(tmp_path_factory.mktemp("ares-universe")))
+
+
+@pytest.fixture(scope="module")
+def concrete_ares(ares_session):
+    return ares_session.concretize(Spec("ares@2015.06 %gcc =linux-x86_64 ^mvapich"))
+
+
+class TestFigure13:
+    def test_47_packages(self, concrete_ares):
+        # "ARES comprises 47 packages"
+        assert len(list(concrete_ares.traverse())) == 47
+
+    def test_category_partition(self, concrete_ares):
+        counts = {"ares": 0, "physics": 0, "math": 0, "utility": 0, "external": 0}
+        for node in concrete_ares.traverse():
+            counts[ares.category_of(node.name)] += 1
+        # "11 LLNL physics packages, 4 LLNL math/meshing libraries, and
+        # 8 LLNL utility libraries ... 23 external software packages"
+        assert counts == {
+            "ares": 1, "physics": 11, "math": 4, "utility": 8, "external": 23,
+        }
+
+    def test_virtuals_resolved_to_providers(self, concrete_ares):
+        assert concrete_ares["mpi"].name == "mvapich"
+        assert concrete_ares["blas"].name == "netlib-blas"
+        assert concrete_ares["lapack"].name == "netlib-lapack"
+
+    def test_figure13_key_edges(self, concrete_ares):
+        from repro.spec.graph import edge_list
+
+        edges = set(edge_list(concrete_ares))
+        for parent, child in [
+            ("ares", "teton"),
+            ("ares", "samrai"),
+            ("ares", "silo"),
+            ("ares", "python"),
+            ("silo", "hdf5"),
+            ("hdf5", "zlib"),
+            ("overlink", "qd"),
+            ("py-scipy", "py-numpy"),
+            ("tk", "tcl"),
+            ("readline", "ncurses"),
+        ]:
+            assert (parent, child) in edges, (parent, child)
+
+    def test_languages_diversity_stub(self, concrete_ares):
+        # every node is installable through one package interface
+        assert all(node.concrete for node in concrete_ares.traverse())
+
+    def test_graph_dot_renders_with_categories(self, concrete_ares):
+        from repro.spec.graph import graph_dot
+
+        colors = {
+            "ares": "red", "physics": "lightblue", "math": "orange",
+            "utility": "green", "external": "gray",
+        }
+        dot = graph_dot(
+            concrete_ares,
+            node_attrs=lambda n: {"fillcolor": colors[ares.category_of(n.name)]},
+        )
+        assert dot.count("fillcolor") == 47
+
+
+class TestLiteConfiguration:
+    def test_lite_is_smaller(self, ares_session):
+        full = ares_session.concretize(Spec("ares@2015.06 ^mvapich"))
+        lite = ares_session.concretize(Spec("ares@2015.06+lite ^mvapich"))
+        full_names = {n.name for n in full.traverse()}
+        lite_names = {n.name for n in lite.traverse()}
+        assert lite_names < full_names
+        assert "cretin" in full_names and "cretin" not in lite_names
+        assert "py-scipy" in full_names and "py-scipy" not in lite_names
+
+
+class TestTable3Matrix:
+    def test_matrix_totals(self):
+        # "36 different configurations ... 10 architecture-compiler-MPI
+        # combinations"
+        assert len(ares.SUPPORT_MATRIX) == 10
+        assert sum(len(configs) for *_, configs in ares.SUPPORT_MATRIX) == 36
+        assert len(ares.matrix_spec_strings()) == 36
+
+    def test_rows_cover_table_headers(self):
+        compilers = {row[0].split("@")[0].lstrip("%") for row in ares.SUPPORT_MATRIX}
+        assert compilers == {"gcc", "intel", "pgi", "clang", "xl"}
+        arches = {row[1].lstrip("=") for row in ares.SUPPORT_MATRIX}
+        assert arches == {"linux-x86_64", "bgq", "cray_xe6"}
+        mpis = {row[2].lstrip("^") for row in ares.SUPPORT_MATRIX}
+        assert mpis == {"mvapich", "mvapich2", "bgq-mpi", "cray-mpich"}
+
+    @pytest.mark.parametrize("index", range(10))
+    def test_every_cell_concretizes(self, ares_session, index):
+        compiler, arch, mpi, configs = ares.SUPPORT_MATRIX[index]
+        for letter in configs:
+            text = "%s %s %s %s" % (ares.CONFIGS[letter], compiler, arch, mpi)
+            concrete = ares_session.concretize(Spec(text))
+            assert concrete.concrete
+            assert concrete["mpi"].name == mpi.lstrip("^")
+            assert concrete.compiler.name == compiler.split("@")[0].lstrip("%")
+
+    def test_all_36_distinct(self, ares_session):
+        hashes = set()
+        for text in ares.matrix_spec_strings():
+            hashes.add(ares_session.concretize(Spec(text)).dag_hash())
+        assert len(hashes) == 36
+
+    def test_bgq_builds_pin_python(self, ares_session):
+        concrete = ares_session.concretize(Spec("ares@develop %xl =bgq ^bgq-mpi"))
+        assert str(concrete["python"].version) == "2.7.9"
+
+    def test_config_dependency_versions_differ(self, ares_session):
+        cur = ares_session.concretize(Spec("ares@2015.06 ^mvapich"))
+        prev = ares_session.concretize(Spec("ares@2014.11 ^mvapich"))
+        assert str(cur["boost"].version) == "1.55.0"
+        assert str(prev["boost"].version) == "1.54.0"

@@ -1,0 +1,169 @@
+"""The built-in corpus: sanity of every shipped package."""
+
+import pytest
+
+from repro.packages import builtin_repo
+from repro.spec.spec import Spec
+
+
+@pytest.fixture(scope="module")
+def repo():
+    return builtin_repo()
+
+
+class TestCorpusIntegrity:
+    def test_every_package_loads(self, repo):
+        assert len(repo) >= 60
+
+    def test_every_package_has_versions(self, repo):
+        for name in repo.all_package_names():
+            cls = repo.get_class(name)
+            assert cls.versions, "%s has no versions" % name
+
+    def test_every_package_has_url_and_doc(self, repo):
+        for name in repo.all_package_names():
+            cls = repo.get_class(name)
+            assert cls.url, "%s has no url" % name
+            assert cls.__doc__, "%s has no docstring" % name
+
+    def test_every_dependency_resolvable(self, repo):
+        from repro.repo.providers import ProviderIndex
+
+        index = ProviderIndex.from_repo(repo)
+        for name in repo.all_package_names():
+            cls = repo.get_class(name)
+            for dep_name in cls.dependencies:
+                assert repo.exists(dep_name) or index.is_virtual(dep_name), (
+                    "%s depends on unknown %s" % (name, dep_name)
+                )
+
+    def test_checksums_match_mock_tarballs(self, repo):
+        """Declared checksums must be the *real* MD5s of what the mock
+        web serves — otherwise every install would fail verification."""
+        import hashlib
+
+        from repro.fetch.mockweb import mock_tarball
+
+        for name in repo.all_package_names():
+            cls = repo.get_class(name)
+            for version, meta in cls.versions.items():
+                expected = hashlib.md5(mock_tarball(name, version)).hexdigest()
+                assert meta["checksum"] == expected, (name, str(version))
+
+    def test_paper_named_packages_present(self, repo):
+        for name in [
+            "mpileaks", "callpath", "dyninst", "libdwarf", "libelf",
+            "mpich", "mvapich2", "openmpi", "gperftools", "python",
+            "py-numpy", "py-scipy", "boost", "gerris", "rose", "ares",
+            "silo", "samrai", "hypre",
+        ]:
+            assert repo.exists(name), name
+
+    def test_virtuals(self, repo):
+        from repro.repo.providers import ProviderIndex
+
+        index = ProviderIndex.from_repo(repo)
+        assert set(index.virtual_names()) >= {"mpi", "blas", "lapack"}
+        assert "mvapich2" in index.providers_for_name("mpi")
+        assert "netlib-blas" in index.providers_for_name("blas")
+
+
+class TestEveryPackageConcretizes:
+    def test_all_concretize(self, session):
+        failures = []
+        for name in session.repo.all_package_names():
+            try:
+                session.concretize(Spec(name))
+            except Exception as e:  # collect, report all at once
+                failures.append((name, str(e)))
+        assert not failures, failures
+
+
+class TestGperftools:
+    """§4.1: combinatorial naming + per-compiler/platform build logic."""
+
+    def test_xl_24_patch_applied(self, session):
+        concrete = session.concretize(Spec("gperftools@2.4 %xl =bgq"))
+        pkg = session.package_for(concrete)
+        assert [p.name for p in pkg.patches_for_spec()] == ["patch.gperftools2.4_xlc"]
+
+    def test_other_compilers_unpatched(self, session):
+        concrete = session.concretize(Spec("gperftools@2.4 %gcc =bgq"))
+        pkg = session.package_for(concrete)
+        assert pkg.patches_for_spec() == []
+
+    def test_old_version_unpatched_even_with_xl(self, session):
+        concrete = session.concretize(Spec("gperftools@2.3 %xl =bgq"))
+        pkg = session.package_for(concrete)
+        assert pkg.patches_for_spec() == []
+
+    def test_installs_per_compiler(self, session):
+        """Central install across compilers: distinct prefixes, Figure 12
+        configure branches exercised."""
+        import json
+        import os
+
+        prefixes = set()
+        for compiler in ("%gcc", "%intel"):
+            spec, _ = session.install("gperftools@2.4 " + compiler)
+            prefix = session.store.layout.path_for_spec(spec)
+            prefixes.add(prefix)
+            with open(os.path.join(prefix, "lib", "libgperftools.so.json")) as f:
+                assert json.load(f)["compiler"].split("-")[0] in ("gcc", "icc")
+        assert len(prefixes) == 2
+
+    def test_bgq_configure_flags_recorded(self, session):
+        spec, result = session.install("gperftools@2.4 %xl =bgq", keep_stage=True)
+        import os
+
+        prefix = session.store.layout.path_for_spec(spec)
+        log = open(os.path.join(prefix, ".spack", "build.log")).read()
+        assert "configured" in log
+
+
+class TestPythonPatches:
+    """§3.2.4's BG/Q patch predicates, end to end."""
+
+    def test_xl_patch(self, session):
+        concrete = session.concretize(Spec("python@2.7.9 =bgq %xl"))
+        pkg = session.package_for(concrete)
+        assert [p.name for p in pkg.patches_for_spec()] == ["python-bgq-xlc.patch"]
+
+    def test_clang_patch(self, session):
+        concrete = session.concretize(Spec("python@2.7.9 =bgq %clang"))
+        pkg = session.package_for(concrete)
+        assert [p.name for p in pkg.patches_for_spec()] == ["python-bgq-clang.patch"]
+
+    def test_linux_unpatched(self, session):
+        concrete = session.concretize(Spec("python@2.7.9 %gcc"))
+        pkg = session.package_for(concrete)
+        assert pkg.patches_for_spec() == []
+
+    def test_patch_lands_in_source(self, session):
+        spec, _ = session.install("python@2.7.9 =bgq %xl")
+        import json
+        import os
+
+        prefix = session.store.layout.path_for_spec(spec)
+        with open(os.path.join(prefix, ".spack", "applied_patches.json")) as f:
+            assert json.load(f) == ["python-bgq-xlc.patch"]
+
+
+class TestDyninstBuildSpecialization:
+    """Figure 4 executed for real: old dyninst uses autotools, new cmake."""
+
+    def test_new_uses_cmake(self, session):
+        spec, _ = session.install("dyninst@8.2")
+        import os
+
+        prefix = session.store.layout.path_for_spec(spec)
+        log = open(os.path.join(prefix, ".spack", "build.log")).read()
+        assert "configured cmake" in log
+
+    def test_old_uses_autotools(self, session):
+        spec, _ = session.install("dyninst@8.1.2")
+        import os
+
+        prefix = session.store.layout.path_for_spec(spec)
+        log = open(os.path.join(prefix, ".spack", "build.log")).read()
+        assert "configured autotools" in log

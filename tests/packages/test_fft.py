@@ -1,0 +1,41 @@
+"""The versioned FFT interface (§4.2's FFTW, third virtual family)."""
+
+import pytest
+
+from repro.spec.spec import Spec
+
+
+class TestFftVirtual:
+    def test_fftw_provides_by_generation(self, session):
+        index = session.provider_index
+        fft3 = index.providers_for(Spec("fft@3"))
+        names = {(p.name, str(p.versions)) for p in fft3}
+        assert ("fftw", "3:") in names
+        assert ("mkl", "") not in names  # mkl matches but with universal versions
+        assert any(p.name == "mkl" for p in fft3)
+        # the FFTW-2 generation is not an fft@3 provider
+        assert ("fftw", "2.1:2.9") not in names
+
+    def test_numpy_without_fft(self, session):
+        concrete = session.concretize(Spec("py-numpy"))
+        assert "fftw" not in [n.name for n in concrete.traverse()]
+
+    def test_numpy_with_fft(self, session):
+        concrete = session.concretize(Spec("py-numpy+fft"))
+        assert concrete["fft"].name == "fftw"
+        assert str(concrete["fftw"].version) == "3.3.4"
+
+    def test_fft2_request_pins_old_fftw(self, session):
+        concrete = session.concretize(Spec("fftw"))
+        assert str(concrete.version) == "3.3.4"
+        # asking for the old generation steers the version the other way
+        providers = session.provider_index.providers_for(Spec("fft@2"))
+        assert any(p.name == "fftw" and str(p.versions) == "2.1:2.9" for p in providers)
+
+    def test_fftw_mpi_variant(self, session):
+        concrete = session.concretize(Spec("fftw+mpi"))
+        assert "mpi" in {v for n in concrete.traverse() for v in n.provided_virtuals}
+
+    def test_full_install(self, session):
+        spec, result = session.install("py-numpy+fft ^python@2.7.9")
+        assert "fftw" in result.built_names

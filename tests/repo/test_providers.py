@@ -1,0 +1,120 @@
+"""Versioned virtual dependencies and the provider index (§3.3, Figure 5)."""
+
+import pytest
+
+from repro.directives import depends_on, provides, version
+from repro.package.package import Package
+from repro.repo.providers import ProviderIndex
+from repro.repo.repository import Repository
+from repro.spec.spec import Spec
+
+
+@pytest.fixture
+def figure5_repo():
+    """Exactly the Figure 5 packages."""
+    repo = Repository(namespace="fig5")
+
+    @repo.register("mvapich2")
+    class Mvapich2(Package):
+        version("1.9", "a")
+        version("2.0", "b")
+        provides("mpi@:2.2", when="@1.9")
+        provides("mpi@:3.0", when="@2.0")
+
+    @repo.register("mpich")
+    class Mpich(Package):
+        version("3.0.4", "a")
+        version("1.4", "b")
+        provides("mpi@:3", when="@3:")
+        provides("mpi@:1", when="@1:1.5")
+
+    @repo.register("mpileaks")
+    class Mpileaks(Package):
+        version("1.0", "x")
+        depends_on("mpi")
+
+    @repo.register("gerris")
+    class Gerris(Package):
+        version("1.0", "x")
+        depends_on("mpi@2:")
+
+    return repo
+
+
+@pytest.fixture
+def index(figure5_repo):
+    return ProviderIndex.from_repo(figure5_repo)
+
+
+class TestProviderIndex:
+    def test_virtual_detection(self, index):
+        assert index.is_virtual("mpi")
+        assert not index.is_virtual("mpileaks")
+        assert "mpi" in index
+
+    def test_unconstrained_request(self, index):
+        names = {p.name for p in index.providers_for("mpi")}
+        assert names == {"mvapich2", "mpich"}
+
+    def test_figure5_any_mpi(self, index):
+        # "Any version of mvapich2 or mpich could be used to satisfy the
+        # mpi constraint [of mpileaks]."
+        providers = index.providers_for(Spec("mpi"))
+        versions = {(p.name, str(p.versions)) for p in providers}
+        assert ("mvapich2", "1.9") in versions
+        assert ("mvapich2", "2.0") in versions
+        assert ("mpich", "3:") in versions
+        assert ("mpich", "1:1.5") in versions
+
+    def test_figure5_gerris_constraint(self, index):
+        # "Gerris needs MPI version 2 or higher.  So any version except
+        # mpich 1.x could be used."
+        providers = index.providers_for(Spec("mpi@2:"))
+        versions = {(p.name, str(p.versions)) for p in providers}
+        assert ("mvapich2", "1.9") in versions       # provides up to 2.2
+        assert ("mvapich2", "2.0") in versions
+        assert ("mpich", "3:") in versions
+        assert ("mpich", "1:1.5") not in versions    # mpi@:1 only
+
+    def test_mpi3_request(self, index):
+        providers = index.providers_for(Spec("mpi@3:"))
+        versions = {(p.name, str(p.versions)) for p in providers}
+        assert ("mvapich2", "2.0") in versions
+        assert ("mvapich2", "1.9") not in versions
+        assert ("mpich", "3:") in versions
+
+    def test_no_provider(self, index):
+        assert index.providers_for(Spec("mpi@99:")) == []
+        assert index.providers_for(Spec("nosuchvirtual")) == []
+
+    def test_providers_for_name(self, index):
+        assert index.providers_for_name("mpi") == ["mpich", "mvapich2"]
+
+    def test_satisfies_virtual(self, figure5_repo, index):
+        mvapich2 = figure5_repo.get_class("mvapich2")
+        mpich = figure5_repo.get_class("mpich")
+        assert index.satisfies_virtual(Spec("mvapich2@2.0"), Spec("mpi@3:"), mvapich2)
+        assert not index.satisfies_virtual(Spec("mvapich2@1.9"), Spec("mpi@3:"), mvapich2)
+        assert not index.satisfies_virtual(Spec("mpich@1.4"), Spec("mpi@2:"), mpich)
+        assert index.satisfies_virtual(Spec("mpich@3.0.4"), Spec("mpi@2:"), mpich)
+
+    def test_constraint_transfer(self, index):
+        # Non-version constraints on the virtual carry to the provider.
+        providers = index.providers_for(Spec("mpi%gcc@4.9=bgq"))
+        assert providers
+        for p in providers:
+            assert p.compiler.name == "gcc"
+            assert p.architecture == "bgq"
+
+    def test_unconditional_provides(self):
+        repo = Repository(namespace="uncond")
+
+        @repo.register("openmpi")
+        class Openmpi(Package):
+            version("1.8.2", "x")
+            provides("mpi@:2.2")
+
+        index = ProviderIndex.from_repo(repo)
+        providers = index.providers_for(Spec("mpi@2:"))
+        assert [p.name for p in providers] == ["openmpi"]
+        assert providers[0].versions.universal  # no when => any version

@@ -1,0 +1,180 @@
+"""Repository loading, layering, and on-disk package files (§4.3.2)."""
+
+import textwrap
+
+import pytest
+
+from repro.directives import version
+from repro.package.package import Package
+from repro.repo.repository import (
+    NoSuchPackageError,
+    RepoError,
+    RepoPath,
+    Repository,
+)
+
+
+class TestProgrammaticRepo:
+    def test_register_and_get(self):
+        repo = Repository(namespace="t")
+
+        @repo.register("foo")
+        class Foo(Package):
+            version("1.0", "x")
+
+        assert repo.exists("foo")
+        assert repo.get_class("foo") is Foo
+        assert Foo.name == "foo"
+        assert Foo.namespace == "t"
+
+    def test_missing_package(self):
+        repo = Repository(namespace="t")
+        with pytest.raises(NoSuchPackageError):
+            repo.get_class("nothere")
+
+    def test_invalid_name(self):
+        repo = Repository(namespace="t")
+        with pytest.raises(RepoError):
+            repo.add_class("bad name!", Package)
+
+    def test_non_package_rejected(self):
+        repo = Repository(namespace="t")
+        with pytest.raises(RepoError):
+            repo.add_class("foo", object)
+
+    def test_all_package_names_sorted(self):
+        repo = Repository(namespace="t")
+        for name in ["zeta", "alpha", "mid"]:
+            repo.add_class(name, type("X%s" % name, (Package,), {}))
+        assert repo.all_package_names() == ["alpha", "mid", "zeta"]
+
+
+class TestOnDiskRepo:
+    def _write_package(self, root, name, body):
+        pkg_dir = root / name
+        pkg_dir.mkdir(parents=True)
+        (pkg_dir / "package.py").write_text(textwrap.dedent(body))
+
+    def test_scan_and_load(self, tmp_path):
+        self._write_package(
+            tmp_path,
+            "greeter",
+            """
+            class Greeter(Package):
+                '''A test package loaded from disk.'''
+                homepage = "https://example.org"
+                url = "https://example.org/greeter-1.0.tar.gz"
+                version('1.0', 'abc')
+                depends_on('zlib')
+            """,
+        )
+        repo = Repository(str(tmp_path), namespace="disk")
+        assert repo.exists("greeter")
+        cls = repo.get_class("greeter")
+        assert cls.name == "greeter"
+        assert "zlib" in cls.dependencies
+
+    def test_dsl_preseeded_no_imports_needed(self, tmp_path):
+        # Figure 1 uses version/depends_on/Package with no imports.
+        self._write_package(
+            tmp_path,
+            "py-thing",
+            """
+            class PyThing(Package):
+                version('2.0', 'x')
+                provides('thingapi')
+                variant('debug', default=False, description='dbg')
+                patch('fix.patch', when='%xl')
+            """,
+        )
+        repo = Repository(str(tmp_path), namespace="disk2")
+        cls = repo.get_class("py-thing")
+        assert cls.provided[0].spec.name == "thingapi"
+
+    def test_underscore_names(self, tmp_path):
+        self._write_package(
+            tmp_path,
+            "sgeos_xml",
+            """
+            class SgeosXml(Package):
+                version('1.0', 'x')
+            """,
+        )
+        repo = Repository(str(tmp_path), namespace="disk3")
+        assert repo.exists("sgeos_xml")
+
+    def test_wrong_class_name_single_candidate_ok(self, tmp_path):
+        self._write_package(
+            tmp_path,
+            "oddname",
+            """
+            class TotallyDifferent(Package):
+                version('1.0', 'x')
+            """,
+        )
+        repo = Repository(str(tmp_path), namespace="disk4")
+        assert repo.get_class("oddname").__name__ == "TotallyDifferent"
+
+    def test_broken_package_reports_error(self, tmp_path):
+        self._write_package(tmp_path, "broken", "this is not python !!!")
+        repo = Repository(str(tmp_path), namespace="disk5")
+        with pytest.raises(RepoError):
+            repo.get_class("broken")
+
+    def test_missing_root(self):
+        repo = Repository("/nonexistent/path/xyz", namespace="d")
+        with pytest.raises(RepoError):
+            repo.exists("anything")
+
+
+class TestRepoPath:
+    def _two_repos(self):
+        builtin = Repository(namespace="builtin-t")
+
+        @builtin.register("pkg")
+        class BuiltinPkg(Package):
+            version("1.0", "x")
+
+        @builtin.register("only-builtin")
+        class OnlyBuiltin(Package):
+            version("1.0", "x")
+
+        site = Repository(namespace="site-t")
+
+        class SitePkg(BuiltinPkg):
+            version("1.0-site", "y")
+
+        site.add_class("pkg", SitePkg)
+        return builtin, site, BuiltinPkg, SitePkg
+
+    def test_earlier_repo_shadows(self):
+        builtin, site, BuiltinPkg, SitePkg = self._two_repos()
+        path = RepoPath([site, builtin])
+        assert path.get_class("pkg") is SitePkg
+        assert path.get_class("only-builtin").name == "only-builtin"
+
+    def test_site_class_inherits_builtin_metadata(self):
+        _, _, BuiltinPkg, SitePkg = self._two_repos()
+        from repro.version import Version
+
+        assert Version("1.0") in SitePkg.versions
+        assert Version("1.0-site") in SitePkg.versions
+        assert Version("1.0-site") not in BuiltinPkg.versions
+
+    def test_prepend(self):
+        builtin, site, _, SitePkg = self._two_repos()
+        path = RepoPath([builtin])
+        assert path.get_class("pkg").namespace == "builtin-t"
+        path.prepend(site)
+        assert path.get_class("pkg") is SitePkg
+
+    def test_repo_for(self):
+        builtin, site, *_ = self._two_repos()
+        path = RepoPath([site, builtin])
+        assert path.repo_for("pkg") is site
+        assert path.repo_for("only-builtin") is builtin
+
+    def test_union_names(self):
+        builtin, site, *_ = self._two_repos()
+        path = RepoPath([site, builtin])
+        assert path.all_package_names() == ["only-builtin", "pkg"]

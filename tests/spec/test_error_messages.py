@@ -1,0 +1,99 @@
+"""Error-message quality: conflicts must name both sides (§3.4's promise
+that the user can resolve issues "by being more explicit")."""
+
+import pytest
+
+from repro.core.concretizer import ConcretizationError
+from repro.spec.errors import (
+    UnsatisfiableCompilerSpecError,
+    UnsatisfiableVariantSpecError,
+    UnsatisfiableVersionSpecError,
+)
+from repro.spec.spec import Spec
+
+
+class TestConstraintErrors:
+    def test_version_conflict_names_both(self):
+        with pytest.raises(UnsatisfiableVersionSpecError) as excinfo:
+            Spec("x@2:").constrain(Spec("x@:1"))
+        message = str(excinfo.value)
+        assert "2:" in message and ":1" in message and "version" in message
+
+    def test_compiler_conflict_names_both(self):
+        with pytest.raises(UnsatisfiableCompilerSpecError) as excinfo:
+            Spec("x%gcc").constrain(Spec("x%intel"))
+        message = str(excinfo.value)
+        assert "gcc" in message and "intel" in message
+
+    def test_variant_conflict_names_values(self):
+        with pytest.raises(UnsatisfiableVariantSpecError) as excinfo:
+            Spec("x+debug").constrain(Spec("x~debug"))
+        message = str(excinfo.value)
+        assert "+debug" in message and "~debug" in message
+
+
+class TestConcretizerErrors:
+    def test_dependency_conflict_names_culprits(self, session):
+        with pytest.raises(ConcretizationError) as excinfo:
+            session.concretize(Spec("mpileaks@2: ^callpath@0.1:0.2"))
+        assert "callpath" in str(excinfo.value)
+
+    def test_forced_provider_conflict_actionable(self, session):
+        with pytest.raises(ConcretizationError) as excinfo:
+            session.concretize(Spec("gerris ^mvapich"))
+        message = str(excinfo.value)
+        assert "mvapich" in message
+        assert "mpi" in message
+
+    def test_no_provider_suggests_fix(self, session):
+        from repro.core.concretizer import NoBuildableProviderError
+
+        with pytest.raises(NoBuildableProviderError) as excinfo:
+            session.concretize(Spec("gerris ^mpi@99:"))
+        assert "Force a provider with ^<package>" in str(excinfo.value)
+
+    def test_invalid_dependency_names_both_packages(self, session):
+        from repro.spec.errors import InvalidDependencyError
+
+        with pytest.raises(InvalidDependencyError) as excinfo:
+            session.concretize(Spec("libelf ^zlib"))
+        message = str(excinfo.value)
+        assert "libelf" in message and "zlib" in message
+
+    def test_compiler_feature_error_lists_candidates(self, session):
+        from repro.compilers.registry import CompilerFeatureError
+        from repro.directives import requires_compiler, version
+        from repro.fetch.mockweb import mock_checksum
+        from repro.package.package import Package
+
+        repo = session.repo.repos[0]
+
+        class Fancy(Package):
+            url = "https://mock.example.org/fancy/fancy-1.0.tar.gz"
+            version("1.0", mock_checksum("fancy", "1.0"))
+            requires_compiler("cxx@14:")
+
+        repo.add_class("fancy", Fancy)
+        with pytest.raises(CompilerFeatureError) as excinfo:
+            session.concretize(Spec("fancy%xl"))
+        message = str(excinfo.value)
+        assert "cxx@14:" in message and "xl" in message
+
+    def test_unknown_variant_names_package(self, session):
+        from repro.spec.errors import UnknownVariantError
+
+        with pytest.raises(UnknownVariantError) as excinfo:
+            session.concretize(Spec("libelf+nonexistent"))
+        message = str(excinfo.value)
+        assert "libelf" in message and "nonexistent" in message
+
+    def test_install_error_carries_log_tail(self, session):
+        from repro.store.installer import InstallError
+
+        url = session.repo.get_class("libelf")(
+            Spec("libelf@0.8.13"), session=session
+        ).url_for_version("0.8.13")
+        session.web.corrupt(url)
+        with pytest.raises(InstallError) as excinfo:
+            session.install("libelf@0.8.13")
+        assert "libelf" in excinfo.value.message

@@ -1,0 +1,85 @@
+"""Explanations (Table 2 prose) and DAG renderings (Figures 2/7/13)."""
+
+from repro.spec.explain import explain
+from repro.spec.graph import edge_list, graph_ascii, graph_dot
+from repro.spec.spec import Spec
+
+
+class TestExplain:
+    def test_table2_row1(self):
+        assert explain("mpileaks") == "mpileaks package, no constraints."
+
+    def test_table2_row2(self):
+        assert explain("mpileaks@1.1.2") == "mpileaks package, version 1.1.2."
+
+    def test_table2_row3(self):
+        text = explain("mpileaks@1.1.2 %gcc")
+        assert "version 1.1.2" in text
+        assert "built with gcc at the default version" in text
+
+    def test_table2_row4(self):
+        text = explain("mpileaks@1.1.2 %intel@14.1 +debug")
+        assert "built with Intel compiler version 14.1" in text
+        assert "with the 'debug' build option" in text
+
+    def test_table2_row5(self):
+        text = explain("mpileaks@1.1.2 =bgq")
+        assert "built for the Blue Gene/Q platform (BG/Q)" in text
+
+    def test_table2_row6(self):
+        text = explain("mpileaks@1.1.2 ^mvapich2@1.9")
+        assert "linked with mvapich2, version 1.9" in text
+
+    def test_table2_row7(self):
+        text = explain(
+            "mpileaks @1.2:1.4 %gcc@4.7.5 ~debug =bgq "
+            "^callpath @1.1 %gcc@4.7.2 ^openmpi @1.4.7"
+        )
+        assert "any version between 1.2 and 1.4 (inclusive)" in text
+        assert "built with gcc version 4.7.5" in text
+        assert "without the 'debug' option" in text
+        assert "callpath" in text and "openmpi" in text
+
+    def test_version_ranges(self):
+        assert "version 2.3 or higher" in explain("mpileaks@2.3:")
+        assert "version 2.5 or lower" in explain("mpileaks@:2.5")
+
+    def test_anonymous(self):
+        text = explain("%gcc@5:")
+        assert text.startswith("any package")
+
+
+class TestGraph:
+    def _dag(self):
+        s = Spec("mpileaks")
+        cp = Spec("callpath")
+        dyn = Spec("dyninst")
+        cp._add_dependency(dyn)
+        s._add_dependency(cp)
+        s._add_dependency(dyn)  # shared
+        return s
+
+    def test_ascii_marks_shared(self):
+        text = graph_ascii(self._dag())
+        assert text.count("dyninst") == 2
+        assert "dyninst *" in text
+
+    def test_dot_structure(self):
+        dot = graph_dot(self._dag(), name="test")
+        assert 'digraph "test"' in dot
+        assert '"callpath" -> "dyninst";' in dot
+        assert '"mpileaks" -> "dyninst";' in dot
+        # each node declared exactly once
+        assert dot.count('"dyninst" [') == 1
+
+    def test_dot_node_attrs(self):
+        dot = graph_dot(
+            self._dag(), node_attrs=lambda n: {"color": "red" if n.name == "dyninst" else "blue"}
+        )
+        assert 'color="red"' in dot
+
+    def test_edge_list(self):
+        edges = edge_list(self._dag())
+        assert ("mpileaks", "callpath") in edges
+        assert ("callpath", "dyninst") in edges
+        assert ("mpileaks", "dyninst") in edges

@@ -1,0 +1,61 @@
+"""Parser robustness: arbitrary input never crashes the lexer/parser.
+
+Any string over the spec alphabet must either parse (and then re-parse
+to an equal spec from its canonical rendering) or raise a typed
+SpecError — never an arbitrary exception.  This is the property a
+command-line tool's front door must have.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.spec.errors import SpecError
+from repro.spec.parser import parse_specs
+from repro.spec.spec import Spec
+from repro.version import VersionParseError
+
+spec_alphabet = st.text(
+    alphabet="abcxyz019._-@:%+~^= ",
+    min_size=0,
+    max_size=40,
+)
+
+
+@given(spec_alphabet)
+@settings(max_examples=400, deadline=None)
+def test_arbitrary_text_parses_or_raises_typed_error(text):
+    try:
+        specs = parse_specs(text)
+    except (SpecError, VersionParseError):
+        return
+    # success: every parsed spec renders canonically and round-trips
+    for spec in specs:
+        rendered = str(spec)
+        if spec.name is not None:
+            assert Spec(rendered) == spec
+
+
+printable = st.text(min_size=1, max_size=30)
+
+
+@given(printable)
+@settings(max_examples=200, deadline=None)
+def test_arbitrary_unicode_never_crashes(text):
+    try:
+        parse_specs(text)
+    except (SpecError, VersionParseError):
+        pass
+
+
+@given(spec_alphabet, spec_alphabet)
+@settings(max_examples=150, deadline=None)
+def test_satisfies_never_crashes_on_parsed_pairs(a_text, b_text):
+    try:
+        a = parse_specs(a_text)
+        b = parse_specs(b_text)
+    except (SpecError, VersionParseError):
+        return
+    for sa in a:
+        for sb in b:
+            sa.satisfies(sb)          # bool either way, no crash
+            sa.satisfies(sb, strict=True)
+            sa.intersects(sb)

@@ -1,0 +1,204 @@
+"""DAG structure: traversal, sharing, copying, hashing, serialization."""
+
+import pytest
+
+from repro.spec.spec import Spec
+
+
+def diamond():
+    """a -> b -> d ; a -> c -> d with d SHARED (one node per name)."""
+    a, b, c, d = Spec("a@1"), Spec("b@1"), Spec("c@1"), Spec("d@1")
+    b._add_dependency(d)
+    c._add_dependency(d)
+    a._add_dependency(b)
+    a._add_dependency(c)
+    return a, b, c, d
+
+
+class TestTraversal:
+    def test_pre_order_root_first(self):
+        a, *_ = diamond()
+        names = [s.name for s in a.traverse()]
+        assert names[0] == "a"
+        assert sorted(names) == ["a", "b", "c", "d"]
+
+    def test_post_order_children_first(self):
+        a, *_ = diamond()
+        names = [s.name for s in a.traverse(order="post")]
+        assert names[-1] == "a"
+        assert names.index("d") < names.index("b")
+
+    def test_unique_nodes_visited_once(self):
+        a, *_ = diamond()
+        assert len(list(a.traverse())) == 4  # d yielded once despite 2 paths
+
+    def test_depth(self):
+        a, *_ = diamond()
+        depths = dict((s.name, d) for d, s in a.traverse(depth=True))
+        assert depths == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+    def test_root_excluded(self):
+        a, *_ = diamond()
+        assert "a" not in [s.name for s in a.traverse(root=False)]
+
+    def test_flat_dependencies(self):
+        a, *_ = diamond()
+        assert set(a.flat_dependencies()) == {"b", "c", "d"}
+
+
+class TestCopy:
+    def test_copy_preserves_sharing(self):
+        a, *_ = diamond()
+        copy = a.copy()
+        assert copy == a
+        assert copy.dependencies["b"].dependencies["d"] is copy.dependencies["c"].dependencies["d"]
+
+    def test_copy_is_deep(self):
+        a, *_ = diamond()
+        copy = a.copy()
+        copy.dependencies["b"].versions.intersect(Spec("b@1").versions)
+        copy["d"].variants["x"] = True
+        assert "x" not in a["d"].variants
+
+    def test_copy_without_deps(self):
+        a, *_ = diamond()
+        shallow = a.copy(deps=False)
+        assert shallow.name == "a"
+        assert not shallow.dependencies
+
+    def test_constructor_copies(self):
+        a, *_ = diamond()
+        assert Spec(a) == a
+
+
+class TestHashing:
+    def test_deterministic(self):
+        a1, *_ = diamond()
+        a2, *_ = diamond()
+        assert a1.dag_hash() == a2.dag_hash()
+
+    def test_length_parameter(self):
+        a, *_ = diamond()
+        assert len(a.dag_hash(8)) == 8
+        assert a.dag_hash().startswith(a.dag_hash(8))
+
+    def test_changes_with_node_params(self):
+        a1, *_ = diamond()
+        a2, *_ = diamond()
+        a2["d"].variants["debug"] = True
+        assert a1.dag_hash() != a2.dag_hash()
+
+    def test_changes_with_structure(self):
+        a1, *_ = diamond()
+        a2, *_ = diamond()
+        a2["c"].dependencies.pop("d")
+        assert a1.dag_hash() != a2.dag_hash()
+
+    def test_subdag_hash_stable_across_parents(self):
+        # The Figure 9 property: the same sub-DAG has the same hash no
+        # matter what depends on it.
+        a, b, c, d = diamond()
+        other_root = Spec("z@9")
+        other_root._add_dependency(b)
+        assert b.dag_hash() == other_root.dependencies["b"].dag_hash()
+
+
+class TestEquality:
+    def test_structural(self):
+        assert diamond()[0] == diamond()[0]
+
+    def test_not_equal_different_versions(self):
+        a1, *_ = diamond()
+        a2 = Spec("a@2")
+        assert a1 != a2
+
+    def test_hashable(self):
+        a1, *_ = diamond()
+        a2, *_ = diamond()
+        assert len({a1, a2}) == 1
+
+    def test_orderable(self):
+        assert sorted([Spec("b"), Spec("a")])[0].name == "a"
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        a, *_ = diamond()
+        again = Spec.from_dict(a.to_dict())
+        assert again == a
+
+    def test_sharing_preserved(self):
+        a, *_ = diamond()
+        again = Spec.from_dict(a.to_dict())
+        assert again.dependencies["b"].dependencies["d"] is again.dependencies["c"].dependencies["d"]
+
+    def test_full_node_fields(self):
+        s = Spec("mpileaks@1.2%gcc@4.7+debug=bgq")
+        s.external = "/opt/ext"
+        s.provided_virtuals.add("mpi")
+        again = Spec.from_dict(s.to_dict())
+        assert again.external == "/opt/ext"
+        assert again.provided_virtuals == {"mpi"}
+        assert str(again.compiler) == "gcc@4.7"
+        assert again.dag_hash() == s.dag_hash()
+
+    def test_json_compatible(self):
+        import json
+
+        a, *_ = diamond()
+        assert Spec.from_dict(json.loads(json.dumps(a.to_dict()))) == a
+
+
+class TestFormat:
+    def test_tokens(self):
+        s = Spec("mpileaks@1.0%gcc@4.9.2+debug=linux-x86_64")
+        assert s.format("${PACKAGE}") == "mpileaks"
+        assert s.format("${VERSION}") == "1.0"
+        assert s.format("${COMPILER}") == "gcc@4.9.2"
+        assert s.format("${COMPILERNAME}") == "gcc"
+        assert s.format("${COMPILERVER}") == "4.9.2"
+        assert s.format("${OPTIONS}") == "+debug"
+        assert s.format("${ARCHITECTURE}") == "linux-x86_64"
+        assert s.format("${HASH:8}") == s.dag_hash(8)
+
+    def test_virtual_tokens(self):
+        s = Spec("mpileaks@1.0")
+        mv = Spec("mvapich2@1.9")
+        mv.provided_virtuals.add("mpi")
+        s._add_dependency(mv)
+        assert s.format("${MPINAME}") == "mvapich2"
+        assert s.format("${MPIVER}") == "1.9"
+        assert s.format("${BLASNAME}") == ""
+
+    def test_extra_tokens(self):
+        s = Spec("mpileaks@1.0")
+        assert s.format("${PACKAGE}-${BUILD}", BUILD="7") == "mpileaks-7"
+
+    def test_unknown_token(self):
+        from repro.spec.errors import SpecError
+
+        with pytest.raises(SpecError):
+            Spec("mpileaks").format("${BOGUS}")
+
+    def test_table1_style_path(self):
+        s = Spec("mpileaks@1.0%gcc@4.9.2=linux-x86_64")
+        path = s.format("/${ARCHITECTURE}/${COMPILERNAME}-${COMPILERVER}/${PACKAGE}-${VERSION}")
+        assert path == "/linux-x86_64/gcc-4.9.2/mpileaks-1.0"
+
+
+class TestPrefix:
+    def test_unstamped_raises(self):
+        from repro.spec.errors import SpecError
+
+        with pytest.raises(SpecError):
+            Spec("mpileaks").prefix
+
+    def test_stamped(self):
+        s = Spec("mpileaks")
+        s.prefix = "/opt/somewhere"
+        assert s.prefix == "/opt/somewhere"
+
+    def test_external_wins(self):
+        s = Spec("mpileaks")
+        s.external = "/vendor/mpi"
+        assert s.prefix == "/vendor/mpi"

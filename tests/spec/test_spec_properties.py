@@ -1,0 +1,154 @@
+"""Property-based spec tests: round-trips and constraint-law invariants."""
+
+import string
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.spec.errors import UnsatisfiableSpecError
+from repro.spec.spec import CompilerSpec, Spec
+from repro.version import VersionList
+
+
+names = st.sampled_from(
+    ["mpileaks", "callpath", "dyninst", "libelf", "py-numpy", "sgeos_xml", "boost"]
+)
+compilers = st.sampled_from(["gcc", "intel", "clang", "xl", "pgi"])
+variant_names = st.sampled_from(["debug", "shared", "mpi", "static"])
+arches = st.sampled_from(["linux-x86_64", "bgq", "cray_xe6", "linux-ppc64"])
+
+
+@st.composite
+def version_constraints(draw):
+    lo = draw(st.integers(0, 9))
+    hi = draw(st.integers(0, 9))
+    lo, hi = sorted((lo, hi))
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return "%d.%d" % (lo, hi)
+    if kind == 1:
+        return "%d:" % lo
+    if kind == 2:
+        return ":%d" % hi
+    return "%d:%d" % (lo, hi)
+
+
+@st.composite
+def specs(draw, with_deps=True):
+    s = Spec(name=draw(names))
+    if draw(st.booleans()):
+        s.versions = VersionList(draw(version_constraints()))
+    if draw(st.booleans()):
+        cname = draw(compilers)
+        if draw(st.booleans()):
+            s.compiler = CompilerSpec(cname, draw(version_constraints()))
+        else:
+            s.compiler = CompilerSpec(cname)
+    for vname in draw(st.lists(variant_names, unique=True, max_size=3)):
+        s.variants[vname] = draw(st.booleans())
+    if draw(st.booleans()):
+        s.architecture = draw(arches)
+    if with_deps:
+        dep_names = draw(st.lists(names, unique=True, max_size=3))
+        for dep_name in dep_names:
+            if dep_name == s.name:
+                continue
+            s._add_dependency(draw(specs(with_deps=False)).copy())
+    return s
+
+
+@st.composite
+def named_dep_specs(draw):
+    """A root with uniquely named dependency nodes."""
+    root = Spec(name="root-pkg")
+    for dep_name in draw(st.lists(names, unique=True, max_size=4)):
+        dep = draw(specs(with_deps=False))
+        dep.name = dep_name
+        root._add_dependency(dep)
+    return root
+
+
+# Spec() generation above may produce dependency name collisions; build
+# carefully instead.
+@given(named_dep_specs())
+def test_string_round_trip(s):
+    assert Spec(str(s)) == s
+
+
+@given(specs(with_deps=False))
+def test_node_string_round_trip(s):
+    assert Spec(s.node_str()) == s
+
+
+@given(named_dep_specs())
+def test_serialization_round_trip(s):
+    assert Spec.from_dict(s.to_dict()) == s
+
+
+@given(specs(with_deps=False))
+def test_satisfies_reflexive(s):
+    assert s.satisfies(s)
+    assert s.satisfies(s, strict=True)
+
+
+@given(specs(with_deps=False), specs(with_deps=False))
+def test_strict_implies_compat(a, b):
+    if a.satisfies(b, strict=True):
+        assert a.satisfies(b)
+
+
+@st.composite
+def same_name_pairs(draw):
+    a = draw(specs(with_deps=False))
+    b = draw(specs(with_deps=False))
+    b.name = a.name
+    return a, b
+
+
+@given(same_name_pairs())
+@settings(max_examples=150)
+def test_constrain_result_satisfies_both(pair):
+    a, b = pair
+    merged = a.copy()
+    try:
+        merged.constrain(b)
+    except UnsatisfiableSpecError:
+        return
+    assert merged.satisfies(a)
+    assert merged.satisfies(b)
+
+
+@given(same_name_pairs())
+def test_constrain_commutative_when_satisfiable(pair):
+    a, b = pair
+    ab, ba = a.copy(), b.copy()
+    try:
+        ab.constrain(b)
+        ba.constrain(a)
+    except UnsatisfiableSpecError:
+        return
+    assert ab == ba
+
+
+@given(specs(with_deps=False))
+def test_constrain_idempotent(a):
+    c = a.copy()
+    assert c.constrain(a) is False
+    assert c == a
+
+
+@given(same_name_pairs())
+def test_intersects_symmetric(pair):
+    a, b = pair
+    assert a.intersects(b) == b.intersects(a)
+
+
+@given(named_dep_specs())
+def test_hash_equal_for_equal_specs(s):
+    assert Spec(str(s)).dag_hash() == s.dag_hash()
+
+
+@given(specs(with_deps=False))
+def test_copy_independent(s):
+    c = s.copy()
+    c.variants["__new__"] = True
+    assert "__new__" not in s.variants

@@ -1,0 +1,205 @@
+"""satisfies/constrain/intersects semantics (the DESIGN.md §5 contract)."""
+
+import pytest
+
+from repro.spec.errors import (
+    UnsatisfiableArchitectureSpecError,
+    UnsatisfiableCompilerSpecError,
+    UnsatisfiableSpecError,
+    UnsatisfiableSpecNameError,
+    UnsatisfiableVariantSpecError,
+    UnsatisfiableVersionSpecError,
+)
+from repro.spec.spec import CompilerSpec, Spec
+
+
+class TestSatisfiesCompat:
+    """Non-strict: could one build satisfy both?"""
+
+    def test_name(self):
+        assert Spec("mpileaks").satisfies("mpileaks")
+        assert not Spec("mpileaks").satisfies("callpath")
+
+    def test_anonymous_matches_any_name(self):
+        assert Spec("gperftools@2.4").satisfies(Spec("@2.4"))
+
+    def test_versions_overlap(self):
+        assert Spec("mpileaks@1.2:1.4").satisfies("mpileaks@1.3:")
+        assert not Spec("mpileaks@1.2:1.4").satisfies("mpileaks@1.5:")
+
+    def test_unset_compiler_is_compatible(self):
+        assert Spec("mpileaks").satisfies("mpileaks%gcc")
+
+    def test_set_compiler_must_match(self):
+        assert Spec("mpileaks%gcc@4.7").satisfies("mpileaks%gcc")
+        assert Spec("mpileaks%gcc@4.7").satisfies("mpileaks%gcc@:4")
+        assert not Spec("mpileaks%intel").satisfies("mpileaks%gcc")
+        assert not Spec("mpileaks%gcc@5.1").satisfies("mpileaks%gcc@:4")
+
+    def test_variants(self):
+        assert Spec("mpileaks+debug").satisfies("mpileaks+debug")
+        assert not Spec("mpileaks~debug").satisfies("mpileaks+debug")
+        assert Spec("mpileaks").satisfies("mpileaks+debug")  # unset: compatible
+
+    def test_architecture(self):
+        assert Spec("mpileaks=bgq").satisfies("mpileaks=bgq")
+        assert not Spec("mpileaks=bgq").satisfies("mpileaks=linux-x86_64")
+        assert Spec("mpileaks").satisfies("mpileaks=bgq")
+
+    def test_when_condition_use(self):
+        # The §3.2.4 ROSE example conditions.
+        assert Spec("rose%gcc@4.4.7").satisfies(Spec("%gcc@:4"))
+        assert not Spec("rose%gcc@5.1").satisfies(Spec("%gcc@:4"))
+        # The §4.2 patch conditions.
+        assert Spec("python=bgq%xl").satisfies(Spec("=bgq%xl"))
+        assert not Spec("python=bgq%clang").satisfies(Spec("=bgq%xl"))
+
+
+class TestSatisfiesStrict:
+    """Strict: containment — every build of self matches other."""
+
+    def test_version_containment(self):
+        assert Spec("mpileaks@1.3").satisfies("mpileaks@1.2:1.4", strict=True)
+        assert not Spec("mpileaks@1.2:1.4").satisfies("mpileaks@1.3", strict=True)
+
+    def test_unset_params_fail_strict(self):
+        assert not Spec("mpileaks").satisfies("mpileaks%gcc", strict=True)
+        assert not Spec("mpileaks").satisfies("mpileaks+debug", strict=True)
+        assert not Spec("mpileaks").satisfies("mpileaks=bgq", strict=True)
+
+    def test_dependencies_strict(self):
+        full = Spec("mpileaks ^callpath@1.2")
+        assert full.satisfies("mpileaks ^callpath@1:", strict=True)
+        assert not full.satisfies("mpileaks ^dyninst@8.1", strict=True)
+
+    def test_dependency_at_depth(self):
+        # Constraints match any node in the DAG by name, not just direct deps.
+        root = Spec("mpileaks")
+        cp = Spec("callpath@1.2")
+        dyn = Spec("dyninst@8.1.2")
+        cp._add_dependency(dyn)
+        root._add_dependency(cp)
+        assert root.satisfies("mpileaks ^dyninst@8.1.2", strict=True)
+        assert not root.satisfies("mpileaks ^dyninst@8.2", strict=True)
+
+
+class TestConstrain:
+    def test_version_intersection(self):
+        s = Spec("mpileaks@1.2:")
+        assert s.constrain(Spec("mpileaks@:1.4")) is True
+        assert str(s.versions) == "1.2:1.4"
+
+    def test_no_change_returns_false(self):
+        s = Spec("mpileaks@1.2")
+        assert s.constrain(Spec("mpileaks@1.2")) is False
+
+    def test_conflicting_versions(self):
+        with pytest.raises(UnsatisfiableVersionSpecError):
+            Spec("mpileaks@2:").constrain(Spec("mpileaks@:1"))
+
+    def test_conflicting_names(self):
+        with pytest.raises(UnsatisfiableSpecNameError):
+            Spec("mpileaks").constrain(Spec("callpath"))
+
+    def test_anonymous_gains_name(self):
+        s = Spec("@2.4")
+        s.constrain(Spec("gperftools"))
+        assert s.name == "gperftools"
+        assert str(s.versions) == "2.4"
+
+    def test_compiler_merge(self):
+        s = Spec("mpileaks%gcc")
+        s.constrain(Spec("mpileaks%gcc@4.7:"))
+        assert str(s.compiler.versions) == "4.7:"
+        with pytest.raises(UnsatisfiableCompilerSpecError):
+            s.constrain(Spec("mpileaks%intel"))
+
+    def test_compiler_version_conflict(self):
+        with pytest.raises(UnsatisfiableCompilerSpecError):
+            Spec("mpileaks%gcc@4:").constrain(Spec("mpileaks%gcc@:3"))
+
+    def test_variant_conflict(self):
+        with pytest.raises(UnsatisfiableVariantSpecError):
+            Spec("mpileaks+debug").constrain(Spec("mpileaks~debug"))
+
+    def test_variant_merge(self):
+        s = Spec("mpileaks+debug")
+        assert s.constrain(Spec("mpileaks~shared")) is True
+        assert s.variants == {"debug": True, "shared": False}
+
+    def test_arch_conflict(self):
+        with pytest.raises(UnsatisfiableArchitectureSpecError):
+            Spec("mpileaks=bgq").constrain(Spec("mpileaks=linux-x86_64"))
+
+    def test_dependency_merge(self):
+        s = Spec("mpileaks ^callpath@1.0:")
+        s.constrain(Spec("mpileaks ^callpath@:1.2 ^libelf@0.8.13"))
+        assert str(s.dependencies["callpath"].versions) == "1.0:1.2"
+        assert str(s.dependencies["libelf"].versions) == "0.8.13"
+
+    def test_dependency_conflict(self):
+        with pytest.raises(UnsatisfiableSpecError):
+            Spec("mpileaks ^callpath@2:").constrain(Spec("mpileaks ^callpath@:1"))
+
+
+class TestIntersects:
+    def test_symmetric(self):
+        a = Spec("mpileaks@1.2:1.4")
+        b = Spec("mpileaks@1.3:")
+        assert a.intersects(b) and b.intersects(a)
+
+    def test_disjoint(self):
+        assert not Spec("mpileaks@1.2").intersects(Spec("mpileaks@2.0"))
+
+    def test_does_not_mutate(self):
+        a = Spec("mpileaks@1.2:1.4")
+        a.intersects(Spec("mpileaks@1.3:"))
+        assert str(a.versions) == "1.2:1.4"
+
+
+class TestCompilerSpec:
+    def test_parse_at_form(self):
+        c = CompilerSpec("gcc@4.7.3")
+        assert c.name == "gcc" and str(c.versions) == "4.7.3"
+
+    def test_concrete(self):
+        assert CompilerSpec("gcc@4.7.3").concrete
+        assert not CompilerSpec("gcc@4.7:").concrete
+        assert not CompilerSpec("gcc").concrete
+
+    def test_version_accessor(self):
+        from repro.version import Version
+
+        assert CompilerSpec("gcc@4.7.3").version == Version("4.7.3")
+
+    def test_satisfies(self):
+        assert CompilerSpec("gcc@4.7.3").satisfies("gcc")
+        assert CompilerSpec("gcc@4.7.3").satisfies("gcc@4.7")
+        assert not CompilerSpec("gcc@4.7.3").satisfies("intel")
+
+    def test_str(self):
+        assert str(CompilerSpec("gcc")) == "gcc"
+        assert str(CompilerSpec("gcc@4.7")) == "gcc@4.7"
+
+
+class TestContainsAndGetitem:
+    def test_contains_by_name_and_constraint(self):
+        s = Spec("mpileaks ^callpath@1.2 ^libelf@0.8")
+        assert "libelf" in s
+        assert "callpath@1.2" in s
+        assert "callpath@2.0" not in s
+        assert Spec("callpath@1:") in s
+
+    def test_getitem(self):
+        s = Spec("mpileaks ^callpath@1.2")
+        assert s["callpath"].name == "callpath"
+        assert s["mpileaks"] is s
+        with pytest.raises(KeyError):
+            s["nothere"]
+
+    def test_getitem_virtual(self):
+        s = Spec("mpileaks")
+        mv = Spec("mvapich2@1.9")
+        mv.provided_virtuals.add("mpi")
+        s._add_dependency(mv)
+        assert s["mpi"].name == "mvapich2"

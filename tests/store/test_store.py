@@ -1,0 +1,156 @@
+"""Directory layout (Table 1), database, and sub-DAG sharing (§3.4.2)."""
+
+import json
+import os
+
+import pytest
+
+from repro.spec.spec import Spec
+from repro.store.database import Database, DatabaseError
+from repro.store.layout import (
+    SITE_CONVENTIONS,
+    DirectoryLayout,
+    DirectoryLayoutError,
+)
+
+
+class TestLayout:
+    def test_table1_spack_default_shape(self, session):
+        concrete = session.concretize(Spec("mpileaks"))
+        rel = session.store.layout.relative_path_for_spec(concrete)
+        arch, compiler, pkg_dir = rel.split(os.sep)
+        assert arch == "linux-x86_64"
+        assert compiler == "gcc-4.9.2"
+        assert pkg_dir.startswith("mpileaks-2.3~debug-")
+        assert pkg_dir.endswith(concrete.dag_hash(8))
+
+    def test_unique_per_configuration(self, session):
+        a = session.concretize(Spec("mpileaks"))
+        b = session.concretize(Spec("mpileaks+debug"))
+        c = session.concretize(Spec("mpileaks ^openmpi"))
+        paths = {session.store.layout.path_for_spec(s) for s in (a, b, c)}
+        assert len(paths) == 3
+
+    def test_dependency_changes_path(self, session):
+        # Identical root parameters, different dependency version: Table 1's
+        # point that only the hash can represent this.
+        a = session.concretize(Spec("mpileaks ^libelf@0.8.13"))
+        b = session.concretize(Spec("mpileaks ^libelf@0.8.12"))
+        assert a.versions == b.versions
+        assert session.store.layout.path_for_spec(a) != session.store.layout.path_for_spec(b)
+
+    def test_abstract_spec_rejected(self, session):
+        with pytest.raises(DirectoryLayoutError):
+            session.store.layout.path_for_spec(Spec("mpileaks"))
+
+    def test_external_prefix_passthrough(self, session):
+        prefix = session.register_external("openmpi@1.8.2")
+        concrete = session.concretize(Spec("mpileaks ^openmpi"))
+        assert session.store.layout.path_for_spec(concrete["openmpi"]) == prefix
+
+    def test_create_twice_rejected(self, session):
+        concrete = session.concretize(Spec("libelf"))
+        session.store.layout.create_install_directory(concrete)
+        with pytest.raises(DirectoryLayoutError):
+            session.store.layout.create_install_directory(concrete)
+
+
+class TestSiteConventions:
+    @pytest.fixture
+    def concrete(self, session):
+        return session.concretize(Spec("mpileaks"))
+
+    def test_all_rows_render(self, concrete):
+        for convention in SITE_CONVENTIONS:
+            path = convention.path_for_spec(concrete)
+            assert path.startswith("/")
+            assert "${" not in path
+
+    def test_llnl_global(self, concrete):
+        convention = SITE_CONVENTIONS[0]
+        assert convention.path_for_spec(concrete) == \
+            "/usr/global/tools/linux-x86_64/mpileaks/2.3"
+
+    def test_tacc_includes_mpi(self, concrete):
+        tacc = next(c for c in SITE_CONVENTIONS if "TACC" in c.site)
+        path = tacc.path_for_spec(concrete)
+        assert "/mvapich2/" in path
+
+    def test_conventions_collide_where_spack_does_not(self, session):
+        """The paper's core Table 1 argument: site conventions cannot
+        distinguish two builds differing only in a dependency version."""
+        a = session.concretize(Spec("mpileaks ^libelf@0.8.13"))
+        b = session.concretize(Spec("mpileaks ^libelf@0.8.12"))
+        spack = SITE_CONVENTIONS[-1]
+        for convention in SITE_CONVENTIONS[:-1]:
+            assert convention.path_for_spec(a) == convention.path_for_spec(b)
+        assert spack.path_for_spec(a) != spack.path_for_spec(b)
+
+
+class TestDatabase:
+    def test_add_query_remove(self, session):
+        concrete = session.concretize(Spec("libelf"))
+        db = session.db
+        db.add(concrete, "/prefix/libelf", explicit=True)
+        assert db.installed(concrete)
+        assert len(db.query("libelf")) == 1
+        assert db.query(explicit=True)[0].spec.name == "libelf"
+        db.remove(concrete)
+        assert not db.installed(concrete)
+
+    def test_abstract_rejected(self, session):
+        with pytest.raises(DatabaseError):
+            session.db.add(Spec("libelf"), "/x")
+
+    def test_remove_missing(self, session):
+        concrete = session.concretize(Spec("libelf"))
+        with pytest.raises(DatabaseError):
+            session.db.remove(concrete)
+
+    def test_query_with_constraints(self, installed_mpileaks):
+        session, spec, _ = installed_mpileaks
+        assert session.db.query("mpileaks@2.3")
+        assert not session.db.query("mpileaks@1.0")
+        assert session.db.query("mpileaks%gcc")
+        assert not session.db.query("mpileaks%intel")
+
+    def test_dependents_of(self, installed_mpileaks):
+        session, spec, _ = installed_mpileaks
+        libelf_dependents = {
+            r.spec.name for r in session.db.dependents_of(spec["libelf"])
+        }
+        assert "libdwarf" in libelf_dependents
+        assert "mpileaks" in libelf_dependents
+
+    def test_persistence(self, installed_mpileaks):
+        session, spec, _ = installed_mpileaks
+        reopened = Database(session.store.root)
+        assert reopened.installed(spec)
+        assert len(reopened) == len(session.db)
+
+    def test_corrupt_index_rebuilt_from_provenance(self, installed_mpileaks):
+        session, spec, _ = installed_mpileaks
+        with open(session.db.index_path, "w") as f:
+            f.write("{ corrupted!!!")
+        rebuilt = Database(session.store.root)
+        assert rebuilt.installed(spec)
+        assert rebuilt.installed(spec["libelf"])
+
+
+class TestSharing:
+    def test_figure9_subdag_reuse(self, session):
+        """mpileaks with mpich, then openmpi: dyninst subtree shared."""
+        spec1, result1 = session.install("mpileaks ^mpich")
+        spec2, result2 = session.install("mpileaks ^openmpi")
+        assert set(result2.reused_names) >= {"dyninst", "libdwarf", "libelf"}
+        assert "openmpi" in result2.built_names
+        assert "callpath" in result2.built_names  # depends on MPI: rebuilt
+        layout = session.store.layout
+        assert layout.path_for_spec(spec1["dyninst"]) == layout.path_for_spec(spec2["dyninst"])
+        assert layout.path_for_spec(spec1["callpath"]) != layout.path_for_spec(spec2["callpath"])
+
+    def test_install_twice_reuses_everything(self, installed_mpileaks):
+        session, spec, _ = installed_mpileaks
+        _, result = session.install("mpileaks")
+        assert result.built == []
+        assert len(result.reused) == 6

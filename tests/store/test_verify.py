@@ -1,0 +1,99 @@
+"""Install verification: detecting on-disk damage (failure injection)."""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.store.verify import verify_install, verify_store
+
+
+class TestHealthy:
+    def test_fresh_install_verifies(self, installed_mpileaks):
+        session, _, _ = installed_mpileaks
+        assert verify_store(session) == []
+
+    def test_external_verifies_by_presence(self, session):
+        session.register_external("openmpi@1.8.2")
+        session.install("mpileaks ^openmpi")
+        assert verify_store(session) == []
+
+
+class TestDamage:
+    def test_missing_prefix(self, installed_mpileaks):
+        session, spec, _ = installed_mpileaks
+        prefix = session.store.layout.path_for_spec(spec["libelf"])
+        shutil.rmtree(prefix)
+        issues = verify_store(session)
+        kinds = {(i.spec.name, i.kind) for i in issues}
+        assert ("libelf", "missing-prefix") in kinds
+
+    def test_deleted_artifact(self, installed_mpileaks):
+        session, spec, _ = installed_mpileaks
+        prefix = session.store.layout.path_for_spec(spec)
+        os.unlink(os.path.join(prefix, "lib", "libmpileaks.so.json"))
+        issues = verify_install(session, session.db.get(spec))
+        assert any(i.kind == "missing-artifact" for i in issues)
+
+    def test_corrupt_artifact(self, installed_mpileaks):
+        session, spec, _ = installed_mpileaks
+        prefix = session.store.layout.path_for_spec(spec)
+        with open(os.path.join(prefix, "lib", "libmpileaks.so.json"), "w") as f:
+            f.write("{ not json")
+        issues = verify_install(session, session.db.get(spec))
+        assert any(i.kind == "corrupt-artifact" for i in issues)
+
+    def test_provenance_mismatch(self, installed_mpileaks):
+        session, spec, _ = installed_mpileaks
+        prefix = session.store.layout.path_for_spec(spec["libelf"])
+        spec_file = os.path.join(prefix, ".spack", "spec.json")
+        data = json.load(open(spec_file))
+        data["nodes"][0]["versions"] = "9.9.9"  # someone edited history
+        json.dump(data, open(spec_file, "w"))
+        issues = verify_install(session, session.db.get(spec["libelf"]))
+        assert any(i.kind == "provenance-mismatch" for i in issues)
+
+    def test_broken_rpath_target(self, installed_mpileaks):
+        """Deleting a dependency's prefix out from under a binary is
+        caught as unresolvable libraries."""
+        session, spec, _ = installed_mpileaks
+        dep_prefix = session.store.layout.path_for_spec(spec["callpath"])
+        shutil.rmtree(dep_prefix)
+        issues = verify_install(session, session.db.get(spec))
+        assert any(i.kind == "unresolvable-libraries" for i in issues)
+
+
+class TestCLI:
+    def test_verify_ok_and_failing(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        root = str(tmp_path / "u")
+        assert main(["--root", root, "install", "libelf"]) == 0
+        capsys.readouterr()
+        assert main(["--root", root, "verify"]) == 0
+        out = capsys.readouterr().out
+        assert "no issues" in out
+
+        # damage it
+        prefix_line = None
+        main(["--root", root, "location", "libelf"])
+        prefix = capsys.readouterr().out.strip()
+        os.unlink(os.path.join(prefix, "bin", "libelf"))
+        assert main(["--root", root, "verify"]) == 1
+        out = capsys.readouterr().out
+        assert "missing-artifact" in out
+
+    def test_reindex_cli(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        root = str(tmp_path / "u")
+        main(["--root", root, "install", "libdwarf"])
+        # nuke the index, rebuild from provenance
+        os.unlink(os.path.join(root, ".spack-db", "index.json"))
+        capsys.readouterr()
+        assert main(["--root", root, "reindex"]) == 0
+        out = capsys.readouterr().out
+        assert "reindexed 2 installed specs" in out
+        assert main(["--root", root, "find", "libdwarf"]) == 0
+        assert "1 installed packages" in capsys.readouterr().out

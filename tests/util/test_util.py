@@ -1,0 +1,262 @@
+"""Utility-layer tests: lang, naming, filesystem, environment, executable."""
+
+import os
+import sys
+
+import pytest
+
+from repro.util.environment import EnvironmentModifications
+from repro.util.executable import Executable, ProcessError, which
+from repro.util.filesystem import (
+    FilesystemError,
+    LinkTree,
+    ancestor,
+    force_remove,
+    install_tree,
+    mkdirp,
+    touch,
+    traverse_tree,
+    working_dir,
+)
+from repro.util.lang import dedupe, key_ordering, lazy_property, memoized, stable_partition
+from repro.util.naming import (
+    InvalidPackageNameError,
+    mod_to_class,
+    pkg_name_to_module_name,
+    valid_name,
+    validate_name,
+)
+
+
+class TestLang:
+    def test_key_ordering(self):
+        @key_ordering
+        class Box:
+            def __init__(self, v):
+                self.v = v
+
+            def _cmp_key(self):
+                return (self.v,)
+
+        assert Box(1) < Box(2)
+        assert Box(2) == Box(2)
+        assert Box(3) >= Box(2)
+        assert hash(Box(1)) == hash(Box(1))
+        assert Box(1).__eq__(42) is NotImplemented
+
+    def test_key_ordering_requires_cmp_key(self):
+        with pytest.raises(TypeError):
+            @key_ordering
+            class Bad:
+                pass
+
+    def test_memoized(self):
+        calls = []
+
+        @memoized
+        def f(x):
+            calls.append(x)
+            return x * 2
+
+        assert f(2) == 4 and f(2) == 4
+        assert calls == [2]
+        f.cache.clear()
+        f(2)
+        assert calls == [2, 2]
+
+    def test_dedupe(self):
+        assert list(dedupe([3, 1, 3, 2, 1])) == [3, 1, 2]
+
+    def test_lazy_property(self):
+        class Thing:
+            count = 0
+
+            @lazy_property
+            def value(self):
+                type(self).count += 1
+                return 42
+
+        t = Thing()
+        assert t.value == 42 and t.value == 42
+        assert Thing.count == 1
+
+    def test_stable_partition(self):
+        evens, odds = stable_partition(range(6), lambda x: x % 2 == 0)
+        assert evens == [0, 2, 4] and odds == [1, 3, 5]
+
+
+class TestNaming:
+    @pytest.mark.parametrize("name", ["mpileaks", "py-numpy", "sgeos_xml", "bzip2", "a.b-c_d"])
+    def test_valid(self, name):
+        assert valid_name(name)
+        assert validate_name(name) == name
+
+    @pytest.mark.parametrize("name", ["", "-bad", ".bad", "has space", None, "x!"])
+    def test_invalid(self, name):
+        assert not valid_name(name)
+        with pytest.raises(InvalidPackageNameError):
+            validate_name(name)
+
+    @pytest.mark.parametrize(
+        "mod,cls",
+        [
+            ("mpileaks", "Mpileaks"),
+            ("py-numpy", "PyNumpy"),
+            ("sgeos_xml", "SgeosXml"),
+            ("netlib-lapack", "NetlibLapack"),
+            ("3proxy", "_3proxy"),
+        ],
+    )
+    def test_mod_to_class(self, mod, cls):
+        assert mod_to_class(mod) == cls
+
+    def test_module_name(self):
+        assert pkg_name_to_module_name("py-numpy") == "py_numpy"
+
+
+class TestFilesystem:
+    def test_mkdirp_idempotent(self, tmp_path):
+        target = tmp_path / "a" / "b" / "c"
+        mkdirp(str(target))
+        mkdirp(str(target))
+        assert target.is_dir()
+
+    def test_touch_and_force_remove(self, tmp_path):
+        f = tmp_path / "file"
+        touch(str(f))
+        assert f.exists()
+        force_remove(str(f))
+        assert not f.exists()
+        force_remove(str(f))  # no error on missing
+
+    def test_working_dir(self, tmp_path):
+        original = os.getcwd()
+        with working_dir(str(tmp_path / "sub"), create=True):
+            assert os.getcwd() == str(tmp_path / "sub")
+        assert os.getcwd() == original
+
+    def test_ancestor(self):
+        assert ancestor("/a/b/c", 2) == "/a"
+
+    def test_traverse_tree_preorder(self, tmp_path):
+        (tmp_path / "d").mkdir()
+        (tmp_path / "d" / "f").write_text("x")
+        (tmp_path / "top").write_text("y")
+        entries = list(traverse_tree(str(tmp_path)))
+        assert ("d", True) in entries
+        assert entries.index(("d", True)) < entries.index((os.path.join("d", "f"), False))
+
+    def test_install_tree(self, tmp_path):
+        src = tmp_path / "src"
+        (src / "sub").mkdir(parents=True)
+        (src / "sub" / "f").write_text("content")
+        install_tree(str(src), str(tmp_path / "dst"))
+        assert (tmp_path / "dst" / "sub" / "f").read_text() == "content"
+
+
+class TestLinkTree:
+    def _tree(self, tmp_path):
+        src = tmp_path / "src"
+        (src / "bin").mkdir(parents=True)
+        (src / "bin" / "tool").write_text("tool")
+        (src / "readme").write_text("doc")
+        return LinkTree(str(src)), tmp_path / "dst"
+
+    def test_merge_and_unmerge(self, tmp_path):
+        tree, dst = self._tree(tmp_path)
+        dst.mkdir()
+        tree.merge(str(dst))
+        assert (dst / "bin" / "tool").is_symlink()
+        assert (dst / "readme").is_symlink()
+        tree.unmerge(str(dst))
+        assert not (dst / "readme").exists()
+        assert not (dst / "bin").exists()  # emptied dirs pruned
+
+    def test_conflict_detected(self, tmp_path):
+        tree, dst = self._tree(tmp_path)
+        (dst / "bin").mkdir(parents=True)
+        (dst / "bin" / "tool").write_text("preexisting")
+        assert tree.find_conflict(str(dst)) == os.path.join("bin", "tool")
+        with pytest.raises(FilesystemError):
+            tree.merge(str(dst))
+
+    def test_ignore_filter(self, tmp_path):
+        tree, dst = self._tree(tmp_path)
+        dst.mkdir()
+        tree.merge(str(dst), ignore=lambda rel: rel == "readme")
+        assert not (dst / "readme").exists()
+        assert (dst / "bin" / "tool").is_symlink()
+
+    def test_unmerge_preserves_foreign_files(self, tmp_path):
+        tree, dst = self._tree(tmp_path)
+        dst.mkdir()
+        tree.merge(str(dst))
+        (dst / "bin" / "other").write_text("not ours")
+        tree.unmerge(str(dst))
+        assert (dst / "bin" / "other").exists()
+
+
+class TestEnvironmentMods:
+    def test_set_unset(self):
+        mods = EnvironmentModifications()
+        mods.set("A", "1")
+        mods.unset("B")
+        env = mods.applied_to({"B": "x"})
+        assert env == {"A": "1"}
+
+    def test_paths(self):
+        mods = EnvironmentModifications()
+        mods.prepend_path("PATH", "/first")
+        mods.append_path("PATH", "/last")
+        env = mods.applied_to({"PATH": "/mid"})
+        assert env["PATH"] == "/first:/mid:/last"
+
+    def test_remove_path(self):
+        mods = EnvironmentModifications()
+        mods.remove_path("PATH", "/gone")
+        env = mods.applied_to({"PATH": "/keep:/gone"})
+        assert env["PATH"] == "/keep"
+        env2 = mods.applied_to({"PATH": "/gone"})
+        assert "PATH" not in env2
+
+    def test_ordered_replay_and_extend(self):
+        a = EnvironmentModifications()
+        a.set("X", "1")
+        b = EnvironmentModifications()
+        b.set("X", "2")
+        a.extend(b)
+        assert a.applied_to({})["X"] == "2"
+        assert len(a) == 2
+
+
+class TestExecutable:
+    def test_capture_output(self):
+        py = Executable(sys.executable)
+        out = py("-c", "print('hello')", output=str)
+        assert out.strip() == "hello"
+
+    def test_failure_raises(self):
+        py = Executable(sys.executable)
+        with pytest.raises(ProcessError):
+            py("-c", "import sys; sys.exit(3)")
+
+    def test_ignore_errors(self):
+        py = Executable(sys.executable)
+        py("-c", "import sys; sys.exit(3)", ignore_errors=(3,))
+        assert py.returncode == 3
+
+    def test_baked_args(self):
+        py = Executable(sys.executable, "-c")
+        assert py("print(6*7)", output=str).strip() == "42"
+
+    def test_which(self, tmp_path):
+        tool = tmp_path / "mytool"
+        tool.write_text("#!/bin/sh\necho hi\n")
+        tool.chmod(0o755)
+        found = which("mytool", path=[str(tmp_path)])
+        assert found is not None and found.name == "mytool"
+        assert which("definitely-not-here", path=[str(tmp_path)]) is None
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            which("definitely-not-here", path=[str(tmp_path)], required=True)

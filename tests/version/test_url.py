@@ -1,0 +1,93 @@
+"""URL version extrapolation tests (§3.2.3 + footnote 2)."""
+
+import pytest
+
+from repro.version import (
+    UndetectableVersionError,
+    parse_version_from_url,
+    substitute_version,
+    wildcard_version_pattern,
+)
+from repro.version.version import Version
+
+
+URLS = [
+    # (url, expected version, replacement, expected result)
+    (
+        "https://github.com/hpc/mpileaks/releases/download/v1.0/mpileaks-1.0.tar.gz",
+        "1.0",
+        "2.1.3",
+        "https://github.com/hpc/mpileaks/releases/download/v2.1.3/mpileaks-2.1.3.tar.gz",
+    ),
+    (
+        "https://www.mr511.de/software/libelf-0.8.13.tar.gz",
+        "0.8.13",
+        "0.8.12",
+        "https://www.mr511.de/software/libelf-0.8.12.tar.gz",
+    ),
+    (
+        "https://www.prevanders.net/libdwarf-20130729.tar.gz",
+        "20130729",
+        "20130207",
+        "https://www.prevanders.net/libdwarf-20130207.tar.gz",
+    ),
+    (
+        "https://downloads.sourceforge.net/tcl/tcl8.6.3-src.tar.gz",
+        "8.6.3",
+        "8.5.0",
+        "https://downloads.sourceforge.net/tcl/tcl8.5.0-src.tar.gz",
+    ),
+    (
+        "https://github.com/llnl/callpath/archive/v1.0.2.tar.gz",
+        "1.0.2",
+        "0.9",
+        "https://github.com/llnl/callpath/archive/v0.9.tar.gz",
+    ),
+    (
+        "https://www.openssl.org/source/openssl-1.0.1h.tar.gz",
+        "1.0.1h",
+        "1.0.1j",
+        "https://www.openssl.org/source/openssl-1.0.1j.tar.gz",
+    ),
+    (
+        "https://www.mpich.org/static/downloads/3.0.4/mpich-3.0.4.tar.gz",
+        "3.0.4",
+        "3.1",
+        "https://www.mpich.org/static/downloads/3.1/mpich-3.1.tar.gz",
+    ),
+]
+
+
+@pytest.mark.parametrize("url,expected,_new,_result", URLS)
+def test_parse(url, expected, _new, _result):
+    version, start, end = parse_version_from_url(url)
+    assert version == Version(expected)
+    assert url[start:end] == expected
+
+
+@pytest.mark.parametrize("url,_expected,new,result", URLS)
+def test_substitute(url, _expected, new, result):
+    assert substitute_version(url, new) == result
+
+
+@pytest.mark.parametrize("url,expected,new,result", URLS)
+def test_wildcard_matches_siblings(url, expected, new, result):
+    pattern = wildcard_version_pattern(url)
+    match = pattern.search(result)
+    assert match is not None
+    assert match.group(1) == new
+
+
+def test_version_inside_larger_number_not_replaced():
+    url = "http://x.org/foo-11.22/foo-1.2.tar.gz"
+    assert substitute_version(url, "9.9") == "http://x.org/foo-11.22/foo-9.9.tar.gz"
+
+
+def test_undetectable():
+    with pytest.raises(UndetectableVersionError):
+        parse_version_from_url("https://example.com/no-version-here/download")
+
+
+def test_substitute_identity():
+    url = "https://x.org/pkg-1.2.tar.gz"
+    assert substitute_version(url, "1.2") == url

@@ -1,0 +1,193 @@
+"""Unit tests for the version algebra (§3.2.3 semantics)."""
+
+import pytest
+
+from repro.version import (
+    Version,
+    VersionList,
+    VersionParseError,
+    VersionRange,
+    any_version,
+    ver,
+)
+
+
+class TestVersionParsing:
+    def test_simple(self):
+        v = Version("1.2.3")
+        assert v.components == (1, 2, 3)
+        assert str(v) == "1.2.3"
+
+    def test_alpha_components(self):
+        v = Version("1.2-rc1")
+        assert v.components == (1, 2, "rc", 1)
+
+    def test_date_version(self):
+        assert Version("20130729").components == (20130729,)
+
+    def test_original_string_preserved(self):
+        assert str(Version("2.0-beta_3")) == "2.0-beta_3"
+
+    @pytest.mark.parametrize("bad", ["", "@1.2", "1 2", ":", "1,2", None, "-x"])
+    def test_invalid(self, bad):
+        with pytest.raises(VersionParseError):
+            Version(bad)
+
+    def test_int_coercion(self):
+        assert Version(3) == Version("3")
+
+
+class TestVersionOrdering:
+    @pytest.mark.parametrize(
+        "lo,hi",
+        [
+            ("1.2", "1.3"),
+            ("1.2", "1.2.1"),       # prefix sorts first
+            ("1.2", "1.2alpha"),    # suffixes extend upward (2015 semantics)
+            ("1.2a", "1.2.0"),      # alpha < numeric at same position
+            ("2.9", "2.10"),        # numeric, not lexicographic
+            ("1.0", "10.0"),
+            ("20130207", "20130729"),
+        ],
+    )
+    def test_less_than(self, lo, hi):
+        assert Version(lo) < Version(hi)
+        assert Version(hi) > Version(lo)
+
+    def test_equality_and_hash(self):
+        assert Version("1.2") == Version("1.2")
+        assert hash(Version("1.2")) == hash(Version("1.2"))
+        assert Version("1.2") != Version("1.2.0")
+
+    def test_sorting(self):
+        versions = [Version(s) for s in ["2.0", "1.0", "1.10", "1.2", "1.2.1"]]
+        assert [str(v) for v in sorted(versions)] == [
+            "1.0", "1.2", "1.2.1", "1.10", "2.0",
+        ]
+
+
+class TestPrefixFamilies:
+    def test_family_membership(self):
+        assert Version("1.4.2") in Version("1.4")
+        assert Version("1.4") in Version("1.4")
+        assert Version("1.40") not in Version("1.4")
+        assert Version("1.4") not in Version("1.4.2")
+
+    def test_satisfies_family(self):
+        assert Version("1.4.2").satisfies("1.4")
+        assert not Version("1.4").satisfies("1.4.2")
+
+    def test_up_to(self):
+        assert Version("1.23.4").up_to(2) == Version("1.23")
+
+    def test_is_predecessor(self):
+        assert Version("1.2").is_predecessor(Version("1.3"))
+        assert not Version("1.2").is_predecessor(Version("1.4"))
+        assert not Version("1.2").is_predecessor(Version("2.2.1"))
+
+
+class TestVersionRange:
+    def test_contains_inclusive(self):
+        r = VersionRange("1.2", "1.4")
+        assert r.contains_version(Version("1.2"))
+        assert r.contains_version(Version("1.3"))
+        assert r.contains_version(Version("1.4"))
+        assert not r.contains_version(Version("1.5"))
+        assert not r.contains_version(Version("1.1"))
+
+    def test_hi_end_family(self):
+        # The paper: "@2.3:2.5.6 would specify a version between 2.3 and
+        # 2.5.6"; the hi endpoint includes its family.
+        r = VersionRange("2.3", "2.5.6")
+        assert r.contains_version(Version("2.5.6"))
+        assert r.contains_version(Version("2.5.6.1"))
+        assert not r.contains_version(Version("2.5.7"))
+
+    def test_open_ranges(self):
+        assert VersionRange("2.5", None).contains_version(Version("99"))
+        assert VersionRange(None, "2.5").contains_version(Version("0.1"))
+        assert not VersionRange("2.5", None).contains_version(Version("2.4"))
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(VersionParseError):
+            VersionRange("2.0", "1.0")
+
+    def test_str_round_trip(self):
+        for text in ["1.2:1.4", "1.2:", ":1.4"]:
+            vl = VersionList(text)
+            assert str(vl) == text
+
+
+class TestVersionList:
+    def test_union_coalesces_overlap(self):
+        vl = VersionList(["1.2:1.4", "1.3:1.6"])
+        assert len(vl) == 1
+        assert vl.contains_version(Version("1.5"))
+
+    def test_disjoint_kept_separate(self):
+        vl = VersionList("1.2:1.3,1.5:1.6")
+        assert len(vl) == 2
+        assert not vl.contains_version(Version("1.4.5"))
+
+    def test_intersection(self):
+        a = VersionList("1.2:1.4,1.6")
+        b = VersionList("1.3:")
+        i = a.intersection(b)
+        assert i.contains_version(Version("1.3.5"))
+        assert i.contains_version(Version("1.6.1"))
+        assert not i.contains_version(Version("1.2.5"))
+
+    def test_empty_intersection(self):
+        assert not VersionList("1.2:1.3").intersection(VersionList("2:"))
+
+    def test_point_intersection_is_version(self):
+        i = VersionList("1.2:1.4").intersection(VersionList("1.4"))
+        assert i.concrete == Version("1.4")
+
+    def test_intersect_in_place_reports_change(self):
+        vl = VersionList("1.2:")
+        assert vl.intersect(VersionList(":1.4")) is True
+        assert vl.intersect(VersionList(":1.4")) is False
+
+    def test_satisfies_overlap_vs_strict(self):
+        assert VersionList("1.2:1.4").satisfies("1.3:")
+        assert not VersionList("1.2:1.4").satisfies("1.3:", strict=True)
+        assert VersionList("1.3").satisfies("1.2:1.4", strict=True)
+
+    def test_universal(self):
+        u = any_version()
+        assert u.universal
+        assert u.contains_version(Version("0"))
+        vl = VersionList("1.9")
+        assert u.intersection(vl) == vl
+
+    def test_concrete(self):
+        assert VersionList("1.9").concrete == Version("1.9")
+        assert VersionList("1.9:2.0").concrete is None
+        assert VersionList("1.9,2.1").concrete is None
+
+    def test_highest_lowest(self):
+        vl = VersionList("1.2:1.4,2.0")
+        assert vl.highest() == Version("2.0")
+        assert vl.lowest() == Version("1.2")
+
+    def test_equality_by_intervals(self):
+        assert VersionList("1.2:1.4") == VersionList("1.2:1.4")
+        # a point constraint and the degenerate range denote the same
+        # family of versions, so the lists compare equal
+        assert VersionList("1.2") == VersionList("1.2:1.2")
+        assert VersionList("1.2") != VersionList("1.2:1.3")
+
+
+class TestVer:
+    def test_coercions(self):
+        assert isinstance(ver("1.2"), Version)
+        assert isinstance(ver("1.2:"), VersionList)
+        assert isinstance(ver("1.2,1.4"), VersionList)
+        assert isinstance(ver(["1.2", "1.4"]), VersionList)
+        v = Version("3")
+        assert ver(v) is v
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            ver(object())

@@ -1,0 +1,78 @@
+"""Per-file view links (§4.3.1's gcc49 example) and config-driven files."""
+
+import os
+
+import pytest
+
+from repro.views.view import View, ViewError, ViewRule
+
+
+class TestFileLinks:
+    def test_executable_links(self, session, tmp_path):
+        """'a Spack-built gcc@4.9 may have a view that creates links from
+        /bin/gcc49 ... to the appropriate gcc executables' — here with
+        mpileaks binaries suffixed by their MPI."""
+        session.install("mpileaks ^mvapich2")
+        session.install("mpileaks ^openmpi")
+        view = View(session, str(tmp_path / "view"))
+        view.add_rule(
+            ViewRule(
+                match="mpileaks",
+                file_links={"/bin/mpileaks-${MPINAME}": "bin/mpileaks"},
+            )
+        )
+        links = view.refresh()
+        names = sorted(os.path.basename(l) for l in links)
+        assert names == ["mpileaks-mvapich2", "mpileaks-openmpi"]
+        for link, spec in links.items():
+            target = os.readlink(link)
+            assert target.endswith(os.path.join("bin", "mpileaks"))
+            assert os.path.isfile(target)
+
+    def test_prefix_and_file_links_together(self, session, tmp_path):
+        session.install("libelf")
+        view = View(session, str(tmp_path / "view"))
+        view.add_rule(
+            ViewRule(
+                "/opt/${PACKAGE}",
+                match="libelf",
+                file_links={"/lib/liblibelf-${VERSION}.so.json": "lib/liblibelf.so.json"},
+            )
+        )
+        links = view.refresh()
+        rels = sorted(os.path.relpath(l, view.root) for l in links)
+        assert rels == ["lib/liblibelf-0.8.13.so.json", "opt/libelf"]
+
+    def test_file_link_conflicts_resolved_by_preference(self, session, tmp_path):
+        session.install("libelf@0.8.12")
+        session.install("libelf@0.8.13")
+        view = View(session, str(tmp_path / "view"))
+        view.add_rule(
+            ViewRule(match="libelf", file_links={"/bin/libelf": "bin/libelf"})
+        )
+        links = view.refresh()
+        assert len(links) == 1
+        assert str(next(iter(links.values())).version) == "0.8.13"
+
+    def test_rule_requires_some_projection(self):
+        with pytest.raises(ViewError):
+            ViewRule()
+
+    def test_config_file_links(self, session, tmp_path):
+        session.config.update(
+            "user",
+            {
+                "views": {
+                    "rules": [
+                        {
+                            "match": "libelf",
+                            "files": {"/bin/elfdump": "bin/libelf"},
+                        }
+                    ]
+                }
+            },
+        )
+        session.install("libelf")
+        view = View(session, str(tmp_path / "view"))
+        links = view.refresh()
+        assert [os.path.basename(l) for l in links] == ["elfdump"]
