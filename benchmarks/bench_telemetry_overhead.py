@@ -1,0 +1,103 @@
+"""Telemetry must be free when nobody is listening.
+
+Companion to ``bench_profile_hotspots.py``: the same Figure 8-style
+concretization loop, run three ways —
+
+* **baseline** — a ``Concretizer`` constructed with no telemetry hub at
+  all (the pre-telemetry code path);
+* **disabled** — the session's concretizer with its hub attached but no
+  sinks (the default for every user who never asks for telemetry);
+* **enabled** — the hub with a ``MemorySink`` collecting every record.
+
+The contract asserted here (and recorded in
+``results/BENCH_telemetry_overhead.json``): the *disabled* hub costs
+less than 2% over baseline.  Instrumentation may therefore live
+unconditionally in hot paths; only attaching a sink buys the records
+with measurable time.
+
+Measurement notes: baseline and disabled loops are interleaved
+(round-robin) and the per-variant minimum over all rounds is compared,
+which cancels drift (thermal, page cache) that a sequential A-then-B
+measurement would book to one side.
+"""
+
+import json
+import time
+
+from conftest import write_result
+
+from repro.core.concretizer import Concretizer
+from repro.spec.spec import Spec
+from repro.telemetry import MemorySink
+
+#: round-robin rounds per variant; minimum-of-rounds is compared
+ROUNDS = 5
+
+#: packages per loop (Figure 8-style population slice)
+LOOP_SIZE = 40
+
+
+def _time_loop(concretizer, names):
+    start = time.perf_counter()
+    for name in names:
+        concretizer.concretize(Spec(name))
+    return time.perf_counter() - start
+
+
+def test_telemetry_disabled_overhead(universe_session, benchmark):
+    session = universe_session
+    names = [n for n in session.repo.all_package_names()][:LOOP_SIZE]
+
+    bare = Concretizer(
+        session.repo,
+        session.provider_index,
+        session.compilers,
+        session.config,
+        session.policy,
+    )
+    wired = session.concretizer
+    assert wired.telemetry is session.telemetry
+    assert not session.telemetry.enabled  # no sinks: the disabled path
+
+    # warm-up: imports, provider index, policy caches
+    for name in names[:10]:
+        bare.concretize(Spec(name))
+        wired.concretize(Spec(name))
+
+    baseline = disabled = None
+    for _ in range(ROUNDS):
+        b = _time_loop(bare, names)
+        d = _time_loop(wired, names)
+        baseline = b if baseline is None else min(baseline, b)
+        disabled = d if disabled is None else min(disabled, d)
+
+    sink = session.telemetry.add_sink(MemorySink())
+    try:
+        enabled = _time_loop(wired, names)
+        records = len(sink.records)
+    finally:
+        session.telemetry.remove_sink(sink)
+
+    overhead_pct = (disabled - baseline) / baseline * 100.0
+    result = {
+        "loop_packages": len(names),
+        "rounds": ROUNDS,
+        "baseline_s": baseline,
+        "disabled_s": disabled,
+        "enabled_s": enabled,
+        "enabled_records": records,
+        "disabled_overhead_pct": overhead_pct,
+        "budget_pct": 2.0,
+    }
+    write_result(
+        "BENCH_telemetry_overhead.json", json.dumps(result, indent=1) + "\n"
+    )
+
+    assert overhead_pct < 2.0, (
+        "disabled telemetry costs %.2f%% over the no-hub baseline "
+        "(budget: 2%%)" % overhead_pct
+    )
+
+    # benchmark fixture: one instrumented-but-disabled concretization
+    concrete = benchmark(wired.concretize, Spec(names[-1]))
+    assert concrete.concrete

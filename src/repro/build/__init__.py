@@ -1,0 +1,34 @@
+"""The build substrate: environment isolation, wrappers, fake toolchain.
+
+This package implements the paper's §3.5 build methodology against the
+simulated toolchain (DESIGN.md §3):
+
+* :mod:`repro.build.context` — the active-build state (`BuildContext`)
+  that the fake build systems consult;
+* :mod:`repro.build.environment` — the isolated build environment
+  (``PATH``/``PKG_CONFIG_PATH``/``CMAKE_PREFIX_PATH``/``LD_LIBRARY_PATH``
+  plus the ``SPACK_*`` wrapper channel) and the runtime environment used
+  by module generation;
+* :mod:`repro.build.wrappers` — the compiler wrappers: a pure
+  argv-rewriting function shared by the fast in-process path and the
+  generated wrapper *scripts* of subprocess mode (§3.5.2);
+* :mod:`repro.build.toolchain` — the fake compiler executables
+  (``gcc-4.9.2`` et al.) that PATH detection finds (§3.2.3);
+* :mod:`repro.build.fakecc` — the compiler implementation both modes
+  share: parses ``-c/-o/-I/-L/-l/-Wl,-rpath`` and writes JSON artifacts
+  with embedded RPATHs;
+* :mod:`repro.build.shell` — fake ``configure``/``make``/``cmake``
+  consumed by package ``install()`` recipes;
+* :mod:`repro.build.loader` — the "dynamic loader" that resolves a fake
+  binary's needed libraries through its RPATHs at "runtime" (§3.5.1).
+"""
+
+from repro.build import shell  # noqa: F401  (packages do `from repro.build import shell`)
+from repro.build.context import BuildContext, BuildContextError, build_context
+
+__all__ = [
+    "BuildContext",
+    "BuildContextError",
+    "build_context",
+    "shell",
+]

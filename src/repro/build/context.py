@@ -1,0 +1,126 @@
+"""The active build's state: what ``configure``/``make`` consult.
+
+A package's ``install(spec, prefix)`` calls module-level build tools
+(:mod:`repro.build.shell`).  Those tools need to know *which* build they
+belong to — the package, its prefix, the sandboxed environment, the cost
+model, the log file.  The installer wraps each build in
+:func:`build_context`, which pushes a :class:`BuildContext` onto a
+thread-local stack; the shell functions resolve it at call time.  The
+stack (rather than a single slot) keeps nested installs — an extension
+triggering its extendee's build — well-defined, and a thread-local keeps
+concurrent sessions in different threads isolated (DESIGN.md §5's
+no-global-mutable-state rule bends here exactly as far as ambient
+``configure``/``make`` require).
+"""
+
+import contextlib
+import threading
+
+from repro.errors import ReproError
+
+
+class BuildContextError(ReproError):
+    """A build tool was invoked outside (or against) an active build."""
+
+
+class BuildContext:
+    """Everything one package build needs at ``install()`` time.
+
+    Parameters mirror what the installer assembles: the package and its
+    target ``prefix``, the isolated ``env`` dict (see
+    :func:`repro.build.environment.build_environment`), the ``stage``
+    holding expanded sources, the virtual-cost ``cost_model`` + ``clock``
+    pair (§3.5.3's Figure 10/11 accounting), whether compiler wrappers
+    are charged (``use_wrappers``) and whether compilers run as real
+    subprocesses (``subprocess_mode``), the open ``build_log`` file, the
+    ``platform`` description (extra configure args / target flags), and
+    an optional ``telemetry`` hub that the fake build systems emit phase
+    spans through.
+    """
+
+    def __init__(
+        self,
+        pkg,
+        prefix,
+        env,
+        stage=None,
+        cost_model=None,
+        clock=None,
+        use_wrappers=True,
+        subprocess_mode=False,
+        build_log=None,
+        platform=None,
+        telemetry=None,
+    ):
+        self.pkg = pkg
+        self.prefix = prefix
+        self.env = env
+        self.stage = stage
+        self.cost_model = cost_model
+        self.clock = clock
+        self.use_wrappers = use_wrappers
+        self.subprocess_mode = subprocess_mode
+        self.build_log = build_log
+        self.platform = platform
+        self.telemetry = telemetry
+
+        #: set by ``configure``/``cmake``; ``make`` refuses to run without it
+        self.configured = False
+        #: the full configure/cmake argv, for the build manifest
+        self.configure_args = []
+        #: object files produced by ``make`` (consumed by the link step)
+        self.objects = []
+        #: artifacts staged by ``make`` awaiting ``make install``
+        self.build_products = {}
+
+    def log(self, message):
+        """Append a line to the build log (no-op without one)."""
+        if self.build_log is not None:
+            self.build_log.write(message.rstrip("\n") + "\n")
+
+    def charge_file_ops(self, n, install=False):
+        if self.cost_model is not None and self.clock is not None and n:
+            self.cost_model.charge_file_ops(self.clock, n, install=install)
+
+    def charge_compile(self, unit_cost):
+        if self.cost_model is not None and self.clock is not None:
+            self.cost_model.charge_compile(self.clock, unit_cost, self.use_wrappers)
+
+    def charge_link(self, cost):
+        if self.cost_model is not None and self.clock is not None:
+            self.cost_model.charge_link(self.clock, cost, self.use_wrappers)
+
+    def __repr__(self):
+        return "BuildContext(%s -> %s)" % (self.pkg.name, self.prefix)
+
+
+_state = threading.local()
+
+
+def _stack():
+    stack = getattr(_state, "stack", None)
+    if stack is None:
+        stack = _state.stack = []
+    return stack
+
+
+@contextlib.contextmanager
+def build_context(ctx):
+    """Make ``ctx`` the active build for the duration of the block."""
+    stack = _stack()
+    stack.append(ctx)
+    try:
+        yield ctx
+    finally:
+        stack.pop()
+
+
+def active_context():
+    """The innermost active :class:`BuildContext`; raises outside a build."""
+    stack = _stack()
+    if not stack:
+        raise BuildContextError(
+            "No build in progress: configure/make/cmake can only be called "
+            "from a package's install() under the installer"
+        )
+    return stack[-1]

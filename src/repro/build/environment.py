@@ -1,0 +1,106 @@
+"""Build-time and run-time environments for a concrete spec (§3.5.1).
+
+``build_environment`` assembles the *sandboxed* dict a build runs with:
+nothing is inherited from the caller's environment (the isolation the
+paper leads §3.5 with), dependency prefixes feed ``PATH`` and the
+``*_PATH`` discovery variables, and the ``SPACK_*`` channel carries what
+the compiler wrappers need (real compiler, dependency prefixes, install
+prefix, per-architecture target flags).
+
+``runtime_environment`` produces the
+:class:`~repro.util.environment.EnvironmentModifications` that module
+files render (§3.5.4): ``PATH``, ``MANPATH``, ``LD_LIBRARY_PATH``,
+``PKG_CONFIG_PATH``, ``CMAKE_PREFIX_PATH`` — LD_LIBRARY_PATH included
+even though RPATH-built binaries do not need it, because non-RPATH
+dependents and build systems do.
+"""
+
+import os
+
+from repro.util.environment import EnvironmentModifications
+
+
+def dependency_prefixes(spec, layout):
+    """Ordered ``{name: prefix}`` for every transitive dependency.
+
+    Externals keep their configured prefix (§4.4); everything else
+    resolves through the layout.  Post-order, so deeper dependencies come
+    first — the order link lines and search paths list them.
+    """
+    prefixes = {}
+    for node in spec.traverse(order="post", root=False):
+        prefixes[node.name] = node.external or layout.path_for_spec(node)
+    return prefixes
+
+
+def _path_list(dep_prefixes, *subdir):
+    return [os.path.join(p, *subdir) for p in dep_prefixes.values()]
+
+
+def build_environment(
+    node,
+    compiler,
+    prefix,
+    dep_prefixes,
+    wrapper_paths=None,
+    use_wrappers=True,
+    target_flags=(),
+):
+    """The isolated environment dict one package build runs in.
+
+    ``wrapper_paths`` is the ``{slot: script}`` mapping from
+    :func:`repro.build.wrappers.write_wrappers` when subprocess mode
+    generated real wrapper scripts; without it the in-process fast path
+    applies the same rewrite via ``wrap_compiler_args``.  Either way
+    ``CC``/``CXX``/``F77``/``FC`` are what the build system calls and
+    ``SPACK_*`` is what the wrapper layer consults.
+    """
+    real = {
+        "cc": compiler.cc or "%s-%s" % (compiler.name, compiler.version),
+        "cxx": compiler.cxx or compiler.cc or "%s-%s" % (compiler.name, compiler.version),
+        "f77": compiler.f77 or "",
+        "fc": compiler.fc or "",
+    }
+    env = {
+        "SPACK_CC": real["cc"],
+        "SPACK_CXX": real["cxx"],
+        "SPACK_F77": real["f77"],
+        "SPACK_FC": real["fc"],
+        "SPACK_COMPILER": "%s-%s" % (compiler.name, compiler.version),
+        "SPACK_PREFIX": prefix,
+        "SPACK_DEPENDENCIES": os.pathsep.join(dep_prefixes.values()),
+        "SPACK_TARGET_FLAGS": " ".join(target_flags),
+        "SPACK_SPEC": str(node),
+    }
+    if use_wrappers and wrapper_paths:
+        env["CC"] = wrapper_paths.get("cc", real["cc"])
+        env["CXX"] = wrapper_paths.get("cxx", real["cxx"])
+        env["F77"] = wrapper_paths.get("f77", real["f77"])
+        env["FC"] = wrapper_paths.get("fc", real["fc"])
+        path_dirs = [os.path.dirname(env["CC"])]
+    else:
+        env["CC"] = real["cc"]
+        env["CXX"] = real["cxx"]
+        env["F77"] = real["f77"]
+        env["FC"] = real["fc"]
+        path_dirs = [os.path.dirname(real["cc"])] if os.path.dirname(real["cc"]) else []
+
+    path_dirs.extend(_path_list(dep_prefixes, "bin"))
+    env["PATH"] = os.pathsep.join(path_dirs)
+    env["PKG_CONFIG_PATH"] = os.pathsep.join(_path_list(dep_prefixes, "lib", "pkgconfig"))
+    env["CMAKE_PREFIX_PATH"] = os.pathsep.join(dep_prefixes.values())
+    env["LD_LIBRARY_PATH"] = os.pathsep.join(_path_list(dep_prefixes, "lib"))
+    return env
+
+
+def runtime_environment(spec, prefix, dep_prefixes):
+    """Environment modifications to *use* an installed spec (§3.5.4)."""
+    mods = EnvironmentModifications()
+    mods.prepend_path("PATH", os.path.join(prefix, "bin"))
+    mods.prepend_path("MANPATH", os.path.join(prefix, "share", "man"))
+    mods.prepend_path("LD_LIBRARY_PATH", os.path.join(prefix, "lib"))
+    mods.prepend_path("PKG_CONFIG_PATH", os.path.join(prefix, "lib", "pkgconfig"))
+    mods.prepend_path("CMAKE_PREFIX_PATH", prefix)
+    for dep_prefix in dep_prefixes.values():
+        mods.append_path("LD_LIBRARY_PATH", os.path.join(dep_prefix, "lib"))
+    return mods

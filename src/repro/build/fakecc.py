@@ -1,0 +1,117 @@
+"""The fake compiler both build modes share (DESIGN.md §3).
+
+A "compiler" invocation parses the argv shape real drivers accept —
+``-c``, ``-o``, ``-I``, ``-L``, ``-l``, ``-Wl,-rpath,<dir>``,
+``-shared`` — and writes JSON artifacts instead of machine code:
+
+* compile (``-c``): a JSON *object file* recording the source unit;
+* link: a JSON *library* (``-shared``) or *binary* recording ``needed``
+  (from ``-l`` flags, as ``lib<name>.so.json`` sonames) and ``rpaths``
+  (from ``-Wl,-rpath`` flags — i.e. whatever the wrappers injected).
+
+This preserves the code path under test: the wrappers really rewrite
+argv, RPATHs really end up in the artifact, and the loader really
+resolves them.  The same function backs the in-process fast path (called
+with an already-wrapped argv) and the generated toolchain *executables*
+(:mod:`repro.build.toolchain`), so subprocess mode produces bit-identical
+artifacts.
+"""
+
+import json
+import os
+
+
+class FakeCompilerError(Exception):
+    """Bad argv — mirrors a real driver's usage error (exit status 1)."""
+
+
+def parse_argv(argv):
+    """Split a driver argv into a description of what to do.
+
+    ``argv[0]`` is the compiler itself; its basename becomes the
+    ``compiler`` field artifacts record (``gcc-4.9.2``).
+    """
+    compiler_id = os.path.basename(argv[0]) if argv else "cc"
+    action = {
+        "compiler": compiler_id,
+        "compile": False,
+        "shared": False,
+        "output": None,
+        "inputs": [],
+        "include_dirs": [],
+        "lib_dirs": [],
+        "libs": [],
+        "rpaths": [],
+        "flags": [],
+    }
+    args = iter(argv[1:])
+    for arg in args:
+        if arg == "-c":
+            action["compile"] = True
+        elif arg == "-shared":
+            action["shared"] = True
+        elif arg == "-o":
+            action["output"] = next(args, None)
+        elif arg.startswith("-I"):
+            action["include_dirs"].append(arg[2:])
+        elif arg.startswith("-L"):
+            action["lib_dirs"].append(arg[2:])
+        elif arg.startswith("-l"):
+            action["libs"].append(arg[2:])
+        elif arg.startswith("-Wl,-rpath,"):
+            action["rpaths"].append(arg[len("-Wl,-rpath,"):])
+        elif arg.startswith("-Wl,") or arg.startswith("-"):
+            action["flags"].append(arg)
+        else:
+            action["inputs"].append(arg)
+    if action["output"] is None:
+        raise FakeCompilerError("no -o output given")
+    if not action["inputs"] and not action["libs"]:
+        raise FakeCompilerError("no input files")
+    return action
+
+
+def soname(lib):
+    """The artifact filename a ``-l<name>`` flag resolves to."""
+    return "lib%s.so.json" % lib
+
+
+def run(argv):
+    """Execute one parsed invocation: write the artifact, return its path."""
+    action = parse_argv(argv)
+    out = action["output"]
+    out_dir = os.path.dirname(out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    if action["compile"]:
+        artifact = {
+            "type": "object",
+            "sources": [os.path.basename(p) for p in action["inputs"]],
+            "compiler": action["compiler"],
+            "flags": action["flags"],
+            "include_dirs": action["include_dirs"],
+        }
+    else:
+        artifact = {
+            "type": "library" if action["shared"] else "binary",
+            "needed": sorted(soname(lib) for lib in action["libs"]),
+            "rpaths": action["rpaths"],
+            "compiler": action["compiler"],
+            "objects": len(action["inputs"]),
+            "flags": action["flags"],
+        }
+    with open(out, "w") as f:
+        json.dump(artifact, f, indent=1, sort_keys=True)
+    return out
+
+
+def main(argv):
+    """Entry point for the generated toolchain executables."""
+    try:
+        run(argv)
+    except (FakeCompilerError, OSError) as e:
+        import sys
+
+        print("%s: error: %s" % (os.path.basename(argv[0]), e), file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,96 @@
+"""A fake dynamic loader for the JSON artifacts (the §3.5.2 proof).
+
+Real RPATH semantics, miniaturized: to resolve a binary's ``needed``
+libraries, search the binary's own ``rpaths`` first, then RPATHs
+inherited from the loading chain, then ``LD_LIBRARY_PATH`` from the
+environment — in that order, so an RPATH always beats a hostile
+``LD_LIBRARY_PATH`` (the decoy test).  Resolution recurses into each
+resolved library's own ``needed``, building the transitive closure
+``ldd`` prints.
+
+``load_binary(path, env={})`` with an *empty* environment is the
+paper's headline guarantee made executable: an installed binary must
+resolve every library through RPATHs alone.
+"""
+
+import json
+import os
+
+from repro.errors import ReproError
+
+
+class LoaderError(ReproError):
+    """A needed library could not be resolved (a real ld.so error)."""
+
+
+def _read_artifact(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        raise LoaderError("Cannot load %s: %s" % (path, e)) from e
+    except ValueError as e:
+        raise LoaderError("Corrupt artifact %s: %s" % (path, e)) from e
+
+
+def _env_paths(env):
+    if not env:
+        return []
+    return [p for p in env.get("LD_LIBRARY_PATH", "").split(os.pathsep) if p]
+
+
+def _resolve_soname(soname, search_dirs):
+    for d in search_dirs:
+        candidate = os.path.join(d, soname)
+        if os.path.isfile(candidate):
+            return candidate
+    return None
+
+
+def _resolve(path, env_dirs, inherited_rpaths, resolved, chain):
+    """Resolve ``path``'s needed libraries into ``resolved`` (recursive)."""
+    artifact = _read_artifact(path)
+    own_rpaths = list(artifact.get("rpaths", ()))
+    # Inherited RPATHs come after the object's own but before the
+    # environment — the ld.so ordering that makes RPATH builds immune to
+    # the caller's LD_LIBRARY_PATH.
+    search_dirs = own_rpaths + [r for r in inherited_rpaths if r not in own_rpaths]
+    for soname in artifact.get("needed", ()):
+        if soname in resolved:
+            continue
+        found = _resolve_soname(soname, search_dirs + env_dirs)
+        if found is None:
+            raise LoaderError(
+                "%s: cannot resolve %s (searched rpaths %s%s)"
+                % (
+                    " -> ".join(chain + [os.path.basename(path)]),
+                    soname,
+                    search_dirs,
+                    ", LD_LIBRARY_PATH %s" % env_dirs if env_dirs else "",
+                )
+            )
+        resolved[soname] = found
+        _resolve(
+            found,
+            env_dirs,
+            search_dirs,
+            resolved,
+            chain + [os.path.basename(path)],
+        )
+    return resolved
+
+
+def load_binary(path, env=None):
+    """Simulate loading ``path``; raise :class:`LoaderError` on failure.
+
+    Returns ``{soname: resolved_path}`` for the transitive closure of
+    needed libraries.
+    """
+    if not os.path.isfile(path):
+        raise LoaderError("No such binary: %s" % path)
+    return _resolve(path, _env_paths(env), [], {}, [])
+
+
+def ldd(path, env=None):
+    """The transitive ``{soname: path}`` map, like ``ldd(1)``."""
+    return load_binary(path, env=env)

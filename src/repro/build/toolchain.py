@@ -1,0 +1,59 @@
+"""Generate the fake compiler toolchain (§3.2.3's detectable compilers).
+
+``write_toolchain(dir, [("gcc", "4.9.2"), ...])`` writes one real
+executable per toolchain binary (``gcc-4.9.2``, ``g++-4.9.2``,
+``gfortran-4.9.2``, ``icc-15.0.1``...), named exactly as
+``repro.compilers.registry.find_compilers`` detects them.  Each script
+delegates to :mod:`repro.build.fakecc`, so subprocess-mode builds spawn
+these as real compiler processes while the fast path calls the same code
+in-process.
+"""
+
+import os
+import stat
+import sys
+
+from repro.compilers.registry import TOOLCHAIN_BINARIES
+
+_COMPILER_TEMPLATE = '''#!%(python)s
+"""Fake %(stem)s %(version)s (generated toolchain; see repro.build.fakecc)."""
+import sys
+
+sys.path.insert(0, %(src_path)r)
+
+from repro.build.fakecc import main
+
+sys.exit(main(sys.argv))
+'''
+
+
+def write_toolchain(directory, toolchains):
+    """Write every binary of every ``(name, version)`` toolchain.
+
+    Returns the list of executable paths written.  Idempotent: an
+    existing toolchain directory is refreshed in place.
+    """
+    os.makedirs(directory, exist_ok=True)
+    src_path = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    written = []
+    for name, version in toolchains:
+        stems = TOOLCHAIN_BINARIES.get(name)
+        if stems is None:
+            raise ValueError("Unknown toolchain %r (no binary stems defined)" % name)
+        for stem in dict.fromkeys(stems):  # dedup, keep order (gfortran doubles as f77+fc)
+            path = os.path.join(directory, "%s-%s" % (stem, version))
+            with open(path, "w") as f:
+                f.write(
+                    _COMPILER_TEMPLATE
+                    % {
+                        "python": sys.executable,
+                        "src_path": src_path,
+                        "stem": stem,
+                        "version": version,
+                    }
+                )
+            os.chmod(
+                path, os.stat(path).st_mode | stat.S_IXUSR | stat.S_IXGRP | stat.S_IXOTH
+            )
+            written.append(path)
+    return written

@@ -1,0 +1,101 @@
+"""Compiler wrappers: argv rewriting, as a pure function and as scripts.
+
+The paper (§3.5.2): Spack puts ``cc``/``c++``/``f77``/``fc`` wrappers
+first on ``PATH``; build systems invoke them as "the compiler", and the
+wrapper adds ``-I``/``-L``/``-Wl,-rpath`` flags for every dependency
+before delegating to the real compiler.  RPATHs therefore end up in
+binaries without any package cooperation, which is what makes installed
+artifacts run with an empty environment.
+
+Two consumers share :func:`wrap_compiler_args`:
+
+* the fast in-process build path calls it directly and feeds the result
+  to :mod:`repro.build.fakecc`;
+* :func:`write_wrappers` generates real executable wrapper *scripts*
+  that perform the same rewrite from ``os.environ`` and ``exec`` the
+  real (fake-toolchain) compiler — the honest subprocess mode that
+  Figure 10/11's wrapper-overhead numbers model.
+
+The information channel is environment variables, exactly as in the
+original: ``SPACK_CC`` (the real compiler), ``SPACK_DEPENDENCIES``
+(colon-separated dependency prefixes), ``SPACK_PREFIX`` (the install
+prefix whose ``lib`` also gets an RPATH), and ``SPACK_TARGET_FLAGS``
+(per-architecture flags from :mod:`repro.platforms`).
+"""
+
+import os
+import stat
+import sys
+
+#: wrapper script names by language slot (cc/cxx/f77/fc), as on PATH
+WRAPPER_NAMES = {"cc": "cc", "cxx": "c++", "f77": "f77", "fc": "fc"}
+
+#: environment variable carrying the real compiler for each slot
+_REAL_COMPILER_VAR = {"cc": "SPACK_CC", "cxx": "SPACK_CXX", "f77": "SPACK_F77", "fc": "SPACK_FC"}
+
+
+def wrap_compiler_args(argv, env, slot="cc"):
+    """Rewrite one compiler invocation's argv (the wrapper's whole job).
+
+    ``argv[0]`` is replaced with the real compiler from the environment;
+    target flags, dependency ``-I`` flags and — for link lines —
+    dependency ``-L``/``-Wl,-rpath`` flags plus the install prefix's
+    RPATH are injected ahead of the original arguments.  Pure: no
+    filesystem or process access, so its real in-process cost can be
+    measured honestly (``simfs.measure_wrapper_overhead``).
+    """
+    argv = list(argv)
+    real = env.get(_REAL_COMPILER_VAR.get(slot, "SPACK_CC")) or env.get("SPACK_CC") or argv[0]
+    deps = [p for p in env.get("SPACK_DEPENDENCIES", "").split(os.pathsep) if p]
+    prefix = env.get("SPACK_PREFIX")
+    target_flags = env.get("SPACK_TARGET_FLAGS", "").split()
+
+    injected = [real]
+    injected.extend(target_flags)
+    for dep in deps:
+        injected.append("-I%s" % os.path.join(dep, "include"))
+    if "-c" not in argv:  # a link line: library search paths + RPATHs
+        for dep in deps:
+            lib_dir = os.path.join(dep, "lib")
+            injected.append("-L%s" % lib_dir)
+            injected.append("-Wl,-rpath,%s" % lib_dir)
+        if prefix:
+            injected.append("-Wl,-rpath,%s" % os.path.join(prefix, "lib"))
+    injected.extend(argv[1:])
+    return injected
+
+
+_WRAPPER_TEMPLATE = '''#!%(python)s
+"""Spack-style compiler wrapper (generated; slot: %(slot)s)."""
+import os
+import sys
+
+sys.path.insert(0, %(src_path)r)
+
+from repro.build.wrappers import wrap_compiler_args
+
+argv = wrap_compiler_args([%(slot)r] + sys.argv[1:], os.environ, slot=%(slot)r)
+os.execv(argv[0], argv)
+'''
+
+
+def write_wrappers(directory):
+    """Write executable wrapper scripts; returns ``{slot: path}``.
+
+    The scripts carry an absolute interpreter and an absolute
+    ``sys.path`` entry so they run under the sandboxed build environment
+    (which deliberately inherits nothing from the caller).
+    """
+    os.makedirs(directory, exist_ok=True)
+    src_path = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    paths = {}
+    for slot, name in WRAPPER_NAMES.items():
+        path = os.path.join(directory, name)
+        with open(path, "w") as f:
+            f.write(
+                _WRAPPER_TEMPLATE
+                % {"python": sys.executable, "src_path": src_path, "slot": slot}
+            )
+        os.chmod(path, os.stat(path).st_mode | stat.S_IXUSR | stat.S_IXGRP | stat.S_IXOTH)
+        paths[slot] = path
+    return paths

@@ -18,13 +18,30 @@ import sys
 from repro.errors import ReproError
 
 
+#: (hub, sink) pairs attached for this invocation; main() closes them
+_ACTIVE_LOG_SINKS = []
+
+
 def _session(args):
     from repro.session import Session
 
     root = args.root or os.environ.get(
         "REPRO_SPACK_ROOT", os.path.expanduser("~/.repro-spack")
     )
-    return Session.create(root)
+    session = Session.create(root)
+    log_path = getattr(args, "telemetry_log", None)
+    if log_path:
+        from repro.telemetry import JSONLSink
+
+        try:
+            sink = JSONLSink(log_path)
+        except OSError as e:
+            raise ReproError(
+                "Cannot open telemetry log %s: %s" % (log_path, e)
+            ) from e
+        session.telemetry.add_sink(sink)
+        _ACTIVE_LOG_SINKS.append((session.telemetry, sink))
+    return session
 
 
 def _spec_arg(args):
@@ -46,7 +63,30 @@ def cmd_install(args):
     for node in result.externals:
         print("    external %s (%s)" % (node.name, node.external))
     print("==> installed to %s" % session.store.layout.path_for_spec(spec))
+    if getattr(args, "timers", False):
+        _print_timers(result)
     return 0
+
+
+def _print_timers(result):
+    """The ``install --timers`` per-phase report (data from the same
+    measurements persisted in each prefix's timing.json)."""
+    if not result.built:
+        print("==> timers: nothing was built (everything reused or external)")
+        return
+    phase_names = ("fetch", "stage", "build", "install")
+    print("==> phase timers (wall seconds)")
+    print("    %-20s %8s %8s %8s %8s %8s"
+          % (("package",) + phase_names + ("total",)))
+    totals = dict.fromkeys(phase_names, 0.0)
+    for stats in result.built:
+        row = [stats.phases.get(p, 0.0) for p in phase_names]
+        for name, value in zip(phase_names, row):
+            totals[name] += value
+        print("    %-20s %8.3f %8.3f %8.3f %8.3f %8.3f"
+              % ((stats.spec.name,) + tuple(row) + (stats.real_seconds,)))
+    print("    %-20s %8.3f %8.3f %8.3f %8.3f"
+          % (("(sum)",) + tuple(totals[p] for p in phase_names)))
 
 
 def cmd_uninstall(args):
@@ -101,20 +141,31 @@ def cmd_spec(args):
     print("------------------------------")
     print(abstract.tree())
     if getattr(args, "trace", False):
-        from repro.core.concretizer import Concretizer
+        # Stream Figure 6 pipeline stages live through the telemetry hub:
+        # the same records a --telemetry-log JSONL capture would carry.
+        from repro.telemetry import Sink
 
-        events = []
-        concretizer = Concretizer(
-            session.repo, session.provider_index, session.compilers,
-            session.config, session.policy, trace=events.append,
-        )
-        concrete = concretizer.concretize(abstract)
+        class _TraceSink(Sink):
+            PREFIX = "concretize."
+
+            def emit(self, record):
+                if record["event"] != "event":
+                    return
+                name = record["name"]
+                if not name.startswith(self.PREFIX):
+                    return
+                detail = ", ".join(
+                    "%s=%s" % kv for kv in sorted(record["attrs"].items())
+                )
+                print("  [%s] %s" % (name[len(self.PREFIX):], detail))
+
         print("Trace")
         print("------------------------------")
-        for event in events:
-            kind = event.pop("event")
-            detail = ", ".join("%s=%s" % kv for kv in sorted(event.items()))
-            print("  [%s] %s" % (kind, detail))
+        sink = session.telemetry.add_sink(_TraceSink())
+        try:
+            concrete = session.concretize(abstract)
+        finally:
+            session.telemetry.remove_sink(sink)
     else:
         concrete = session.concretize(
             abstract, backtrack=getattr(args, "backtrack", False)
@@ -444,6 +495,11 @@ def build_parser():
         description="Reproduction of the Spack package manager (SC '15)",
     )
     parser.add_argument("--root", help="session root directory")
+    parser.add_argument(
+        "--telemetry-log",
+        metavar="FILE",
+        help="append every telemetry record (spans, events) to FILE as JSONL",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     commands = {
@@ -479,6 +535,11 @@ def build_parser():
         p = sub.add_parser(name, help=help_text)
         _add_spec_argument(p)
         p.set_defaults(func=func)
+        if name == "install":
+            p.add_argument(
+                "--timers", action="store_true",
+                help="print per-phase (fetch/stage/build/install) wall times",
+            )
         if name == "uninstall":
             p.add_argument("--force", action="store_true", help="ignore dependents")
         if name == "find":
@@ -515,6 +576,12 @@ def main(argv=None):
     except ReproError as e:
         print("Error: %s" % e, file=sys.stderr)
         return 1
+    finally:
+        # Cap each --telemetry-log stream with the aggregate summary.
+        while _ACTIVE_LOG_SINKS:
+            hub, sink = _ACTIVE_LOG_SINKS.pop()
+            hub.emit_summary()
+            sink.close()
 
 
 if __name__ == "__main__":

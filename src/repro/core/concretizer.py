@@ -85,7 +85,7 @@ class Concretizer:
     """
 
     def __init__(self, repo, provider_index, compilers, config, policy=None,
-                 trace=None):
+                 trace=None, telemetry=None):
         self.repo = repo
         self.provider_index = provider_index
         self.compilers = compilers
@@ -93,10 +93,27 @@ class Concretizer:
         self.policy = policy or DefaultPolicy(config)
         #: optional callback(event: dict) observing the Figure 6 pipeline
         self.trace = trace
+        #: optional session Telemetry hub; pipeline stages become
+        #: ``concretize.<stage>`` events (same payloads as ``trace``)
+        self.telemetry = telemetry
+
+    def _observing(self):
+        """True when some observer will actually see emitted events.
+
+        Hot call sites check this *before* building event payloads —
+        rendering specs and sorting node names is far more expensive
+        than the emit itself, and must cost nothing when nobody
+        listens (see benchmarks/bench_telemetry_overhead.py).
+        """
+        return self.trace is not None or (
+            self.telemetry is not None and self.telemetry.enabled
+        )
 
     def _emit(self, kind, **data):
         if self.trace is not None:
             self.trace(dict(data, event=kind))
+        if self.telemetry is not None:
+            self.telemetry.event("concretize." + kind, **data)
 
     # -- public API ----------------------------------------------------------
     def concretize(self, abstract_spec):
@@ -105,6 +122,14 @@ class Concretizer:
             abstract_spec = Spec(abstract_spec)
         if abstract_spec.name is None:
             raise ConcretizationError("Cannot concretize an anonymous spec")
+        if self.telemetry is not None and self.telemetry.enabled:
+            with self.telemetry.span("concretize", spec=str(abstract_spec)) as span:
+                concrete = self._fixed_point(abstract_spec)
+                span.set(nodes=len(list(concrete.traverse())))
+                return concrete
+        return self._fixed_point(abstract_spec)
+
+    def _fixed_point(self, abstract_spec):
         spec = abstract_spec.copy()
         # Remember which compilers the *user* pinned: a defaulted compiler
         # may be silently re-chosen if a feature requirement (§4.5)
@@ -114,13 +139,15 @@ class Concretizer:
 
         for iteration in range(MAX_ITERATIONS):
             changed = self._expand_dependencies(spec)
-            self._emit("expand", iteration=iteration, changed=changed,
-                       nodes=sorted(n.name for n in spec.traverse()))
+            if self._observing():
+                self._emit("expand", iteration=iteration, changed=changed,
+                           nodes=sorted(n.name for n in spec.traverse()))
             virtual_changed = self._resolve_virtuals(spec)
             changed |= virtual_changed
             param_changed = self._concretize_parameters(spec)
             changed |= param_changed
-            self._emit("iteration", iteration=iteration, changed=changed)
+            if self._observing():
+                self._emit("iteration", iteration=iteration, changed=changed)
             if not changed:
                 break
         else:
@@ -217,8 +244,9 @@ class Concretizer:
             chosen = self._choose_provider(vnode, nodes, exclude=dependents)
             self._swap_virtual(spec, vnode, chosen)
             chosen.provided_virtuals.add(name)
-            self._emit("virtual-resolved", virtual=str(vnode),
-                       provider=chosen.name)
+            if self._observing():
+                self._emit("virtual-resolved", virtual=str(vnode),
+                           provider=chosen.name)
             nodes = self._nodes(spec)
             changed = True
         return changed

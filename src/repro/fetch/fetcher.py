@@ -28,9 +28,11 @@ class Fetcher:
     """Fetches package tarballs — mirrors first, then the web — and
     scrapes listing pages for versions."""
 
-    def __init__(self, web, mirrors=()):
+    def __init__(self, web, mirrors=(), telemetry=None):
         self.web = web
         self.mirrors = list(mirrors)
+        #: optional session Telemetry hub (fetch spans, hit/miss counters)
+        self.telemetry = telemetry
 
     def add_mirror(self, mirror):
         self.mirrors.append(mirror)
@@ -45,29 +47,50 @@ class Fetcher:
         the bytes came from — otherwise they are accepted unverified
         (the paper's "bleeding-edge versions" case).
         """
-        content, source = None, None
-        for mirror in self.mirrors:
-            content = mirror.fetch(pkg.name, version)
-            if content is not None:
-                source = mirror.archive_path(pkg.name, version)
-                break
-        if content is None:
-            url = pkg.url_for_version(version)
-            source = url
-            from repro.fetch.mockweb import NotOnWebError
+        from repro.telemetry.hub import NULL_SPAN
 
-            try:
-                content = self.web.get(url)
-            except NotOnWebError as e:
-                raise FetchError(
-                    "Cannot fetch %s@%s: %s" % (pkg.name, version, e.message)
-                ) from e
-        expected = pkg.checksum_for(version)
-        if expected:
-            actual = hashlib.md5(content).hexdigest()
-            if actual != expected:
-                raise ChecksumError(source, expected, actual)
-        return content
+        hub = self.telemetry
+        span = (
+            hub.span("fetch", package=pkg.name, version=str(version))
+            if hub is not None
+            else NULL_SPAN
+        )
+        with span:
+            content, source = None, None
+            for mirror in self.mirrors:
+                content = mirror.fetch(pkg.name, version)
+                if content is not None:
+                    source = mirror.archive_path(pkg.name, version)
+                    break
+            if hub is not None:
+                # a mirror satisfying the request is the local-cache hit
+                hub.count("fetch.cache_hit" if content is not None else "fetch.cache_miss")
+            if content is None:
+                url = pkg.url_for_version(version)
+                source = url
+                from repro.fetch.mockweb import NotOnWebError
+
+                try:
+                    content = self.web.get(url)
+                except NotOnWebError as e:
+                    if hub is not None:
+                        hub.count("fetch.errors")
+                    raise FetchError(
+                        "Cannot fetch %s@%s: %s" % (pkg.name, version, e.message)
+                    ) from e
+            span.set(source=source, bytes=len(content))
+            expected = pkg.checksum_for(version)
+            if expected:
+                actual = hashlib.md5(content).hexdigest()
+                if actual != expected:
+                    if hub is not None:
+                        hub.count("fetch.checksum_mismatch")
+                    raise ChecksumError(source, expected, actual)
+                if hub is not None:
+                    hub.count("fetch.checksum_verified")
+            elif hub is not None:
+                hub.count("fetch.unverified")
+            return content
 
     def available_versions(self, pkg):
         """Scrape the package's listing page for version-shaped links.

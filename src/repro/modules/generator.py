@@ -123,11 +123,14 @@ class ModuleGenerator:
         self.module_root = os.path.join(session.root, "modules")
 
     def write_for_spec(self, spec, kinds=("dotkit", "tcl")):
-        paths = []
-        layout = self.session.store.layout
-        for kind in kinds:
-            module = self.FORMATS[kind](spec, layout)
-            paths.append(module.write(self.module_root))
+        hub = self.session.telemetry
+        with hub.span("modules.write", package=spec.name, kinds=list(kinds)):
+            paths = []
+            layout = self.session.store.layout
+            for kind in kinds:
+                module = self.FORMATS[kind](spec, layout)
+                paths.append(module.write(self.module_root))
+            hub.count("modules.files_written", len(paths))
         return paths
 
     def refresh(self, kinds=("dotkit", "tcl")):

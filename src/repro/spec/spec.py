@@ -273,6 +273,12 @@ class Spec:
     def _add_dependency(self, dep_spec):
         if dep_spec.name is None:
             raise err.SpecParseError("Dependency specs must be named")
+        if dep_spec.name == self.name:
+            # traversal dedups nodes by name, so a same-named dependency
+            # would be invisible to rendering/hashing — reject it here
+            raise err.InvalidDependencyError(
+                "Package %r cannot depend on itself" % self.name
+            )
         if dep_spec.name in self.dependencies:
             raise err.DuplicateDependencyError(
                 "Cannot depend on %r twice" % dep_spec.name

@@ -1,8 +1,13 @@
-"""The install store: directory layout, database, installer (§3.4.2–3.4.3)."""
+"""The install store: directory layout, database, installer (§3.4.2–3.4.3).
+
+``Installer`` (and its errors) are resolved lazily via module
+``__getattr__``: the installer pulls in the whole build subsystem
+(:mod:`repro.build`), which lightweight store consumers — the database,
+layout math, ``spack find``-style queries — never need.
+"""
 
 from repro.store.layout import DirectoryLayout, SiteConvention, SITE_CONVENTIONS
 from repro.store.database import Database, InstallRecord
-from repro.store.installer import Installer, InstallError, UninstallError
 from repro.store.store import Store
 
 __all__ = [
@@ -16,3 +21,17 @@ __all__ = [
     "InstallError",
     "UninstallError",
 ]
+
+_LAZY_INSTALLER_NAMES = ("Installer", "InstallError", "UninstallError")
+
+
+def __getattr__(name):
+    if name in _LAZY_INSTALLER_NAMES:
+        from repro.store import installer
+
+        return getattr(installer, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_INSTALLER_NAMES))

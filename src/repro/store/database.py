@@ -11,6 +11,7 @@ is reconstructed from the per-prefix provenance files the installer
 writes (§3.4.3) — tested by the failure-injection suite.
 """
 
+import contextlib
 import json
 import os
 import time
@@ -60,7 +61,7 @@ class Database:
 
     _INDEX_NAME = "index.json"
 
-    def __init__(self, root):
+    def __init__(self, root, telemetry=None):
         from repro.util.lock import Lock
 
         self.root = os.path.abspath(root)
@@ -68,8 +69,20 @@ class Database:
         self.index_path = os.path.join(self.db_dir, self._INDEX_NAME)
         #: serializes read-modify-write cycles across sessions/processes
         self.lock = Lock(os.path.join(self.db_dir, "index.lock"))
+        #: optional session Telemetry hub (lock waits, reindex spans)
+        self.telemetry = telemetry
         self._records = {}
         self._load()
+
+    @contextlib.contextmanager
+    def _locked(self):
+        """Hold the index lock, recording how long acquisition took."""
+        start = time.perf_counter()
+        with self.lock:
+            if self.telemetry is not None:
+                self.telemetry.count("db.lock_acquires")
+                self.telemetry.observe("db.lock_wait_s", time.perf_counter() - start)
+            yield
 
     # -- persistence ---------------------------------------------------------
     def _load(self):
@@ -104,22 +117,33 @@ class Database:
     def rebuild_from_prefixes(self):
         """Reconstruct the index from per-prefix ``spec.json`` provenance."""
         from repro.store.layout import DirectoryLayout
+        from repro.telemetry.hub import NULL_SPAN
 
-        layout = DirectoryLayout(os.path.join(self.root, "opt"))
-        found = 0
-        for prefix in layout.all_specs_dirs():
-            spec_file = os.path.join(prefix, METADATA_DIR, "spec.json")
-            if not os.path.isfile(spec_file):
-                continue
-            try:
-                with open(spec_file) as f:
-                    spec = Spec.from_dict(json.load(f))
-            except (ValueError, KeyError):
-                continue
-            self._records[spec.dag_hash()] = InstallRecord(spec, prefix)
-            found += 1
-        if found:
-            self._save()
+        span = (
+            self.telemetry.span("db.reindex", root=self.root)
+            if self.telemetry is not None
+            else NULL_SPAN
+        )
+        with span:
+            layout = DirectoryLayout(os.path.join(self.root, "opt"))
+            found = 0
+            skipped = 0
+            for prefix in layout.all_specs_dirs():
+                spec_file = os.path.join(prefix, METADATA_DIR, "spec.json")
+                if not os.path.isfile(spec_file):
+                    skipped += 1
+                    continue
+                try:
+                    with open(spec_file) as f:
+                        spec = Spec.from_dict(json.load(f))
+                except (ValueError, KeyError):
+                    skipped += 1
+                    continue
+                self._records[spec.dag_hash()] = InstallRecord(spec, prefix)
+                found += 1
+            if found:
+                self._save()
+            span.set(found=found, skipped=skipped)
         return found
 
     def refresh(self):
@@ -131,7 +155,7 @@ class Database:
     def add(self, spec, prefix, explicit=False):
         if not spec.concrete:
             raise DatabaseError("Only concrete specs can be installed: %s" % spec)
-        with self.lock:
+        with self._locked():
             self.refresh()
             record = InstallRecord(spec.copy(), prefix, explicit=explicit)
             self._records[spec.dag_hash()] = record
@@ -139,7 +163,7 @@ class Database:
         return record
 
     def remove(self, spec):
-        with self.lock:
+        with self._locked():
             self.refresh()
             key = spec.dag_hash()
             if key not in self._records:
@@ -149,7 +173,7 @@ class Database:
         return record
 
     def mark_explicit(self, spec, explicit=True):
-        with self.lock:
+        with self._locked():
             self.refresh()
             record = self.get(spec)
             if record:

@@ -45,14 +45,45 @@ class UninstallError(ReproError):
 class BuildStats:
     """Per-build accounting: virtual (modeled) and real elapsed seconds."""
 
-    def __init__(self, spec, virtual_seconds, real_seconds, counts):
+    def __init__(self, spec, virtual_seconds, real_seconds, counts, phases=None):
         self.spec = spec
         self.virtual_seconds = virtual_seconds
         self.real_seconds = real_seconds
         self.counts = counts
+        #: wall seconds per install phase (fetch/stage/build/install)
+        self.phases = dict(phases or {})
 
     def __repr__(self):
         return "BuildStats(%s, %.3fs virtual)" % (self.spec.name, self.virtual_seconds)
+
+
+class _PhaseTimer:
+    """Times named install phases into a dict, mirroring them as spans.
+
+    The wall-clock measurement always happens — ``timing.json`` is part
+    of every install's provenance — while the telemetry span alongside it
+    costs nothing unless a sink is listening.
+    """
+
+    def __init__(self, phases, hub, **attrs):
+        self.phases = phases
+        self.hub = hub
+        self.attrs = attrs
+
+    def phase(self, name):
+        import contextlib
+
+        @contextlib.contextmanager
+        def _timed():
+            span = self.hub.span("install.phase." + name, **self.attrs)
+            start = time.perf_counter()
+            with span:
+                try:
+                    yield
+                finally:
+                    self.phases[name] = time.perf_counter() - start
+
+        return _timed()
 
 
 class InstallResult:
@@ -85,28 +116,38 @@ class Installer:
             raise InstallError("Only concrete specs can be installed: %s" % spec)
         db = self.session.db
         layout = self.session.store.layout
+        hub = self.session.telemetry
         result = InstallResult(spec)
 
-        for node in spec.traverse(order="post"):
-            node.prefix = node.external or layout.path_for_spec(node)
-            if node.external:
-                if not db.installed(node):
-                    db.add(node, node.external, explicit=False)
-                result.externals.append(node)
-                continue
-            if db.installed(node):
-                result.reused.append(node)
-                continue
-            stats = self._build_one(node, keep_stage=keep_stage)
-            db.add(node, node.prefix, explicit=(node is spec and explicit))
-            result.built.append(stats)
-            if self.session.generate_modules:
-                from repro.modules.generator import ModuleGenerator
+        with hub.span("install", spec=str(spec.name)) as span:
+            for node in spec.traverse(order="post"):
+                node.prefix = node.external or layout.path_for_spec(node)
+                if node.external:
+                    if not db.installed(node):
+                        db.add(node, node.external, explicit=False)
+                    result.externals.append(node)
+                    hub.count("install.external")
+                    continue
+                if db.installed(node):
+                    result.reused.append(node)
+                    hub.count("install.reused")
+                    continue
+                stats = self._build_one(node, keep_stage=keep_stage)
+                db.add(node, node.prefix, explicit=(node is spec and explicit))
+                result.built.append(stats)
+                hub.count("install.built")
+                if self.session.generate_modules:
+                    from repro.modules.generator import ModuleGenerator
 
-                ModuleGenerator(self.session).write_for_spec(node)
+                    ModuleGenerator(self.session).write_for_spec(node)
 
-        if db.installed(spec):
-            db.mark_explicit(spec, explicit)
+            if db.installed(spec):
+                db.mark_explicit(spec, explicit)
+            span.set(
+                built=len(result.built),
+                reused=len(result.reused),
+                externals=len(result.externals),
+            )
         return result
 
     def uninstall(self, spec, force=False):
@@ -132,6 +173,7 @@ class Installer:
     # -- building one node ------------------------------------------------------
     def _build_one(self, node, keep_stage=False):
         session = self.session
+        hub = session.telemetry
         pkg = session.package_for(node)
         layout = session.store.layout
         compiler = session.compilers.compiler_for(node.compiler)
@@ -141,52 +183,66 @@ class Installer:
         prefix = None
         log_file = None
         start = time.perf_counter()
+        # Wall-clock per phase, measured unconditionally (independent of
+        # telemetry sinks): every install persists these in timing.json.
+        phases = {}
+        timer = _PhaseTimer(phases, hub, package=pkg.name)
         try:
-            tarball = session.fetcher.fetch(pkg, node.version)
-            stage.expand_tarball(tarball)
-            for patch_decl in pkg.patches_for_spec():
-                stage.apply_patch(patch_decl)
-            pkg.applied_patches = list(stage.applied_patches)
+            with hub.span("install.node", package=pkg.name, version=str(node.version)):
+                with timer.phase("fetch"):
+                    tarball = session.fetcher.fetch(pkg, node.version)
+                with timer.phase("stage"):
+                    stage.expand_tarball(tarball)
+                    for patch_decl in pkg.patches_for_spec():
+                        stage.apply_patch(patch_decl)
+                    pkg.applied_patches = list(stage.applied_patches)
 
-            prefix = layout.create_install_directory(node)
-            dep_prefixes = dependency_prefixes(node, layout)
-            wrapper_paths = None
-            if session.subprocess_mode and session.use_wrappers:
-                wrapper_paths = write_wrappers(os.path.join(stage.path, "wrappers"))
-            platform = session.platforms.get(node.architecture)
-            env = build_environment(
-                node,
-                compiler,
-                prefix,
-                dep_prefixes,
-                wrapper_paths=wrapper_paths,
-                use_wrappers=session.use_wrappers,
-                target_flags=platform.flags_for(compiler.name),
-            )
-            self._apply_env_hooks(pkg, node, env)
+                prefix = layout.create_install_directory(node)
+                dep_prefixes = dependency_prefixes(node, layout)
+                wrapper_paths = None
+                if session.subprocess_mode and session.use_wrappers:
+                    wrapper_paths = write_wrappers(os.path.join(stage.path, "wrappers"))
+                platform = session.platforms.get(node.architecture)
+                env = build_environment(
+                    node,
+                    compiler,
+                    prefix,
+                    dep_prefixes,
+                    wrapper_paths=wrapper_paths,
+                    use_wrappers=session.use_wrappers,
+                    target_flags=platform.flags_for(compiler.name),
+                )
+                self._apply_env_hooks(pkg, node, env)
 
-            log_path = os.path.join(prefix, METADATA_DIR, "build.log")
-            log_file = open(log_path, "w")
-            clock = VirtualClock()
-            ctx = BuildContext(
-                pkg,
-                prefix,
-                env,
-                stage=stage,
-                cost_model=session.cost_model,
-                clock=clock,
-                use_wrappers=session.use_wrappers,
-                subprocess_mode=session.subprocess_mode,
-                build_log=log_file,
-                platform=platform,
-            )
-            with build_context(ctx), working_dir(stage.source_path):
-                pkg.install(node, prefix)
+                log_path = os.path.join(prefix, METADATA_DIR, "build.log")
+                log_file = open(log_path, "w")
+                clock = VirtualClock()
+                ctx = BuildContext(
+                    pkg,
+                    prefix,
+                    env,
+                    stage=stage,
+                    cost_model=session.cost_model,
+                    clock=clock,
+                    use_wrappers=session.use_wrappers,
+                    subprocess_mode=session.subprocess_mode,
+                    build_log=log_file,
+                    platform=platform,
+                    telemetry=hub,
+                )
+                with timer.phase("build"):
+                    with build_context(ctx), working_dir(stage.source_path):
+                        pkg.install(node, prefix)
 
-            self._sanity_check(node, prefix)
-            self._write_provenance(node, pkg, prefix, env)
-            real = time.perf_counter() - start
-            return BuildStats(node, clock.seconds, real, clock.snapshot())
+                with timer.phase("install"):
+                    self._sanity_check(node, prefix)
+                    self._write_provenance(node, pkg, prefix, env)
+                real = time.perf_counter() - start
+                stats = BuildStats(
+                    node, clock.seconds, real, clock.snapshot(), phases=phases
+                )
+                self._write_timing(node, prefix, stats)
+            return stats
         except Exception as e:
             tail = self._log_tail(log_file)
             if prefix and os.path.isdir(prefix):
@@ -242,6 +298,30 @@ class Installer:
             json.dump(env, f, indent=1, sort_keys=True)
         with open(os.path.join(meta, "applied_patches.json"), "w") as f:
             json.dump(pkg.applied_patches, f)
+
+    def _write_timing(self, node, prefix, stats):
+        """Persist per-phase wall times next to the other provenance.
+
+        Written for *every* build, telemetry sinks or not — timing is
+        provenance (schema documented in docs/observability.md).
+        """
+        meta = os.path.join(prefix, METADATA_DIR)
+        mkdirp(meta)
+        with open(os.path.join(meta, "timing.json"), "w") as f:
+            json.dump(
+                {
+                    "package": node.name,
+                    "version": str(node.version),
+                    "hash": node.dag_hash(),
+                    "phases": stats.phases,
+                    "total_s": stats.real_seconds,
+                    "virtual_seconds": stats.virtual_seconds,
+                    "counts": stats.counts,
+                },
+                f,
+                indent=1,
+                sort_keys=True,
+            )
 
     @staticmethod
     def _log_tail(log_file, lines=20):

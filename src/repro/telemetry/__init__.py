@@ -1,0 +1,27 @@
+"""Session-wide telemetry: spans, counters, and event streams.
+
+The observability layer the original tool grew over years of production
+use at LLNL, reproduced in miniature: every ``Session`` owns a
+:class:`~repro.telemetry.hub.Telemetry` hub; concretization, fetching,
+staging, building, the database, and module generation emit through it;
+pluggable sinks decide what happens to the records (collect, stream as
+JSONL, pretty-print).  With no sinks attached the whole layer costs one
+attribute check per call site.
+
+See ``docs/observability.md`` for the event taxonomy and sink API.
+"""
+
+from repro.telemetry.hub import NULL_SPAN, Histogram, NullSpan, Span, Telemetry
+from repro.telemetry.sinks import JSONLSink, MemorySink, Sink, TreeSink
+
+__all__ = [
+    "Telemetry",
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "Histogram",
+    "Sink",
+    "MemorySink",
+    "JSONLSink",
+    "TreeSink",
+]

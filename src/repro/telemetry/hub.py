@@ -1,0 +1,271 @@
+"""The telemetry hub: spans, counters, histograms — per Session.
+
+One :class:`Telemetry` instance hangs off each ``Session`` (DESIGN.md §5:
+no global state — two sessions in one process never share a hub).
+Instrumented code asks the hub for :meth:`~Telemetry.span` context
+managers around units of work (concretize, fetch, a build phase),
+:meth:`~Telemetry.event` for point-in-time facts, and
+:meth:`~Telemetry.count`/:meth:`~Telemetry.observe` for aggregates.
+
+**The disabled path is free.**  With no sinks attached every entry point
+early-outs before allocating anything: ``span()`` returns a shared
+singleton null span, ``event()``/``count()``/``observe()`` return
+immediately.  Instrumentation can therefore stay unconditionally in hot
+paths (the overhead budget is checked by
+``benchmarks/bench_telemetry_overhead.py``).
+
+Span records carry monotonically-timed durations (``time.perf_counter``)
+plus wall-clock timestamps, and integer span/parent IDs so a JSONL
+stream can be reassembled into the original tree.  The current-span
+stack is thread-local: concurrent sessions or threads each see their own
+nesting.
+"""
+
+import itertools
+import threading
+import time
+
+
+class NullSpan:
+    """The shared do-nothing span the disabled path hands out."""
+
+    __slots__ = ()
+
+    span_id = None
+    parent_id = None
+    name = None
+    duration_s = 0.0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **attrs):
+        return self
+
+    def event(self, name, **attrs):
+        return self
+
+
+#: singleton: ``span()`` with no sinks returns this, allocating nothing
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """One timed, attributed unit of work; usable as a context manager."""
+
+    __slots__ = ("hub", "name", "attrs", "span_id", "parent_id", "_start", "duration_s")
+
+    def __init__(self, hub, name, attrs):
+        self.hub = hub
+        self.name = name
+        self.attrs = attrs
+        self.span_id = None
+        self.parent_id = None
+        self._start = None
+        self.duration_s = None
+
+    def set(self, **attrs):
+        """Attach attributes mid-span; they ride on the span-end record."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name, **attrs):
+        """Emit a point event parented to this span."""
+        self.hub._emit(
+            {
+                "event": "event",
+                "name": name,
+                "span": self.span_id,
+                "ts": time.time(),
+                "attrs": attrs,
+            }
+        )
+        return self
+
+    def __enter__(self):
+        stack = self.hub._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        self.span_id = next(self.hub._ids)
+        self._start = time.perf_counter()
+        stack.append(self)
+        self.hub._emit(
+            {
+                "event": "span-start",
+                "name": self.name,
+                "span": self.span_id,
+                "parent": self.parent_id,
+                "ts": time.time(),
+                "attrs": dict(self.attrs),
+            }
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.duration_s = time.perf_counter() - self._start
+        stack = self.hub._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # unbalanced exit (generator GC'd mid-span): drop by identity
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        record = {
+            "event": "span-end",
+            "name": self.name,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "ts": time.time(),
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        self.hub._emit(record)
+        self.hub.observe(self.name, self.duration_s)
+        return False
+
+    def __repr__(self):
+        return "Span(%r, id=%s, parent=%s)" % (self.name, self.span_id, self.parent_id)
+
+
+class Histogram:
+    """Streaming aggregate of observed values (no samples retained)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def add(self, value):
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self):
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self):
+        return "Histogram(n=%d, mean=%g)" % (self.count, self.mean)
+
+
+class Telemetry:
+    """A session's telemetry hub; see the module docstring."""
+
+    def __init__(self):
+        self._sinks = []
+        self.counters = {}
+        self.histograms = {}
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # -- sinks ------------------------------------------------------------
+    @property
+    def enabled(self):
+        """True when at least one sink is attached (anything can emit)."""
+        return bool(self._sinks)
+
+    def add_sink(self, sink):
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink):
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+        return sink
+
+    # -- emission ---------------------------------------------------------
+    def span(self, name, **attrs):
+        """A context manager timing one unit of work.
+
+        Free when disabled: no sinks means the shared :data:`NULL_SPAN`
+        comes back before ``attrs`` dicts or Span objects are created.
+        """
+        if not self._sinks:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def event(self, name, **attrs):
+        """A point-in-time event, parented to the current span if any."""
+        if not self._sinks:
+            return
+        stack = self._stack()
+        self._emit(
+            {
+                "event": "event",
+                "name": name,
+                "span": stack[-1].span_id if stack else None,
+                "ts": time.time(),
+                "attrs": attrs,
+            }
+        )
+
+    def count(self, name, n=1):
+        """Bump a counter (aggregate only — no per-increment records)."""
+        if not self._sinks:
+            return
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name, value):
+        """Feed one value into the named histogram."""
+        if not self._sinks:
+            return
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.add(value)
+
+    # -- inspection -------------------------------------------------------
+    def counter(self, name):
+        return self.counters.get(name, 0)
+
+    def current_span(self):
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def snapshot(self):
+        """Counters + histogram aggregates, JSON-serializable."""
+        return {
+            "counters": dict(self.counters),
+            "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+        }
+
+    def emit_summary(self):
+        """Emit the aggregate snapshot as a final ``telemetry.summary``
+        event (e.g. last line of a JSONL log)."""
+        self.event("telemetry.summary", **self.snapshot())
+
+    # -- internals --------------------------------------------------------
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _emit(self, record):
+        for sink in self._sinks:
+            sink.emit(record)
+
+    def __repr__(self):
+        return "Telemetry(%d sinks, %d counters)" % (
+            len(self._sinks),
+            len(self.counters),
+        )

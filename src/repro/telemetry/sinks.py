@@ -1,0 +1,134 @@
+"""Telemetry sinks: where the hub's records go.
+
+A sink is anything with ``emit(record)`` (and optionally ``close()``).
+Records are plain JSON-serializable dicts — see ``docs/observability.md``
+for the exact taxonomy.  Three sinks ship:
+
+* :class:`MemorySink` — keeps records in a list; the test/benchmark sink.
+* :class:`JSONLSink` — one JSON object per line; the machine-readable
+  stream behind ``repro --telemetry-log FILE``.
+* :class:`TreeSink` — human-readable indented tree of spans as they
+  close, for watching a long install breathe.
+"""
+
+import json
+
+
+class Sink:
+    """Interface: receive every record the hub emits."""
+
+    def emit(self, record):
+        raise NotImplementedError
+
+    def close(self):
+        """Flush/release resources; hubs never call this — owners do."""
+
+
+class MemorySink(Sink):
+    """Collects records in memory; convenience filters for tests."""
+
+    def __init__(self):
+        self.records = []
+
+    def emit(self, record):
+        self.records.append(record)
+
+    def spans(self, name=None):
+        """Completed spans (span-end records), optionally by name."""
+        return [
+            r
+            for r in self.records
+            if r["event"] == "span-end" and (name is None or r["name"] == name)
+        ]
+
+    def events(self, name=None):
+        return [
+            r
+            for r in self.records
+            if r["event"] == "event" and (name is None or r["name"] == name)
+        ]
+
+    def clear(self):
+        self.records = []
+
+    def __len__(self):
+        return len(self.records)
+
+
+class JSONLSink(Sink):
+    """Append records to a file (or stream), one JSON object per line.
+
+    Accepts a path (opened in append mode, closed by :meth:`close`) or an
+    open file-like object (left open — the caller owns it).  Every record
+    is flushed immediately so a crashed process leaves a readable log.
+    """
+
+    def __init__(self, path_or_stream):
+        if hasattr(path_or_stream, "write"):
+            self._stream = path_or_stream
+            self._owns = False
+            self.path = getattr(path_or_stream, "name", None)
+        else:
+            self._stream = open(path_or_stream, "a")
+            self._owns = True
+            self.path = path_or_stream
+
+    def emit(self, record):
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self._stream.flush()
+
+    def close(self):
+        if self._owns and not self._stream.closed:
+            self._stream.close()
+
+    @staticmethod
+    def read(path):
+        """Parse a JSONL log back into the list of record dicts."""
+        records = []
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records
+
+
+class TreeSink(Sink):
+    """Print an indented line per completed span (children first, the
+    ``pytest --durations`` convention — a span's duration is only known
+    when it closes)."""
+
+    def __init__(self, stream=None, min_duration_s=0.0, show_events=False):
+        import sys
+
+        self.stream = stream if stream is not None else sys.stdout
+        self.min_duration_s = min_duration_s
+        self.show_events = show_events
+        self._depth = {}  # span id -> depth, learned from span-start
+
+    def emit(self, record):
+        kind = record["event"]
+        if kind == "span-start":
+            parent = record.get("parent")
+            self._depth[record["span"]] = (
+                self._depth.get(parent, -1) + 1 if parent is not None else 0
+            )
+            return
+        indent = "  " * self._depth.get(record.get("span"), 0)
+        if kind == "span-end":
+            if record["duration_s"] < self.min_duration_s:
+                return
+            attrs = self._format_attrs(record["attrs"])
+            self.stream.write(
+                "%s%-30s %8.1f ms%s\n"
+                % (indent, record["name"], record["duration_s"] * 1000.0, attrs)
+            )
+        elif kind == "event" and self.show_events:
+            attrs = self._format_attrs(record["attrs"])
+            self.stream.write("%s* %s%s\n" % (indent, record["name"], attrs))
+
+    @staticmethod
+    def _format_attrs(attrs):
+        if not attrs:
+            return ""
+        return "  (%s)" % ", ".join("%s=%s" % kv for kv in sorted(attrs.items()))

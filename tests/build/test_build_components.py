@@ -1,0 +1,170 @@
+"""Unit tests for the ``repro.build`` substrate: wrappers, fake
+compiler, and the fake loader's RPATH semantics.
+
+Integration behaviour (full builds through the installer) is covered by
+``tests/integration`` and ``tests/store``; these tests pin the pure
+pieces directly — in particular the §3.5.2 ordering guarantee that an
+RPATH always beats ``LD_LIBRARY_PATH``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.build import fakecc
+from repro.build.loader import LoaderError, ldd, load_binary
+from repro.build.wrappers import WRAPPER_NAMES, wrap_compiler_args, write_wrappers
+
+
+WRAP_ENV = {
+    "SPACK_CC": "/toolchain/gcc-4.9.2",
+    "SPACK_CXX": "/toolchain/g++-4.9.2",
+    "SPACK_DEPENDENCIES": os.pathsep.join(["/store/libelf", "/store/libdwarf"]),
+    "SPACK_PREFIX": "/store/dyninst",
+    "SPACK_TARGET_FLAGS": "-mcpu=power8",
+}
+
+
+class TestWrapCompilerArgs:
+    def test_compile_line_gets_includes_not_rpaths(self):
+        argv = wrap_compiler_args(["cc", "-c", "unit.c", "-o", "unit.o"], WRAP_ENV)
+        assert argv[0] == "/toolchain/gcc-4.9.2"
+        assert "-mcpu=power8" in argv
+        assert "-I/store/libelf/include" in argv
+        assert "-I/store/libdwarf/include" in argv
+        assert not any(a.startswith("-L") for a in argv)
+        assert not any(a.startswith("-Wl,-rpath") for a in argv)
+        # original arguments survive, in order, at the end
+        assert argv[-4:] == ["-c", "unit.c", "-o", "unit.o"]
+
+    def test_link_line_gets_search_paths_and_rpaths(self):
+        argv = wrap_compiler_args(["cc", "a.o", "-o", "prog", "-lelf"], WRAP_ENV)
+        assert "-L/store/libelf/lib" in argv
+        assert "-Wl,-rpath,/store/libelf/lib" in argv
+        assert "-Wl,-rpath,/store/libdwarf/lib" in argv
+        # the install prefix's own lib gets an RPATH too
+        assert "-Wl,-rpath,/store/dyninst/lib" in argv
+
+    def test_cxx_slot_uses_spack_cxx(self):
+        argv = wrap_compiler_args(["c++", "-c", "x.cc", "-o", "x.o"], WRAP_ENV, slot="cxx")
+        assert argv[0] == "/toolchain/g++-4.9.2"
+
+    def test_no_env_is_identity_plus_nothing(self):
+        argv = wrap_compiler_args(["cc", "-c", "x.c", "-o", "x.o"], {})
+        assert argv == ["cc", "-c", "x.c", "-o", "x.o"]
+
+    def test_written_wrappers_are_executable_scripts(self, tmp_path):
+        paths = write_wrappers(str(tmp_path / "wrappers"))
+        assert set(paths) == set(WRAPPER_NAMES)
+        for slot, path in paths.items():
+            assert os.path.basename(path) == WRAPPER_NAMES[slot]
+            assert os.access(path, os.X_OK)
+            with open(path) as f:
+                assert "wrap_compiler_args" in f.read()
+
+
+class TestFakeCompiler:
+    def test_compile_writes_object_artifact(self, tmp_path):
+        out = str(tmp_path / "unit.o.json")
+        fakecc.run(["gcc-4.9.2", "-c", "src/unit_000.c", "-o", out, "-O2"])
+        with open(out) as f:
+            obj = json.load(f)
+        assert obj["type"] == "object"
+        assert obj["sources"] == ["unit_000.c"]
+        assert obj["compiler"] == "gcc-4.9.2"
+        assert "-O2" in obj["flags"]
+
+    def test_link_records_needed_and_rpaths(self, tmp_path):
+        out = str(tmp_path / "prog")
+        fakecc.run(
+            [
+                "cc",
+                "a.o",
+                "-o",
+                out,
+                "-lelf",
+                "-ldwarf",
+                "-L/store/libelf/lib",
+                "-Wl,-rpath,/store/libelf/lib",
+            ]
+        )
+        with open(out) as f:
+            binary = json.load(f)
+        assert binary["type"] == "binary"
+        assert binary["needed"] == ["libdwarf.so.json", "libelf.so.json"]
+        assert binary["rpaths"] == ["/store/libelf/lib"]
+
+    def test_shared_builds_a_library(self, tmp_path):
+        out = str(tmp_path / fakecc.soname("elf"))
+        fakecc.run(["cc", "-shared", "a.o", "-o", out])
+        with open(out) as f:
+            assert json.load(f)["type"] == "library"
+
+    def test_missing_output_is_a_usage_error(self):
+        with pytest.raises(fakecc.FakeCompilerError):
+            fakecc.parse_argv(["cc", "-c", "x.c"])
+
+
+class TestLoader:
+    """RPATH-or-bust resolution, the paper's headline guarantee."""
+
+    def _write(self, directory, name, needed=(), rpaths=()):
+        path = os.path.join(str(directory), name)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as f:
+            json.dump(
+                {"type": "binary", "needed": list(needed), "rpaths": list(rpaths)},
+                f,
+            )
+        return path
+
+    def test_resolves_transitively_through_rpaths_alone(self, tmp_path):
+        libelf = self._write(tmp_path, "libelf/lib/libelf.so.json")
+        self._write(
+            tmp_path,
+            "libdwarf/lib/libdwarf.so.json",
+            needed=["libelf.so.json"],
+            rpaths=[os.path.dirname(libelf)],
+        )
+        prog = self._write(
+            tmp_path,
+            "app/bin/prog",
+            needed=["libdwarf.so.json"],
+            rpaths=[str(tmp_path / "libdwarf" / "lib")],
+        )
+        resolved = load_binary(prog, env={})  # empty environment!
+        assert set(resolved) == {"libdwarf.so.json", "libelf.so.json"}
+        assert resolved["libelf.so.json"] == libelf
+        assert ldd(prog) == resolved
+
+    def test_rpath_beats_hostile_ld_library_path(self, tmp_path):
+        good = self._write(tmp_path, "good/libelf.so.json")
+        self._write(tmp_path, "decoy/libelf.so.json")
+        prog = self._write(
+            tmp_path,
+            "prog",
+            needed=["libelf.so.json"],
+            rpaths=[str(tmp_path / "good")],
+        )
+        resolved = load_binary(
+            prog, env={"LD_LIBRARY_PATH": str(tmp_path / "decoy")}
+        )
+        assert resolved["libelf.so.json"] == good
+
+    def test_env_fallback_when_no_rpath(self, tmp_path):
+        lib = self._write(tmp_path, "sys/libelf.so.json")
+        prog = self._write(tmp_path, "prog", needed=["libelf.so.json"])
+        with pytest.raises(LoaderError):
+            load_binary(prog, env={})
+        resolved = load_binary(
+            prog, env={"LD_LIBRARY_PATH": str(tmp_path / "sys")}
+        )
+        assert resolved["libelf.so.json"] == lib
+
+    def test_unresolvable_names_the_chain(self, tmp_path):
+        prog = self._write(tmp_path, "prog", needed=["libmissing.so.json"])
+        with pytest.raises(LoaderError) as err:
+            load_binary(prog, env={})
+        assert "libmissing.so.json" in str(err.value)
+        assert "prog" in str(err.value)

@@ -1,0 +1,320 @@
+"""Unit tests for the session telemetry hub and its sinks.
+
+Covers the contracts docs/observability.md documents: span nesting and
+parent IDs, the JSONL round-trip, counter/histogram aggregation, and —
+most load-bearing — that the disabled path emits nothing and allocates
+nothing (``span()`` returns the shared ``NULL_SPAN`` singleton).
+"""
+
+import io
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    NULL_SPAN,
+    JSONLSink,
+    MemorySink,
+    NullSpan,
+    Telemetry,
+    TreeSink,
+)
+
+
+@pytest.fixture
+def hub():
+    return Telemetry()
+
+
+@pytest.fixture
+def sink(hub):
+    return hub.add_sink(MemorySink())
+
+
+class TestSpans:
+    def test_span_emits_start_and_end(self, hub, sink):
+        with hub.span("work", package="libelf"):
+            pass
+        kinds = [r["event"] for r in sink.records]
+        assert kinds == ["span-start", "span-end"]
+        end = sink.spans("work")[0]
+        assert end["attrs"] == {"package": "libelf"}
+        assert end["duration_s"] >= 0.0
+
+    def test_nesting_assigns_parent_ids(self, hub, sink):
+        with hub.span("outer") as outer:
+            with hub.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with hub.span("sibling") as sibling:
+                assert sibling.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert len({outer.span_id, inner.span_id, sibling.span_id}) == 3
+
+    def test_parent_ids_survive_the_jsonl_stream(self, hub, sink):
+        with hub.span("a"):
+            with hub.span("b"):
+                pass
+        by_name = {r["name"]: r for r in sink.spans()}
+        assert by_name["b"]["parent"] == by_name["a"]["span"]
+        assert by_name["a"]["parent"] is None
+
+    def test_set_attaches_attrs_to_span_end(self, hub, sink):
+        with hub.span("fetch") as span:
+            span.set(bytes=1234, source="mirror")
+        end = sink.spans("fetch")[0]
+        assert end["attrs"]["bytes"] == 1234
+        assert end["attrs"]["source"] == "mirror"
+
+    def test_exception_marks_span_and_propagates(self, hub, sink):
+        with pytest.raises(ValueError):
+            with hub.span("doomed"):
+                raise ValueError("boom")
+        end = sink.spans("doomed")[0]
+        assert end["error"] == "ValueError"
+        # the stack unwound: nothing current anymore
+        assert hub.current_span() is None
+
+    def test_span_event_is_parented(self, hub, sink):
+        with hub.span("install") as span:
+            span.event("checkpoint", phase="build")
+        ev = sink.events("checkpoint")[0]
+        assert ev["span"] == span.span_id
+        assert ev["attrs"] == {"phase": "build"}
+
+    def test_hub_event_uses_current_span(self, hub, sink):
+        with hub.span("concretize") as span:
+            hub.event("concretize.expand", iteration=0)
+        hub.event("orphan")
+        expand = sink.events("concretize.expand")[0]
+        assert expand["span"] == span.span_id
+        assert sink.events("orphan")[0]["span"] is None
+
+    def test_span_durations_feed_histograms(self, hub, sink):
+        for _ in range(3):
+            with hub.span("phase"):
+                pass
+        hist = hub.histograms["phase"]
+        assert hist.count == 3
+        assert hist.min <= hist.mean <= hist.max
+
+    def test_thread_local_stacks(self, hub, sink):
+        parents = {}
+
+        def worker(key):
+            with hub.span("thread-root") as root:
+                parents[key] = root.parent_id
+
+        with hub.span("main-root"):
+            t = threading.Thread(target=worker, args=("other",))
+            t.start()
+            t.join()
+        # the other thread's root saw no parent, despite main's open span
+        assert parents["other"] is None
+
+
+class TestAggregates:
+    def test_counters_accumulate(self, hub, sink):
+        hub.count("fetch.cache_hit")
+        hub.count("fetch.cache_hit", 2)
+        assert hub.counter("fetch.cache_hit") == 3
+        assert hub.counter("never-bumped") == 0
+
+    def test_observe_builds_streaming_histogram(self, hub, sink):
+        for v in (1.0, 3.0, 2.0):
+            hub.observe("db.lock_wait_s", v)
+        d = hub.histograms["db.lock_wait_s"].to_dict()
+        assert d["count"] == 3
+        assert d["min"] == 1.0
+        assert d["max"] == 3.0
+        assert d["mean"] == 2.0
+        assert d["total"] == 6.0
+
+    def test_snapshot_is_json_shaped(self, hub, sink):
+        import json
+
+        hub.count("c", 5)
+        hub.observe("h", 0.5)
+        snap = hub.snapshot()
+        assert snap["counters"] == {"c": 5}
+        assert snap["histograms"]["h"]["count"] == 1
+        json.dumps(snap)  # must serialize
+
+    def test_emit_summary_event(self, hub, sink):
+        hub.count("install.built", 2)
+        hub.emit_summary()
+        summary = sink.events("telemetry.summary")[0]
+        assert summary["attrs"]["counters"] == {"install.built": 2}
+
+
+class TestDisabledPath:
+    """With no sinks, instrumentation must be free — no records, no
+    aggregation, and no allocation (the null span is a singleton)."""
+
+    def test_span_returns_the_singleton(self, hub):
+        assert hub.span("anything") is NULL_SPAN
+        assert hub.span("other", attr=1) is NULL_SPAN
+        assert isinstance(NULL_SPAN, NullSpan)
+
+    def test_null_span_is_inert(self, hub):
+        with hub.span("x") as span:
+            span.set(a=1).event("e", b=2)
+        assert span.span_id is None
+        assert hub.current_span() is None
+
+    def test_nothing_aggregates_when_disabled(self, hub):
+        hub.count("c")
+        hub.observe("h", 1.0)
+        hub.event("e")
+        with hub.span("s"):
+            pass
+        assert hub.counters == {}
+        assert hub.histograms == {}
+
+    def test_enabled_flips_with_sinks(self, hub):
+        assert not hub.enabled
+        sink = hub.add_sink(MemorySink())
+        assert hub.enabled
+        assert hub.span("live") is not NULL_SPAN
+        hub.remove_sink(sink)
+        assert not hub.enabled
+        assert hub.span("dead") is NULL_SPAN
+
+    def test_removed_sink_stops_receiving(self, hub):
+        sink = hub.add_sink(MemorySink())
+        hub.event("before")
+        hub.remove_sink(sink)
+        hub.event("after")
+        names = [r["name"] for r in sink.records]
+        assert names == ["before"]
+
+
+class TestJSONLSink:
+    def test_round_trip_through_a_file(self, hub, tmp_path):
+        path = str(tmp_path / "telemetry.jsonl")
+        jsonl = hub.add_sink(JSONLSink(path))
+        with hub.span("concretize", spec="mpileaks"):
+            hub.event("concretize.expand", iteration=0, changed=True)
+        hub.count("install.built")
+        hub.emit_summary()
+        jsonl.close()
+
+        records = JSONLSink.read(path)
+        kinds = [r["event"] for r in records]
+        assert kinds == ["span-start", "event", "span-end", "event"]
+        start, expand, end, summary = records
+        assert start["name"] == "concretize"
+        assert start["attrs"] == {"spec": "mpileaks"}
+        assert expand["span"] == start["span"]
+        assert end["span"] == start["span"]
+        assert end["duration_s"] >= 0.0
+        assert summary["name"] == "telemetry.summary"
+        assert summary["attrs"]["counters"] == {"install.built": 1}
+
+    def test_stream_variant_leaves_stream_open(self, hub):
+        stream = io.StringIO()
+        jsonl = hub.add_sink(JSONLSink(stream))
+        hub.event("e")
+        jsonl.close()
+        assert not stream.closed
+        assert '"event": "event"' in stream.getvalue()
+
+    def test_appends_rather_than_truncates(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        for _ in range(2):
+            hub = Telemetry()
+            jsonl = hub.add_sink(JSONLSink(path))
+            hub.event("run")
+            jsonl.close()
+        assert len(JSONLSink.read(path)) == 2
+
+
+class TestTreeSink:
+    def test_indents_children_under_parents(self, hub):
+        out = io.StringIO()
+        hub.add_sink(TreeSink(stream=out))
+        with hub.span("install"):
+            with hub.span("install.phase.build"):
+                pass
+        lines = out.getvalue().splitlines()
+        # children print first (durations known at close), indented
+        assert lines[0].startswith("  install.phase.build")
+        assert lines[1].startswith("install")
+
+    def test_min_duration_filters(self, hub):
+        out = io.StringIO()
+        hub.add_sink(TreeSink(stream=out, min_duration_s=3600.0))
+        with hub.span("fast"):
+            pass
+        assert out.getvalue() == ""
+
+
+class TestSessionIntegration:
+    """The hub as wired through a real Session."""
+
+    def test_session_owns_a_quiet_hub(self, session):
+        assert session.telemetry is not None
+        assert not session.telemetry.enabled
+
+    def test_concretize_emits_trace_taxonomy(self, session):
+        sink = session.telemetry.add_sink(MemorySink())
+        try:
+            spec = session.concretize("mpileaks")
+        finally:
+            session.telemetry.remove_sink(sink)
+        assert spec.concrete
+        span = sink.spans("concretize")[0]
+        assert span["attrs"]["spec"] == "mpileaks"
+        assert span["attrs"]["nodes"] >= 4
+        names = {r["name"] for r in sink.events()}
+        assert "concretize.expand" in names
+        assert "concretize.iteration" in names
+        assert "concretize.virtual-resolved" in names
+        # every pipeline event is parented to the concretize span
+        for ev in sink.events():
+            if ev["name"].startswith("concretize."):
+                assert ev["span"] == span["span"]
+
+    def test_install_spans_counters_and_fetch_stats(self, session):
+        sink = session.telemetry.add_sink(MemorySink())
+        try:
+            spec = session.concretize("libelf")
+            session.install(spec)
+        finally:
+            session.telemetry.remove_sink(sink)
+        hub = session.telemetry
+        assert hub.counter("install.built") >= 1
+        assert (
+            hub.counter("fetch.cache_hit") + hub.counter("fetch.cache_miss") >= 1
+        )
+        phases = {
+            r["name"] for r in sink.spans() if r["name"].startswith("install.phase.")
+        }
+        assert phases == {
+            "install.phase.fetch",
+            "install.phase.stage",
+            "install.phase.build",
+            "install.phase.install",
+        }
+        node = sink.spans("install.node")[0]
+        assert node["attrs"]["package"] == "libelf"
+        # phase spans nest under install.node under install
+        install = sink.spans("install")[0]
+        assert node["parent"] == install["span"]
+
+    def test_timing_json_written_even_with_telemetry_disabled(self, session):
+        import json
+        import os
+
+        from repro.store.layout import METADATA_DIR
+
+        assert not session.telemetry.enabled
+        spec = session.concretize("libelf")
+        session.install(spec)
+        prefix = session.store.layout.path_for_spec(spec)
+        with open(os.path.join(prefix, METADATA_DIR, "timing.json")) as f:
+            timing = json.load(f)
+        assert timing["package"] == "libelf"
+        assert set(timing["phases"]) == {"fetch", "stage", "build", "install"}
+        assert all(v >= 0.0 for v in timing["phases"].values())
+        assert timing["total_s"] >= sum(timing["phases"].values()) * 0.0
+        assert timing["hash"] == spec.dag_hash()
