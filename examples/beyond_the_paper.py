@@ -99,9 +99,13 @@ def main():
     print("   bgq platform: configure %s, xl flags %s"
           % (bgq.configure_args, bgq.flags_for("xl")))
     spec, _ = session.install("libelf =bgq %xl", keep_stage=True)
+    import glob
     import json
 
-    stage = os.path.join(session.stage_root, "libelf-0.8.13-stage", "libelf-0.8.13")
+    # stage dirs are tagged with the spec's dag hash (parallel-build safe)
+    (stage,) = glob.glob(
+        os.path.join(session.stage_root, "libelf-0.8.13-*stage", "libelf-0.8.13")
+    )
     obj = json.load(open(os.path.join(stage, "objs", "unit_000.o.json")))
     print("   object file built with flags: %s (no package changes)\n" % obj["flags"])
 

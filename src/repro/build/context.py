@@ -56,6 +56,11 @@ class BuildContext:
         self.prefix = prefix
         self.env = env
         self.stage = stage
+        #: this build's *virtual* working directory.  Shell tools and
+        #: ``working_dir`` operate on it instead of the process cwd, so
+        #: concurrent builds in different threads cannot misdirect each
+        #: other's relative paths.
+        self.cwd = stage.source_path if stage is not None else None
         self.cost_model = cost_model
         self.clock = clock
         self.use_wrappers = use_wrappers
@@ -124,3 +129,9 @@ def active_context():
             "from a package's install() under the installer"
         )
     return stack[-1]
+
+
+def active_context_or_none():
+    """The innermost active :class:`BuildContext`, or None outside a build."""
+    stack = _stack()
+    return stack[-1] if stack else None

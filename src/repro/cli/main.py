@@ -52,7 +52,11 @@ def _spec_arg(args):
 
 def cmd_install(args):
     session = _session(args)
-    spec, result = session.install(_spec_arg(args))
+    spec, result = session.install(
+        _spec_arg(args),
+        jobs=getattr(args, "jobs", None),
+        fail_fast=getattr(args, "fail_fast", False),
+    )
     print("==> %s" % spec)
     for stats in result.built:
         print(
@@ -79,14 +83,21 @@ def _print_timers(result):
     print("    %-20s %8s %8s %8s %8s %8s"
           % (("package",) + phase_names + ("total",)))
     totals = dict.fromkeys(phase_names, 0.0)
+    aggregate = 0.0
     for stats in result.built:
         row = [stats.phases.get(p, 0.0) for p in phase_names]
         for name, value in zip(phase_names, row):
             totals[name] += value
+        aggregate += stats.real_seconds
         print("    %-20s %8.3f %8.3f %8.3f %8.3f %8.3f"
               % ((stats.spec.name,) + tuple(row) + (stats.real_seconds,)))
     print("    %-20s %8.3f %8.3f %8.3f %8.3f"
           % (("(sum)",) + tuple(totals[p] for p in phase_names)))
+    # DAG-parallel overlap: wall-clock of the scheduler drive vs. the
+    # sum of per-node build times (equal at -j1, smaller at -j N).
+    print("==> wall-clock %.3fs with %d job%s (aggregate node time %.3fs)"
+          % (result.wall_seconds, result.jobs,
+             "s" if result.jobs != 1 else "", aggregate))
 
 
 def cmd_uninstall(args):
@@ -539,6 +550,16 @@ def build_parser():
             p.add_argument(
                 "--timers", action="store_true",
                 help="print per-phase (fetch/stage/build/install) wall times",
+            )
+            p.add_argument(
+                "-j", "--jobs", type=int, default=None, metavar="N",
+                help="build up to N independent DAG nodes in parallel "
+                     "(default: $REPRO_INSTALL_JOBS or 1)",
+            )
+            p.add_argument(
+                "--fail-fast", action="store_true",
+                help="stop dispatching new builds after the first failure "
+                     "instead of finishing disjoint sub-DAGs",
             )
         if name == "uninstall":
             p.add_argument("--force", action="store_true", help="ignore dependents")

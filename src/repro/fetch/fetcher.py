@@ -1,7 +1,19 @@
-"""Download + verify + discover versions against the (mock) web."""
+"""Download + verify + discover versions against the (mock) web.
+
+Transient failures (a flaky mirror, a 503 from the mock web) are
+retried with bounded exponential backoff; permanent ones (404, checksum
+mismatch) are not.  ``deterministic_backoff`` pins the delay schedule —
+no jitter — so tests and reproducible runs see identical timing
+decisions.  With a :class:`~repro.fetch.cache.FetchCache` attached,
+downloads are published atomically and deduplicated per URL, which is
+what makes concurrent fetches of a shared dependency safe under the
+DAG-parallel scheduler.
+"""
 
 import hashlib
+import random
 import re
+import time
 
 from repro.errors import ReproError
 from repro.version import Version
@@ -24,15 +36,39 @@ class ChecksumError(FetchError):
         self.actual = actual
 
 
+#: default number of retries after the first attempt of a transient fetch
+DEFAULT_RETRIES = 2
+
+#: default base delay of the exponential backoff schedule (seconds)
+DEFAULT_RETRY_DELAY = 0.05
+
+
 class Fetcher:
     """Fetches package tarballs — mirrors first, then the web — and
     scrapes listing pages for versions."""
 
-    def __init__(self, web, mirrors=(), telemetry=None):
+    def __init__(
+        self,
+        web,
+        mirrors=(),
+        telemetry=None,
+        cache=None,
+        retries=DEFAULT_RETRIES,
+        retry_delay=DEFAULT_RETRY_DELAY,
+        deterministic_backoff=False,
+    ):
         self.web = web
         self.mirrors = list(mirrors)
         #: optional session Telemetry hub (fetch spans, hit/miss counters)
         self.telemetry = telemetry
+        #: optional FetchCache: atomic, per-URL-locked download cache
+        self.cache = cache
+        #: transient-error retries per source (after the first attempt)
+        self.retries = int(retries)
+        #: backoff base: attempt *n* waits ``retry_delay * 2**n`` seconds
+        self.retry_delay = float(retry_delay)
+        #: True: jitterless schedule (tests, reproducible runs)
+        self.deterministic_backoff = deterministic_backoff
 
     def add_mirror(self, mirror):
         self.mirrors.append(mirror)
@@ -41,11 +77,13 @@ class Fetcher:
         """Return verified tarball bytes for ``pkg`` at ``version``.
 
         Mirrors are consulted in order before the network (air-gapped
-        operation).  The URL comes from the package's per-version
-        override or from extrapolation (§3.2.3); when the package
-        declares a checksum for this version it is verified — wherever
-        the bytes came from — otherwise they are accepted unverified
-        (the paper's "bleeding-edge versions" case).
+        operation), then the fetch cache, then the web.  The URL comes
+        from the package's per-version override or from extrapolation
+        (§3.2.3); when the package declares a checksum for this version
+        it is verified — wherever the bytes came from — otherwise they
+        are accepted unverified (the paper's "bleeding-edge versions"
+        case).  Only web downloads that pass verification are published
+        into the cache.
         """
         from repro.telemetry.hub import NULL_SPAN
 
@@ -58,39 +96,122 @@ class Fetcher:
         with span:
             content, source = None, None
             for mirror in self.mirrors:
-                content = mirror.fetch(pkg.name, version)
+                content = self._mirror_fetch(mirror, pkg, version)
                 if content is not None:
                     source = mirror.archive_path(pkg.name, version)
                     break
             if hub is not None:
                 # a mirror satisfying the request is the local-cache hit
                 hub.count("fetch.cache_hit" if content is not None else "fetch.cache_miss")
-            if content is None:
-                url = pkg.url_for_version(version)
-                source = url
-                from repro.fetch.mockweb import NotOnWebError
+            if content is not None:
+                span.set(source=source, bytes=len(content))
+                self._verify(pkg, version, content, source)
+                return content
 
-                try:
-                    content = self.web.get(url)
-                except NotOnWebError as e:
+            url = pkg.url_for_version(version)
+            if self.cache is None:
+                content = self._web_get(url, pkg, version)
+                span.set(source=url, bytes=len(content))
+                self._verify(pkg, version, content, url)
+                return content
+
+            # Cache path: the per-URL lock collapses concurrent fetches of
+            # a shared dependency into one download — the first holder
+            # downloads, verifies, and publishes; the rest hit the cache.
+            with self.cache.url_lock(url):
+                content = self.cache.get(url)
+                if content is not None:
+                    if hub is not None:
+                        hub.count("fetch.disk_cache_hit")
+                    span.set(source=self.cache.path_for(url), bytes=len(content))
+                    self._verify(pkg, version, content, url)
+                    return content
+                content = self._web_get(url, pkg, version)
+                span.set(source=url, bytes=len(content))
+                self._verify(pkg, version, content, url)
+                self.cache.put(url, content)
+                return content
+
+    # -- acquisition with retry -----------------------------------------------
+    def _backoff_sleep(self, attempt):
+        """Sleep out attempt *n*'s backoff slot; returns the delay used."""
+        delay = self.retry_delay * (2 ** attempt)
+        if not self.deterministic_backoff:
+            delay *= 0.5 + random.random()  # jitter: desynchronize herds
+        if delay > 0:
+            time.sleep(delay)
+        return delay
+
+    def _mirror_fetch(self, mirror, pkg, version):
+        """One mirror lookup, retrying transient I/O errors.
+
+        A mirror that keeps failing is treated as a miss (the next
+        source is consulted) rather than aborting the install — mirrors
+        are an availability optimization, not an authority.
+        """
+        from repro.fetch.mockweb import TransientWebError
+
+        hub = self.telemetry
+        for attempt in range(self.retries + 1):
+            try:
+                return mirror.fetch(pkg.name, version)
+            except (OSError, TransientWebError):
+                if hub is not None:
+                    hub.count("fetch.mirror_errors")
+                if attempt >= self.retries:
+                    return None
+                if hub is not None:
+                    hub.count("fetch.retries")
+                self._backoff_sleep(attempt)
+        return None
+
+    def _web_get(self, url, pkg, version):
+        """GET ``url``, retrying transient errors with backoff.
+
+        404s (:class:`NotOnWebError`) are permanent and raised
+        immediately; transient errors retry ``self.retries`` times
+        before giving up.
+        """
+        from repro.fetch.mockweb import NotOnWebError, TransientWebError
+
+        hub = self.telemetry
+        attempt = 0
+        while True:
+            try:
+                return self.web.get(url)
+            except NotOnWebError as e:
+                if hub is not None:
+                    hub.count("fetch.errors")
+                raise FetchError(
+                    "Cannot fetch %s@%s: %s" % (pkg.name, version, e.message)
+                ) from e
+            except TransientWebError as e:
+                if attempt >= self.retries:
                     if hub is not None:
                         hub.count("fetch.errors")
                     raise FetchError(
-                        "Cannot fetch %s@%s: %s" % (pkg.name, version, e.message)
+                        "Cannot fetch %s@%s after %d attempts: %s"
+                        % (pkg.name, version, attempt + 1, e.message)
                     ) from e
-            span.set(source=source, bytes=len(content))
-            expected = pkg.checksum_for(version)
-            if expected:
-                actual = hashlib.md5(content).hexdigest()
-                if actual != expected:
-                    if hub is not None:
-                        hub.count("fetch.checksum_mismatch")
-                    raise ChecksumError(source, expected, actual)
                 if hub is not None:
-                    hub.count("fetch.checksum_verified")
-            elif hub is not None:
-                hub.count("fetch.unverified")
-            return content
+                    hub.count("fetch.retries")
+                self._backoff_sleep(attempt)
+                attempt += 1
+
+    def _verify(self, pkg, version, content, source):
+        """Check declared MD5s; count verified/unverified/mismatch."""
+        hub = self.telemetry
+        expected = pkg.checksum_for(version)
+        if expected:
+            actual = hashlib.md5(content).hexdigest()
+            if actual != expected:
+                if hub is not None:
+                    hub.count("fetch.checksum_mismatch")
+                raise ChecksumError(source, expected, actual)
+            if hub is not None:
+                hub.count("fetch.checksum_verified")
+        elif hub is not None:
+            hub.count("fetch.unverified")
 
     def available_versions(self, pkg):
         """Scrape the package's listing page for version-shaped links.

@@ -31,6 +31,21 @@ class NotOnWebError(ReproError):
         self.url = url
 
 
+class TransientWebError(ReproError):
+    """503: the URL exists but this attempt failed (flaky mirror/CDN).
+
+    The fetcher retries these with bounded exponential backoff;
+    :class:`NotOnWebError` by contrast is permanent and never retried.
+    """
+
+    def __init__(self, url, remaining):
+        super().__init__(
+            "Transient error fetching %s (%d injected failures left)"
+            % (url, remaining)
+        )
+        self.url = url
+
+
 def mock_tarball(name, version):
     """Deterministic 'tarball' bytes for a package version.
 
@@ -59,6 +74,7 @@ class MockWeb:
     def __init__(self):
         self._pages = {}
         self._corrupted = set()
+        self._flaky = {}
 
     # -- registration ----------------------------------------------------
     def put(self, url, content):
@@ -92,10 +108,23 @@ class MockWeb:
         """Make this URL serve tampered bytes (checksum-failure tests)."""
         self._corrupted.add(url)
 
+    def flake(self, url, times=1):
+        """Make the next ``times`` GETs of ``url`` fail transiently.
+
+        Failure injection for the fetcher's retry path: each failed
+        attempt decrements the budget, so a fetcher configured with
+        enough retries eventually succeeds.
+        """
+        self._flaky[url] = int(times)
+
     # -- access --------------------------------------------------------------
     def get(self, url):
         if url not in self._pages:
             raise NotOnWebError(url)
+        remaining = self._flaky.get(url, 0)
+        if remaining > 0:
+            self._flaky[url] = remaining - 1
+            raise TransientWebError(url, remaining - 1)
         content = self._pages[url]
         if url in self._corrupted:
             content = b"TAMPERED" + content

@@ -34,11 +34,16 @@ class StageError(ReproError):
 class Stage:
     """One package build's staging directory."""
 
-    def __init__(self, root, pkg):
+    def __init__(self, root, pkg, tag=None):
         self.pkg = pkg
         self.root = os.path.abspath(root)
+        # ``tag`` (the executor passes the spec's DAG hash) keeps stages
+        # of same-named-same-versioned but differently-concretized specs
+        # apart when builds run concurrently.
+        disambiguator = "-%s" % tag if tag else ""
         self.path = os.path.join(
-            self.root, "%s-%s-stage" % (pkg.name, pkg.spec.version)
+            self.root,
+            "%s-%s%s-stage" % (pkg.name, pkg.spec.version, disambiguator),
         )
         self.source_path = os.path.join(
             self.path, "%s-%s" % (pkg.name, pkg.spec.version)

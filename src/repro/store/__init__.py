@@ -1,9 +1,11 @@
-"""The install store: directory layout, database, installer (§3.4.2–3.4.3).
+"""The install store: layout, database, and the install pipeline
+(§3.4.2–3.4.3) split into planner / scheduler / executor layers.
 
-``Installer`` (and its errors) are resolved lazily via module
-``__getattr__``: the installer pulls in the whole build subsystem
-(:mod:`repro.build`), which lightweight store consumers — the database,
-layout math, ``spack find``-style queries — never need.
+``Installer`` (and its errors), the ``Planner``/``InstallPlan``, the
+``Scheduler``, and the ``BuildExecutor`` are resolved lazily via module
+``__getattr__``: the install pipeline pulls in the whole build
+subsystem (:mod:`repro.build`), which lightweight store consumers — the
+database, layout math, ``spack find``-style queries — never need.
 """
 
 from repro.store.layout import DirectoryLayout, SiteConvention, SITE_CONVENTIONS
@@ -20,18 +22,33 @@ __all__ = [
     "Installer",
     "InstallError",
     "UninstallError",
+    "Planner",
+    "InstallPlan",
+    "Scheduler",
+    "BuildExecutor",
+    "BuildStats",
 ]
 
-_LAZY_INSTALLER_NAMES = ("Installer", "InstallError", "UninstallError")
+_LAZY_NAMES = {
+    "Installer": "repro.store.installer",
+    "InstallError": "repro.store.installer",
+    "UninstallError": "repro.store.installer",
+    "Planner": "repro.store.plan",
+    "InstallPlan": "repro.store.plan",
+    "Scheduler": "repro.store.scheduler",
+    "BuildExecutor": "repro.store.executor",
+    "BuildStats": "repro.store.executor",
+}
 
 
 def __getattr__(name):
-    if name in _LAZY_INSTALLER_NAMES:
-        from repro.store import installer
+    module_name = _LAZY_NAMES.get(name)
+    if module_name is not None:
+        import importlib
 
-        return getattr(installer, name)
+        return getattr(importlib.import_module(module_name), name)
     raise AttributeError("module %r has no attribute %r" % (__name__, name))
 
 
 def __dir__():
-    return sorted(set(globals()) | set(_LAZY_INSTALLER_NAMES))
+    return sorted(set(globals()) | set(_LAZY_NAMES))

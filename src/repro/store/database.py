@@ -9,6 +9,15 @@ package something else links against) are answered from here.
 The database is rebuildable: if the index file is corrupt or missing, it
 is reconstructed from the per-prefix provenance files the installer
 writes (§3.4.3) — tested by the failure-injection suite.
+
+Concurrency: every mutation is a read-merge-write cycle under the index
+lock — the on-disk index is re-read *inside* the critical section and
+merged into the in-memory snapshot before this writer's change is
+applied, so records added by a concurrent writer (another process, or a
+scheduler worker thread) are never clobbered by a stale snapshot.
+:meth:`Database.transaction` batches several mutations into one such
+cycle: the DAG-parallel scheduler registers a whole drain of finished
+builds with a single lock acquisition and a single index write.
 """
 
 import contextlib
@@ -72,6 +81,8 @@ class Database:
         #: optional session Telemetry hub (lock waits, reindex spans)
         self.telemetry = telemetry
         self._records = {}
+        #: depth > 0 while inside transaction(); saves are deferred
+        self._txn_depth = 0
         self._load()
 
     @contextlib.contextmanager
@@ -83,6 +94,47 @@ class Database:
                 self.telemetry.count("db.lock_acquires")
                 self.telemetry.observe("db.lock_wait_s", time.perf_counter() - start)
             yield
+
+    def _reread_index(self):
+        """Merge the on-disk index into memory (call while locked).
+
+        Unlike :meth:`refresh` this never discards in-memory records that
+        the disk does not know about yet and never falls back to a prefix
+        scan — it only folds in what other writers have persisted since
+        our snapshot, with the disk winning for keys both sides know.
+        """
+        if not os.path.isfile(self.index_path):
+            return
+        try:
+            with open(self.index_path) as f:
+                data = json.load(f)
+            disk = {
+                h: InstallRecord.from_dict(rd)
+                for h, rd in data.get("installs", {}).items()
+            }
+        except (ValueError, KeyError, OSError):
+            return  # corrupt index: keep our snapshot; _save rewrites it
+        self._records.update(disk)
+
+    @contextlib.contextmanager
+    def transaction(self):
+        """One read-merge-write cycle batching any number of mutations.
+
+        Acquires the index lock, re-reads the on-disk index, lets the
+        body apply mutations (``add``/``remove``/``mark_explicit``), and
+        persists once on exit.  Nests: inner transactions piggyback on
+        the outermost one's read and write.
+        """
+        with self._locked():
+            if self._txn_depth == 0:
+                self._reread_index()
+            self._txn_depth += 1
+            try:
+                yield self
+            finally:
+                self._txn_depth -= 1
+            if self._txn_depth == 0:
+                self._save()
 
     # -- persistence ---------------------------------------------------------
     def _load(self):
@@ -155,30 +207,24 @@ class Database:
     def add(self, spec, prefix, explicit=False):
         if not spec.concrete:
             raise DatabaseError("Only concrete specs can be installed: %s" % spec)
-        with self._locked():
-            self.refresh()
+        with self.transaction():
             record = InstallRecord(spec.copy(), prefix, explicit=explicit)
             self._records[spec.dag_hash()] = record
-            self._save()
         return record
 
     def remove(self, spec):
-        with self._locked():
-            self.refresh()
+        with self.transaction():
             key = spec.dag_hash()
             if key not in self._records:
                 raise DatabaseError("Spec is not installed: %s" % spec)
             record = self._records.pop(key)
-            self._save()
         return record
 
     def mark_explicit(self, spec, explicit=True):
-        with self._locked():
-            self.refresh()
+        with self.transaction():
             record = self.get(spec)
             if record:
                 record.explicit = explicit
-                self._save()
 
     # -- queries ----------------------------------------------------------------
     def get(self, spec):
@@ -188,7 +234,8 @@ class Database:
         return spec.dag_hash() in self._records
 
     def all_records(self):
-        return sorted(self._records.values(), key=lambda r: str(r.spec))
+        # list() snapshots: a scheduler worker may be adding concurrently
+        return sorted(list(self._records.values()), key=lambda r: str(r.spec))
 
     def query(self, query_spec=None, explicit=None):
         """Installed specs satisfying an (abstract) query spec.
@@ -197,7 +244,7 @@ class Database:
         concrete spec is matched with strict satisfaction against the query.
         """
         results = []
-        for record in self._records.values():
+        for record in list(self._records.values()):
             if explicit is not None and record.explicit != explicit:
                 continue
             if query_spec is not None:
@@ -212,7 +259,7 @@ class Database:
         ``find /db4650`` syntax)."""
         return [
             record
-            for full_hash, record in sorted(self._records.items())
+            for full_hash, record in sorted(list(self._records.items()))
             if full_hash.startswith(hash_prefix)
         ]
 
@@ -220,7 +267,7 @@ class Database:
         """Installed specs that depend (transitively) on ``spec``."""
         key = spec.dag_hash()
         dependents = []
-        for record in self._records.values():
+        for record in list(self._records.values()):
             if record.spec.dag_hash() == key:
                 continue
             for node in record.spec.traverse(root=False):

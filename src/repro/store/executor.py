@@ -1,0 +1,288 @@
+"""The build executor: one node's fetch → stage → build → provenance.
+
+This is the execution layer of the planner/scheduler/executor stack —
+the old ``Installer._build_one`` logic made self-contained and safe to
+run from any scheduler worker:
+
+* all per-build state (stage, log, clock, phase timers) is local to the
+  call; the ambient pieces (:func:`~repro.build.context.build_context`,
+  the virtual working directory) are thread-private;
+* a **per-prefix lock** (an ``fcntl`` lock file under the database
+  directory) serializes builds of the same DAG hash across workers *and*
+  across sessions sharing one store — after acquiring it the executor
+  re-checks the database, so a build another session just finished is
+  reused instead of re-built;
+* stages are tagged with the spec's DAG hash, so same-name-same-version
+  specs concretized differently never share a build tree.
+
+A failing build tears down its partial prefix before the error
+propagates: the scheduler registers a node in the database only after
+the executor returns, so a crash mid-build can never leave a partial
+prefix registered.
+"""
+
+import contextlib
+import inspect
+import json
+import os
+import shutil
+import threading
+import time
+
+from repro.build.context import BuildContext, build_context
+from repro.build.environment import build_environment, dependency_prefixes
+from repro.build.wrappers import write_wrappers
+from repro.errors import ReproError
+from repro.fetch.stage import Stage
+from repro.simfs import VirtualClock
+from repro.store.layout import METADATA_DIR
+from repro.util.filesystem import mkdirp
+from repro.util.lock import Lock
+
+#: ``inspect.getsource`` is not thread-safe: it mutates the global
+#: ``linecache`` and drives ``ast.parse``, whose C-level recursion
+#: accounting races under concurrent ``compile`` on CPython 3.11
+#: ("AST constructor recursion depth mismatch").  Provenance writes
+#: from parallel workers serialize their source lookups here.
+_GETSOURCE_LOCK = threading.Lock()
+
+
+class BuildStats:
+    """Per-build accounting: virtual (modeled) and real elapsed seconds."""
+
+    def __init__(self, spec, virtual_seconds, real_seconds, counts, phases=None):
+        self.spec = spec
+        self.virtual_seconds = virtual_seconds
+        self.real_seconds = real_seconds
+        self.counts = counts
+        #: wall seconds per install phase (fetch/stage/build/install)
+        self.phases = dict(phases or {})
+
+    def __repr__(self):
+        return "BuildStats(%s, %.3fs virtual)" % (self.spec.name, self.virtual_seconds)
+
+
+class _PhaseTimer:
+    """Times named install phases into a dict, mirroring them as spans.
+
+    The wall-clock measurement always happens — ``timing.json`` is part
+    of every install's provenance — while the telemetry span alongside it
+    costs nothing unless a sink is listening.
+    """
+
+    def __init__(self, phases, hub, **attrs):
+        self.phases = phases
+        self.hub = hub
+        self.attrs = attrs
+
+    def phase(self, name):
+        @contextlib.contextmanager
+        def _timed():
+            span = self.hub.span("install.phase." + name, **self.attrs)
+            start = time.perf_counter()
+            with span:
+                try:
+                    yield
+                finally:
+                    self.phases[name] = time.perf_counter() - start
+
+        return _timed()
+
+
+class BuildExecutor:
+    """Executes one node's build against a session's store."""
+
+    def __init__(self, session):
+        self.session = session
+
+    def _prefix_lock(self, node):
+        """The cross-worker, cross-session lock for this node's prefix."""
+        return Lock(
+            os.path.join(
+                self.session.db.db_dir, "prefix-locks", node.dag_hash() + ".lock"
+            )
+        )
+
+    def execute(self, node, keep_stage=False):
+        """Build ``node``; returns :class:`BuildStats`, or None if another
+        session finished the same prefix while we waited for its lock
+        (the caller should then treat the node as reused)."""
+        with self._prefix_lock(node):
+            if self.session.db.installed(node):
+                return None
+            return self._build(node, keep_stage=keep_stage)
+
+    # -- building one node ------------------------------------------------------
+    def _build(self, node, keep_stage=False):
+        from repro.store.installer import InstallError
+
+        session = self.session
+        hub = session.telemetry
+        pkg = session.package_for(node)
+        layout = session.store.layout
+        compiler = session.compilers.compiler_for(node.compiler)
+
+        stage = Stage(session.stage_root, pkg, tag=node.dag_hash(8)).create()
+        pkg.stage = stage
+        prefix = None
+        log_file = None
+        start = time.perf_counter()
+        # Wall-clock per phase, measured unconditionally (independent of
+        # telemetry sinks): every install persists these in timing.json.
+        phases = {}
+        timer = _PhaseTimer(phases, hub, package=pkg.name)
+        try:
+            with hub.span(
+                "install.node",
+                package=pkg.name,
+                version=str(node.version),
+                worker=threading.current_thread().name,
+            ):
+                with timer.phase("fetch"):
+                    tarball = session.fetcher.fetch(pkg, node.version)
+                with timer.phase("stage"):
+                    stage.expand_tarball(tarball)
+                    for patch_decl in pkg.patches_for_spec():
+                        stage.apply_patch(patch_decl)
+                    pkg.applied_patches = list(stage.applied_patches)
+
+                prefix = layout.create_install_directory(node)
+                dep_prefixes = dependency_prefixes(node, layout)
+                wrapper_paths = None
+                if session.subprocess_mode and session.use_wrappers:
+                    wrapper_paths = write_wrappers(os.path.join(stage.path, "wrappers"))
+                platform = session.platforms.get(node.architecture)
+                env = build_environment(
+                    node,
+                    compiler,
+                    prefix,
+                    dep_prefixes,
+                    wrapper_paths=wrapper_paths,
+                    use_wrappers=session.use_wrappers,
+                    target_flags=platform.flags_for(compiler.name),
+                )
+                self._apply_env_hooks(pkg, node, env)
+
+                log_path = os.path.join(prefix, METADATA_DIR, "build.log")
+                log_file = open(log_path, "w")
+                clock = VirtualClock()
+                ctx = BuildContext(
+                    pkg,
+                    prefix,
+                    env,
+                    stage=stage,
+                    cost_model=session.cost_model,
+                    clock=clock,
+                    use_wrappers=session.use_wrappers,
+                    subprocess_mode=session.subprocess_mode,
+                    build_log=log_file,
+                    platform=platform,
+                    telemetry=hub,
+                )
+                with timer.phase("build"):
+                    with build_context(ctx):
+                        pkg.install(node, prefix)
+
+                with timer.phase("install"):
+                    self._sanity_check(node, prefix)
+                    self._write_provenance(node, pkg, prefix, env)
+                real = time.perf_counter() - start
+                stats = BuildStats(
+                    node, clock.seconds, real, clock.snapshot(), phases=phases
+                )
+                self._write_timing(node, prefix, stats)
+            return stats
+        except Exception as e:
+            tail = self._log_tail(log_file)
+            if prefix and os.path.isdir(prefix):
+                shutil.rmtree(prefix, ignore_errors=True)
+            if isinstance(e, ReproError):
+                raise InstallError(
+                    "Install of %s failed: %s" % (node.name, e.message),
+                    long_message=tail or e.long_message,
+                ) from e
+            raise
+        finally:
+            if log_file is not None:
+                log_file.close()
+            if not keep_stage:
+                stage.destroy()
+
+    def _apply_env_hooks(self, pkg, node, env):
+        """Run the package's and its dependencies' environment hooks."""
+        from repro.util.environment import EnvironmentModifications
+
+        build_mods = EnvironmentModifications()
+        run_mods = EnvironmentModifications()
+        pkg.setup_environment(build_mods, run_mods)
+        for dep in node.traverse(root=False):
+            if not self.session.repo.exists(dep.name):
+                continue
+            dep_pkg = self.session.package_for(dep)
+            dep_pkg.setup_dependent_environment(build_mods, node)
+        build_mods.apply(env)
+
+    def _sanity_check(self, node, prefix):
+        """The paper's "did the install actually do anything" check."""
+        from repro.store.installer import InstallError
+
+        contents = [
+            entry for entry in os.listdir(prefix) if entry != METADATA_DIR
+        ]
+        if not contents:
+            raise InstallError(
+                "Install of %s produced an empty prefix %s" % (node.name, prefix)
+            )
+
+    def _write_provenance(self, node, pkg, prefix, env):
+        meta = os.path.join(prefix, METADATA_DIR)
+        mkdirp(meta)
+        with open(os.path.join(meta, "spec.json"), "w") as f:
+            json.dump(node.to_dict(), f, indent=1, sort_keys=True)
+        try:
+            with _GETSOURCE_LOCK:
+                source = inspect.getsource(type(pkg))
+        except (OSError, TypeError, SystemError):
+            source = "# source unavailable for %s\n" % type(pkg).__name__
+        with open(os.path.join(meta, "package.py"), "w") as f:
+            f.write(source)
+        with open(os.path.join(meta, "build_env.json"), "w") as f:
+            json.dump(env, f, indent=1, sort_keys=True)
+        with open(os.path.join(meta, "applied_patches.json"), "w") as f:
+            json.dump(pkg.applied_patches, f)
+
+    def _write_timing(self, node, prefix, stats):
+        """Persist per-phase wall times next to the other provenance.
+
+        Written for *every* build, telemetry sinks or not — timing is
+        provenance (schema documented in docs/observability.md).
+        """
+        meta = os.path.join(prefix, METADATA_DIR)
+        mkdirp(meta)
+        with open(os.path.join(meta, "timing.json"), "w") as f:
+            json.dump(
+                {
+                    "package": node.name,
+                    "version": str(node.version),
+                    "hash": node.dag_hash(),
+                    "phases": stats.phases,
+                    "total_s": stats.real_seconds,
+                    "virtual_seconds": stats.virtual_seconds,
+                    "counts": stats.counts,
+                },
+                f,
+                indent=1,
+                sort_keys=True,
+            )
+
+    @staticmethod
+    def _log_tail(log_file, lines=20):
+        if log_file is None:
+            return None
+        try:
+            log_file.flush()
+            with open(log_file.name) as f:
+                content = f.readlines()
+            return "".join(content[-lines:]) if content else None
+        except OSError:
+            return None

@@ -1,37 +1,42 @@
-"""The installer: bottom-up DAG builds, sub-DAG reuse, provenance.
+"""The installer: a thin facade over plan → schedule → execute.
 
-``install(spec)`` walks a *concrete* spec post-order (dependencies
-first, §3.4) and, per node:
+``install(spec)`` used to be a single-threaded recursive post-order
+walk.  It is now three explicit layers (the paper's §3.4 build
+methodology makes independent sub-DAGs embarrassingly parallel, since
+every concrete spec owns a hash-addressed prefix):
 
-* **reuses** an existing installation when the node's DAG hash is already
-  in the database — this is the shared sub-DAG behaviour of Figure 9
-  (mpileaks built with mpich, then with openmpi, shares the whole dyninst
-  subtree);
-* **registers** configured externals without building them (§4.4's
-  vendor MPI);
-* otherwise **builds**: fetch + verify, stage, patch, set up the isolated
-  environment with wrappers, run the package's ``install()``, sanity-check
-  the result, and write provenance (§3.4.3: the spec, the package file
-  used, the build log, the applied patches, the environment).
+* the **planner** (:mod:`repro.store.plan`) levels the concrete DAG
+  into per-node tasks with an explicit state machine, classifying each
+  node: **reuse** an existing installation when its DAG hash is already
+  in the database (Figure 9's shared sub-DAGs), **register** configured
+  externals without building (§4.4's vendor MPI), **build** the rest;
+* the **scheduler** (:mod:`repro.store.scheduler`) dispatches READY
+  tasks to a bounded worker pool (``jobs``; default 1 keeps the old
+  deterministic order), skipping dependents of failures while disjoint
+  sub-DAGs finish;
+* the **executor** (:mod:`repro.store.executor`) runs one node's
+  fetch + verify, stage, patch, isolated-environment build, sanity
+  check, and provenance write (§3.4.3) — session-safe, so any worker
+  can run any node.
 
-A failing build tears down its partial prefix and raises
-:class:`InstallError` carrying the tail of the build log.
+A failing build tears down its partial prefix; after the plan drains,
+the first failure (in deterministic post-order) is re-raised —
+:class:`InstallError` carrying the tail of the build log, or the
+original exception for non-Repro errors.
+
+Existing callers are untouched: ``Installer.install`` has the same
+signature (plus optional ``jobs``/``fail_fast``) and the same
+single-worker behavior, and :class:`BuildStats` still lives importably
+here (its implementation moved to the executor).
 """
 
-import inspect
-import json
 import os
 import shutil
-import time
 
-from repro.build.context import BuildContext, build_context
-from repro.build.environment import build_environment, dependency_prefixes
-from repro.build.wrappers import write_wrappers
 from repro.errors import ReproError
-from repro.fetch.stage import Stage
-from repro.simfs import VirtualClock
-from repro.store.layout import METADATA_DIR
-from repro.util.filesystem import mkdirp, working_dir
+from repro.store.executor import BuildExecutor, BuildStats  # noqa: F401  (compat re-export)
+from repro.store.plan import Planner
+from repro.store.scheduler import Scheduler
 
 
 class InstallError(ReproError):
@@ -42,50 +47,6 @@ class UninstallError(ReproError):
     """Removal refused (dependents exist) or failed."""
 
 
-class BuildStats:
-    """Per-build accounting: virtual (modeled) and real elapsed seconds."""
-
-    def __init__(self, spec, virtual_seconds, real_seconds, counts, phases=None):
-        self.spec = spec
-        self.virtual_seconds = virtual_seconds
-        self.real_seconds = real_seconds
-        self.counts = counts
-        #: wall seconds per install phase (fetch/stage/build/install)
-        self.phases = dict(phases or {})
-
-    def __repr__(self):
-        return "BuildStats(%s, %.3fs virtual)" % (self.spec.name, self.virtual_seconds)
-
-
-class _PhaseTimer:
-    """Times named install phases into a dict, mirroring them as spans.
-
-    The wall-clock measurement always happens — ``timing.json`` is part
-    of every install's provenance — while the telemetry span alongside it
-    costs nothing unless a sink is listening.
-    """
-
-    def __init__(self, phases, hub, **attrs):
-        self.phases = phases
-        self.hub = hub
-        self.attrs = attrs
-
-    def phase(self, name):
-        import contextlib
-
-        @contextlib.contextmanager
-        def _timed():
-            span = self.hub.span("install.phase." + name, **self.attrs)
-            start = time.perf_counter()
-            with span:
-                try:
-                    yield
-                finally:
-                    self.phases[name] = time.perf_counter() - start
-
-        return _timed()
-
-
 class InstallResult:
     """What an ``install()`` call did: built / reused / external nodes."""
 
@@ -94,6 +55,13 @@ class InstallResult:
         self.built = []
         self.reused = []
         self.externals = []
+        #: nodes SKIPPED because a dependency failed (empty on success)
+        self.skipped = []
+        #: worker-pool width the scheduler ran with
+        self.jobs = 1
+        #: wall-clock seconds of the scheduler drive; compare with the
+        #: sum of per-node real_seconds to see DAG-parallel overlap
+        self.wall_seconds = 0.0
 
     @property
     def built_names(self):
@@ -111,42 +79,45 @@ class Installer:
         self.session = session
 
     # -- public ------------------------------------------------------------
-    def install(self, spec, explicit=True, keep_stage=False):
+    def install(self, spec, explicit=True, keep_stage=False, jobs=None,
+                fail_fast=False):
+        """Plan, schedule, and execute the install of a concrete spec.
+
+        ``jobs`` bounds the worker pool (None: the session's
+        ``install_jobs``, itself defaulting to 1 — the historical
+        sequential behavior).  With ``fail_fast`` the scheduler stops
+        dispatching new tasks after the first failure instead of
+        finishing disjoint sub-DAGs.
+        """
         if not spec.concrete:
             raise InstallError("Only concrete specs can be installed: %s" % spec)
-        db = self.session.db
-        layout = self.session.store.layout
-        hub = self.session.telemetry
+        session = self.session
+        db = session.db
+        hub = session.telemetry
+        jobs = session.install_jobs if jobs is None else max(1, int(jobs))
         result = InstallResult(spec)
 
-        with hub.span("install", spec=str(spec.name)) as span:
-            for node in spec.traverse(order="post"):
-                node.prefix = node.external or layout.path_for_spec(node)
-                if node.external:
-                    if not db.installed(node):
-                        db.add(node, node.external, explicit=False)
-                    result.externals.append(node)
-                    hub.count("install.external")
-                    continue
-                if db.installed(node):
-                    result.reused.append(node)
-                    hub.count("install.reused")
-                    continue
-                stats = self._build_one(node, keep_stage=keep_stage)
-                db.add(node, node.prefix, explicit=(node is spec and explicit))
-                result.built.append(stats)
-                hub.count("install.built")
-                if self.session.generate_modules:
-                    from repro.modules.generator import ModuleGenerator
-
-                    ModuleGenerator(self.session).write_for_spec(node)
-
+        with hub.span("install", spec=str(spec.name), jobs=jobs) as span:
+            plan = Planner(session).plan(spec)
+            outcome = Scheduler(session, jobs=jobs, fail_fast=fail_fast).run(
+                plan, keep_stage=keep_stage
+            )
+            result.built = outcome.built
+            result.reused = outcome.reused
+            result.externals = outcome.externals
+            result.skipped = [t.node for t in outcome.skipped]
+            result.jobs = jobs
+            result.wall_seconds = outcome.wall_seconds
+            error = outcome.first_error
+            if error is not None:
+                raise error
             if db.installed(spec):
                 db.mark_explicit(spec, explicit)
             span.set(
                 built=len(result.built),
                 reused=len(result.reused),
                 externals=len(result.externals),
+                wall_s=result.wall_seconds,
             )
         return result
 
@@ -170,167 +141,7 @@ class Installer:
             ModuleGenerator(self.session).remove_for_spec(record.spec)
         return record
 
-    # -- building one node ------------------------------------------------------
+    # -- compat -------------------------------------------------------------
     def _build_one(self, node, keep_stage=False):
-        session = self.session
-        hub = session.telemetry
-        pkg = session.package_for(node)
-        layout = session.store.layout
-        compiler = session.compilers.compiler_for(node.compiler)
-
-        stage = Stage(session.stage_root, pkg).create()
-        pkg.stage = stage
-        prefix = None
-        log_file = None
-        start = time.perf_counter()
-        # Wall-clock per phase, measured unconditionally (independent of
-        # telemetry sinks): every install persists these in timing.json.
-        phases = {}
-        timer = _PhaseTimer(phases, hub, package=pkg.name)
-        try:
-            with hub.span("install.node", package=pkg.name, version=str(node.version)):
-                with timer.phase("fetch"):
-                    tarball = session.fetcher.fetch(pkg, node.version)
-                with timer.phase("stage"):
-                    stage.expand_tarball(tarball)
-                    for patch_decl in pkg.patches_for_spec():
-                        stage.apply_patch(patch_decl)
-                    pkg.applied_patches = list(stage.applied_patches)
-
-                prefix = layout.create_install_directory(node)
-                dep_prefixes = dependency_prefixes(node, layout)
-                wrapper_paths = None
-                if session.subprocess_mode and session.use_wrappers:
-                    wrapper_paths = write_wrappers(os.path.join(stage.path, "wrappers"))
-                platform = session.platforms.get(node.architecture)
-                env = build_environment(
-                    node,
-                    compiler,
-                    prefix,
-                    dep_prefixes,
-                    wrapper_paths=wrapper_paths,
-                    use_wrappers=session.use_wrappers,
-                    target_flags=platform.flags_for(compiler.name),
-                )
-                self._apply_env_hooks(pkg, node, env)
-
-                log_path = os.path.join(prefix, METADATA_DIR, "build.log")
-                log_file = open(log_path, "w")
-                clock = VirtualClock()
-                ctx = BuildContext(
-                    pkg,
-                    prefix,
-                    env,
-                    stage=stage,
-                    cost_model=session.cost_model,
-                    clock=clock,
-                    use_wrappers=session.use_wrappers,
-                    subprocess_mode=session.subprocess_mode,
-                    build_log=log_file,
-                    platform=platform,
-                    telemetry=hub,
-                )
-                with timer.phase("build"):
-                    with build_context(ctx), working_dir(stage.source_path):
-                        pkg.install(node, prefix)
-
-                with timer.phase("install"):
-                    self._sanity_check(node, prefix)
-                    self._write_provenance(node, pkg, prefix, env)
-                real = time.perf_counter() - start
-                stats = BuildStats(
-                    node, clock.seconds, real, clock.snapshot(), phases=phases
-                )
-                self._write_timing(node, prefix, stats)
-            return stats
-        except Exception as e:
-            tail = self._log_tail(log_file)
-            if prefix and os.path.isdir(prefix):
-                shutil.rmtree(prefix, ignore_errors=True)
-            if isinstance(e, ReproError):
-                raise InstallError(
-                    "Install of %s failed: %s" % (node.name, e.message),
-                    long_message=tail or e.long_message,
-                ) from e
-            raise
-        finally:
-            if log_file is not None:
-                log_file.close()
-            if not keep_stage:
-                stage.destroy()
-
-    def _apply_env_hooks(self, pkg, node, env):
-        """Run the package's and its dependencies' environment hooks."""
-        from repro.util.environment import EnvironmentModifications
-
-        build_mods = EnvironmentModifications()
-        run_mods = EnvironmentModifications()
-        pkg.setup_environment(build_mods, run_mods)
-        for dep in node.traverse(root=False):
-            if not self.session.repo.exists(dep.name):
-                continue
-            dep_pkg = self.session.package_for(dep)
-            dep_pkg.setup_dependent_environment(build_mods, node)
-        build_mods.apply(env)
-
-    def _sanity_check(self, node, prefix):
-        """The paper's "did the install actually do anything" check."""
-        contents = [
-            entry for entry in os.listdir(prefix) if entry != METADATA_DIR
-        ]
-        if not contents:
-            raise InstallError(
-                "Install of %s produced an empty prefix %s" % (node.name, prefix)
-            )
-
-    def _write_provenance(self, node, pkg, prefix, env):
-        meta = os.path.join(prefix, METADATA_DIR)
-        mkdirp(meta)
-        with open(os.path.join(meta, "spec.json"), "w") as f:
-            json.dump(node.to_dict(), f, indent=1, sort_keys=True)
-        try:
-            source = inspect.getsource(type(pkg))
-        except (OSError, TypeError):
-            source = "# source unavailable for %s\n" % type(pkg).__name__
-        with open(os.path.join(meta, "package.py"), "w") as f:
-            f.write(source)
-        with open(os.path.join(meta, "build_env.json"), "w") as f:
-            json.dump(env, f, indent=1, sort_keys=True)
-        with open(os.path.join(meta, "applied_patches.json"), "w") as f:
-            json.dump(pkg.applied_patches, f)
-
-    def _write_timing(self, node, prefix, stats):
-        """Persist per-phase wall times next to the other provenance.
-
-        Written for *every* build, telemetry sinks or not — timing is
-        provenance (schema documented in docs/observability.md).
-        """
-        meta = os.path.join(prefix, METADATA_DIR)
-        mkdirp(meta)
-        with open(os.path.join(meta, "timing.json"), "w") as f:
-            json.dump(
-                {
-                    "package": node.name,
-                    "version": str(node.version),
-                    "hash": node.dag_hash(),
-                    "phases": stats.phases,
-                    "total_s": stats.real_seconds,
-                    "virtual_seconds": stats.virtual_seconds,
-                    "counts": stats.counts,
-                },
-                f,
-                indent=1,
-                sort_keys=True,
-            )
-
-    @staticmethod
-    def _log_tail(log_file, lines=20):
-        if log_file is None:
-            return None
-        try:
-            log_file.flush()
-            with open(log_file.name) as f:
-                content = f.readlines()
-            return "".join(content[-lines:]) if content else None
-        except OSError:
-            return None
+        """Deprecated passthrough to the executor (kept for old callers)."""
+        return BuildExecutor(self.session).execute(node, keep_stage=keep_stage)

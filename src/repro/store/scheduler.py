@@ -1,0 +1,236 @@
+"""The install scheduler: READY tasks onto a bounded worker pool.
+
+Middle layer of the planner/scheduler/executor stack.  The scheduler
+owns the plan's state transitions: it dispatches READY tasks (lowest
+post-order index first) to at most ``jobs`` workers, completes them as
+their builds finish, and propagates failure by SKIPPING transitive
+dependents while disjoint sub-DAGs keep building.  ``--fail-fast``
+tightens that to "stop dispatching anything new after the first
+failure".
+
+Two execution modes, one state machine:
+
+* ``jobs == 1`` — fully deterministic in-thread loop, no pool.  Tasks
+  run in exactly the old recursive installer's post-order; tests and
+  reproducible runs get bit-stable behavior.
+* ``jobs > 1`` — a ``ThreadPoolExecutor``.  Completions are handled on
+  the scheduler thread (database registration, module generation, state
+  transitions), so workers only ever run the session-safe executor.
+  Finished builds are registered in **write-batched** database
+  transactions: one index read-merge-write per drain of completions
+  rather than per node.
+
+Telemetry: a ``scheduler.run`` span wraps the whole drive; the
+``scheduler.queue_depth`` gauge tracks the READY backlog at every
+dispatch; per-task ``scheduler.dispatch`` events carry worker
+attribution; ``install.built/reused/external/failed/skipped`` counters
+aggregate outcomes.
+"""
+
+import time
+
+from repro.store import plan as _plan
+
+
+class SchedulerOutcome:
+    """What one scheduler drive did, in deterministic (post-order) order."""
+
+    def __init__(self, plan, jobs, wall_seconds):
+        self.plan = plan
+        self.jobs = jobs
+        #: wall-clock of the whole scheduler drive (compare with the sum
+        #: of per-node ``BuildStats.real_seconds`` to see the overlap)
+        self.wall_seconds = wall_seconds
+        self.built = [
+            t.stats
+            for t in plan.ordered_tasks()
+            if t.state == _plan.INSTALLED and t.stats is not None
+        ]
+        self.reused = [
+            t.node
+            for t in plan.ordered_tasks()
+            if t.state == _plan.INSTALLED and t.stats is None
+            and t.action != _plan.EXTERNAL
+        ]
+        self.externals = [
+            t.node
+            for t in plan.ordered_tasks()
+            if t.state == _plan.INSTALLED and t.action == _plan.EXTERNAL
+        ]
+        self.failed = plan.in_state(_plan.FAILED)
+        self.skipped = plan.in_state(_plan.SKIPPED)
+
+    @property
+    def first_error(self):
+        """The first failure in deterministic order, or None."""
+        return self.failed[0].error if self.failed else None
+
+
+class Scheduler:
+    """Drives an :class:`~repro.store.plan.InstallPlan` to completion."""
+
+    def __init__(self, session, jobs=1, fail_fast=False, executor=None):
+        from repro.store.executor import BuildExecutor
+
+        self.session = session
+        self.jobs = max(1, int(jobs))
+        self.fail_fast = fail_fast
+        self.executor = executor or BuildExecutor(session)
+        #: the live ``scheduler.run`` span, adopted by worker threads so
+        #: their ``install.node`` spans parent correctly across the pool
+        self._span = None
+
+    # -- public -------------------------------------------------------------
+    def run(self, plan, keep_stage=False):
+        """Execute every task; returns a :class:`SchedulerOutcome`.
+
+        Never raises for build failures — they are recorded on the
+        tasks (``state == FAILED``, ``task.error``) and surfaced via the
+        outcome, so the caller decides the error policy.
+        """
+        hub = self.session.telemetry
+        start = time.perf_counter()
+        with hub.span(
+            "scheduler.run", spec=str(plan.spec.name), jobs=self.jobs
+        ) as span:
+            self._span = span
+            try:
+                if self.jobs == 1:
+                    self._run_serial(plan, keep_stage)
+                else:
+                    self._run_pooled(plan, keep_stage)
+            finally:
+                self._span = None
+            outcome = SchedulerOutcome(
+                plan, self.jobs, time.perf_counter() - start
+            )
+            span.set(
+                built=len(outcome.built),
+                reused=len(outcome.reused),
+                externals=len(outcome.externals),
+                failed=len(outcome.failed),
+                skipped=len(outcome.skipped),
+                wall_s=outcome.wall_seconds,
+            )
+        return outcome
+
+    # -- serial mode --------------------------------------------------------
+    def _run_serial(self, plan, keep_stage):
+        hub = self.session.telemetry
+        while True:
+            ready = plan.ready_tasks()
+            if not ready:
+                break
+            hub.gauge("scheduler.queue_depth", len(ready))
+            task = ready[0]
+            task.to(_plan.BUILDING)
+            hub.event(
+                "scheduler.dispatch", package=task.node.name, worker="main"
+            )
+            try:
+                stats = self._execute(task, keep_stage)
+            except Exception as e:  # noqa: BLE001 — policy decided upstream
+                self._complete_failure(plan, task, e)
+                if self.fail_fast:
+                    plan.skip_pending()
+                    break
+                continue
+            self._complete_success(plan, task, stats)
+
+    # -- pooled mode --------------------------------------------------------
+    def _run_pooled(self, plan, keep_stage):
+        import concurrent.futures
+
+        hub = self.session.telemetry
+        stop_dispatch = False
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.jobs, thread_name_prefix="install-worker"
+        ) as pool:
+            in_flight = {}
+
+            def dispatch():
+                for task in plan.ready_tasks():
+                    if len(in_flight) >= self.jobs:
+                        break
+                    task.to(_plan.BUILDING)
+                    hub.event("scheduler.dispatch", package=task.node.name)
+                    in_flight[pool.submit(self._execute, task, keep_stage)] = task
+                hub.gauge("scheduler.queue_depth", len(plan.ready_tasks()))
+
+            dispatch()
+            while in_flight:
+                finished, _ = concurrent.futures.wait(
+                    in_flight, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                # Deterministic completion handling: drain the whole batch
+                # in post-order, registering successes in ONE database
+                # transaction (write batching under the index lock).
+                batch = sorted(
+                    ((in_flight.pop(f), f) for f in finished),
+                    key=lambda pair: pair[0].index,
+                )
+                successes = [
+                    (task, f) for task, f in batch if f.exception() is None
+                ]
+                if successes:
+                    with self.session.db.transaction():
+                        for task, f in successes:
+                            self._complete_success(plan, task, f.result())
+                for task, f in batch:
+                    if f.exception() is not None:
+                        self._complete_failure(plan, task, f.exception())
+                        if self.fail_fast:
+                            stop_dispatch = True
+                if stop_dispatch:
+                    continue  # drain in-flight; dispatch nothing new
+                dispatch()
+            if stop_dispatch:
+                plan.skip_pending()
+
+    # -- task execution (worker side) ---------------------------------------
+    def _execute(self, task, keep_stage):
+        """Run one task's action; returns BuildStats or None (trivial)."""
+        import threading
+
+        task.worker = threading.current_thread().name
+        hub = self.session.telemetry
+        span = self._span if hub.current_span() is None else None
+        with hub.adopt(span):
+            if task.action == _plan.BUILD:
+                return self.executor.execute(task.node, keep_stage=keep_stage)
+            return None  # REUSE and EXTERNAL are pure bookkeeping
+
+    # -- completion handling (scheduler side) -------------------------------
+    def _complete_success(self, plan, task, stats):
+        db = self.session.db
+        hub = self.session.telemetry
+        node = task.node
+        if task.action == _plan.EXTERNAL:
+            if not db.installed(node):
+                db.add(node, node.external, explicit=False)
+            hub.count("install.external")
+        elif task.action == _plan.REUSE or stats is None:
+            # planned reuse, or another session won the prefix lock race
+            hub.count("install.reused")
+        else:
+            task.stats = stats
+            db.add(node, node.prefix, explicit=False)
+            hub.count("install.built")
+            if self.session.generate_modules:
+                from repro.modules.generator import ModuleGenerator
+
+                ModuleGenerator(self.session).write_for_spec(node)
+        plan.mark_installed(task.key)
+
+    def _complete_failure(self, plan, task, error):
+        hub = self.session.telemetry
+        hub.count("install.failed")
+        skipped = plan.mark_failed(task.key, error)
+        if skipped:
+            hub.count("install.skipped", len(skipped))
+        hub.event(
+            "scheduler.task_failed",
+            package=task.node.name,
+            error=type(error).__name__,
+            skipped=[t.node.name for t in skipped],
+        )

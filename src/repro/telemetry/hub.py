@@ -174,6 +174,7 @@ class Telemetry:
         self._sinks = []
         self.counters = {}
         self.histograms = {}
+        self.gauges = {}
         self._ids = itertools.count(1)
         self._local = threading.local()
 
@@ -233,9 +234,54 @@ class Telemetry:
             hist = self.histograms[name] = Histogram()
         hist.add(value)
 
+    def adopt(self, span):
+        """Parent this *thread's* subsequent spans to an existing span.
+
+        Cross-thread propagation for worker pools: the span stack is
+        thread-local, so a span opened on a worker thread has no parent
+        unless the dispatching thread's span is adopted first.  Accepts
+        (and ignores) ``None`` and the null span.
+        """
+        import contextlib
+
+        @contextlib.contextmanager
+        def _adopted():
+            if span is None or span.span_id is None:
+                yield
+                return
+            stack = self._stack()
+            stack.append(span)
+            try:
+                yield
+            finally:
+                if stack and stack[-1] is span:
+                    stack.pop()
+                else:
+                    try:
+                        stack.remove(span)
+                    except ValueError:
+                        pass
+
+        return _adopted()
+
+    def gauge(self, name, value):
+        """Record the current value of a fluctuating quantity.
+
+        The latest value is kept (``gauges[name]``) and every sample is
+        folded into a same-named histogram, so min/max/mean of e.g.
+        ``scheduler.queue_depth`` come for free.
+        """
+        if not self._sinks:
+            return
+        self.gauges[name] = value
+        self.observe(name, value)
+
     # -- inspection -------------------------------------------------------
     def counter(self, name):
         return self.counters.get(name, 0)
+
+    def gauge_value(self, name, default=None):
+        return self.gauges.get(name, default)
 
     def current_span(self):
         stack = self._stack()
@@ -245,6 +291,7 @@ class Telemetry:
         """Counters + histogram aggregates, JSON-serializable."""
         return {
             "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
             "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
         }
 

@@ -49,7 +49,29 @@ def working_dir(dirname, create=False):
 
     Package ``install()`` methods use this (e.g. building in a separate
     ``spack-build`` directory, Figure 4 of the paper).
+
+    Inside an active build (the installer's executor pushed a
+    :class:`~repro.build.context.BuildContext`), the change applies to
+    that build's *virtual* working directory rather than the process
+    cwd: the process-global ``chdir`` would race between DAG-parallel
+    build workers, while each context's ``cwd`` is thread-private.
+    Outside a build the classic process-wide behavior is preserved.
     """
+    from repro.build.context import active_context_or_none
+
+    ctx = active_context_or_none()
+    if ctx is not None:
+        resolved = os.path.join(ctx.cwd, dirname) if ctx.cwd else dirname
+        if create:
+            mkdirp(resolved)
+        orig = ctx.cwd
+        ctx.cwd = os.path.abspath(resolved)
+        try:
+            yield ctx.cwd
+        finally:
+            ctx.cwd = orig
+        return
+
     if create:
         mkdirp(dirname)
     orig = os.getcwd()

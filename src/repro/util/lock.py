@@ -4,12 +4,22 @@ Multiple sessions (or users — the paper's setting is a multi-user HPC
 center) may point at one install tree.  The database serializes its
 read-modify-write cycles through an ``fcntl`` advisory lock so
 concurrent installs cannot interleave index updates and lose records.
+
+Locks are safe both *across* processes (``flock`` on the lock file) and
+*within* one (an internal ``threading.RLock``).  The second part
+matters for DAG-parallel installs: scheduler workers in one process
+share a single ``Database`` — and therefore a single ``Lock`` object —
+and ``flock`` alone cannot arbitrate threads sharing one file
+descriptor.  The re-entrancy depth is tracked per owning thread, so
+``with lock: with lock: ...`` still works from any one thread while
+other threads block on acquire.
 """
 
 import contextlib
 import errno
 import fcntl
 import os
+import threading
 import time
 
 from repro.errors import ReproError
@@ -23,14 +33,23 @@ class LockTimeoutError(ReproError):
 
 
 class Lock:
-    """An exclusive advisory lock on a file path (re-entrant per object)."""
+    """An exclusive advisory lock on a file path.
+
+    Re-entrant for the thread that holds it; exclusive against other
+    threads in this process and other processes on the same path.
+    """
 
     def __init__(self, path):
         self.path = path
         self._fd = None
         self._depth = 0
+        #: serializes threads sharing this Lock object; re-entrant so the
+        #: holding thread's nested acquires match the depth counter
+        self._thread_lock = threading.RLock()
 
     def acquire(self, timeout=60.0, poll=0.05):
+        if not self._thread_lock.acquire(timeout=timeout):
+            raise LockTimeoutError(self.path, timeout)
         if self._depth > 0:
             self._depth += 1
             return self
@@ -44,10 +63,14 @@ class Lock:
                 return self
             except OSError as err:
                 if err.errno not in (errno.EAGAIN, errno.EACCES):
+                    os.close(self._fd)
+                    self._fd = None
+                    self._thread_lock.release()
                     raise
                 if time.monotonic() >= deadline:
                     os.close(self._fd)
                     self._fd = None
+                    self._thread_lock.release()
                     raise LockTimeoutError(self.path, timeout) from None
                 time.sleep(poll)
 
@@ -59,6 +82,7 @@ class Lock:
             fcntl.flock(self._fd, fcntl.LOCK_UN)
             os.close(self._fd)
             self._fd = None
+        self._thread_lock.release()
 
     @property
     def held(self):

@@ -54,6 +54,27 @@ class TestCommands:
         code, out, _ = run(capsys, "--root", root, "install", "libdwarf")
         assert code == 0 and "reused libdwarf" in out
 
+    def test_install_parallel_jobs(self, root, capsys):
+        code, out, _ = run(
+            capsys, "--root", root, "install", "-j", "4", "mpileaks"
+        )
+        assert code == 0
+        assert "built  mpileaks" in out
+
+    def test_install_timers_reports_wall_vs_aggregate(self, root, capsys):
+        code, out, _ = run(
+            capsys, "--root", root, "install", "--timers", "-j", "2", "libdwarf"
+        )
+        assert code == 0
+        assert "phase timers" in out
+        assert "wall-clock" in out and "with 2 jobs" in out
+
+    def test_install_fail_fast_flag_parses(self, root, capsys):
+        code, out, _ = run(
+            capsys, "--root", root, "install", "--fail-fast", "libelf"
+        )
+        assert code == 0
+
     def test_providers(self, root, capsys):
         code, out, _ = run(capsys, "--root", root, "providers", "mpi@2:")
         assert code == 0

@@ -1,0 +1,197 @@
+"""Fetcher retry/backoff and the atomic per-URL-locked fetch cache."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.fetch.cache import FetchCache
+from repro.fetch.fetcher import Fetcher, FetchError
+from repro.fetch.mockweb import (
+    MockWeb,
+    TransientWebError,
+    mock_checksum,
+    mock_tarball,
+)
+from repro.telemetry import Telemetry, MemorySink
+
+
+class FakePkg:
+    """Just enough package surface for Fetcher.fetch()."""
+
+    name = "flaky"
+
+    def __init__(self, checksum=None):
+        self._checksum = checksum
+
+    def url_for_version(self, version):
+        return "https://mock.example.org/flaky/flaky-%s.tar.gz" % version
+
+    def checksum_for(self, version):
+        return self._checksum
+
+
+def _web_with(version="1.0", checksum=True):
+    web = MockWeb()
+    pkg = FakePkg(mock_checksum("flaky", version) if checksum else None)
+    web.put(pkg.url_for_version(version), mock_tarball("flaky", version))
+    return web, pkg
+
+
+def _hub_with_sink():
+    hub = Telemetry()
+    hub.add_sink(MemorySink())
+    return hub
+
+
+class TestRetry:
+    def test_transient_errors_retried_to_success(self):
+        web, pkg = _web_with()
+        hub = _hub_with_sink()
+        fetcher = Fetcher(
+            web, telemetry=hub, retries=2, retry_delay=0.0,
+            deterministic_backoff=True,
+        )
+        web.flake(pkg.url_for_version("1.0"), times=2)
+        content = fetcher.fetch(pkg, "1.0")
+        assert json.loads(content)["name"] == "flaky"
+        assert hub.counter("fetch.retries") == 2
+
+    def test_retries_exhausted_is_fetch_error(self):
+        web, pkg = _web_with()
+        hub = _hub_with_sink()
+        fetcher = Fetcher(
+            web, telemetry=hub, retries=1, retry_delay=0.0,
+            deterministic_backoff=True,
+        )
+        web.flake(pkg.url_for_version("1.0"), times=5)
+        with pytest.raises(FetchError, match="after 2 attempts"):
+            fetcher.fetch(pkg, "1.0")
+        assert hub.counter("fetch.retries") == 1
+        assert hub.counter("fetch.errors") == 1
+
+    def test_404_is_permanent_never_retried(self):
+        web, pkg = _web_with()
+        hub = _hub_with_sink()
+        fetcher = Fetcher(
+            web, telemetry=hub, retries=3, retry_delay=0.0,
+            deterministic_backoff=True,
+        )
+        with pytest.raises(FetchError):
+            fetcher.fetch(pkg, "9.9")  # not registered
+        assert hub.counter("fetch.retries") == 0
+
+    def test_backoff_schedule_is_exponential_when_deterministic(self):
+        web, _ = _web_with()
+        fetcher = Fetcher(
+            web, retries=3, retry_delay=0.05, deterministic_backoff=True
+        )
+        delays = []
+        fetcher._backoff_sleep = lambda n, _o=fetcher._backoff_sleep: delays.append(
+            fetcher.retry_delay * (2 ** n)
+        )
+        pkg = FakePkg()
+        web.put(pkg.url_for_version("1.0"), mock_tarball("flaky", "1.0"))
+        web.flake(pkg.url_for_version("1.0"), times=3)
+        fetcher.fetch(pkg, "1.0")
+        assert delays == [0.05, 0.1, 0.2]
+
+    def test_jitter_stays_within_backoff_envelope(self):
+        web, _ = _web_with()
+        fetcher = Fetcher(web, retries=0, retry_delay=0.01)
+        # jitter multiplies by [0.5, 1.5); the slot never exceeds 1.5x
+        for attempt in range(4):
+            base = fetcher.retry_delay * (2 ** attempt)
+            import time as _time
+
+            slept = []
+            real_sleep = _time.sleep
+            _time.sleep = lambda s: slept.append(s)
+            try:
+                fetcher._backoff_sleep(attempt)
+            finally:
+                _time.sleep = real_sleep
+            assert 0.5 * base <= slept[0] < 1.5 * base
+
+
+class TestFetchCache:
+    def test_round_trip_and_miss(self, tmp_path):
+        cache = FetchCache(str(tmp_path / "cache"))
+        assert cache.get("https://x/y") is None
+        cache.put("https://x/y", b"bytes")
+        assert cache.get("https://x/y") == b"bytes"
+
+    def test_publish_is_atomic_no_temp_residue(self, tmp_path):
+        cache = FetchCache(str(tmp_path / "cache"))
+        cache.put("https://x/y", b"payload")
+        entries = [
+            e for e in os.listdir(cache.root) if not e.startswith(".")
+        ]
+        assert entries == [os.path.basename(cache.path_for("https://x/y"))]
+        assert not any(e.endswith(".tmp") for e in os.listdir(cache.root))
+
+    def test_second_fetch_hits_disk_cache(self, tmp_path):
+        web, pkg = _web_with()
+        hub = _hub_with_sink()
+        cache = FetchCache(str(tmp_path / "cache"))
+        fetcher = Fetcher(web, telemetry=hub, cache=cache)
+        first = fetcher.fetch(pkg, "1.0")
+        web.corrupt(pkg.url_for_version("1.0"))  # web now poisoned...
+        second = fetcher.fetch(pkg, "1.0")  # ...but the cache serves it
+        assert first == second
+        assert hub.counter("fetch.disk_cache_hit") == 1
+
+    def test_unverified_content_never_cached_after_mismatch(self, tmp_path):
+        from repro.fetch.fetcher import ChecksumError
+
+        web, pkg = _web_with()
+        cache = FetchCache(str(tmp_path / "cache"))
+        fetcher = Fetcher(web, cache=cache)
+        web.corrupt(pkg.url_for_version("1.0"))
+        with pytest.raises(ChecksumError):
+            fetcher.fetch(pkg, "1.0")
+        assert cache.get(pkg.url_for_version("1.0")) is None
+
+    def test_concurrent_fetchers_collapse_to_one_download(self, tmp_path):
+        web, pkg = _web_with()
+        url = pkg.url_for_version("1.0")
+        downloads = []
+        download_lock = threading.Lock()
+        real_get = web.get
+
+        def counting_get(u):
+            if u == url:
+                with download_lock:
+                    downloads.append(u)
+            return real_get(u)
+
+        web.get = counting_get
+        cache = FetchCache(str(tmp_path / "cache"))
+        fetcher = Fetcher(web, cache=cache)
+        results, errors = [], []
+
+        def worker():
+            try:
+                results.append(fetcher.fetch(pkg, "1.0"))
+            except Exception as e:  # noqa: BLE001 — surfaced via assert
+                errors.append(e)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(results) == 8 and len(set(results)) == 1
+        assert len(downloads) == 1  # per-URL lock: one web hit total
+
+    def test_session_wires_cache_in(self, session):
+        assert session.fetcher.cache is session.fetch_cache
+        spec = session.concretize("libelf")
+        session.install(spec)
+        cached = [
+            e for e in os.listdir(session.fetch_cache.root)
+            if not e.startswith(".")
+        ]
+        assert cached  # the install populated the on-disk cache

@@ -1,0 +1,121 @@
+"""Database under concurrency: transactions, stale-snapshot merge, threads."""
+
+import json
+import threading
+
+from repro.store.database import Database
+
+
+def _concrete_specs(session, names):
+    return [session.concretize(n) for n in names]
+
+
+class TestTransaction:
+    def test_batches_writes_into_one_save(self, session, monkeypatch):
+        db = session.db
+        saves = []
+        real_save = db._save
+        monkeypatch.setattr(
+            db, "_save", lambda: (saves.append(1), real_save())[1]
+        )
+        specs = _concrete_specs(session, ["libelf", "zlib"])
+        with db.transaction():
+            for spec in specs:
+                db.add(spec, "/fake/%s" % spec.name)
+        assert len(saves) == 1  # nested adds piggyback on the outer txn
+        assert all(db.installed(s) for s in specs)
+
+    def test_nested_transactions_flatten(self, session):
+        db = session.db
+        spec = session.concretize("libelf")
+        with db.transaction():
+            with db.transaction():
+                db.add(spec, "/fake/libelf")
+            assert db._txn_depth == 1
+        assert db._txn_depth == 0
+        # persisted on outermost exit
+        fresh = Database(db.root)
+        assert fresh.installed(spec)
+
+    def test_stale_snapshot_does_not_clobber_other_writer(self, session):
+        """Two Database objects on one store: each writer's records survive
+        the other's read-merge-write cycle."""
+        db1 = session.db
+        db2 = Database(db1.root)
+        libelf, zlib = _concrete_specs(session, ["libelf", "zlib"])
+        db1.add(libelf, "/fake/libelf")   # db2's snapshot is now stale
+        db2.add(zlib, "/fake/zlib")       # must merge, not clobber
+        fresh = Database(db1.root)
+        assert fresh.installed(libelf)
+        assert fresh.installed(zlib)
+
+    def test_corrupt_index_mid_transaction_keeps_memory(self, session):
+        db = session.db
+        libelf, zlib = _concrete_specs(session, ["libelf", "zlib"])
+        db.add(libelf, "/fake/libelf")
+        with open(db.index_path, "w") as f:
+            f.write("{not json")
+        db.add(zlib, "/fake/zlib")  # reread tolerates garbage, then rewrites
+        with open(db.index_path) as f:
+            data = json.load(f)
+        assert set(data["installs"]) == {libelf.dag_hash(), zlib.dag_hash()}
+
+
+class TestThreadedWriters:
+    def test_concurrent_adds_on_shared_database_all_persist(self, session):
+        db = session.db
+        specs = _concrete_specs(
+            session, ["libelf", "zlib", "libdwarf", "bzip2"]
+        )
+        errors = []
+
+        def add(spec):
+            try:
+                db.add(spec, "/fake/%s" % spec.name)
+            except Exception as e:  # noqa: BLE001 — surfaced via assert
+                errors.append(e)
+
+        threads = [threading.Thread(target=add, args=(s,)) for s in specs]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        fresh = Database(db.root)
+        for spec in specs:
+            assert fresh.installed(spec), spec.name
+
+    def test_lock_serializes_threads_sharing_one_lockfile(self, tmp_path):
+        """The hybrid flock+thread lock: two threads never hold it at once
+        (bare flock cannot arbitrate threads sharing a process)."""
+        from repro.util.lock import Lock
+
+        lock = Lock(str(tmp_path / "x.lock"))
+        inside = []
+        overlap = []
+
+        def worker():
+            for _ in range(20):
+                with lock:
+                    inside.append(1)
+                    if len(inside) > 1:
+                        overlap.append(1)
+                    inside.pop()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not overlap
+
+    def test_lock_is_reentrant_within_a_thread(self, tmp_path):
+        from repro.util.lock import Lock
+
+        lock = Lock(str(tmp_path / "r.lock"))
+        with lock:
+            with lock:  # same thread: re-entrant, no deadlock
+                pass
+        # and still acquirable afterwards
+        with lock:
+            pass

@@ -111,6 +111,33 @@ class TestSpans:
         # the other thread's root saw no parent, despite main's open span
         assert parents["other"] is None
 
+    def test_adopt_parents_across_threads(self, hub, sink):
+        """Worker-pool propagation: adopting a span parents this thread's
+        spans to it even though the stack is thread-local."""
+        parents = {}
+
+        def worker(outer):
+            with hub.adopt(outer):
+                with hub.span("worker-span") as child:
+                    parents["adopted"] = child.parent_id
+            with hub.span("after") as loose:
+                parents["after"] = loose.parent_id
+
+        with hub.span("main-root") as outer:
+            t = threading.Thread(target=worker, args=(outer,))
+            t.start()
+            t.join()
+        assert parents["adopted"] == outer.span_id
+        assert parents["after"] is None  # adoption ends with the block
+
+    def test_adopt_tolerates_null_and_none(self, hub):
+        from repro.telemetry import NULL_SPAN
+
+        with hub.adopt(None):
+            pass
+        with hub.adopt(NULL_SPAN):
+            pass
+
 
 class TestAggregates:
     def test_counters_accumulate(self, hub, sink):
@@ -129,14 +156,34 @@ class TestAggregates:
         assert d["mean"] == 2.0
         assert d["total"] == 6.0
 
+    def test_gauge_keeps_latest_and_feeds_histogram(self, hub, sink):
+        for depth in (3, 7, 2):
+            hub.gauge("scheduler.queue_depth", depth)
+        assert hub.gauge_value("scheduler.queue_depth") == 2
+        hist = hub.histograms["scheduler.queue_depth"].to_dict()
+        assert hist["count"] == 3
+        assert hist["max"] == 7
+        assert hub.gauge_value("never-set") is None
+        assert hub.gauge_value("never-set", default=0) == 0
+
+    def test_gauge_free_when_disabled(self):
+        from repro.telemetry import Telemetry
+
+        quiet = Telemetry()
+        quiet.gauge("scheduler.queue_depth", 5)
+        assert quiet.gauges == {}
+        assert quiet.gauge_value("scheduler.queue_depth") is None
+
     def test_snapshot_is_json_shaped(self, hub, sink):
         import json
 
         hub.count("c", 5)
         hub.observe("h", 0.5)
+        hub.gauge("g", 9)
         snap = hub.snapshot()
         assert snap["counters"] == {"c": 5}
         assert snap["histograms"]["h"]["count"] == 1
+        assert snap["gauges"] == {"g": 9}
         json.dumps(snap)  # must serialize
 
     def test_emit_summary_event(self, hub, sink):
@@ -297,9 +344,12 @@ class TestSessionIntegration:
         }
         node = sink.spans("install.node")[0]
         assert node["attrs"]["package"] == "libelf"
-        # phase spans nest under install.node under install
+        # phase spans nest install.node under scheduler.run under install
         install = sink.spans("install")[0]
-        assert node["parent"] == install["span"]
+        sched = sink.spans("scheduler.run")[0]
+        assert sched["parent"] == install["span"]
+        assert node["parent"] == sched["span"]
+        assert node["attrs"]["worker"]  # per-worker attribution
 
     def test_timing_json_written_even_with_telemetry_disabled(self, session):
         import json
