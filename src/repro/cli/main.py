@@ -480,6 +480,56 @@ def cmd_dependents(args):
     return 0
 
 
+def cmd_selftest(args):
+    """Run a seeded correctness campaign (oracle sweep + fault sweep).
+
+    Fully deterministic: two runs with the same seed produce identical
+    JSONL reports, so a failing campaign is replayable from one integer.
+    """
+    import shutil
+    import tempfile
+
+    from repro.testing.campaign import CampaignConfig, run_campaign
+
+    config = CampaignConfig(
+        seed=args.seed,
+        specs=args.specs,
+        fault_plans=args.fault_plans,
+    )
+    workdir = tempfile.mkdtemp(prefix="repro-selftest-")
+    try:
+        report = run_campaign(config, workdir, log=lambda m: print("==> %s" % m))
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    if args.report:
+        report.write(args.report)
+        print("==> report written to %s" % args.report)
+    summary = report.summary()
+    print("==> selftest seed %d" % config.seed)
+    print("    oracle: %s" % (summary["oracle_outcomes"] or "skipped"))
+    print("    injections: %s" % (summary["injections"] or "skipped"))
+    for case in report.divergences():
+        print("    DIVERGENCE: %s (minimized: %s)"
+              % (case["request"], case["minimized"]))
+    for case in report.violations():
+        print("    VIOLATION: %s: %s"
+              % (case["request"], "; ".join(case["violations"])))
+    for case in report.unrecovered():
+        print("    UNRECOVERED: plan %d (%s)"
+              % (case["case"], case["recovery_error"]))
+    if report.ok:
+        fault_note = (
+            "all fault points reached, all stores healed"
+            if config.fault_plans else "fault sweep skipped"
+        )
+        print("==> OK: no divergences, no violations, " + fault_note)
+        return 0
+    print("==> FAILED (replay with: repro-spack selftest --seed %d)"
+          % config.seed, file=sys.stderr)
+    return 1
+
+
 def cmd_repo_list(args):
     session = _session(args)
     import fnmatch
@@ -541,6 +591,7 @@ def build_parser():
         "clean": (cmd_clean, "remove build stages"),
         "create": (cmd_create, "generate package boilerplate from a URL"),
         "dependents": (cmd_dependents, "list packages that depend on one"),
+        "selftest": (cmd_selftest, "run a seeded correctness campaign"),
     }
     for name, (func, help_text) in commands.items():
         p = sub.add_parser(name, help=help_text)
@@ -586,6 +637,24 @@ def build_parser():
             p.add_argument("--dir", help="mirror directory (default <root>/mirror)")
         if name == "create":
             p.add_argument("--repo-dir", help="repository directory to write into")
+        if name == "selftest":
+            p.add_argument(
+                "--seed", type=int, default=None,
+                help="campaign master seed (default: $REPRO_TEST_SEED or the "
+                     "built-in constant); same seed, same report",
+            )
+            p.add_argument(
+                "--specs", type=int, default=200, metavar="N",
+                help="generated requests for the differential oracle sweep",
+            )
+            p.add_argument(
+                "--fault-plans", type=int, default=50, metavar="M",
+                help="seeded fault plans for the install fault sweep",
+            )
+            p.add_argument(
+                "--report", metavar="FILE",
+                help="write the campaign report to FILE as JSONL",
+            )
     return parser
 
 

@@ -56,6 +56,7 @@ class Fetcher:
         retries=DEFAULT_RETRIES,
         retry_delay=DEFAULT_RETRY_DELAY,
         deterministic_backoff=False,
+        faults=None,
     ):
         self.web = web
         self.mirrors = list(mirrors)
@@ -63,6 +64,8 @@ class Fetcher:
         self.telemetry = telemetry
         #: optional FetchCache: atomic, per-URL-locked download cache
         self.cache = cache
+        #: optional session FaultInjector (fetch.transient/fetch.permanent)
+        self.faults = faults
         #: transient-error retries per source (after the first attempt)
         self.retries = int(retries)
         #: backoff base: attempt *n* waits ``retry_delay * 2**n`` seconds
@@ -178,6 +181,11 @@ class Fetcher:
         attempt = 0
         while True:
             try:
+                # fault sites: inside the try so injected errors exercise
+                # the very same retry/propagation paths real ones take
+                if self.faults is not None:
+                    self.faults.hit("fetch.transient", target=pkg.name)
+                    self.faults.hit("fetch.permanent", target=pkg.name)
                 return self.web.get(url)
             except NotOnWebError as e:
                 if hub is not None:

@@ -35,6 +35,12 @@ class DatabaseError(ReproError):
     """Database file problems."""
 
 
+#: spec written into the index by the ``db.write_race`` fault, standing in
+#: for a record a concurrent session registered behind our snapshot
+FOREIGN_NAME = "injected-foreign"
+FOREIGN_SPEC = FOREIGN_NAME + "@9.9%gcc@4.9.2=linux-x86_64"
+
+
 class InstallRecord:
     """One installed spec: the spec, its prefix, and bookkeeping."""
 
@@ -70,14 +76,20 @@ class Database:
 
     _INDEX_NAME = "index.json"
 
-    def __init__(self, root, telemetry=None):
+    def __init__(self, root, telemetry=None, faults=None):
         from repro.util.lock import Lock
 
         self.root = os.path.abspath(root)
         self.db_dir = os.path.join(self.root, ".spack-db")
         self.index_path = os.path.join(self.db_dir, self._INDEX_NAME)
+        #: optional session FaultInjector (db.write_race, lock.timeout)
+        self.faults = faults
         #: serializes read-modify-write cycles across sessions/processes
-        self.lock = Lock(os.path.join(self.db_dir, "index.lock"))
+        self.lock = Lock(
+            os.path.join(self.db_dir, "index.lock"),
+            faults=faults,
+            owner="db.index",
+        )
         #: optional session Telemetry hub (lock waits, reindex spans)
         self.telemetry = telemetry
         self._records = {}
@@ -116,6 +128,27 @@ class Database:
             return  # corrupt index: keep our snapshot; _save rewrites it
         self._records.update(disk)
 
+    def _write_foreign_record(self):
+        """Write :data:`FOREIGN_SPEC` straight to the on-disk index,
+        bypassing this Database's snapshot — the ``db.write_race`` fault's
+        stand-in for a concurrent session's writer."""
+        spec = Spec(FOREIGN_SPEC)
+        spec._concrete = spec._normal = True
+        record = InstallRecord(
+            spec, os.path.join(self.root, "opt", "foreign"), installed_at=0.0
+        )
+        try:
+            with open(self.index_path) as f:
+                data = json.load(f)
+        except (OSError, ValueError):
+            data = {"installs": {}}
+        data.setdefault("installs", {})[spec.dag_hash()] = record.to_dict()
+        mkdirp(self.db_dir)
+        tmp = self.index_path + ".foreign.tmp"
+        with open(tmp, "w") as f:
+            json.dump(data, f, indent=1, sort_keys=True)
+        os.replace(tmp, self.index_path)
+
     @contextlib.contextmanager
     def transaction(self):
         """One read-merge-write cycle batching any number of mutations.
@@ -125,6 +158,12 @@ class Database:
         persists once on exit.  Nests: inner transactions piggyback on
         the outermost one's read and write.
         """
+        if self.faults is not None and self._txn_depth == 0:
+            # fault site: a concurrent session wrote the index between our
+            # snapshot and this transaction's lock; the re-read merge below
+            # must fold its record in rather than clobber it
+            if self.faults.hit("db.write_race") is not None:
+                self._write_foreign_record()
         with self._locked():
             if self._txn_depth == 0:
                 self._reread_index()

@@ -100,7 +100,9 @@ class BuildExecutor:
         return Lock(
             os.path.join(
                 self.session.db.db_dir, "prefix-locks", node.dag_hash() + ".lock"
-            )
+            ),
+            faults=self.session.faults,
+            owner=node.name,
         )
 
     def execute(self, node, keep_stage=False):
@@ -110,7 +112,28 @@ class BuildExecutor:
         with self._prefix_lock(node):
             if self.session.db.installed(node):
                 return None
+            self._heal_orphan_prefix(node)
             return self._build(node, keep_stage=keep_stage)
+
+    def _heal_orphan_prefix(self, node):
+        """Remove a prefix the database does not know about.
+
+        A crash between prefix creation and database registration (a
+        killed build) leaves an orphan directory; since registration is
+        always last, an unregistered prefix is never trustworthy.  We
+        hold both the prefix lock and a db miss here, so deleting it is
+        safe — and required, or the layout would refuse to create the
+        prefix and the store could never heal.
+        """
+        if node.external:
+            return  # an external's prefix is not ours to manage
+        prefix = self.session.store.layout.path_for_spec(node)
+        if os.path.isdir(prefix):
+            shutil.rmtree(prefix, ignore_errors=True)
+            hub = self.session.telemetry
+            hub.count("store.orphan_prefixes_healed")
+            hub.event("store.orphan_healed", package=node.name,
+                      hash=node.dag_hash(8))
 
     # -- building one node ------------------------------------------------------
     def _build(self, node, keep_stage=False):
@@ -147,6 +170,14 @@ class BuildExecutor:
                     pkg.applied_patches = list(stage.applied_patches)
 
                 prefix = layout.create_install_directory(node)
+                if session.faults is not None:
+                    # fault site: killed right after the prefix appeared
+                    # on disk — SimulatedKill is a BaseException, so the
+                    # partial-prefix cleanup below never sees it (a real
+                    # SIGKILL would not either) and the orphan survives
+                    session.faults.hit(
+                        "executor.crash", target=node.name, where="post-stage"
+                    )
                 dep_prefixes = dependency_prefixes(node, layout)
                 wrapper_paths = None
                 if session.subprocess_mode and session.use_wrappers:
@@ -191,6 +222,13 @@ class BuildExecutor:
                     node, clock.seconds, real, clock.snapshot(), phases=phases
                 )
                 self._write_timing(node, prefix, stats)
+                if session.faults is not None:
+                    # fault site: killed after a complete, provenance-
+                    # bearing prefix was written but before the caller
+                    # can register it in the database
+                    session.faults.hit(
+                        "executor.crash", target=node.name, where="post-build"
+                    )
             return stats
         except Exception as e:
             tail = self._log_tail(log_file)

@@ -10,11 +10,11 @@ from repro.util.filesystem import mkdirp
 class Store:
     """One installation tree: ``<root>/opt/...`` prefixes + the database."""
 
-    def __init__(self, root, telemetry=None):
+    def __init__(self, root, telemetry=None, faults=None):
         self.root = os.path.abspath(root)
         mkdirp(self.root)
         self.layout = DirectoryLayout(os.path.join(self.root, "opt"))
-        self.db = Database(self.root, telemetry=telemetry)
+        self.db = Database(self.root, telemetry=telemetry, faults=faults)
 
     def __repr__(self):
         return "Store(%r)" % self.root

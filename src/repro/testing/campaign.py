@@ -1,0 +1,317 @@
+"""Seeded selftest campaigns: the engine behind ``repro-spack selftest``.
+
+A campaign has two phases, both driven entirely by one master seed:
+
+1. **Concretization sweep** — generate a package universe
+   (:class:`~repro.testing.generators.RepoGenerator`) and N abstract
+   requests over it, run every request through the differential oracle
+   (greedy vs. backtracking), and check the full invariant battery on
+   each successful result.
+2. **Fault sweep** — generate M fault plans
+   (:meth:`~repro.testing.faults.FaultPlan.generate`), and for each one
+   build a fresh session, arm the plan, install a small real stack,
+   then disarm and re-install to prove the store heals.  The first
+   ``len(points)`` plans are fixed single-fault plans, one per fault
+   point, so every point is demonstrably reached in every campaign
+   regardless of what the random remainder draws.
+
+The report is JSONL with sorted keys and no timestamps, hostnames, or
+absolute paths, so two same-seed runs produce *byte-identical* files —
+that equality is itself asserted by CI.
+"""
+
+import json
+import os
+import shutil
+
+from repro.testing import derive_seed, session_seed
+from repro.testing.faults import ALL_FAULT_POINTS, FaultPlan, SimulatedKill
+from repro.testing.generators import (
+    GEN_COMPILERS,
+    RepoGenerator,
+    SpecGenerator,
+)
+from repro.testing.invariants import check_all, check_concretization
+from repro.testing.oracle import AGREE_SUCCESS, RESCUE, DifferentialOracle
+
+#: the spec name the db.write_race fault writes into the index; it has no
+#: prefix on disk, so recovery checks skip it by name
+from repro.store.database import FOREIGN_NAME  # noqa: E402
+
+
+class CampaignConfig:
+    """Knobs for one campaign run; everything defaults sensibly."""
+
+    def __init__(self, seed=None, specs=200, fault_plans=50, packages=40,
+                 virtuals=2, max_attempts=64, fault_target="libdwarf",
+                 points=ALL_FAULT_POINTS):
+        self.seed = session_seed() if seed is None else int(seed)
+        self.specs = int(specs)
+        self.fault_plans = int(fault_plans)
+        self.packages = int(packages)
+        self.virtuals = int(virtuals)
+        self.max_attempts = int(max_attempts)
+        #: the builtin-corpus spec each fault plan installs
+        self.fault_target = fault_target
+        self.points = tuple(points)
+
+    def to_dict(self):
+        return {
+            "seed": self.seed,
+            "specs": self.specs,
+            "fault_plans": self.fault_plans,
+            "packages": self.packages,
+            "virtuals": self.virtuals,
+            "max_attempts": self.max_attempts,
+            "fault_target": self.fault_target,
+            "points": list(self.points),
+        }
+
+
+class CampaignReport:
+    """Everything a campaign learned, serializable as deterministic JSONL."""
+
+    def __init__(self, config):
+        self.config = config
+        #: one dict per oracle case (request, kind, violations, ...)
+        self.oracle_cases = []
+        #: one dict per fault plan (plan, outcome, injected, recovered)
+        self.fault_cases = []
+
+    # -- aggregation --------------------------------------------------------
+    def outcome_counts(self):
+        counts = {}
+        for case in self.oracle_cases:
+            counts[case["kind"]] = counts.get(case["kind"], 0) + 1
+        return counts
+
+    def divergences(self):
+        return [c for c in self.oracle_cases if c["kind"] == "divergence"]
+
+    def violations(self):
+        return [c for c in self.oracle_cases if c["violations"]]
+
+    def injection_totals(self):
+        totals = {}
+        for case in self.fault_cases:
+            for point, n in case["injected"].items():
+                totals[point] = totals.get(point, 0) + n
+        return totals
+
+    def unrecovered(self):
+        return [c for c in self.fault_cases if not c["recovered"]]
+
+    @property
+    def ok(self):
+        """The campaign's verdict: no divergence, no invariant violation,
+        every requested fault point injected at least once, and every
+        faulted store healed.  An oracle-only run (``fault_plans=0``)
+        waives the coverage requirement, not the others."""
+        totals = self.injection_totals()
+        covered = self.config.fault_plans == 0 or all(
+            totals.get(p, 0) > 0 for p in self.config.points
+        )
+        return (
+            not self.divergences()
+            and not self.violations()
+            and not self.unrecovered()
+            and covered
+        )
+
+    def summary(self):
+        return {
+            "type": "summary",
+            "seed": self.config.seed,
+            "oracle_outcomes": self.outcome_counts(),
+            "divergences": len(self.divergences()),
+            "invariant_violations": len(self.violations()),
+            "injections": self.injection_totals(),
+            "unrecovered": len(self.unrecovered()),
+            "ok": self.ok,
+        }
+
+    # -- serialization ------------------------------------------------------
+    def lines(self):
+        """The JSONL lines, deterministic for a given seed."""
+        def dump(obj):
+            return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+        yield dump({"type": "campaign", "config": self.config.to_dict()})
+        for case in self.oracle_cases:
+            yield dump(dict(case, type="oracle-case"))
+        for case in self.fault_cases:
+            yield dump(dict(case, type="fault-case"))
+        yield dump(self.summary())
+
+    def write(self, path):
+        with open(path, "w") as f:
+            for line in self.lines():
+                f.write(line + "\n")
+        return path
+
+
+# -- phase 1: oracle + invariants sweep --------------------------------------
+
+def _oracle_fixture(config):
+    """(repo, provider_index, compilers, cfg) for the generated universe."""
+    from repro.compilers.registry import Compiler, CompilerRegistry
+    from repro.config.config import Config
+    from repro.repo.providers import ProviderIndex
+
+    repo = RepoGenerator(
+        derive_seed(config.seed, "repo"),
+        count=config.packages,
+        virtuals=config.virtuals,
+    ).build()
+    provider_index = ProviderIndex.from_repo(repo)
+    registry = CompilerRegistry(
+        Compiler(*cs.split("@")) for cs in GEN_COMPILERS
+    )
+    cfg = Config()
+    cfg.update(
+        "defaults",
+        {
+            "preferences": {
+                "compiler_order": [GEN_COMPILERS[0]],
+                "architecture": "linux-x86_64",
+            }
+        },
+    )
+    return repo, provider_index, registry, cfg
+
+
+def run_oracle_phase(config, report, log=None):
+    repo, provider_index, compilers, cfg = _oracle_fixture(config)
+    oracle = DifferentialOracle(
+        repo, provider_index, compilers, cfg, max_attempts=config.max_attempts
+    )
+    generator = SpecGenerator(derive_seed(config.seed, "specs"), repo)
+
+    from repro.spec.spec import Spec
+
+    for i in range(config.specs):
+        request = generator.spec(i)
+        comparison = oracle.compare(request)
+        violations = []
+        if comparison.kind == AGREE_SUCCESS:
+            concrete = oracle.greedy.concretize(Spec(request))
+            violations = check_all(
+                request, concrete, repo, provider_index, oracle.greedy
+            )
+        elif comparison.kind == RESCUE:
+            concrete = oracle.backtracking.concretize(Spec(request))
+            violations = check_concretization(
+                request, concrete, repo, provider_index
+            )
+        report.oracle_cases.append(
+            {
+                "case": i,
+                "request": request,
+                "kind": comparison.kind,
+                "greedy_error": comparison.greedy_error,
+                "backtracking_error": comparison.backtracking_error,
+                "attempts": comparison.attempts,
+                "minimized": comparison.minimized,
+                "violations": violations,
+            }
+        )
+        if log and (i + 1) % 50 == 0:
+            log("  oracle: %d/%d cases" % (i + 1, config.specs))
+    return report
+
+
+# -- phase 2: fault sweep ----------------------------------------------------
+
+def _fault_plan(config, index, targets):
+    """Plan ``index``: fixed single-fault coverage plans first, then
+    seeded random ones."""
+    from repro.testing.faults import EXECUTOR_CRASH, Fault
+
+    if index < len(config.points):
+        point = config.points[index]
+        where = "post-stage" if point == EXECUTOR_CRASH else None
+        target = targets[0] if point == EXECUTOR_CRASH else None
+        plan = FaultPlan(
+            [Fault(point, target=target, where=where)],
+            seed=derive_seed(config.seed, "faults", index),
+        )
+        return plan
+    return FaultPlan.generate(
+        derive_seed(config.seed, "faults", index),
+        targets=targets,
+        points=config.points,
+    )
+
+
+def run_fault_phase(config, report, workdir, log=None):
+    from repro.errors import ReproError
+    from repro.session import Session
+    from repro.store.verify import verify_store
+
+    target = config.fault_target
+    for p in range(config.fault_plans):
+        root = os.path.join(workdir, "plan-%03d" % p)
+        session = Session.create(root, install_jobs=1)
+        targets = sorted(
+            node.name for node in session.concretize(target).traverse()
+        )
+        plan = _fault_plan(config, p, targets)
+
+        session.faults.arm(plan)
+        outcome, error = "clean", None
+        try:
+            session.install(target, jobs=1)
+        except SimulatedKill:
+            outcome, error = "crashed", "SimulatedKill"
+        except ReproError as e:
+            outcome, error = "errored", type(e).__name__
+        finally:
+            session.faults.disarm()
+        injected = session.faults.injection_counts()
+        if outcome == "clean" and injected:
+            outcome = "absorbed"  # faults fired but the install survived
+
+        # recovery: a fresh install over the same store must heal it
+        recovered = True
+        recovery_error = None
+        try:
+            session.install(target, jobs=1)
+            issues = [
+                i for i in verify_store(session)
+                if i.spec.name != FOREIGN_NAME
+            ]
+            if issues or not session.db.query(target):
+                recovered = False
+                recovery_error = "; ".join(str(i) for i in issues) or "not installed"
+        except (ReproError, SimulatedKill) as e:
+            recovered = False
+            recovery_error = type(e).__name__
+
+        report.fault_cases.append(
+            {
+                "case": p,
+                "plan": plan.to_dict(),
+                "outcome": outcome,
+                "error": error,
+                "injected": injected,
+                "recovered": recovered,
+                "recovery_error": recovery_error,
+            }
+        )
+        shutil.rmtree(root, ignore_errors=True)
+        if log and (p + 1) % 10 == 0:
+            log("  faults: %d/%d plans" % (p + 1, config.fault_plans))
+    return report
+
+
+def run_campaign(config, workdir, log=None):
+    """Run both phases; returns the :class:`CampaignReport`."""
+    report = CampaignReport(config)
+    if log:
+        log("campaign seed %d: %d specs, %d fault plans"
+            % (config.seed, config.specs, config.fault_plans))
+    if config.specs:
+        run_oracle_phase(config, report, log=log)
+    if config.fault_plans:
+        run_fault_phase(config, report, workdir, log=log)
+    return report

@@ -1,0 +1,327 @@
+"""Deterministic fault injection for the install pipeline.
+
+Production layers expose *fault sites*: named points where a
+:class:`FaultInjector` hanging off the session may fire.  With no plan
+armed every site is a single attribute check — the same "disabled path
+is free" discipline as the telemetry hub — so the hooks stay
+unconditionally in the hot paths:
+
+========================  ====================================================
+site                      layer and effect when fired
+========================  ====================================================
+``fetch.transient``       :meth:`Fetcher._web_get` raises
+                          :class:`~repro.fetch.mockweb.TransientWebError`;
+                          the bounded retry/backoff path must absorb it.
+``fetch.permanent``       same site raises
+                          :class:`~repro.fetch.mockweb.NotOnWebError`;
+                          must propagate as a clean FetchError, never retried.
+``executor.crash``        :class:`~repro.store.executor.BuildExecutor` raises
+                          :class:`SimulatedKill` (a BaseException: the
+                          executor's own cleanup never sees it, exactly like
+                          a SIGKILL) either right after the prefix is created
+                          (``where='post-stage'``) or after provenance is
+                          written but before database registration
+                          (``where='post-build'``) — both leave an orphan
+                          prefix that a later install must heal.
+``db.write_race``         :meth:`Database.transaction` has a foreign record
+                          written into the on-disk index *before* it takes
+                          the lock, simulating a concurrent session; the
+                          stale-snapshot re-read merge must preserve it.
+``lock.timeout``          :meth:`~repro.util.lock.Lock.acquire` raises
+                          :class:`~repro.util.lock.LockTimeoutError` without
+                          touching the lock file.
+========================  ====================================================
+
+A :class:`FaultPlan` is a list of :class:`Fault` records, either
+hand-built by tests or generated deterministically from a seed
+(:meth:`FaultPlan.generate`) for campaign sweeps.  Every firing is
+journaled on the injector and counted on the session's telemetry hub
+(``faults.injected`` / ``faults.injected.<point>``), which is how the
+campaign report proves each point was reached.
+"""
+
+import random
+
+from repro.errors import ReproError
+
+# -- fault points ------------------------------------------------------------
+
+#: a 503-style flaky download: retried with backoff
+FETCH_TRANSIENT = "fetch.transient"
+#: a 404-style missing URL: permanent, never retried
+FETCH_PERMANENT = "fetch.permanent"
+#: a kill between stage creation and database registration
+EXECUTOR_CRASH = "executor.crash"
+#: a concurrent writer mutating the index behind a stale snapshot
+DB_WRITE_RACE = "db.write_race"
+#: an advisory lock that cannot be acquired in time
+LOCK_TIMEOUT = "lock.timeout"
+
+ALL_FAULT_POINTS = (
+    FETCH_TRANSIENT,
+    FETCH_PERMANENT,
+    EXECUTOR_CRASH,
+    DB_WRITE_RACE,
+    LOCK_TIMEOUT,
+)
+
+#: the executor's two crash sites (see the table above)
+CRASH_SITES = ("post-stage", "post-build")
+
+
+class SimulatedKill(BaseException):
+    """The process 'died' at a fault site.
+
+    Deliberately *not* an :class:`Exception`: the executor's partial-
+    prefix cleanup catches ``Exception``, and a real SIGKILL would never
+    run it.  Tests and the campaign runner catch this explicitly.
+    """
+
+    def __init__(self, point, target, where=None):
+        detail = " at %s" % where if where else ""
+        super().__init__(
+            "simulated kill: %s(%s)%s" % (point, target or "*", detail)
+        )
+        self.point = point
+        self.target = target
+        self.where = where
+
+
+class FaultPlanError(ReproError):
+    """A fault plan was constructed or armed incorrectly."""
+
+
+class Fault:
+    """One planned failure: where, at whom, and how often.
+
+    Parameters
+    ----------
+    point:
+        One of :data:`ALL_FAULT_POINTS`.
+    target:
+        Package name the fault is scoped to, or None for "any" (sites
+        that have no package context, like the database index, ignore
+        the target).
+    after:
+        Number of matching hits to let pass before the first firing.
+    times:
+        How many times to fire (transient faults with ``times <=
+        retries`` are recoverable; more are permanent-by-exhaustion).
+    where:
+        For ``executor.crash``: which crash site, from
+        :data:`CRASH_SITES` (None matches either).
+    """
+
+    __slots__ = ("point", "target", "after", "times", "where", "seen", "fired")
+
+    def __init__(self, point, target=None, after=0, times=1, where=None):
+        if point not in ALL_FAULT_POINTS:
+            raise FaultPlanError("Unknown fault point %r" % point)
+        if where is not None and where not in CRASH_SITES:
+            raise FaultPlanError("Unknown crash site %r" % where)
+        self.point = point
+        self.target = target
+        self.after = int(after)
+        self.times = int(times)
+        self.where = where
+        #: matching hits observed so far (armed state)
+        self.seen = 0
+        #: firings so far (armed state)
+        self.fired = 0
+
+    def matches(self, point, target, where):
+        if point != self.point:
+            return False
+        if self.target is not None and target != self.target:
+            return False
+        if self.where is not None and where != self.where:
+            return False
+        return True
+
+    @property
+    def exhausted(self):
+        return self.fired >= self.times
+
+    def to_dict(self):
+        return {
+            "point": self.point,
+            "target": self.target,
+            "after": self.after,
+            "times": self.times,
+            "where": self.where,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            data["point"],
+            target=data.get("target"),
+            after=data.get("after", 0),
+            times=data.get("times", 1),
+            where=data.get("where"),
+        )
+
+    def __repr__(self):
+        return "Fault(%s, target=%r, after=%d, times=%d%s)" % (
+            self.point,
+            self.target,
+            self.after,
+            self.times,
+            ", where=%r" % self.where if self.where else "",
+        )
+
+
+class FaultPlan:
+    """An ordered set of faults, optionally generated from a seed."""
+
+    def __init__(self, faults=(), seed=None):
+        self.faults = list(faults)
+        self.seed = seed
+
+    @classmethod
+    def generate(cls, seed, targets=(), points=ALL_FAULT_POINTS, max_faults=3):
+        """A deterministic random plan: 1..max_faults faults drawn from
+        ``points``, scoped to ``targets`` (package names) where the
+        point has package context.
+
+        The same ``(seed, targets, points)`` produce the same plan on
+        every machine — plans are part of a campaign's replayable state.
+        """
+        rng = random.Random(seed)
+        targets = list(targets)
+        count = rng.randint(1, max(1, int(max_faults)))
+        faults = []
+        for _ in range(count):
+            point = rng.choice(list(points))
+            target = rng.choice(targets) if targets and rng.random() < 0.8 else None
+            where = rng.choice(CRASH_SITES) if point == EXECUTOR_CRASH else None
+            # transient faults usually stay within the default retry
+            # budget (recoverable); occasionally exceed it (exhaustion)
+            times = rng.choice((1, 1, 2, 4)) if point == FETCH_TRANSIENT else 1
+            faults.append(
+                Fault(point, target=target, after=rng.randint(0, 1),
+                      times=times, where=where)
+            )
+        return cls(faults, seed=seed)
+
+    def points(self):
+        """The distinct fault points this plan can fire."""
+        return sorted({f.point for f in self.faults})
+
+    def to_dict(self):
+        return {"seed": self.seed, "faults": [f.to_dict() for f in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            [Fault.from_dict(fd) for fd in data.get("faults", [])],
+            seed=data.get("seed"),
+        )
+
+    def __len__(self):
+        return len(self.faults)
+
+    def __repr__(self):
+        return "FaultPlan(seed=%r, %d faults)" % (self.seed, len(self.faults))
+
+
+class FaultInjector:
+    """The per-session fault switchboard production layers consult.
+
+    Inert until :meth:`arm` attaches a plan: ``hit()`` with no plan is a
+    single ``if`` on an attribute.  Armed, each matching site firing is
+    journaled, counted on the telemetry hub, and turned into the
+    appropriate exception (or returned to the site, for effects only
+    the layer itself can apply, like the database's foreign write).
+    """
+
+    def __init__(self, telemetry=None):
+        self.plan = None
+        self.telemetry = telemetry
+        #: (point, target, where) tuples, in firing order
+        self.journal = []
+
+    # -- arming -----------------------------------------------------------
+    def arm(self, plan):
+        """Attach a plan (resetting its armed state) and start injecting."""
+        if isinstance(plan, (list, tuple)):
+            plan = FaultPlan(plan)
+        for fault in plan.faults:
+            fault.seen = 0
+            fault.fired = 0
+        self.plan = plan
+        return plan
+
+    def disarm(self):
+        """Stop injecting; the journal is kept for inspection."""
+        self.plan = None
+
+    @property
+    def armed(self):
+        return self.plan is not None
+
+    def injection_counts(self):
+        """{fault point: firings so far} from the journal."""
+        counts = {}
+        for point, _target, _where in self.journal:
+            counts[point] = counts.get(point, 0) + 1
+        return counts
+
+    # -- the sites call this ----------------------------------------------
+    def hit(self, point, target=None, where=None):
+        """Consult the plan at a fault site.
+
+        Returns None (almost always) or the fired :class:`Fault` for
+        sites that apply their own effect; raises the point's mapped
+        exception otherwise.  ``target`` is the package name when the
+        site has one; ``where`` disambiguates the executor's crash
+        sites.
+        """
+        if self.plan is None:
+            return None
+        for fault in self.plan.faults:
+            if fault.exhausted or not fault.matches(point, target, where):
+                continue
+            fault.seen += 1
+            if fault.seen <= fault.after:
+                continue
+            fault.fired += 1
+            self._record(point, target, where)
+            return self._apply(fault, point, target, where)
+        return None
+
+    # -- effects ----------------------------------------------------------
+    def _record(self, point, target, where):
+        self.journal.append((point, target, where))
+        if self.telemetry is not None:
+            self.telemetry.count("faults.injected")
+            self.telemetry.count("faults.injected.%s" % point)
+            self.telemetry.event(
+                "fault.injected", point=point, target=target, where=where
+            )
+
+    def _apply(self, fault, point, target, where):
+        if point == FETCH_TRANSIENT:
+            from repro.fetch.mockweb import TransientWebError
+
+            raise TransientWebError(
+                "fault://%s" % (target or "any"), fault.times - fault.fired
+            )
+        if point == FETCH_PERMANENT:
+            from repro.fetch.mockweb import NotOnWebError
+
+            raise NotOnWebError("fault://%s" % (target or "any"))
+        if point == EXECUTOR_CRASH:
+            raise SimulatedKill(point, target, where)
+        if point == LOCK_TIMEOUT:
+            from repro.util.lock import LockTimeoutError
+
+            raise LockTimeoutError(target or "<fault-injected>", 0.0)
+        # DB_WRITE_RACE: the database applies the foreign write itself.
+        return fault
+
+    def __repr__(self):
+        return "FaultInjector(%s, %d journaled)" % (
+            repr(self.plan) if self.plan else "disarmed",
+            len(self.journal),
+        )

@@ -1,0 +1,294 @@
+"""Deterministic generative models: package universes, specs, fuzz text.
+
+Everything here is driven by ``random.Random(seed)`` — no ambient
+entropy, no ``hash()`` — so a single integer replays a whole campaign
+on any machine.  These generators replace the ad-hoc ones that used to
+live inside ``tests/spec/test_parser_fuzz.py`` and
+``tests/core/test_concretize_properties.py``:
+
+* :class:`RepoGenerator` synthesizes a layered-DAG package repository
+  with versions, boolean variants, virtual interfaces with competing
+  providers, and conditional (``when=``) dependencies — the full
+  directive surface the concretizer has to reason about, in
+  random-but-reproducible combinations.
+* :class:`SpecGenerator` draws abstract requests over such a repo:
+  version ranges, compiler pins, architectures, variant flags, and
+  forced ``^provider`` choices — including occasionally-unsatisfiable
+  ones, which the oracle and invariant layers expect to fail with
+  *typed* errors.
+* :class:`SpecTextGenerator` emits parser fuzz inputs: raw alphabet
+  soup, token-assembled plausible specs, and mutations of valid
+  renderings.
+"""
+
+import random
+
+from repro.directives import depends_on, provides, variant, version
+from repro.directives.directives import DirectiveMeta
+from repro.fetch.mockweb import mock_checksum
+from repro.package.package import Package
+from repro.repo.repository import Repository
+from repro.util.naming import mod_to_class
+
+#: compilers the generated universes assume registered (the Session
+#: default toolchain covers all of these)
+GEN_COMPILERS = ("gcc@4.9.2", "gcc@4.7.3", "intel@15.0.1", "clang@3.5.0")
+
+#: architectures requests may pin
+GEN_ARCHES = ("linux-x86_64", "bgq")
+
+#: variant names the generator draws from
+GEN_VARIANT_NAMES = ("shared", "debug", "mpi", "threads")
+
+
+def _make_package(name, versions, dep_decls, provided=None, variants=()):
+    """Build one Package subclass via the real directive machinery.
+
+    ``dep_decls`` is a list of ``(dep_name, constraint_suffix, when)``
+    tuples; constraint suffix is appended to the dependency name (e.g.
+    ``"@2:"``), ``when`` is a predicate string or None.
+    """
+    ns = {
+        "homepage": "https://mock.example.org/%s" % name,
+        "url": "https://mock.example.org/%s/%s-%s.tar.gz" % (name, name, versions[0]),
+        "__doc__": "Generated package %s (repro.testing.generators)." % name,
+        "build_units": 2,
+        "unit_cost": 0.001,
+    }
+    for v in versions:
+        version(v, mock_checksum(name, v))
+    for dep_name, suffix, when in dep_decls:
+        depends_on(dep_name + suffix, when=when)
+    if provided:
+        provides(provided)
+    for vname in variants:
+        variant(vname, default=(vname == "shared"),
+                description="generated variant %s" % vname)
+    return DirectiveMeta(mod_to_class(name), (Package,), ns)
+
+
+class RepoGenerator:
+    """Synthesizes a deterministic random package repository.
+
+    Structure guarantees (so generated universes are always plannable):
+
+    * package *i* only depends on packages with smaller indices — the
+      concrete DAG is acyclic by construction;
+    * virtual providers are leaves, so provider substitution can never
+      introduce a cycle;
+    * every virtual has at least two providers, so the backtracking
+      concretizer always has a real choice point to explore.
+    """
+
+    def __init__(self, seed, count=40, virtuals=2, namespace="generated"):
+        self.seed = int(seed)
+        self.count = max(4, int(count))
+        self.virtuals = max(0, int(virtuals))
+        self.namespace = namespace
+
+    def virtual_name(self, i):
+        return "vif-%d" % i
+
+    def package_name(self, i):
+        return "gen-%03d" % i
+
+    def build(self):
+        """Generate and return the Repository."""
+        rng = random.Random(self.seed)
+        repo = Repository(namespace=self.namespace)
+        names = []
+
+        # virtual interfaces first: 2-3 leaf providers each
+        provider_of = {}
+        for vi in range(self.virtuals):
+            vname = self.virtual_name(vi)
+            provider_of[vname] = []
+            for pi in range(rng.randint(2, 3)):
+                pname = "%s-impl-%d" % (vname, pi)
+                versions = self._draw_versions(rng)
+                cls = _make_package(pname, versions, [], provided=vname)
+                repo.add_class(pname, cls)
+                provider_of[vname].append(pname)
+
+        for i in range(self.count):
+            name = self.package_name(i)
+            versions = self._draw_versions(rng)
+            variants = self._draw_variants(rng)
+            dep_decls = self._draw_dependencies(rng, names, variants, versions)
+            if provider_of and rng.random() < 0.25:
+                vname = rng.choice(sorted(provider_of))
+                when = self._draw_when(rng, variants, versions)
+                dep_decls.append((vname, "", when))
+            cls = _make_package(name, versions, dep_decls, variants=variants)
+            repo.add_class(name, cls)
+            names.append(name)
+        return repo
+
+    # -- draws -------------------------------------------------------------
+    def _draw_versions(self, rng):
+        n = rng.randint(2, 4)
+        return ["%d.%d" % (major + 1, rng.randint(0, 9)) for major in range(n)]
+
+    def _draw_variants(self, rng):
+        if rng.random() < 0.5:
+            return ()
+        return tuple(
+            rng.sample(GEN_VARIANT_NAMES, rng.randint(1, 2))
+        )
+
+    def _draw_when(self, rng, variants, versions):
+        """A predicate for a conditional dependency, or None."""
+        roll = rng.random()
+        if roll < 0.55 or (not variants and roll < 0.8):
+            return None
+        if variants and roll < 0.8:
+            flag = rng.choice(variants)
+            return ("+" if rng.random() < 0.7 else "~") + flag
+        return "@%s:" % versions[rng.randrange(len(versions))].split(".")[0]
+
+    def _draw_dependencies(self, rng, names, variants, versions):
+        if not names:
+            return []
+        decls = []
+        for dep in rng.sample(names, min(len(names), rng.randint(0, 3))):
+            suffix = ""
+            if rng.random() < 0.2:
+                # a version-range constraint on the dependency edge
+                suffix = "@%d:" % rng.randint(1, 2)
+            decls.append((dep, suffix, self._draw_when(rng, variants, versions)))
+        return decls
+
+
+class SpecGenerator:
+    """Draws abstract requests over a repository, deterministically.
+
+    ``specs(n)`` yields ``n`` request strings; ``spec(i)`` regenerates
+    request *i* alone (replay of one campaign case without rerunning
+    the stream before it).
+    """
+
+    def __init__(self, seed, repo, compilers=GEN_COMPILERS, arches=GEN_ARCHES):
+        self.seed = int(seed)
+        self.repo = repo
+        self.compilers = tuple(compilers)
+        self.arches = tuple(arches)
+        self._names = sorted(repo.all_package_names())
+
+    def spec(self, i):
+        """Request *i* of this generator's deterministic stream."""
+        from repro.testing import derive_seed
+
+        rng = random.Random(derive_seed(self.seed, "spec", i))
+        return self._draw(rng)
+
+    def specs(self, n):
+        return [self.spec(i) for i in range(n)]
+
+    def _draw(self, rng):
+        name = rng.choice(self._names)
+        cls = self.repo.get_class(name)
+        parts = [name]
+
+        if rng.random() < 0.4 and cls.versions:
+            v = rng.choice(sorted(cls.versions))
+            style = rng.random()
+            if style < 0.5:
+                parts.append("@%s" % v)
+            elif style < 0.75:
+                parts.append("@%s:" % str(v).split(".")[0])
+            else:
+                parts.append("@:%s" % v)
+        if rng.random() < 0.35:
+            compiler = rng.choice(self.compilers)
+            if rng.random() < 0.5:
+                compiler = compiler.split("@")[0]
+            parts.append("%%%s" % compiler)
+        if cls.variants and rng.random() < 0.4:
+            vname = rng.choice(sorted(cls.variants))
+            parts.append(("+" if rng.random() < 0.6 else "~") + vname)
+        if rng.random() < 0.25:
+            parts.append("=%s" % rng.choice(self.arches))
+        if rng.random() < 0.2:
+            # force a dependency constraint; may be a provider pin, may
+            # be an unrelated package (a typed error both concretizers
+            # must agree on)
+            parts.append(" ^%s" % rng.choice(self._names))
+        return "".join(parts)
+
+
+#: character soup the parser must survive (superset of spec syntax)
+FUZZ_ALPHABET = "abcxyz019._-@:%+~^= "
+
+
+class SpecTextGenerator:
+    """Parser fuzz inputs: soup, assembled tokens, and mutants.
+
+    Three deterministic streams, each addressable by case index so a
+    failing case replays in isolation:
+
+    * :meth:`soup` — length-bounded random text over the spec alphabet;
+    * :meth:`plausible` — token-assembled spec-shaped strings (names,
+      versions, compilers, variants, arch, ``^`` chains) that are
+      *usually* valid;
+    * :meth:`mutant` — a plausible string with random character edits
+      (insert/delete/replace), probing error paths near valid syntax.
+    """
+
+    NAMES = ("libelf", "mpileaks", "a", "xy-z0", "pkg_1", "m.p.i")
+    VERSIONS = ("1.0", "2", "0.8.11:0.8.13", ":3", "4:", "1.0,2.1")
+    COMPILERS = ("gcc", "gcc@4.9", "intel@15.0.1", "clang")
+    ARCHES = ("linux-x86_64", "bgq")
+
+    def __init__(self, seed):
+        self.seed = int(seed)
+
+    def _rng(self, stream, i):
+        from repro.testing import derive_seed
+
+        return random.Random(derive_seed(self.seed, "text", stream, i))
+
+    def soup(self, i, max_len=40):
+        rng = self._rng("soup", i)
+        return "".join(
+            rng.choice(FUZZ_ALPHABET) for _ in range(rng.randint(0, max_len))
+        )
+
+    def unicode_soup(self, i, max_len=30):
+        rng = self._rng("unicode", i)
+        return "".join(
+            chr(rng.randint(1, 0x2FFF)) for _ in range(rng.randint(1, max_len))
+        )
+
+    def plausible(self, i):
+        rng = self._rng("plausible", i)
+        parts = [rng.choice(self.NAMES)]
+        if rng.random() < 0.5:
+            parts.append("@" + rng.choice(self.VERSIONS))
+        if rng.random() < 0.4:
+            parts.append("%" + rng.choice(self.COMPILERS))
+        if rng.random() < 0.4:
+            parts.append(rng.choice("+~") + rng.choice(("shared", "debug", "mpi")))
+        if rng.random() < 0.3:
+            parts.append("=" + rng.choice(self.ARCHES))
+        text = "".join(parts)
+        for _ in range(rng.randint(0, 2)):
+            text += " ^" + rng.choice(self.NAMES)
+            if rng.random() < 0.4:
+                text += "@" + rng.choice(self.VERSIONS)
+        return text
+
+    def mutant(self, i, mutations=2):
+        rng = self._rng("mutant", i)
+        text = list(self.plausible(i))
+        for _ in range(rng.randint(1, mutations)):
+            if not text:
+                break
+            op = rng.random()
+            pos = rng.randrange(len(text))
+            if op < 0.34:
+                text.insert(pos, rng.choice(FUZZ_ALPHABET))
+            elif op < 0.67:
+                del text[pos]
+            else:
+                text[pos] = rng.choice(FUZZ_ALPHABET)
+        return "".join(text)

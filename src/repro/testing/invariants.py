@@ -1,0 +1,197 @@
+"""Concretizer postcondition checkers (the §3.4 contract, mechanized).
+
+Each checker returns a list of violation strings — empty means the
+invariant holds — so callers (pytest, the campaign runner) can collect
+every problem in one pass instead of stopping at the first.
+:func:`assert_invariants` is the raising wrapper tests use.
+
+Checked invariants:
+
+* **concreteness** — every node fully concrete: one version, a concrete
+  compiler, an architecture, every declared variant valued;
+* **satisfaction** — the concrete spec strictly satisfies the abstract
+  request it came from;
+* **closure** — every node's package exists, no virtual survives, and
+  every *active* ``depends_on`` is resolved by a satisfying edge
+  (virtuals through a provider);
+* **sharing** — nodes are unique per name: any two edges to the same
+  package name reach the same object (Figure 9's shared sub-DAGs);
+* **round-trip** — ``str(spec)`` re-parses and re-concretizes to an
+  equal spec, and ``to_dict``/``from_dict`` preserve the DAG and its
+  hash (this is what makes provenance files trustworthy);
+* **idempotence** — concretizing a concrete spec is the identity;
+* **determinism** — two concretizations of the same request are equal,
+  including their DAG hashes.
+"""
+
+from repro.errors import ReproError
+
+
+class InvariantViolation(ReproError):
+    """One or more concretizer postconditions failed."""
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        super().__init__(
+            "%d invariant violation(s):\n%s"
+            % (len(self.violations), "\n".join("  - " + v for v in self.violations))
+        )
+
+
+def check_concretization(abstract, concrete, repo, provider_index):
+    """Concreteness + satisfaction + closure + sharing for one result."""
+    violations = []
+    if not concrete.concrete:
+        violations.append("result of %s is not concrete" % abstract)
+    if not concrete.satisfies(abstract, strict=True):
+        violations.append(
+            "%s does not strictly satisfy its request %s" % (concrete, abstract)
+        )
+
+    seen = {}
+    for node in concrete.traverse():
+        if not repo.exists(node.name):
+            if provider_index.is_virtual(node.name):
+                violations.append("virtual %r survived concretization" % node.name)
+            else:
+                violations.append("unknown package %r in result" % node.name)
+            continue
+        if node.versions.concrete is None:
+            violations.append("%s: version not concrete (@%s)" % (node.name, node.versions))
+        if node.compiler is None or not node.compiler.concrete:
+            violations.append("%s: compiler not concrete" % node.name)
+        if node.architecture is None:
+            violations.append("%s: architecture not set" % node.name)
+        cls = repo.get_class(node.name)
+        for vname in cls.variants:
+            if vname not in node.variants:
+                violations.append("%s: variant %r not valued" % (node.name, vname))
+        violations.extend(_check_active_deps(node, cls, provider_index))
+        for name, child in node.dependencies.items():
+            if name in seen and seen[name] is not child:
+                violations.append(
+                    "two distinct nodes for %r: sub-DAG sharing broken" % name
+                )
+            seen[name] = child
+    return violations
+
+
+def _check_active_deps(node, cls, provider_index):
+    violations = []
+    for dep_name, constraints in cls.dependencies.items():
+        for dc in constraints:
+            if dc.when is not None and not node.satisfies(dc.when, strict=True):
+                continue
+            if provider_index.is_virtual(dep_name):
+                if not any(
+                    dep_name in d.provided_virtuals
+                    for d in node.dependencies.values()
+                ):
+                    violations.append(
+                        "%s: active virtual dep %r has no provider edge"
+                        % (node.name, dep_name)
+                    )
+            elif dep_name not in node.dependencies:
+                violations.append(
+                    "%s: active dep %r missing" % (node.name, dep_name)
+                )
+            elif not node.dependencies[dep_name].satisfies(dc.spec, strict=True):
+                violations.append(
+                    "%s: edge to %r does not satisfy declared %s"
+                    % (node.name, dep_name, dc.spec)
+                )
+    return violations
+
+
+def check_roundtrip(concrete, concretizer=None):
+    """Print/parse and dict round-trips preserve the spec and its hash."""
+    from repro.spec.spec import Spec
+
+    violations = []
+    original_hash = concrete.dag_hash()
+    if concrete.dag_hash() != original_hash:
+        violations.append("dag_hash unstable across repeated calls")
+
+    as_dict = concrete.to_dict()
+    rebuilt = Spec.from_dict(as_dict)
+    if rebuilt != concrete:
+        violations.append("to_dict/from_dict round-trip changed the spec")
+    elif rebuilt.dag_hash() != original_hash:
+        violations.append(
+            "dict round-trip changed dag_hash: %s -> %s"
+            % (original_hash, rebuilt.dag_hash())
+        )
+
+    rendered = str(concrete)
+    try:
+        reparsed = Spec(rendered)
+    except ReproError as e:
+        violations.append("canonical rendering %r does not re-parse: %s" % (rendered, e))
+        return violations
+    if concretizer is not None:
+        # The flat rendering is a constraint document, not a DAG dump:
+        # its ^-clauses become *direct* edges from the root on re-parse
+        # (user constraints always do), so edge provenance — and with it
+        # the DAG hash — is not preserved.  What must survive the
+        # print/parse/concretize trip is the set of concrete nodes; the
+        # hash-preserving round-trip is to_dict/from_dict, checked above.
+        try:
+            reconcretized = concretizer.concretize(reparsed)
+        except ReproError as e:
+            violations.append(
+                "canonical rendering %r does not re-concretize: %s" % (rendered, e)
+            )
+            return violations
+        before = sorted(n.node_str() for n in concrete.traverse())
+        after = sorted(n.node_str() for n in reconcretized.traverse())
+        if before != after:
+            violations.append(
+                "print/parse/concretize round-trip changed the node set for %r:"
+                " %s -> %s" % (rendered, before, after)
+            )
+    return violations
+
+
+def check_idempotence(concretizer, concrete):
+    """Concretizing an already-concrete spec must be the identity."""
+    violations = []
+    again = concretizer.concretize(concrete)
+    if again != concrete:
+        violations.append("re-concretization changed the spec: %s" % concrete)
+    elif again.dag_hash() != concrete.dag_hash():
+        violations.append("re-concretization changed dag_hash of %s" % concrete)
+    return violations
+
+
+def check_determinism(concretizer, abstract):
+    """Two runs over the same request agree exactly."""
+    from repro.spec.spec import Spec
+
+    violations = []
+    a = concretizer.concretize(Spec(str(abstract)))
+    b = concretizer.concretize(Spec(str(abstract)))
+    if a != b:
+        violations.append("concretization of %s is nondeterministic" % abstract)
+    elif a.dag_hash() != b.dag_hash():
+        violations.append("dag_hash of %s is nondeterministic" % abstract)
+    return violations
+
+
+def check_all(abstract, concrete, repo, provider_index, concretizer):
+    """Every invariant for one (request, result) pair."""
+    violations = []
+    violations.extend(check_concretization(abstract, concrete, repo, provider_index))
+    violations.extend(check_roundtrip(concrete, concretizer=concretizer))
+    violations.extend(check_idempotence(concretizer, concrete))
+    violations.extend(check_determinism(concretizer, abstract))
+    return violations
+
+
+def assert_invariants(abstract, concrete, repo, provider_index, concretizer,
+                      context=""):
+    """Raise :class:`InvariantViolation` if any postcondition fails."""
+    violations = check_all(abstract, concrete, repo, provider_index, concretizer)
+    if violations:
+        if context:
+            violations = ["[%s] %s" % (context, v) for v in violations]
+        raise InvariantViolation(violations)

@@ -1,0 +1,179 @@
+"""Differential oracle: greedy vs. backtracking concretization.
+
+The two concretizers implement the same contract by different
+strategies, which makes them oracles for each other (the technique
+ASP-based solvers later formalized: divergence between implementations
+is evidence of a bug even when neither answer is obviously wrong).
+
+Outcome classification for one abstract request:
+
+``agree-success``
+    Both succeed with the *same DAG hash*.  This is the strong case:
+    :class:`~repro.core.backtracking.BacktrackingConcretizer` runs the
+    greedy pass first, so whenever greedy succeeds the two must be
+    byte-identical — any hash mismatch is a real bug.
+``rescue``
+    Greedy fails, backtracking finds a solution.  Benign **by design**:
+    exploring provider alternatives after a greedy dead end is the
+    entire point of the backtracking search (the paper's §4.5 hwloc
+    example).  Campaigns count rescues but do not flag them.
+``agree-error``
+    Both fail with typed errors.  Benign: the error *types* may differ
+    (greedy reports the first contradiction, the search reports
+    exhaustion) and that difference is allowlisted; what matters is
+    that neither invented a solution the other proves impossible.
+``divergence``
+    Anything else — both succeeded with different hashes, or greedy
+    succeeded where backtracking failed.  Always a bug; the oracle
+    attaches a minimized reproducer.
+"""
+
+import re
+
+from repro.compilers.registry import CompilerError
+from repro.core.backtracking import BacktrackingConcretizer
+from repro.core.concretizer import ConcretizationError, Concretizer
+from repro.spec.errors import SpecError
+from repro.spec.spec import Spec
+from repro.version import VersionParseError
+
+#: benign outcome kinds (everything except DIVERGENCE)
+AGREE_SUCCESS = "agree-success"
+AGREE_ERROR = "agree-error"
+RESCUE = "rescue"
+DIVERGENCE = "divergence"
+
+#: error families the oracle treats as "typed, clean failure"
+TYPED_ERRORS = (ConcretizationError, SpecError, VersionParseError,
+                CompilerError)
+
+#: syntactic components the minimizer may strip, one at a time
+_COMPONENT = re.compile(
+    r"""
+      \s*\^[^\s^]+          # a ^dependency constraint
+    | %[A-Za-z0-9_.@:-]+    # a compiler pin
+    | @[^%+~=^\s]+          # a version constraint
+    | [+~][A-Za-z0-9_]+     # a variant flag
+    | =[A-Za-z0-9_.-]+      # an architecture pin
+    """,
+    re.VERBOSE,
+)
+
+
+class Comparison:
+    """The oracle's verdict on one request."""
+
+    def __init__(self, request, kind, greedy_hash=None, backtracking_hash=None,
+                 greedy_error=None, backtracking_error=None, attempts=1,
+                 minimized=None):
+        self.request = request
+        self.kind = kind
+        self.greedy_hash = greedy_hash
+        self.backtracking_hash = backtracking_hash
+        #: error *type name*, kept as a string so reports stay JSON-able
+        self.greedy_error = greedy_error
+        self.backtracking_error = backtracking_error
+        #: greedy passes the backtracking search consumed
+        self.attempts = attempts
+        #: smallest request string that still diverges (DIVERGENCE only)
+        self.minimized = minimized
+
+    @property
+    def divergent(self):
+        return self.kind == DIVERGENCE
+
+    def to_dict(self):
+        return {
+            "request": self.request,
+            "kind": self.kind,
+            "greedy_hash": self.greedy_hash,
+            "backtracking_hash": self.backtracking_hash,
+            "greedy_error": self.greedy_error,
+            "backtracking_error": self.backtracking_error,
+            "attempts": self.attempts,
+            "minimized": self.minimized,
+        }
+
+    def __repr__(self):
+        return "Comparison(%r, %s)" % (self.request, self.kind)
+
+
+class DifferentialOracle:
+    """Runs both concretizers on requests and classifies the outcomes."""
+
+    def __init__(self, repo, provider_index, compilers, config, policy=None,
+                 max_attempts=256):
+        self.greedy = Concretizer(repo, provider_index, compilers, config,
+                                  policy=policy)
+        self.backtracking = BacktrackingConcretizer(
+            repo, provider_index, compilers, config, policy=policy,
+            max_attempts=max_attempts,
+        )
+
+    # -- running one side ---------------------------------------------------
+    @staticmethod
+    def _run(concretizer, request):
+        """(dag_hash, concrete, error_type_name) — exactly one of
+        hash/error is set; untyped exceptions propagate (they are crashes
+        the caller should see raw)."""
+        try:
+            concrete = concretizer.concretize(Spec(request))
+        except TYPED_ERRORS as e:
+            return None, None, type(e).__name__
+        return concrete.dag_hash(), concrete, None
+
+    # -- the oracle ---------------------------------------------------------
+    def compare(self, request, minimize=True):
+        """Classify one request; see the module docstring for the kinds."""
+        request = str(request)
+        g_hash, g_spec, g_err = self._run(self.greedy, request)
+        b_hash, b_spec, b_err = self._run(self.backtracking, request)
+        attempts = self.backtracking.last_attempts
+
+        if g_hash is not None and b_hash is not None:
+            kind = AGREE_SUCCESS if g_hash == b_hash else DIVERGENCE
+        elif g_hash is None and b_hash is None:
+            kind = AGREE_ERROR
+        elif g_hash is None:
+            kind = RESCUE
+        else:
+            # greedy found a solution the search could not reproduce:
+            # the search is strictly more general, so this is a bug
+            kind = DIVERGENCE
+
+        minimized = None
+        if kind == DIVERGENCE and minimize:
+            minimized = self.minimize(request)
+        return Comparison(
+            request, kind,
+            greedy_hash=g_hash, backtracking_hash=b_hash,
+            greedy_error=g_err, backtracking_error=b_err,
+            attempts=attempts, minimized=minimized,
+        )
+
+    # -- reproducer minimization -------------------------------------------
+    def _diverges(self, request):
+        try:
+            return self.compare(request, minimize=False).divergent
+        except Exception:  # noqa: BLE001 — a crash while shrinking is
+            return False   # not the divergence we are reducing
+
+    def minimize(self, request):
+        """Greedy ddmin over syntactic components: repeatedly drop any
+        single constraint (version, compiler, variant, arch, ^dep) while
+        the result still diverges.  Returns the fixed point."""
+        current = str(request)
+        shrunk = True
+        while shrunk:
+            shrunk = False
+            for match in list(_COMPONENT.finditer(current)):
+                candidate = (
+                    current[: match.start()] + current[match.end():]
+                ).strip()
+                if not candidate or candidate == current:
+                    continue
+                if self._diverges(candidate):
+                    current = candidate
+                    shrunk = True
+                    break
+        return current

@@ -39,15 +39,23 @@ class Lock:
     threads in this process and other processes on the same path.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, faults=None, owner=None):
         self.path = path
         self._fd = None
         self._depth = 0
         #: serializes threads sharing this Lock object; re-entrant so the
         #: holding thread's nested acquires match the depth counter
         self._thread_lock = threading.RLock()
+        #: optional session FaultInjector; ``owner`` is the label fault
+        #: plans target (a package name for prefix locks)
+        self._faults = faults
+        self._owner = owner
 
     def acquire(self, timeout=60.0, poll=0.05):
+        if self._faults is not None:
+            # fault site: a lock that cannot be acquired in time, raised
+            # before any state changes so no cleanup is owed
+            self._faults.hit("lock.timeout", target=self._owner)
         if not self._thread_lock.acquire(timeout=timeout):
             raise LockTimeoutError(self.path, timeout)
         if self._depth > 0:

@@ -1,125 +1,118 @@
-"""Property-based concretizer invariants over the synthetic universe.
+"""Property-based concretizer invariants over a generated universe.
 
-For arbitrary (seeded) packages and arbitrary constraint combinations the
-concretizer must uphold its §3.4 contract: results are concrete, contain
-no virtuals, honor the abstract request (strict satisfaction), keep one
-version per package name, and are deterministic.
+For arbitrary (seeded) packages and arbitrary constraint combinations
+the concretizer must uphold its §3.4 contract: results are concrete,
+contain no virtuals, honor the abstract request (strict satisfaction),
+keep one version per package name, and are deterministic.
+
+The cases come from :mod:`repro.testing.generators` — the same models
+the ``repro-spack selftest`` campaign drives — seeded once per session
+from ``REPRO_TEST_SEED``.  The invariants themselves live in
+:mod:`repro.testing.invariants` so pytest and the selftest CLI check
+exactly the same properties.
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.compilers.registry import Compiler, CompilerRegistry
 from repro.config.config import Config
-from repro.core.concretizer import ConcretizationError, Concretizer
-from repro.errors import ReproError
-from repro.packages.synthetic import synthetic_repo
+from repro.core.concretizer import Concretizer
 from repro.repo.providers import ProviderIndex
 from repro.spec.spec import Spec
+from repro.testing import derive_seed, session_seed
+from repro.testing.generators import GEN_COMPILERS, RepoGenerator, SpecGenerator
+from repro.testing.invariants import assert_invariants
+
+CASES = 60
 
 
 @pytest.fixture(scope="module")
 def universe():
-    repo = synthetic_repo(count=80, seed=7)
+    seed = derive_seed(session_seed(), "concretize-properties")
+    repo = RepoGenerator(
+        derive_seed(seed, "repo"), count=30, virtuals=2
+    ).build()
     index = ProviderIndex.from_repo(repo)
     registry = CompilerRegistry(
-        [
-            Compiler("gcc", "4.9.2", cc="/t/gcc-4.9.2"),
-            Compiler("gcc", "4.7.3", cc="/t/gcc-4.7.3"),
-            Compiler("intel", "15.0.1", cc="/t/icc-15.0.1"),
-        ]
+        Compiler(*cs.split("@")) for cs in GEN_COMPILERS
     )
     config = Config()
-    config.update("site", {"preferences": {"architecture": "linux-x86_64"}})
-    return repo, Concretizer(repo, index, registry, config)
+    config.update(
+        "site",
+        {"preferences": {"compiler_order": [GEN_COMPILERS[0]],
+                         "architecture": "linux-x86_64"}},
+    )
+    concretizer = Concretizer(repo, index, registry, config)
+    requests = SpecGenerator(derive_seed(seed, "specs"), repo).specs(CASES)
+    return seed, repo, index, concretizer, requests
 
 
-package_indices = st.integers(min_value=0, max_value=79)
-compilers = st.sampled_from(["", "%gcc", "%gcc@4.7", "%intel"])
-arches = st.sampled_from(["", "=bgq", "=linux-x86_64"])
+def _context(seed, i, request):
+    return "seed=%d case=%d request=%r (rerun: REPRO_TEST_SEED=%d)" % (
+        seed, i, request, seed
+    )
 
 
-@st.composite
-def requests(draw):
-    name = "syn-%03d" % draw(package_indices)
-    text = name + draw(compilers) + draw(arches)
-    return text
+def _each_success(universe):
+    """(context, request, concrete) for every request that concretizes."""
+    from repro.testing.oracle import TYPED_ERRORS
+
+    seed, repo, index, concretizer, requests = universe
+    for i, request in enumerate(requests):
+        try:
+            concrete = concretizer.concretize(Spec(request))
+        except TYPED_ERRORS:
+            continue  # impossible constraint draws are fine; crashes are not
+        yield _context(seed, i, request), request, concrete
 
 
-common = settings(
-    max_examples=60,
-    deadline=None,
-    suppress_health_check=[HealthCheck.function_scoped_fixture],
-)
+def test_full_invariant_battery(universe):
+    """Concreteness, request satisfaction, no virtuals, known packages,
+    unique names, dependency completeness, idempotence, determinism,
+    and serialization round-trips — the shared checker raises with the
+    case context on the first violation."""
+    seed, repo, index, concretizer, _ = universe
+    successes = 0
+    for context, request, concrete in _each_success(universe):
+        assert_invariants(
+            request, concrete, repo, index, concretizer, context=context
+        )
+        successes += 1
+    assert successes > CASES // 2  # the stream mostly draws solvable cases
 
 
-@given(requests())
-@common
-def test_concrete_and_satisfying(universe, request_text):
-    repo, concretizer = universe
-    abstract = Spec(request_text)
-    concrete = concretizer.concretize(abstract)
-    assert concrete.concrete
-    assert concrete.satisfies(abstract, strict=True)
+def test_one_node_per_name_and_shared(universe):
+    for context, _request, concrete in _each_success(universe):
+        seen = {}
+        for node in concrete.traverse():
+            for name, child in node.dependencies.items():
+                if name in seen:
+                    assert seen[name] is child, context  # shared sub-DAG
+                seen[name] = child
 
 
-@given(requests())
-@common
-def test_no_virtuals_and_all_known(universe, request_text):
-    repo, concretizer = universe
-    concrete = concretizer.concretize(Spec(request_text))
-    for node in concrete.traverse():
-        assert repo.exists(node.name)
-        assert concretizer.provider_index.is_virtual(node.name) is False
+def test_deterministic_across_concretizer_instances(universe):
+    """Same request, fresh concretizer, same universe ⇒ same DAG hash —
+    determinism beyond the single-instance idempotence the battery
+    already checks."""
+    seed, repo, index, concretizer, requests = universe
+    registry = CompilerRegistry(
+        Compiler(*cs.split("@")) for cs in GEN_COMPILERS
+    )
+    config = Config()
+    config.update(
+        "site",
+        {"preferences": {"compiler_order": [GEN_COMPILERS[0]],
+                         "architecture": "linux-x86_64"}},
+    )
+    fresh = Concretizer(repo, index, registry, config)
+    for context, request, concrete in _each_success(universe):
+        assert fresh.concretize(Spec(request)).dag_hash() == \
+            concrete.dag_hash(), context
 
 
-@given(requests())
-@common
-def test_one_node_per_name_and_shared(universe, request_text):
-    _, concretizer = universe
-    concrete = concretizer.concretize(Spec(request_text))
-    seen = {}
-    for node in concrete.traverse():
-        for name, child in node.dependencies.items():
-            if name in seen:
-                assert seen[name] is child  # same object: shared sub-DAG
-            seen[name] = child
-
-
-@given(requests())
-@common
-def test_deterministic(universe, request_text):
-    _, concretizer = universe
-    a = concretizer.concretize(Spec(request_text))
-    b = concretizer.concretize(Spec(request_text))
-    assert a == b
-    assert a.dag_hash() == b.dag_hash()
-
-
-@given(requests())
-@common
-def test_idempotent(universe, request_text):
-    _, concretizer = universe
-    once = concretizer.concretize(Spec(request_text))
-    twice = concretizer.concretize(once)
-    assert twice == once
-
-
-@given(requests())
-@common
-def test_every_declared_dep_resolved(universe, request_text):
-    repo, concretizer = universe
-    concrete = concretizer.concretize(Spec(request_text))
-    for node in concrete.traverse():
-        cls = repo.get_class(node.name)
-        for dep_name, constraints in cls.dependencies.items():
-            for dc in constraints:
-                if dc.when is not None and not node.satisfies(dc.when, strict=True):
-                    continue
-                if concretizer.provider_index.is_virtual(dep_name):
-                    assert any(
-                        dep_name in d.provided_virtuals
-                        for d in node.dependencies.values()
-                    )
-                else:
-                    assert dep_name in node.dependencies
+def test_request_stream_is_replayable(universe):
+    seed, repo, _index, _concretizer, requests = universe
+    generator = SpecGenerator(derive_seed(seed, "specs"), repo)
+    for i in (0, CASES // 2, CASES - 1):
+        assert generator.spec(i) == requests[i]

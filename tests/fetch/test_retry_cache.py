@@ -195,3 +195,52 @@ class TestFetchCache:
             if not e.startswith(".")
         ]
         assert cached  # the install populated the on-disk cache
+
+
+class TestFetchConfigSection:
+    """The ``fetch`` config section reaches the session's Fetcher, so a
+    site can pin retry budgets (and CI can pin the deterministic
+    backoff schedule) without touching code."""
+
+    def test_defaults_without_a_fetch_section(self, tmp_path):
+        from repro.fetch.fetcher import DEFAULT_RETRIES, DEFAULT_RETRY_DELAY
+        from repro.session import Session
+
+        s = Session.create(str(tmp_path / "plain"))
+        assert s.fetcher.retries == DEFAULT_RETRIES
+        assert s.fetcher.retry_delay == DEFAULT_RETRY_DELAY
+        assert s.fetcher.deterministic_backoff is False
+
+    def test_overrides_reach_the_fetcher(self, tmp_path):
+        from repro.session import Session
+
+        s = Session.create(
+            str(tmp_path / "tuned"),
+            config_overrides={
+                "fetch": {
+                    "retries": 5,
+                    "retry_delay": 0.25,
+                    "deterministic_backoff": True,
+                }
+            },
+        )
+        assert s.fetcher.retries == 5
+        assert s.fetcher.retry_delay == 0.25
+        assert s.fetcher.deterministic_backoff is True
+
+    def test_configured_budget_governs_real_retries(self, tmp_path):
+        """retries=0 means one attempt total: a single transient fault
+        becomes a fetch error instead of being absorbed."""
+        from repro.errors import ReproError
+        from repro.session import Session
+        from repro.testing.faults import Fault
+
+        s = Session.create(
+            str(tmp_path / "strict"),
+            config_overrides={
+                "fetch": {"retries": 0, "deterministic_backoff": True}
+            },
+        )
+        s.faults.arm([Fault("fetch.transient", target="libelf", times=1)])
+        with pytest.raises(ReproError):
+            s.install("libelf", jobs=1)

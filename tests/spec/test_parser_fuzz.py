@@ -4,58 +4,103 @@ Any string over the spec alphabet must either parse (and then re-parse
 to an equal spec from its canonical rendering) or raise a typed
 SpecError — never an arbitrary exception.  This is the property a
 command-line tool's front door must have.
+
+Cases come from :class:`repro.testing.generators.SpecTextGenerator`,
+seeded once per test session from ``REPRO_TEST_SEED`` (default fixed).
+Every assertion carries the case's seed and index, so a failure line is
+its own reproducer: rerun with ``REPRO_TEST_SEED=<seed>`` and only
+case ``i`` matters.
 """
 
-from hypothesis import given, settings, strategies as st
+import pytest
 
 from repro.spec.errors import SpecError
 from repro.spec.parser import parse_specs
 from repro.spec.spec import Spec
+from repro.testing import derive_seed, session_seed
+from repro.testing.generators import SpecTextGenerator
 from repro.version import VersionParseError
 
-spec_alphabet = st.text(
-    alphabet="abcxyz019._-@:%+~^= ",
-    min_size=0,
-    max_size=40,
-)
+TYPED = (SpecError, VersionParseError)
+
+CASES = 400
 
 
-@given(spec_alphabet)
-@settings(max_examples=400, deadline=None)
-def test_arbitrary_text_parses_or_raises_typed_error(text):
-    try:
-        specs = parse_specs(text)
-    except (SpecError, VersionParseError):
-        return
-    # success: every parsed spec renders canonically and round-trips
-    for spec in specs:
-        rendered = str(spec)
-        if spec.name is not None:
-            assert Spec(rendered) == spec
+@pytest.fixture(scope="module")
+def fuzz():
+    seed = derive_seed(session_seed(), "parser-fuzz")
+    return seed, SpecTextGenerator(seed)
 
 
-printable = st.text(min_size=1, max_size=30)
+def _case_id(seed, i, text):
+    return "seed=%d case=%d text=%r (rerun: REPRO_TEST_SEED=%d)" % (
+        seed, i, text, seed
+    )
 
 
-@given(printable)
-@settings(max_examples=200, deadline=None)
-def test_arbitrary_unicode_never_crashes(text):
-    try:
-        parse_specs(text)
-    except (SpecError, VersionParseError):
-        pass
+def test_alphabet_soup_parses_or_raises_typed_error(fuzz):
+    seed, gen = fuzz
+    for i in range(CASES):
+        text = gen.soup(i)
+        try:
+            specs = parse_specs(text)
+        except TYPED:
+            continue
+        # success: every parsed spec renders canonically and round-trips
+        for spec in specs:
+            rendered = str(spec)
+            if spec.name is not None:
+                assert Spec(rendered) == spec, _case_id(seed, i, text)
 
 
-@given(spec_alphabet, spec_alphabet)
-@settings(max_examples=150, deadline=None)
-def test_satisfies_never_crashes_on_parsed_pairs(a_text, b_text):
-    try:
-        a = parse_specs(a_text)
-        b = parse_specs(b_text)
-    except (SpecError, VersionParseError):
-        return
-    for sa in a:
-        for sb in b:
-            sa.satisfies(sb)          # bool either way, no crash
-            sa.satisfies(sb, strict=True)
-            sa.intersects(sb)
+def test_arbitrary_unicode_never_crashes(fuzz):
+    seed, gen = fuzz
+    for i in range(200):
+        text = gen.unicode_soup(i)
+        try:
+            parse_specs(text)
+        except TYPED:
+            pass
+
+
+def test_mutated_plausible_specs_stay_typed(fuzz):
+    """Near-valid input — a plausible spec with one character mutated —
+    is the adversarial region; it must stay inside the typed contract."""
+    seed, gen = fuzz
+    for i in range(200):
+        text = gen.mutant(i)
+        try:
+            specs = parse_specs(text)
+        except TYPED:
+            continue
+        for spec in specs:
+            if spec.name is not None:
+                assert Spec(str(spec)) == spec, _case_id(seed, i, text)
+
+
+def test_satisfies_never_crashes_on_parsed_pairs(fuzz):
+    seed, gen = fuzz
+    parsed = []
+    for i in range(150):
+        try:
+            parsed.extend(parse_specs(gen.plausible(i)))
+        except TYPED:
+            continue
+    pairs = [
+        (parsed[i], parsed[(i * 7 + 3) % len(parsed)])
+        for i in range(len(parsed))
+    ]
+    for sa, sb in pairs:
+        sa.satisfies(sb)          # bool either way, no crash
+        sa.satisfies(sb, strict=True)
+        sa.intersects(sb)
+
+
+def test_stream_is_replayable(fuzz):
+    """The fixture's stream regenerates exactly — the property that
+    makes the failure line above a sufficient reproducer."""
+    seed, gen = fuzz
+    again = SpecTextGenerator(seed)
+    for i in (0, 17, 123, CASES - 1):
+        assert gen.soup(i) == again.soup(i)
+        assert gen.mutant(i) == again.mutant(i)

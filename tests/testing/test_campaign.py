@@ -1,0 +1,93 @@
+"""Campaign engine: determinism, coverage, and the verdict."""
+
+import json
+
+import pytest
+
+from repro.testing.campaign import CampaignConfig, CampaignReport, run_campaign
+from repro.testing.faults import ALL_FAULT_POINTS
+
+
+@pytest.fixture(scope="module")
+def small_campaign(tmp_path_factory):
+    """One bounded campaign, shared by every assertion in this module."""
+    config = CampaignConfig(seed=11, specs=20,
+                            fault_plans=len(ALL_FAULT_POINTS) + 1,
+                            packages=15, max_attempts=32)
+    workdir = tmp_path_factory.mktemp("campaign")
+    return config, run_campaign(config, str(workdir))
+
+
+class TestCampaign:
+    def test_verdict_is_ok(self, small_campaign):
+        _, report = small_campaign
+        assert report.divergences() == []
+        assert report.violations() == []
+        assert report.unrecovered() == []
+        assert report.ok
+
+    def test_every_fault_point_injected(self, small_campaign):
+        """The fixed coverage plans guarantee each point fires at least
+        once per campaign — the ISSUE's reachability acceptance bar."""
+        _, report = small_campaign
+        totals = report.injection_totals()
+        for point in ALL_FAULT_POINTS:
+            assert totals.get(point, 0) >= 1, point
+
+    def test_oracle_cases_cover_the_request_stream(self, small_campaign):
+        config, report = small_campaign
+        assert len(report.oracle_cases) == config.specs
+        assert [c["case"] for c in report.oracle_cases] == list(range(config.specs))
+
+    def test_report_lines_are_valid_jsonl(self, small_campaign):
+        config, report = small_campaign
+        lines = list(report.lines())
+        records = [json.loads(line) for line in lines]
+        assert records[0]["type"] == "campaign"
+        assert records[0]["config"]["seed"] == config.seed
+        assert records[-1]["type"] == "summary"
+        assert records[-1]["ok"] is True
+
+    def test_same_seed_reports_are_byte_identical(self, small_campaign,
+                                                  tmp_path):
+        config, report = small_campaign
+        again = run_campaign(config, str(tmp_path / "rerun"))
+        assert list(report.lines()) == list(again.lines())
+
+    def test_write_round_trips(self, small_campaign, tmp_path):
+        _, report = small_campaign
+        path = report.write(str(tmp_path / "report.jsonl"))
+        with open(path) as f:
+            assert f.read().splitlines() == list(report.lines())
+
+    def test_different_seed_changes_the_stream(self, tmp_path):
+        a = CampaignConfig(seed=1, specs=10, fault_plans=0, packages=10)
+        b = CampaignConfig(seed=2, specs=10, fault_plans=0, packages=10)
+        ra = run_campaign(a, str(tmp_path / "a"))
+        rb = run_campaign(b, str(tmp_path / "b"))
+        assert [c["request"] for c in ra.oracle_cases] != [
+            c["request"] for c in rb.oracle_cases
+        ]
+
+
+class TestReportAggregation:
+    def test_unrecovered_and_ok_flip_on_bad_case(self):
+        config = CampaignConfig(seed=3, specs=0, fault_plans=1)
+        report = CampaignReport(config)
+        report.fault_cases.append({
+            "case": 0, "plan": {}, "outcome": "errored", "error": "X",
+            "injected": {p: 1 for p in config.points},
+            "recovered": False, "recovery_error": "still broken",
+        })
+        assert len(report.unrecovered()) == 1
+        assert not report.ok
+
+    def test_ok_requires_full_point_coverage(self):
+        config = CampaignConfig(seed=3, specs=0, fault_plans=1)
+        report = CampaignReport(config)
+        report.fault_cases.append({
+            "case": 0, "plan": {}, "outcome": "absorbed", "error": None,
+            "injected": {"fetch.transient": 2},  # only one of the points
+            "recovered": True, "recovery_error": None,
+        })
+        assert not report.ok

@@ -1,0 +1,181 @@
+"""Fault plans, the injector, and every fault point end to end.
+
+The reachability tests double as the ISSUE's acceptance proof: each of
+the five fault points is demonstrably injectable, and for each one the
+pipeline either recovers or fails with a clean typed error.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.session import Session
+from repro.store.database import FOREIGN_NAME
+from repro.testing.faults import (
+    ALL_FAULT_POINTS,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    SimulatedKill,
+)
+from repro.util.lock import LockTimeoutError
+
+
+@pytest.fixture
+def faulty_session(tmp_path):
+    from repro.telemetry import MemorySink
+
+    session = Session.create(str(tmp_path / "universe"), install_jobs=1)
+    session.telemetry.add_sink(MemorySink())  # counters only count with a sink
+    return session
+
+
+class TestFaultPlan:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(FaultPlanError):
+            Fault("disk.full")
+
+    def test_unknown_crash_site_rejected(self):
+        with pytest.raises(FaultPlanError):
+            Fault("executor.crash", where="mid-phase")
+
+    def test_round_trips_through_dict(self):
+        plan = FaultPlan(
+            [Fault("fetch.transient", target="libelf", after=1, times=3)],
+            seed=99,
+        )
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again.seed == 99
+        assert [f.to_dict() for f in again.faults] == [
+            f.to_dict() for f in plan.faults
+        ]
+
+    def test_generation_is_deterministic(self):
+        a = FaultPlan.generate(123, targets=("libelf", "libdwarf"))
+        b = FaultPlan.generate(123, targets=("libelf", "libdwarf"))
+        assert a.to_dict() == b.to_dict()
+        assert 1 <= len(a) <= 3
+        assert all(f.point in ALL_FAULT_POINTS for f in a.faults)
+
+    def test_different_seeds_differ(self):
+        dicts = {
+            str(FaultPlan.generate(s, targets=("x",)).to_dict())
+            for s in range(20)
+        }
+        assert len(dicts) > 1
+
+
+class TestInjector:
+    def test_disarmed_hit_is_inert(self):
+        injector = FaultInjector()
+        assert injector.hit("fetch.transient", target="anything") is None
+        assert injector.journal == []
+        assert not injector.armed
+
+    def test_after_and_times_windows(self):
+        from repro.fetch.mockweb import TransientWebError
+
+        injector = FaultInjector()
+        injector.arm([Fault("fetch.transient", after=1, times=2)])
+        assert injector.hit("fetch.transient") is None  # let one pass
+        for _ in range(2):
+            with pytest.raises(TransientWebError):
+                injector.hit("fetch.transient")
+        assert injector.hit("fetch.transient") is None  # exhausted
+        assert injector.injection_counts() == {"fetch.transient": 2}
+
+    def test_target_scoping(self):
+        injector = FaultInjector()
+        injector.arm([Fault("lock.timeout", target="libdwarf")])
+        assert injector.hit("lock.timeout", target="libelf") is None
+        with pytest.raises(LockTimeoutError):
+            injector.hit("lock.timeout", target="libdwarf")
+
+    def test_rearm_resets_armed_state(self):
+        fault = Fault("lock.timeout")
+        injector = FaultInjector()
+        injector.arm([fault])
+        with pytest.raises(LockTimeoutError):
+            injector.hit("lock.timeout")
+        assert fault.exhausted
+        injector.arm([fault])  # same plan object, fresh counters
+        assert not fault.exhausted
+
+    def test_firings_counted_on_telemetry(self):
+        from repro.telemetry import MemorySink, Telemetry
+
+        hub = Telemetry()
+        hub.add_sink(MemorySink())
+        injector = FaultInjector(telemetry=hub)
+        injector.arm([Fault("executor.crash", where="post-stage")])
+        with pytest.raises(SimulatedKill):
+            injector.hit("executor.crash", target="pkg", where="post-stage")
+        assert hub.counter("faults.injected") == 1
+        assert hub.counter("faults.injected.executor.crash") == 1
+
+
+class TestFaultPointsEndToEnd:
+    """Each fault point reached through the real install pipeline."""
+
+    def test_fetch_transient_within_budget_recovers(self, faulty_session):
+        s = faulty_session
+        s.faults.arm([Fault("fetch.transient", target="libelf", times=2)])
+        s.install("libelf", jobs=1)
+        assert s.faults.injection_counts() == {"fetch.transient": 2}
+        assert s.db.query("libelf")
+
+    def test_fetch_transient_beyond_budget_is_clean_error(self, faulty_session):
+        s = faulty_session
+        # default retry budget is 2 retries after the first attempt; four
+        # transient failures exhaust it
+        s.faults.arm([Fault("fetch.transient", target="libelf", times=4)])
+        with pytest.raises(ReproError):
+            s.install("libelf", jobs=1)
+        s.faults.disarm()
+        s.install("libelf", jobs=1)  # recovery: nothing was poisoned
+        assert s.db.query("libelf")
+
+    def test_fetch_permanent_is_clean_error_never_retried(self, faulty_session):
+        s = faulty_session
+        s.faults.arm([Fault("fetch.permanent", target="libelf")])
+        with pytest.raises(ReproError):
+            s.install("libelf", jobs=1)
+        assert s.telemetry.counter("fetch.retries") == 0
+        s.faults.disarm()
+        s.install("libelf", jobs=1)
+        assert s.db.query("libelf")
+
+    @pytest.mark.parametrize("where", ["post-stage", "post-build"])
+    def test_executor_crash_leaves_orphan_then_heals(self, faulty_session, where):
+        s = faulty_session
+        s.faults.arm([Fault("executor.crash", target="libelf", where=where)])
+        with pytest.raises(SimulatedKill):
+            s.install("libelf", jobs=1)
+        s.faults.disarm()
+        prefix = s.store.layout.path_for_spec(s.concretize("libelf"))
+        assert os.path.isdir(prefix)        # the orphan
+        assert not s.db.query("libelf")     # never registered
+        s.install("libelf", jobs=1)         # heals: rebuilds the prefix
+        assert s.db.query("libelf")
+        assert s.telemetry.counter("store.orphan_prefixes_healed") == 1
+
+    def test_db_write_race_record_survives_merge(self, faulty_session):
+        s = faulty_session
+        s.faults.arm([Fault("db.write_race")])
+        s.install("libelf", jobs=1)
+        s.faults.disarm()
+        names = sorted(r.spec.name for r in s.db.all_records())
+        # both the concurrent writer's record and ours survived
+        assert FOREIGN_NAME in names
+        assert "libelf" in names
+
+    def test_lock_timeout_is_clean_error_then_recovers(self, faulty_session):
+        s = faulty_session
+        s.faults.arm([Fault("lock.timeout", target="libelf")])
+        with pytest.raises(ReproError):
+            s.install("libelf", jobs=1)
+        s.faults.disarm()
+        s.install("libelf", jobs=1)
+        assert s.db.query("libelf")

@@ -1,0 +1,145 @@
+"""Generative models: determinism, replayability, and plannability."""
+
+from repro.testing import derive_seed, session_seed
+from repro.testing.generators import (
+    FUZZ_ALPHABET,
+    RepoGenerator,
+    SpecGenerator,
+    SpecTextGenerator,
+)
+
+
+def _fingerprint(repo):
+    """A structural digest of a generated repository."""
+    out = []
+    for name in repo.all_package_names():
+        cls = repo.get_class(name)
+        deps = sorted(
+            (d, str(dc.spec), str(dc.when))
+            for d, dcs in cls.dependencies.items()
+            for dc in dcs
+        )
+        out.append(
+            (
+                name,
+                sorted(str(v) for v in cls.versions),
+                sorted(cls.variants),
+                deps,
+                sorted(str(p.spec) for p in cls.provided),
+            )
+        )
+    return out
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_distinguishes_names_and_master(self):
+        seeds = {
+            derive_seed(1, "a"),
+            derive_seed(1, "b"),
+            derive_seed(2, "a"),
+            derive_seed(1, "a", 0),
+        }
+        assert len(seeds) == 4
+
+    def test_session_seed_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_SEED", "777")
+        assert session_seed() == 777
+
+
+class TestRepoGenerator:
+    def test_same_seed_same_universe(self):
+        a = RepoGenerator(33, count=20, virtuals=2).build()
+        b = RepoGenerator(33, count=20, virtuals=2).build()
+        assert _fingerprint(a) == _fingerprint(b)
+
+    def test_different_seed_different_universe(self):
+        a = RepoGenerator(33, count=20).build()
+        b = RepoGenerator(34, count=20).build()
+        assert _fingerprint(a) != _fingerprint(b)
+
+    def test_virtuals_have_multiple_providers(self):
+        from repro.repo.providers import ProviderIndex
+
+        repo = RepoGenerator(5, count=10, virtuals=2).build()
+        index = ProviderIndex.from_repo(repo)
+        assert index.virtual_names() == ["vif-0", "vif-1"]
+        for vname in index.virtual_names():
+            assert len(index.providers_for(vname)) >= 2
+
+    def test_universe_is_acyclic_and_concretizable(self):
+        """Every generated package concretizes (the layered-DAG and
+        leaf-provider guarantees hold)."""
+        from repro.compilers.registry import Compiler, CompilerRegistry
+        from repro.config.config import Config
+        from repro.core.concretizer import Concretizer
+        from repro.repo.providers import ProviderIndex
+        from repro.spec.spec import Spec
+
+        repo = RepoGenerator(8, count=15, virtuals=2).build()
+        index = ProviderIndex.from_repo(repo)
+        registry = CompilerRegistry([Compiler("gcc", "4.9.2")])
+        config = Config()
+        config.update(
+            "defaults",
+            {"preferences": {"compiler_order": ["gcc@4.9.2"],
+                             "architecture": "linux-x86_64"}},
+        )
+        concretizer = Concretizer(repo, index, registry, config)
+        for name in repo.all_package_names():
+            concrete = concretizer.concretize(Spec(name))
+            assert concrete.concrete
+
+
+class TestSpecGenerator:
+    def test_stream_is_deterministic(self):
+        repo = RepoGenerator(3, count=10).build()
+        a = SpecGenerator(9, repo).specs(25)
+        b = SpecGenerator(9, repo).specs(25)
+        assert a == b
+
+    def test_per_index_replay(self):
+        """spec(i) regenerates case i without replaying the stream."""
+        repo = RepoGenerator(3, count=10).build()
+        stream = SpecGenerator(9, repo).specs(25)
+        assert SpecGenerator(9, repo).spec(17) == stream[17]
+
+    def test_specs_name_known_packages(self):
+        repo = RepoGenerator(3, count=10).build()
+        names = set(repo.all_package_names())
+        for text in SpecGenerator(9, repo).specs(30):
+            root = text.split("@")[0].split("%")[0]
+            root = root.split("+")[0].split("~")[0].split("=")[0].split(" ")[0]
+            assert root in names
+
+
+class TestSpecTextGenerator:
+    def test_streams_are_deterministic(self):
+        a, b = SpecTextGenerator(4), SpecTextGenerator(4)
+        for i in range(20):
+            assert a.soup(i) == b.soup(i)
+            assert a.unicode_soup(i) == b.unicode_soup(i)
+            assert a.plausible(i) == b.plausible(i)
+            assert a.mutant(i) == b.mutant(i)
+
+    def test_soup_stays_on_alphabet(self):
+        gen = SpecTextGenerator(4)
+        for i in range(50):
+            assert set(gen.soup(i)) <= set(FUZZ_ALPHABET)
+
+    def test_plausible_usually_parses(self):
+        from repro.spec.errors import SpecError
+        from repro.spec.parser import parse_specs
+        from repro.version import VersionParseError
+
+        gen = SpecTextGenerator(4)
+        parsed = 0
+        for i in range(100):
+            try:
+                parse_specs(gen.plausible(i))
+                parsed += 1
+            except (SpecError, VersionParseError):
+                pass
+        assert parsed > 80  # plausible means *usually* valid

@@ -1,0 +1,135 @@
+"""The differential oracle: outcome classification and the minimizer."""
+
+import pytest
+
+from repro.compilers.registry import Compiler, CompilerRegistry
+from repro.config.config import Config
+from repro.repo.providers import ProviderIndex
+from repro.spec.spec import Spec
+from repro.testing.generators import RepoGenerator, SpecGenerator
+from repro.testing.oracle import (
+    AGREE_ERROR,
+    AGREE_SUCCESS,
+    DIVERGENCE,
+    RESCUE,
+    Comparison,
+    DifferentialOracle,
+)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    repo = RepoGenerator(55, count=20, virtuals=2).build()
+    index = ProviderIndex.from_repo(repo)
+    registry = CompilerRegistry(
+        [Compiler("gcc", "4.9.2"), Compiler("intel", "15.0.1")]
+    )
+    config = Config()
+    config.update(
+        "defaults",
+        {"preferences": {"compiler_order": ["gcc@4.9.2"],
+                         "architecture": "linux-x86_64"}},
+    )
+    return DifferentialOracle(repo, index, registry, config, max_attempts=64)
+
+
+class TestClassification:
+    def test_agreement_on_valid_request(self, oracle):
+        comparison = oracle.compare("gen-000")
+        assert comparison.kind == AGREE_SUCCESS
+        assert comparison.greedy_hash == comparison.backtracking_hash
+        assert not comparison.divergent
+
+    def test_agreement_on_impossible_request(self, oracle):
+        # no compiler named pgi is registered: both must fail, typed
+        comparison = oracle.compare("gen-000 %pgi")
+        assert comparison.kind == AGREE_ERROR
+        assert comparison.greedy_error is not None
+        assert comparison.backtracking_error is not None
+
+    def test_generated_stream_never_diverges(self, oracle):
+        generator = SpecGenerator(31, oracle.greedy.repo)
+        kinds = set()
+        for i in range(60):
+            comparison = oracle.compare(generator.spec(i))
+            kinds.add(comparison.kind)
+            assert comparison.kind != DIVERGENCE, comparison.to_dict()
+        assert AGREE_SUCCESS in kinds  # the stream exercises real successes
+
+    def test_rescue_classified_when_only_greedy_fails(self, oracle, monkeypatch):
+        """Greedy dead ends that the search survives are benign rescues —
+        backtracking exists precisely to explore past them (§4.5)."""
+        from repro.core.concretizer import ConcretizationError
+
+        real_run = DifferentialOracle._run
+
+        def run_with_greedy_dead_end(concretizer, request):
+            if concretizer is oracle.greedy:
+                return None, None, ConcretizationError.__name__
+            return real_run(concretizer, request)
+
+        monkeypatch.setattr(DifferentialOracle, "_run",
+                            staticmethod(run_with_greedy_dead_end))
+        comparison = oracle.compare("gen-000")
+        assert comparison.kind == RESCUE
+        assert not comparison.divergent
+
+    def test_divergence_when_hashes_differ(self, oracle, monkeypatch):
+        real_run = DifferentialOracle._run
+
+        def run_with_skewed_backtracking(concretizer, request):
+            g_hash, spec, err = real_run(concretizer, request)
+            if concretizer is oracle.backtracking and g_hash is not None:
+                return "deadbeef" + g_hash[8:], spec, err
+            return g_hash, spec, err
+
+        monkeypatch.setattr(DifferentialOracle, "_run",
+                            staticmethod(run_with_skewed_backtracking))
+        comparison = oracle.compare("gen-000", minimize=False)
+        assert comparison.kind == DIVERGENCE
+        assert comparison.divergent
+
+    def test_divergence_when_backtracking_loses_a_solution(self, oracle,
+                                                           monkeypatch):
+        from repro.core.concretizer import ConcretizationError
+
+        real_run = DifferentialOracle._run
+
+        def run_with_backtracking_failure(concretizer, request):
+            if concretizer is oracle.backtracking:
+                return None, None, ConcretizationError.__name__
+            return real_run(concretizer, request)
+
+        monkeypatch.setattr(DifferentialOracle, "_run",
+                            staticmethod(run_with_backtracking_failure))
+        comparison = oracle.compare("gen-000", minimize=False)
+        assert comparison.kind == DIVERGENCE
+
+
+class TestMinimizer:
+    def test_minimizer_strips_irrelevant_components(self, oracle, monkeypatch):
+        """With divergence pinned to one variant flag, every other
+        constraint must be shaved off the reproducer."""
+        monkeypatch.setattr(
+            oracle, "_diverges", lambda request: "+shared" in request
+        )
+        minimized = oracle.minimize(
+            "gen-013@2:%gcc+shared=linux-x86_64 ^gen-000@1:"
+        )
+        assert "+shared" in minimized
+        assert "@2:" not in minimized
+        assert "%gcc" not in minimized
+        assert "^gen-000" not in minimized
+
+    def test_minimizer_is_identity_without_strippable_cause(self, oracle,
+                                                            monkeypatch):
+        monkeypatch.setattr(oracle, "_diverges", lambda request: True)
+        # every component strippable: reduces to the bare name
+        assert oracle.minimize("gen-013@2:%gcc+shared") == "gen-013"
+
+    def test_comparison_serializes(self):
+        comparison = Comparison("a", AGREE_SUCCESS, greedy_hash="h",
+                                backtracking_hash="h", attempts=3)
+        data = comparison.to_dict()
+        assert data["kind"] == AGREE_SUCCESS
+        assert data["attempts"] == 3
