@@ -52,16 +52,24 @@ def _spec_arg(args):
 
 def cmd_install(args):
     session = _session(args)
+    use_cache = getattr(args, "use_cache", None)
+    if use_cache and session.buildcache is None:
+        # opt-in with no configured cache: enable the default one and
+        # publish what we build, so the next install can pull it
+        session.enable_buildcache(push=True)
     spec, result = session.install(
         _spec_arg(args),
         jobs=getattr(args, "jobs", None),
         fail_fast=getattr(args, "fail_fast", False),
+        use_cache=use_cache,
     )
     print("==> %s" % spec)
     for stats in result.built:
         print(
         "    built  %-20s %8.2fs (model)" % (stats.spec.name, stats.virtual_seconds)
         )
+    for stats in result.cached:
+        print("    cached %-20s (extracted + relocated)" % stats.spec.name)
     for node in result.reused:
         print("    reused %s" % node.name)
     for node in result.externals:
@@ -264,6 +272,68 @@ def cmd_mirror(args):
     print("==> mirror at %s: %d packages" % (mirror.root, len(contents)))
     for name, versions in contents.items():
         print("    %-16s %s" % (name, ", ".join(versions)))
+    return 0
+
+
+def cmd_buildcache(args):
+    """``buildcache push|pull|list``: the relocatable binary cache."""
+    session = _session(args)
+    from repro.store.buildcache import BuildCache
+
+    if args.dir:
+        cache = BuildCache(
+            args.dir, telemetry=session.telemetry, faults=session.faults
+        )
+        session.buildcache = cache
+    elif session.buildcache is not None:
+        cache = session.buildcache
+    else:
+        cache = session.enable_buildcache()
+
+    if args.action == "list":
+        entries = cache.entries()
+        print("==> build cache at %s: %d entries" % (cache.root, len(entries)))
+        for dag_hash, entry in entries:
+            print(
+                "    %s@%s /%s  sha256:%s"
+                % (entry["name"], entry["version"], dag_hash[:8],
+                   entry["digest"][:12])
+            )
+        return 0
+
+    if not args.spec:
+        print("Error: buildcache %s needs a spec" % args.action, file=sys.stderr)
+        return 1
+
+    if args.action == "push":
+        records = session.db.query(_spec_arg(args))
+        if not records:
+            print("Error: no installed specs match %r" % _spec_arg(args),
+                  file=sys.stderr)
+            return 1
+        pushed = []
+        seen = set()
+        for record in records:
+            for node in record.spec.traverse():
+                key = node.dag_hash()
+                if node.external or key in seen or not session.db.installed(node):
+                    continue
+                seen.add(key)
+                prefix = session.store.layout.path_for_spec(node)
+                cache.push(node, prefix, session.root)
+                pushed.append(node.name)
+        print("==> pushed %d prefixes to %s" % (len(pushed), cache.root))
+        for name in pushed:
+            print("    %s" % name)
+        return 0
+
+    # pull: install from the cache (misses fall back to source builds)
+    spec, result = session.install(_spec_arg(args), use_cache=True)
+    print(
+        "==> %s: %d from cache, %d built, %d reused, %d external"
+        % (spec.name, len(result.cached), len(result.built),
+           len(result.reused), len(result.externals))
+    )
     return 0
 
 
@@ -584,6 +654,8 @@ def build_parser():
         "lmod": (cmd_lmod, "regenerate the Lmod hierarchy"),
         "location": (cmd_location, "print the install prefix of a spec"),
         "mirror": (cmd_mirror, "create or list a local source mirror"),
+        "buildcache": (cmd_buildcache,
+                       "push, pull, or list relocatable binary packages"),
         "verify": (cmd_verify, "check installed specs against provenance"),
         "reindex": (cmd_reindex, "rebuild the database from provenance files"),
         "fetch": (cmd_fetch, "download archives without installing"),
@@ -595,6 +667,12 @@ def build_parser():
     }
     for name, (func, help_text) in commands.items():
         p = sub.add_parser(name, help=help_text)
+        if name == "buildcache":
+            p.add_argument(
+                "action", choices=("push", "pull", "list"),
+                help="publish installed prefixes, install from the cache, "
+                     "or show the index",
+            )
         _add_spec_argument(p)
         p.set_defaults(func=func)
         if name == "install":
@@ -611,6 +689,25 @@ def build_parser():
                 "--fail-fast", action="store_true",
                 help="stop dispatching new builds after the first failure "
                      "instead of finishing disjoint sub-DAGs",
+            )
+            cache_group = p.add_mutually_exclusive_group()
+            cache_group.add_argument(
+                "--use-cache", dest="use_cache", action="store_true",
+                default=None,
+                help="install cache hits by extracting + relocating binary "
+                     "packages (enables the default cache if none is "
+                     "configured)",
+            )
+            cache_group.add_argument(
+                "--no-cache", dest="use_cache", action="store_false",
+                help="build everything from source even when a build cache "
+                     "is configured",
+            )
+        if name == "buildcache":
+            p.add_argument(
+                "--dir",
+                help="build cache directory "
+                     "(default: the configured cache, or <root>/cache/buildcache)",
             )
         if name == "uninstall":
             p.add_argument("--force", action="store_true", help="ignore dependents")

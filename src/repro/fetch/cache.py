@@ -34,43 +34,52 @@ class FetchCache:
         self._url_locks = {}
         self._registry_lock = threading.Lock()
 
-    def _key(self, url):
-        return hashlib.sha256(url.encode()).hexdigest()[:32]
+    def _key(self, url, digest=None):
+        """Cache key for ``url`` expected to hash to ``digest``.
 
-    def path_for(self, url):
-        return os.path.join(self.root, self._key(url))
+        The declared checksum is part of the key: when a package's
+        ``md5`` for a version changes (a release re-pointed at the same
+        URL), the old entry simply stops matching instead of serving
+        stale — previously verified, now wrong — bytes forever.
+        Unverified fetches (no declared digest) key on the URL alone.
+        """
+        token = url if digest is None else "%s#md5=%s" % (url, digest)
+        return hashlib.sha256(token.encode()).hexdigest()[:32]
 
-    def get(self, url):
-        """Cached bytes for ``url``, or None."""
-        path = self.path_for(url)
+    def path_for(self, url, digest=None):
+        return os.path.join(self.root, self._key(url, digest))
+
+    def get(self, url, digest=None):
+        """Cached bytes for ``url`` (at ``digest``, if declared), or None."""
+        path = self.path_for(url, digest)
         try:
             with open(path, "rb") as f:
                 return f.read()
         except OSError:
             return None
 
-    def put(self, url, content):
+    def put(self, url, content, digest=None):
         """Atomically publish ``content`` as the cached copy of ``url``.
 
         Write-to-temp plus ``os.replace`` keeps concurrent readers (and
         racing writers of identical content) safe without coordination.
         """
         mkdirp(self.root)
-        path = self.path_for(url)
+        path = self.path_for(url, digest)
         tmp = "%s.%d.%d.tmp" % (path, os.getpid(), threading.get_ident())
         with open(tmp, "wb") as f:
             f.write(content)
         os.replace(tmp, path)
         return path
 
-    def url_lock(self, url):
+    def url_lock(self, url, digest=None):
         """The per-URL lock serializing fetches of one archive.
 
         One :class:`~repro.util.lock.Lock` object per key per cache, so
         threads in this process serialize on its internal thread lock
         and separate processes on the ``flock`` of the lock file.
         """
-        key = self._key(url)
+        key = self._key(url, digest)
         with self._registry_lock:
             lock = self._url_locks.get(key)
             if lock is None:

@@ -121,18 +121,23 @@ class Fetcher:
             # Cache path: the per-URL lock collapses concurrent fetches of
             # a shared dependency into one download — the first holder
             # downloads, verifies, and publishes; the rest hit the cache.
-            with self.cache.url_lock(url):
-                content = self.cache.get(url)
+            # The declared checksum is part of the cache key, so a package
+            # re-pointing its md5 at the same URL misses cleanly instead of
+            # being served the previously verified bytes.
+            digest = pkg.checksum_for(version)
+            with self.cache.url_lock(url, digest):
+                content = self.cache.get(url, digest)
                 if content is not None:
                     if hub is not None:
                         hub.count("fetch.disk_cache_hit")
-                    span.set(source=self.cache.path_for(url), bytes=len(content))
+                    span.set(source=self.cache.path_for(url, digest),
+                             bytes=len(content))
                     self._verify(pkg, version, content, url)
                     return content
                 content = self._web_get(url, pkg, version)
                 span.set(source=url, bytes=len(content))
                 self._verify(pkg, version, content, url)
-                self.cache.put(url, content)
+                self.cache.put(url, content, digest)
                 return content
 
     # -- acquisition with retry -----------------------------------------------

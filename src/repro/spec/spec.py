@@ -23,6 +23,7 @@ conflicting parameter kind when the intersection is empty.
 """
 
 import hashlib
+import weakref
 
 from repro.spec import errors as err
 from repro.util.lang import key_ordering
@@ -138,6 +139,41 @@ class VariantMap(dict):
         )
 
 
+class _DependencyMap(dict):
+    """Dependency edges of one Spec node, keyed by package name.
+
+    Behaves exactly like the plain dict it replaces, with one addition:
+    inserting an edge registers a *weak* back-reference from the child to
+    its new parent.  Those back-references are what let
+    :meth:`Spec.invalidate_caches` propagate upward — without them,
+    mutating a dependency shared by a concrete DAG would leave every
+    ancestor serving a stale cached ``_hash`` with ``_concrete`` still
+    True.  Removing an edge invalidates the former parent's caches (its
+    DAG just changed) and drops the back-reference.
+    """
+
+    __slots__ = ("_owner_ref",)
+
+    def __init__(self, owner):
+        super().__init__()
+        self._owner_ref = weakref.ref(owner)
+
+    def __setitem__(self, name, dep):
+        super().__setitem__(name, dep)
+        owner = self._owner_ref()
+        if owner is not None and isinstance(dep, Spec):
+            dep._register_parent(owner)
+
+    def __delitem__(self, name):
+        dep = self.get(name)
+        super().__delitem__(name)
+        owner = self._owner_ref()
+        if owner is not None:
+            if isinstance(dep, Spec):
+                dep._dependents.pop(id(owner), None)
+            owner.invalidate_caches()
+
+
 class Spec:
     """A node in (and handle to) a spec DAG.
 
@@ -219,13 +255,16 @@ class Spec:
         self.compiler = None
         self.variants = VariantMap()
         self.architecture = None
-        self.dependencies = {}
+        self.dependencies = _DependencyMap(self)
         self.external = None
         self.provided_virtuals = set()
         self.namespace = None
         self._concrete = False
         self._normal = False
         self._hash = None
+        #: id(parent) -> weakref to parents holding an edge to this node;
+        #: maintained by _DependencyMap, consumed by invalidate_caches()
+        self._dependents = {}
 
     def _dup_node(self, other):
         """Copy ``other``'s node-level fields (everything but edges)."""
@@ -249,7 +288,7 @@ class Spec:
         copy, preserving the one-node-per-name invariant structurally.
         """
         self._dup_node(other)
-        self.dependencies = {}
+        self.dependencies = _DependencyMap(self)
         if deps:
             memo = {other.name or id(other): self}
             other._copy_deps_into(self, memo)
@@ -286,10 +325,39 @@ class Spec:
         self.dependencies[dep_spec.name] = dep_spec
         self.invalidate_caches()
 
+    def _register_parent(self, parent):
+        """Record a weak back-reference to a parent holding an edge here."""
+        key = id(parent)
+        if key not in self._dependents:
+            # the callback prunes the entry when the parent is collected,
+            # so a recycled id() can never alias a dead parent
+            self._dependents[key] = weakref.ref(
+                parent, lambda _ref, s=self, k=key: s._dependents.pop(k, None)
+            )
+
     def invalidate_caches(self):
-        self._hash = None
-        self._concrete = False
-        self._normal = False
+        """Drop cached hash/concreteness here *and on every ancestor*.
+
+        A concrete DAG caches ``_hash`` per node; mutating a shared child
+        (``constrain``, ``_add_dependency``) changes every ancestor's DAG
+        hash too, so invalidation walks the parent back-references —
+        otherwise ancestors keep serving a stale ``_hash`` with
+        ``_concrete`` still True.
+        """
+        stack = [self]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            node._hash = None
+            node._concrete = False
+            node._normal = False
+            for ref in list(node._dependents.values()):
+                parent = ref()
+                if parent is not None:
+                    stack.append(parent)
 
     def copy(self, deps=True):
         new = Spec()

@@ -1,0 +1,332 @@
+"""The binary build cache: relocatable, hash-addressed prefix tarballs.
+
+The paper's hash-addressed prefixes (§3.4.2) give every concrete spec a
+portable identity: the *relative* install path depends only on the spec
+(``<arch>/<compiler>/<name>-<version><variants>-<hash8>``), so a prefix
+built under one session root can be replanted under another by
+rewriting the embedded root — the relocation step binary Spack made
+standard ("Bridging the Gap Between Binary and Source Based Package
+Management in Spack", PAPERS.md).
+
+A cache is a directory, Mirror-style::
+
+    <cache-root>/index.json                      {hash: {name, version, digest}}
+    <cache-root>/<hh>/<name>-<version>-<hash>.tar.gz
+    <cache-root>/<hash>.spec.json                metadata/provenance sidecar
+
+where ``<hh>`` is the first two hash characters (fanout).  The sidecar
+records the full concrete spec, the session root the prefix was built
+under (the relocation source), and the tarball's SHA-256.  Tarballs are
+**deterministic** — members sorted, mtimes/uids zeroed, gzip timestamp
+pinned — so pushing the same prefix twice yields byte-identical
+archives and digests.
+
+Integrity is digest-first: :meth:`BuildCache.fetch_tarball` re-hashes
+the bytes it read and refuses a mismatch (the ``require_digest``
+stand-in for signature checking), which is also where the
+``buildcache.corrupt`` fault site lives — the injected corruption must
+be caught by exactly the check that would catch a real bit-flip.
+
+File digests recorded in install manifests use
+:func:`normalized_digest`: the session root's bytes are replaced by a
+fixed placeholder before hashing, so a file's digest is invariant under
+relocation and cold/warm installs can be compared byte-for-byte.
+"""
+
+import gzip
+import hashlib
+import io
+import json
+import os
+import tarfile
+
+from repro.errors import ReproError
+from repro.util.filesystem import mkdirp
+from repro.util.lock import Lock
+
+#: stands in for the session root when hashing file content, so digests
+#: survive relocation (the only bytes relocation may change)
+ROOT_PLACEHOLDER = b"@@REPRO_PLACEHOLDER@@"
+
+#: name of the marker written into an extracted prefix's metadata dir
+BINARY_DISTRIBUTION = "binary_distribution.json"
+
+
+class BuildCacheError(ReproError):
+    """Cache layout, packing, or extraction problems."""
+
+
+class DigestMismatchError(BuildCacheError):
+    """A cache entry's bytes do not hash to the indexed digest."""
+
+    def __init__(self, name, expected, actual):
+        super().__init__(
+            "Build cache digest mismatch for %s" % name,
+            long_message="expected sha256 %s, got %s" % (expected, actual),
+        )
+        self.expected = expected
+        self.actual = actual
+
+
+def normalized_digest(data, root):
+    """SHA-256 of ``data`` with ``root``'s bytes replaced by a placeholder.
+
+    Relocation rewrites exactly one thing — the session root embedded in
+    artifact payloads (RPATHs, recorded prefixes) — so hashing with the
+    root normalized out makes a file's digest stable across push,
+    relocation, and re-extraction under any other root.
+    """
+    if isinstance(root, str):
+        root = root.encode()
+    if root:
+        data = data.replace(root, ROOT_PLACEHOLDER)
+    return hashlib.sha256(data).hexdigest()
+
+
+def relocate_tree(prefix, old_root, new_root):
+    """Rewrite ``old_root`` to ``new_root`` in every file under ``prefix``.
+
+    Returns the number of files actually rewritten.  Artifacts here are
+    text/JSON (the simulated ELF of :mod:`repro.build.loader`), so a
+    byte-level replace covers RPATH entries, recorded prefixes, and
+    provenance alike — the moral equivalent of binary Spack's
+    padded-path/patchelf rewriting.
+    """
+    if old_root == new_root:
+        return 0
+    old_bytes, new_bytes = old_root.encode(), new_root.encode()
+    rewritten = 0
+    for dirpath, _dirnames, filenames in os.walk(prefix):
+        for filename in filenames:
+            path = os.path.join(dirpath, filename)
+            with open(path, "rb") as f:
+                data = f.read()
+            if old_bytes not in data:
+                continue
+            with open(path, "wb") as f:
+                f.write(data.replace(old_bytes, new_bytes))
+            rewritten += 1
+    return rewritten
+
+
+class BuildCache:
+    """A directory of relocatable prefix tarballs plus a JSON index."""
+
+    def __init__(self, root, telemetry=None, faults=None, require_digest=True):
+        self.root = os.path.abspath(root)
+        self.telemetry = telemetry
+        self.faults = faults
+        #: refuse entries whose bytes do not match the indexed sha256
+        self.require_digest = bool(require_digest)
+        self._index_lock = Lock(os.path.join(self.root, ".index.lock"))
+
+    # -- paths -------------------------------------------------------------
+    def _index_path(self):
+        return os.path.join(self.root, "index.json")
+
+    def tarball_path(self, node, dag_hash=None):
+        dag_hash = dag_hash or node.dag_hash()
+        return os.path.join(
+            self.root,
+            dag_hash[:2],
+            "%s-%s-%s.tar.gz" % (node.name, node.version, dag_hash),
+        )
+
+    def sidecar_path(self, dag_hash):
+        return os.path.join(self.root, dag_hash + ".spec.json")
+
+    # -- index -------------------------------------------------------------
+    def read_index(self):
+        """{dag_hash: {name, version, digest}} — empty when absent."""
+        try:
+            with open(self._index_path()) as f:
+                return json.load(f)
+        except (OSError, ValueError):
+            return {}
+
+    def _update_index(self, dag_hash, entry):
+        """Read-merge-write the index under the cache's lock, so racing
+        pushers (parallel workers, concurrent sessions) never lose each
+        other's entries."""
+        mkdirp(self.root)
+        with self._index_lock:
+            index = self.read_index()
+            index[dag_hash] = entry
+            self._atomic_write(
+                self._index_path(),
+                json.dumps(index, indent=1, sort_keys=True).encode(),
+            )
+
+    @staticmethod
+    def _atomic_write(path, data):
+        tmp = "%s.%d.tmp" % (path, os.getpid())
+        with open(tmp, "wb") as f:
+            f.write(data)
+        os.replace(tmp, path)
+
+    # -- queries -----------------------------------------------------------
+    def has(self, dag_hash):
+        return dag_hash in self.read_index()
+
+    def lookup(self, dag_hash):
+        """The index entry for a hash, or None."""
+        return self.read_index().get(dag_hash)
+
+    def entries(self):
+        """(dag_hash, entry) pairs, deterministically ordered."""
+        return sorted(self.read_index().items())
+
+    def load_sidecar(self, dag_hash):
+        """The metadata sidecar: {"spec": dict, "root": str, "digest": str}."""
+        try:
+            with open(self.sidecar_path(dag_hash)) as f:
+                return json.load(f)
+        except OSError:
+            raise BuildCacheError(
+                "Build cache has no sidecar for %s" % dag_hash
+            ) from None
+        except ValueError as e:
+            raise BuildCacheError(
+                "Corrupt build cache sidecar for %s" % dag_hash,
+                long_message=str(e),
+            ) from e
+
+    # -- push --------------------------------------------------------------
+    def push(self, node, prefix, root):
+        """Pack ``prefix`` (built under session ``root``) into the cache.
+
+        Returns the tarball's sha256.  The archive is deterministic, the
+        writes atomic, and the index entry last — a reader who sees the
+        hash in the index can always open the tarball and sidecar.
+        """
+        dag_hash = node.dag_hash()
+        data = self._pack(prefix)
+        digest = hashlib.sha256(data).hexdigest()
+
+        tar_path = self.tarball_path(node, dag_hash)
+        mkdirp(os.path.dirname(tar_path))
+        self._atomic_write(tar_path, data)
+        sidecar = {
+            "spec": node.to_dict(),
+            "root": root,
+            "digest": digest,
+        }
+        self._atomic_write(
+            self.sidecar_path(dag_hash),
+            json.dumps(sidecar, indent=1, sort_keys=True).encode(),
+        )
+        self._update_index(
+            dag_hash,
+            {"name": node.name, "version": str(node.version), "digest": digest},
+        )
+        if self.telemetry is not None:
+            self.telemetry.count("buildcache.push")
+            self.telemetry.event(
+                "buildcache.pushed",
+                package=node.name,
+                hash=dag_hash[:8],
+                digest=digest[:12],
+                bytes=len(data),
+            )
+        return digest
+
+    @staticmethod
+    def _pack(prefix):
+        """Deterministic tar.gz bytes of a prefix's contents.
+
+        Members are sorted, mtimes/uids/gids zeroed, and the gzip header
+        timestamp pinned, so identical trees give identical digests on
+        every machine and every run.
+        """
+        members = []
+        for dirpath, dirnames, filenames in os.walk(prefix):
+            dirnames.sort()
+            for name in sorted(filenames):
+                full = os.path.join(dirpath, name)
+                members.append((os.path.relpath(full, prefix), full))
+        members.sort()
+
+        raw = io.BytesIO()
+        with tarfile.open(fileobj=raw, mode="w", format=tarfile.PAX_FORMAT) as tar:
+            for arcname, full in members:
+                info = tarfile.TarInfo(arcname)
+                with open(full, "rb") as f:
+                    data = f.read()
+                info.size = len(data)
+                info.mtime = 0
+                info.uid = info.gid = 0
+                info.uname = info.gname = ""
+                info.mode = 0o755 if os.access(full, os.X_OK) else 0o644
+                tar.addfile(info, io.BytesIO(data))
+        out = io.BytesIO()
+        with gzip.GzipFile(fileobj=out, mode="wb", mtime=0) as gz:
+            gz.write(raw.getvalue())
+        return out.getvalue()
+
+    # -- pull --------------------------------------------------------------
+    def fetch_tarball(self, node, dag_hash=None):
+        """Verified tarball bytes for a cached node.
+
+        Re-hashes what was read and (with ``require_digest``) raises
+        :class:`DigestMismatchError` on mismatch — the single choke
+        point both real corruption and the ``buildcache.corrupt`` fault
+        must pass through.
+        """
+        dag_hash = dag_hash or node.dag_hash()
+        entry = self.lookup(dag_hash)
+        if entry is None:
+            raise BuildCacheError("Build cache has no entry for %s" % node.name)
+        path = self.tarball_path(node, dag_hash)
+        try:
+            with open(path, "rb") as f:
+                data = f.read()
+        except OSError as e:
+            raise BuildCacheError(
+                "Build cache tarball missing for %s: %s" % (node.name, path),
+                long_message=str(e),
+            ) from e
+
+        if self.faults is not None:
+            # fault site: bytes corrupted between index read and digest
+            # check, as an on-disk bit-flip or truncated upload would be
+            if self.faults.hit("buildcache.corrupt", target=node.name):
+                data = b"\x00CORRUPT\x00" + data[16:]
+
+        if self.require_digest:
+            actual = hashlib.sha256(data).hexdigest()
+            if actual != entry.get("digest"):
+                if self.telemetry is not None:
+                    self.telemetry.count("buildcache.digest_mismatch")
+                raise DigestMismatchError(node.name, entry.get("digest"), actual)
+        return data
+
+    @staticmethod
+    def extract(data, prefix):
+        """Safely unpack tarball bytes into ``prefix``.
+
+        Members are re-validated (no absolute paths, no ``..`` escapes)
+        and written manually — a cache tarball is still foreign input.
+        Returns the number of files written.
+        """
+        mkdirp(prefix)
+        written = 0
+        with tarfile.open(fileobj=io.BytesIO(data), mode="r:gz") as tar:
+            for member in tar.getmembers():
+                name = member.name
+                if name.startswith(("/", "..")) or ".." in name.split("/"):
+                    raise BuildCacheError(
+                        "Refusing unsafe tar member %r" % name
+                    )
+                if not member.isfile():
+                    continue
+                dest = os.path.join(prefix, name)
+                mkdirp(os.path.dirname(dest))
+                src = tar.extractfile(member)
+                with open(dest, "wb") as f:
+                    f.write(src.read())
+                os.chmod(dest, member.mode & 0o777)
+                written += 1
+        return written
+
+    def __repr__(self):
+        return "BuildCache(%r, %d entries)" % (self.root, len(self.read_index()))

@@ -50,13 +50,17 @@ _GETSOURCE_LOCK = threading.Lock()
 class BuildStats:
     """Per-build accounting: virtual (modeled) and real elapsed seconds."""
 
-    def __init__(self, spec, virtual_seconds, real_seconds, counts, phases=None):
+    def __init__(self, spec, virtual_seconds, real_seconds, counts, phases=None,
+                 cache_hit=False):
         self.spec = spec
         self.virtual_seconds = virtual_seconds
         self.real_seconds = real_seconds
         self.counts = counts
-        #: wall seconds per install phase (fetch/stage/build/install)
+        #: wall seconds per install phase (fetch/stage/build/install for a
+        #: source build; extract/relocate/verify for a cache install)
         self.phases = dict(phases or {})
+        #: True when this node came from the binary build cache
+        self.cache_hit = cache_hit
 
     def __repr__(self):
         return "BuildStats(%s, %.3fs virtual)" % (self.spec.name, self.virtual_seconds)
@@ -115,6 +119,16 @@ class BuildExecutor:
             self._heal_orphan_prefix(node)
             return self._build(node, keep_stage=keep_stage)
 
+    def execute_cached(self, node, keep_stage=False):
+        """Install ``node`` from the binary build cache (same locking
+        discipline as :meth:`execute`); falls back to a source build if
+        the cache entry is missing, corrupt, or fails verification."""
+        with self._prefix_lock(node):
+            if self.session.db.installed(node):
+                return None
+            self._heal_orphan_prefix(node)
+            return self._install_from_cache(node, keep_stage=keep_stage)
+
     def _heal_orphan_prefix(self, node):
         """Remove a prefix the database does not know about.
 
@@ -134,6 +148,102 @@ class BuildExecutor:
             hub.count("store.orphan_prefixes_healed")
             hub.event("store.orphan_healed", package=node.name,
                       hash=node.dag_hash(8))
+
+    # -- installing one node from the build cache -------------------------------
+    def _install_from_cache(self, node, keep_stage=False):
+        """Extract + relocate + verify one cached node; returns
+        :class:`BuildStats` with ``cache_hit=True``.
+
+        Phases are named ``extract``/``relocate``/``verify`` — a warm
+        install emits **zero** ``install.phase.build`` spans, which is
+        how telemetry proves no compilation happened.  Any cache-layer
+        failure (digest mismatch — including the ``buildcache.corrupt``
+        fault — unsafe tarball, or post-extract verification issues)
+        tears down the partial prefix and falls back to a source build:
+        the cache is an accelerator, never a correctness risk.
+        """
+        from repro.store.buildcache import BuildCacheError, relocate_tree
+        from repro.store.database import InstallRecord
+        from repro.store.verify import verify_install
+
+        session = self.session
+        hub = session.telemetry
+        cache = session.buildcache
+        layout = session.store.layout
+        dag_hash = node.dag_hash()
+        prefix = None
+        start = time.perf_counter()
+        phases = {}
+        timer = _PhaseTimer(phases, hub, package=node.name)
+        try:
+            with hub.span(
+                "install.cached",
+                package=node.name,
+                version=str(node.version),
+                worker=threading.current_thread().name,
+            ) as span:
+                with timer.phase("extract"):
+                    data = cache.fetch_tarball(node, dag_hash)
+                    sidecar = cache.load_sidecar(dag_hash)
+                    prefix = layout.create_install_directory(node)
+                    files = cache.extract(data, prefix)
+                with timer.phase("relocate"):
+                    old_root = sidecar.get("root") or ""
+                    rewritten = relocate_tree(prefix, old_root, session.root)
+                    hub.count("buildcache.relocations")
+                    hub.count("buildcache.relocated_files", rewritten)
+                with timer.phase("verify"):
+                    issues = verify_install(
+                        session, InstallRecord(node, prefix)
+                    )
+                    if issues:
+                        raise BuildCacheError(
+                            "Extracted cache entry for %s failed verification"
+                            % node.name,
+                            long_message="; ".join(str(i) for i in issues),
+                        )
+                self._write_binary_distribution(node, prefix, sidecar)
+                span.set(files=files, relocated=rewritten,
+                         digest=sidecar.get("digest", "")[:12])
+                stats = BuildStats(
+                    node, 0.0, time.perf_counter() - start, {},
+                    phases=phases, cache_hit=True,
+                )
+                self._write_timing(node, prefix, stats)
+                return stats
+        except BuildCacheError as e:
+            if prefix and os.path.isdir(prefix):
+                shutil.rmtree(prefix, ignore_errors=True)
+            hub.count("buildcache.fallback")
+            hub.event(
+                "buildcache.fallback",
+                package=node.name,
+                hash=dag_hash[:8],
+                error=type(e).__name__,
+            )
+            return self._build(node, keep_stage=keep_stage)
+        except Exception:
+            if prefix and os.path.isdir(prefix):
+                shutil.rmtree(prefix, ignore_errors=True)
+            raise
+
+    def _write_binary_distribution(self, node, prefix, sidecar):
+        """Mark the prefix as cache-extracted (origin root + digest)."""
+        from repro.store.buildcache import BINARY_DISTRIBUTION
+
+        meta = os.path.join(prefix, METADATA_DIR)
+        mkdirp(meta)
+        with open(os.path.join(meta, BINARY_DISTRIBUTION), "w") as f:
+            json.dump(
+                {
+                    "hash": node.dag_hash(),
+                    "digest": sidecar.get("digest"),
+                    "relocated_from": sidecar.get("root"),
+                },
+                f,
+                indent=1,
+                sort_keys=True,
+            )
 
     # -- building one node ------------------------------------------------------
     def _build(self, node, keep_stage=False):
@@ -217,6 +327,7 @@ class BuildExecutor:
                 with timer.phase("install"):
                     self._sanity_check(node, prefix)
                     self._write_provenance(node, pkg, prefix, env)
+                    self._write_manifest(node, prefix)
                 real = time.perf_counter() - start
                 stats = BuildStats(
                     node, clock.seconds, real, clock.snapshot(), phases=phases
@@ -288,6 +399,44 @@ class BuildExecutor:
             json.dump(env, f, indent=1, sort_keys=True)
         with open(os.path.join(meta, "applied_patches.json"), "w") as f:
             json.dump(pkg.applied_patches, f)
+
+    def _write_manifest(self, node, prefix):
+        """Record every installed artifact with a relocation-invariant digest.
+
+        ``.spack/manifest.json`` maps each non-metadata file (relative
+        path) to its :func:`~repro.store.buildcache.normalized_digest` —
+        the session root's bytes are hashed as a fixed placeholder, so
+        the digest survives build-cache relocation.  Verification uses
+        the manifest as the authoritative artifact list instead of
+        assuming a ``bin/<name>`` + ``lib/lib<name>.so.json`` layout.
+        """
+        from repro.store.buildcache import normalized_digest
+
+        root = self.session.root
+        files = {}
+        for dirpath, dirnames, filenames in os.walk(prefix):
+            if dirpath == prefix and METADATA_DIR in dirnames:
+                dirnames.remove(METADATA_DIR)
+            dirnames.sort()
+            for name in sorted(filenames):
+                full = os.path.join(dirpath, name)
+                with open(full, "rb") as f:
+                    data = f.read()
+                rel = os.path.relpath(full, prefix).replace(os.sep, "/")
+                files[rel] = normalized_digest(data, root)
+        meta = os.path.join(prefix, METADATA_DIR)
+        mkdirp(meta)
+        with open(os.path.join(meta, "manifest.json"), "w") as f:
+            json.dump(
+                {
+                    "package": node.name,
+                    "hash": node.dag_hash(),
+                    "files": files,
+                },
+                f,
+                indent=1,
+                sort_keys=True,
+            )
 
     def _write_timing(self, node, prefix, stats):
         """Persist per-phase wall times next to the other provenance.

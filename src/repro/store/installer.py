@@ -55,6 +55,8 @@ class InstallResult:
         self.built = []
         self.reused = []
         self.externals = []
+        #: nodes installed by extracting + relocating a build-cache entry
+        self.cached = []
         #: nodes SKIPPED because a dependency failed (empty on success)
         self.skipped = []
         #: worker-pool width the scheduler ran with
@@ -80,14 +82,15 @@ class Installer:
 
     # -- public ------------------------------------------------------------
     def install(self, spec, explicit=True, keep_stage=False, jobs=None,
-                fail_fast=False):
+                fail_fast=False, use_cache=None):
         """Plan, schedule, and execute the install of a concrete spec.
 
         ``jobs`` bounds the worker pool (None: the session's
         ``install_jobs``, itself defaulting to 1 — the historical
         sequential behavior).  With ``fail_fast`` the scheduler stops
         dispatching new tasks after the first failure instead of
-        finishing disjoint sub-DAGs.
+        finishing disjoint sub-DAGs.  ``use_cache`` overrides the
+        session's build-cache pull policy for this install.
         """
         if not spec.concrete:
             raise InstallError("Only concrete specs can be installed: %s" % spec)
@@ -98,13 +101,14 @@ class Installer:
         result = InstallResult(spec)
 
         with hub.span("install", spec=str(spec.name), jobs=jobs) as span:
-            plan = Planner(session).plan(spec)
+            plan = Planner(session).plan(spec, use_cache=use_cache)
             outcome = Scheduler(session, jobs=jobs, fail_fast=fail_fast).run(
                 plan, keep_stage=keep_stage
             )
             result.built = outcome.built
             result.reused = outcome.reused
             result.externals = outcome.externals
+            result.cached = outcome.cached
             result.skipped = [t.node for t in outcome.skipped]
             result.jobs = jobs
             result.wall_seconds = outcome.wall_seconds
@@ -117,6 +121,7 @@ class Installer:
                 built=len(result.built),
                 reused=len(result.reused),
                 externals=len(result.externals),
+                cached=len(result.cached),
                 wall_s=result.wall_seconds,
             )
         return result

@@ -58,6 +58,8 @@ BUILD = "build"
 REUSE = "reuse"
 #: configured external (§4.4's vendor MPI): register, never build
 EXTERNAL = "external"
+#: in the binary build cache: extract + relocate instead of building
+CACHED = "cached"
 
 
 class PlanError(ReproError):
@@ -235,22 +237,29 @@ class Planner:
     def __init__(self, session):
         self.session = session
 
-    def plan(self, spec):
+    def plan(self, spec, use_cache=None):
         """Level the concrete DAG into tasks with classified actions.
 
         Classification consults the session state exactly as the old
         recursive walk did: configured externals are registered without
         building; DAG hashes already in the database are reused
-        (Figure 9's shared sub-DAGs); everything else is built.  Each
-        node's ``prefix`` attribute is resolved here so downstream
-        layers (environment assembly, RPATH wiring) see it regardless
-        of which worker builds which node.
+        (Figure 9's shared sub-DAGs); hashes published in the binary
+        build cache are CACHED (extract + relocate instead of build,
+        when the session's pull policy — or the per-call ``use_cache``
+        override — allows); everything else is built.  Each node's
+        ``prefix`` attribute is resolved here so downstream layers
+        (environment assembly, RPATH wiring) see it regardless of which
+        worker builds which node.
         """
         if not spec.concrete:
             raise PlanError("Only concrete specs can be planned: %s" % spec)
-        db = self.session.db
-        layout = self.session.store.layout
-        hub = self.session.telemetry
+        session = self.session
+        db = session.db
+        layout = session.store.layout
+        hub = session.telemetry
+        cache = session.buildcache
+        pull = session.buildcache_pull if use_cache is None else bool(use_cache)
+        consult_cache = cache is not None and pull
 
         plan = InstallPlan(spec)
         with hub.span("install.plan", spec=str(spec.name)) as span:
@@ -260,8 +269,13 @@ class Planner:
                     action = EXTERNAL
                 elif db.installed(node):
                     action = REUSE
+                elif consult_cache and cache.has(node.dag_hash()):
+                    action = CACHED
+                    hub.count("buildcache.hit")
                 else:
                     action = BUILD
+                    if consult_cache:
+                        hub.count("buildcache.miss")
                 plan._add_task(
                     NodeTask(node, action, index, is_root=(node is spec))
                 )
@@ -273,6 +287,9 @@ class Planner:
                 reuse=sum(1 for t in plan.tasks.values() if t.action == REUSE),
                 external=sum(
                     1 for t in plan.tasks.values() if t.action == EXTERNAL
+                ),
+                cached=sum(
+                    1 for t in plan.tasks.values() if t.action == CACHED
                 ),
                 levels=len(plan.levels()),
             )

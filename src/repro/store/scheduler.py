@@ -23,7 +23,7 @@ Two execution modes, one state machine:
 Telemetry: a ``scheduler.run`` span wraps the whole drive; the
 ``scheduler.queue_depth`` gauge tracks the READY backlog at every
 dispatch; per-task ``scheduler.dispatch`` events carry worker
-attribution; ``install.built/reused/external/failed/skipped`` counters
+attribution; ``install.built/cached/reused/external/failed/skipped`` counters
 aggregate outcomes.
 """
 
@@ -45,6 +45,14 @@ class SchedulerOutcome:
             t.stats
             for t in plan.ordered_tasks()
             if t.state == _plan.INSTALLED and t.stats is not None
+            and not t.stats.cache_hit
+        ]
+        #: BuildStats of nodes extracted + relocated from the build cache
+        self.cached = [
+            t.stats
+            for t in plan.ordered_tasks()
+            if t.state == _plan.INSTALLED and t.stats is not None
+            and t.stats.cache_hit
         ]
         self.reused = [
             t.node
@@ -108,6 +116,7 @@ class Scheduler:
                 built=len(outcome.built),
                 reused=len(outcome.reused),
                 externals=len(outcome.externals),
+                cached=len(outcome.cached),
                 failed=len(outcome.failed),
                 skipped=len(outcome.skipped),
                 wall_s=outcome.wall_seconds,
@@ -198,6 +207,10 @@ class Scheduler:
         with hub.adopt(span):
             if task.action == _plan.BUILD:
                 return self.executor.execute(task.node, keep_stage=keep_stage)
+            if task.action == _plan.CACHED:
+                return self.executor.execute_cached(
+                    task.node, keep_stage=keep_stage
+                )
             return None  # REUSE and EXTERNAL are pure bookkeeping
 
     # -- completion handling (scheduler side) -------------------------------
@@ -215,7 +228,19 @@ class Scheduler:
         else:
             task.stats = stats
             db.add(node, node.prefix, explicit=False)
-            hub.count("install.built")
+            if stats.cache_hit:
+                hub.count("install.cached")
+            else:
+                hub.count("install.built")
+                if (
+                    self.session.buildcache is not None
+                    and self.session.buildcache_push
+                ):
+                    # auto-publish only genuine builds: a cache-extracted
+                    # prefix would re-pack with its distribution marker
+                    self.session.buildcache.push(
+                        node, node.prefix, self.session.root
+                    )
             if self.session.generate_modules:
                 from repro.modules.generator import ModuleGenerator
 

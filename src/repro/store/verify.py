@@ -64,26 +64,107 @@ def verify_install(session, record):
         except (ValueError, KeyError) as e:
             issues.append(VerificationIssue(spec, "corrupt-provenance", str(e)))
 
-    lib = os.path.join(prefix, "lib", "lib%s.so.json" % spec.name)
-    binary = os.path.join(prefix, "bin", spec.name)
-    for artifact in (lib, binary):
-        if not os.path.isfile(artifact):
-            issues.append(VerificationIssue(spec, "missing-artifact", artifact))
+    manifest = _load_manifest(spec, prefix, issues)
+    if manifest is not None:
+        binaries = _check_manifest_artifacts(
+            session, spec, prefix, manifest, issues
+        )
+    else:
+        # No manifest (a pre-manifest install, or a hand-made prefix):
+        # verify whatever artifacts are actually present instead of
+        # assuming the bin/<name> + lib/lib<name>.so.json layout —
+        # packages without that shape must not false-fail.
+        binaries = _check_discovered_artifacts(spec, prefix, issues)
+
+    from repro.build.loader import LoaderError, load_binary
+
+    for binary in binaries:
+        try:
+            load_binary(binary, env={})  # RPATHs only — the paper's promise
+        except LoaderError as e:
+            issues.append(VerificationIssue(spec, "unresolvable-libraries", e.message))
+        except ValueError:
+            pass  # malformed binary already reported as corrupt-artifact
+    return issues
+
+
+def _load_manifest(spec, prefix, issues):
+    """The install's artifact manifest, or None when absent/corrupt."""
+    path = os.path.join(prefix, METADATA_DIR, "manifest.json")
+    if not os.path.isfile(path):
+        return None
+    try:
+        with open(path) as f:
+            manifest = json.load(f)
+        return manifest if isinstance(manifest.get("files"), dict) else None
+    except (ValueError, AttributeError):
+        issues.append(VerificationIssue(spec, "corrupt-provenance", path))
+        return None
+
+
+def _check_manifest_artifacts(session, spec, prefix, manifest, issues):
+    """Check every manifest-listed file: present, well-formed, and
+    hashing (with the session root normalized out, so a relocated cache
+    extraction compares equal) to the recorded digest.  Returns the
+    ``bin/`` entries for the loadability check."""
+    from repro.store.buildcache import normalized_digest
+
+    binaries = []
+    for rel, digest in sorted(manifest["files"].items()):
+        path = os.path.join(prefix, *rel.split("/"))
+        if not os.path.isfile(path):
+            issues.append(VerificationIssue(spec, "missing-artifact", path))
             continue
+        with open(path, "rb") as f:
+            data = f.read()
+        if _looks_like_json_artifact(rel):
+            try:
+                json.loads(data.decode(errors="replace"))
+            except ValueError:
+                issues.append(
+                    VerificationIssue(spec, "corrupt-artifact", path)
+                )
+                continue
+        if normalized_digest(data, session.root) != digest:
+            issues.append(
+                VerificationIssue(spec, "artifact-digest-mismatch", path)
+            )
+            continue
+        if rel.startswith("bin/"):
+            binaries.append(path)
+    return binaries
+
+
+def _check_discovered_artifacts(spec, prefix, issues):
+    """Legacy discovery: scan ``lib/*.so.json`` and ``bin/*`` for
+    whatever exists; absence of either directory is not an error."""
+    binaries = []
+    artifacts = []
+    lib_dir = os.path.join(prefix, "lib")
+    if os.path.isdir(lib_dir):
+        for name in sorted(os.listdir(lib_dir)):
+            if name.endswith(".so.json"):
+                artifacts.append(os.path.join(lib_dir, name))
+    bin_dir = os.path.join(prefix, "bin")
+    if os.path.isdir(bin_dir):
+        for name in sorted(os.listdir(bin_dir)):
+            path = os.path.join(bin_dir, name)
+            if os.path.isfile(path):
+                artifacts.append(path)
+                binaries.append(path)
+    for artifact in artifacts:
         try:
             with open(artifact) as f:
                 json.load(f)
         except ValueError:
             issues.append(VerificationIssue(spec, "corrupt-artifact", artifact))
+    return binaries
 
-    if os.path.isfile(binary):
-        from repro.build.loader import LoaderError, load_binary
 
-        try:
-            load_binary(binary, env={})  # RPATHs only — the paper's promise
-        except LoaderError as e:
-            issues.append(VerificationIssue(spec, "unresolvable-libraries", e.message))
-    return issues
+def _looks_like_json_artifact(rel):
+    """Artifacts in this simulated world are JSON payloads: shared
+    objects (``*.so.json``) and the ``bin/`` pseudo-ELF binaries."""
+    return rel.endswith(".so.json") or rel.startswith("bin/")
 
 
 def verify_store(session):

@@ -257,6 +257,20 @@ def run_fault_phase(config, report, workdir, log=None):
         )
         plan = _fault_plan(config, p, targets)
 
+        # A buildcache.corrupt fault only fires on the pull path, so any
+        # plan carrying it gets a build cache warmed by a sibling session:
+        # the faulted install pulls, the corruption is injected, the
+        # digest check rejects it, and the executor falls back to source.
+        cache_root = None
+        if "buildcache.corrupt" in plan.points():
+            cache_root = os.path.join(workdir, "plan-%03d-cache" % p)
+            warm_root = os.path.join(workdir, "plan-%03d-warm" % p)
+            warm = Session.create(warm_root, install_jobs=1)
+            warm.enable_buildcache(root=cache_root, push=True)
+            warm.install(target, jobs=1)
+            shutil.rmtree(warm_root, ignore_errors=True)
+            session.enable_buildcache(root=cache_root, pull=True)
+
         session.faults.arm(plan)
         outcome, error = "clean", None
         try:
@@ -299,6 +313,8 @@ def run_fault_phase(config, report, workdir, log=None):
             }
         )
         shutil.rmtree(root, ignore_errors=True)
+        if cache_root:
+            shutil.rmtree(cache_root, ignore_errors=True)
         if log and (p + 1) % 10 == 0:
             log("  faults: %d/%d plans" % (p + 1, config.fault_plans))
     return report

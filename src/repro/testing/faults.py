@@ -30,6 +30,11 @@ site                      layer and effect when fired
 ``lock.timeout``          :meth:`~repro.util.lock.Lock.acquire` raises
                           :class:`~repro.util.lock.LockTimeoutError` without
                           touching the lock file.
+``buildcache.corrupt``    :meth:`~repro.store.buildcache.BuildCache.fetch_tarball`
+                          corrupts the tarball bytes it just read — the
+                          digest check must reject them
+                          (:class:`~repro.store.buildcache.DigestMismatchError`)
+                          and the executor must fall back to a source build.
 ========================  ====================================================
 
 A :class:`FaultPlan` is a list of :class:`Fault` records, either
@@ -56,6 +61,8 @@ EXECUTOR_CRASH = "executor.crash"
 DB_WRITE_RACE = "db.write_race"
 #: an advisory lock that cannot be acquired in time
 LOCK_TIMEOUT = "lock.timeout"
+#: a build-cache tarball whose bytes rot between index and extraction
+BUILDCACHE_CORRUPT = "buildcache.corrupt"
 
 ALL_FAULT_POINTS = (
     FETCH_TRANSIENT,
@@ -63,6 +70,7 @@ ALL_FAULT_POINTS = (
     EXECUTOR_CRASH,
     DB_WRITE_RACE,
     LOCK_TIMEOUT,
+    BUILDCACHE_CORRUPT,
 )
 
 #: the executor's two crash sites (see the table above)
@@ -317,7 +325,8 @@ class FaultInjector:
             from repro.util.lock import LockTimeoutError
 
             raise LockTimeoutError(target or "<fault-injected>", 0.0)
-        # DB_WRITE_RACE: the database applies the foreign write itself.
+        # DB_WRITE_RACE and BUILDCACHE_CORRUPT: the site applies the
+        # effect itself (foreign index write / byte corruption).
         return fault
 
     def __repr__(self):

@@ -153,6 +153,34 @@ class TestFetchCache:
             fetcher.fetch(pkg, "1.0")
         assert cache.get(pkg.url_for_version("1.0")) is None
 
+    def test_digest_is_part_of_the_cache_key(self, tmp_path):
+        """A changed declared checksum (a release re-pointing the same
+        URL) must miss the cache and refetch — never serve the old,
+        previously verified bytes."""
+        cache = FetchCache(str(tmp_path / "cache"))
+        url = "https://x/pkg-1.0.tar.gz"
+        cache.put(url, b"old bytes", digest="old-md5")
+        assert cache.get(url, digest="old-md5") == b"old bytes"
+        assert cache.get(url, digest="new-md5") is None
+        assert cache.path_for(url, "old-md5") != cache.path_for(url, "new-md5")
+        # the undigested (unverified-fetch) key is a third, distinct slot
+        assert cache.get(url) is None
+
+    def test_changed_checksum_refetches_through_fetcher(self, tmp_path):
+        web, pkg = _web_with()
+        url = pkg.url_for_version("1.0")
+        cache = FetchCache(str(tmp_path / "cache"))
+        fetcher = Fetcher(web, cache=cache)
+        fetcher.fetch(pkg, "1.0")  # cached under (url, old md5)
+
+        # upstream re-points the same URL at new content with a new md5
+        new_content = b'{"name": "flaky", "version": "1.0", "rebuild": 2}'
+        import hashlib
+
+        web.put(url, new_content)
+        pkg._checksum = hashlib.md5(new_content).hexdigest()
+        assert fetcher.fetch(pkg, "1.0") == new_content
+
     def test_concurrent_fetchers_collapse_to_one_download(self, tmp_path):
         web, pkg = _web_with()
         url = pkg.url_for_version("1.0")
