@@ -19,6 +19,7 @@ stay far under the paper's 2-second envelope (modern CPython on a
 smaller spec grammar — shape, not absolutes).
 """
 
+import json
 import time
 
 from conftest import write_result
@@ -98,3 +99,55 @@ def test_fig8_runtime_vs_dag_size(universe_session, benchmark):
     worst = points[-1][2]
     result = benchmark(session.concretize, Spec(worst))
     assert result.concrete
+
+
+def test_concretize_cache_cold_vs_warm(universe_session, benchmark):
+    """The persistent concretization cache over the Figure 8 corpus:
+    warm (disk-served) concretization of all 245 packages must be at
+    least 5x faster than cold in aggregate, with every warm DAG hash
+    equal to its cold twin — divergence fails the run (the CI
+    ``bench-concretize`` job's gate)."""
+    session = universe_session
+    names = session.repo.all_package_names()
+
+    start = time.perf_counter()
+    cold = {name: session.concretize(Spec(name), use_cache=False)
+            for name in names}
+    cold_elapsed = time.perf_counter() - start
+
+    for name in names:  # populate the persistent cache
+        session.concretize(Spec(name))
+    session.forget_concretizations()  # warm pass reads the on-disk payloads
+
+    start = time.perf_counter()
+    warm = {name: session.concretize(Spec(name)) for name in names}
+    warm_elapsed = time.perf_counter() - start
+
+    divergences = [
+        name for name in names
+        if warm[name].dag_hash() != cold[name].dag_hash()
+    ]
+    speedup = cold_elapsed / warm_elapsed if warm_elapsed else float("inf")
+    write_result(
+        "BENCH_concretize_cache.json",
+        json.dumps(
+            {
+                "packages": len(names),
+                "cold_seconds": round(cold_elapsed, 6),
+                "warm_seconds": round(warm_elapsed, 6),
+                "speedup": round(speedup, 2),
+                "divergences": divergences,
+            },
+            indent=2,
+            sort_keys=True,
+        ) + "\n",
+    )
+
+    assert divergences == []
+    assert speedup >= 5.0
+
+    # benchmark: one fully warm (in-process memo) lookup of the corpus root
+    worst = max(names, key=lambda n: len(list(cold[n].traverse())))
+    result = benchmark(session.concretize, Spec(worst))
+    assert result.concrete
+    assert result.dag_hash() == cold[worst].dag_hash()

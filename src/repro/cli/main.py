@@ -156,6 +156,8 @@ def cmd_spec(args):
     from repro.spec.spec import Spec
 
     abstract = Spec(_spec_arg(args))
+    # argparse default is True; --no-concretize-cache stores False
+    use_cache = False if getattr(args, "concretize_cache", True) is False else None
     print("Input spec")
     print("------------------------------")
     print(abstract.tree())
@@ -182,12 +184,13 @@ def cmd_spec(args):
         print("------------------------------")
         sink = session.telemetry.add_sink(_TraceSink())
         try:
-            concrete = session.concretize(abstract)
+            concrete = session.concretize(abstract, use_cache=use_cache)
         finally:
             session.telemetry.remove_sink(sink)
     else:
         concrete = session.concretize(
-            abstract, backtrack=getattr(args, "backtrack", False)
+            abstract, backtrack=getattr(args, "backtrack", False),
+            use_cache=use_cache,
         )
     print("Concretized")
     print("------------------------------")
@@ -565,6 +568,7 @@ def cmd_selftest(args):
         seed=args.seed,
         specs=args.specs,
         fault_plans=args.fault_plans,
+        cache_specs=getattr(args, "cache_specs", 200),
     )
     workdir = tempfile.mkdtemp(prefix="repro-selftest-")
     try:
@@ -579,6 +583,7 @@ def cmd_selftest(args):
     print("==> selftest seed %d" % config.seed)
     print("    oracle: %s" % (summary["oracle_outcomes"] or "skipped"))
     print("    injections: %s" % (summary["injections"] or "skipped"))
+    print("    cache: %s" % (summary["cache_outcomes"] or "skipped"))
     for case in report.divergences():
         print("    DIVERGENCE: %s (minimized: %s)"
               % (case["request"], case["minimized"]))
@@ -588,6 +593,9 @@ def cmd_selftest(args):
     for case in report.unrecovered():
         print("    UNRECOVERED: plan %d (%s)"
               % (case["case"], case["recovery_error"]))
+    for case in report.cache_divergences():
+        print("    CACHE DIVERGENCE: %s (%s)"
+              % (case["request"], case["variant"]))
     if report.ok:
         fault_note = (
             "all fault points reached, all stores healed"
@@ -728,6 +736,12 @@ def build_parser():
                 "--trace", action="store_true",
                 help="show the Figure 6 pipeline stages while concretizing",
             )
+            p.add_argument(
+                "--no-concretize-cache", dest="concretize_cache",
+                action="store_false",
+                help="bypass the persistent concretization cache and "
+                     "concretize from scratch",
+            )
         if name == "mirror":
             p.add_argument("--create", action="store_true",
                            help="download archives for the given specs")
@@ -747,6 +761,11 @@ def build_parser():
             p.add_argument(
                 "--fault-plans", type=int, default=50, metavar="M",
                 help="seeded fault plans for the install fault sweep",
+            )
+            p.add_argument(
+                "--cache-specs", type=int, default=200, metavar="K",
+                help="generated requests for the concretization-cache "
+                     "equivalence sweep",
             )
             p.add_argument(
                 "--report", metavar="FILE",

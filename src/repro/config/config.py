@@ -84,6 +84,11 @@ class Config:
 
     def __init__(self, scopes=()):
         self.scopes = {}
+        #: bumped on every scope push/update; cheap change detector used
+        #: to invalidate derived digests (see core/conc_cache.py).
+        #: Direct mutation of a scope's ``data`` dict bypasses it — go
+        #: through update()/push_scope().
+        self._mtoken = 0
         for scope in scopes:
             self.push_scope(scope)
 
@@ -91,6 +96,7 @@ class Config:
         if not isinstance(scope, ConfigScope):
             raise ConfigError("push_scope requires a ConfigScope")
         self.scopes[scope.name] = scope
+        self._mtoken += 1
 
     def update(self, scope_name, data):
         """Merge ``data`` into a scope (creating it if needed)."""
@@ -99,6 +105,11 @@ class Config:
             self.push_scope(ConfigScope(scope_name, data))
         else:
             existing.data = _deep_merge(existing.data, data)
+            self._mtoken += 1
+
+    def mutation_token(self):
+        """Monotonic token changing on every scope push or update."""
+        return self._mtoken
 
     def merged(self):
         """The fully merged configuration dict."""

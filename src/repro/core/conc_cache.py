@@ -1,0 +1,286 @@
+"""The persistent concretization cache (fast-path Layer 3).
+
+Concretization is a pure function of four inputs: the abstract request,
+the package universe, the configuration/policy stack, and the algorithm
+variant (greedy or backtracking).  This module captures those inputs as
+digests and memoizes the output — the serialized concrete DAG — on
+disk, following Guix's insight (PAPERS.md: *Reproducible and
+User-Controlled Software Environments in HPC*) that derived results
+keyed by content digest can be reused indefinitely without a
+correctness risk: change any input and the key changes with it.
+
+Layout (same locked read-merge-write discipline as
+:mod:`repro.store.buildcache`'s index)::
+
+    <root>/index.json                 {key: {root, dag_hash, entry}}
+    <root>/<kk>/<key>.json            serialized concrete spec (to_dict)
+
+where ``<kk>`` is the first two key characters (fanout).  The index is
+small (one line per entry); payloads are content-addressed per entry so
+concurrent writers never rewrite each other's payloads, and the index
+merge happens under an advisory :class:`~repro.util.lock.Lock`.
+
+Integrity is hash-first: a looked-up payload is deserialized and its
+``dag_hash`` recomputed; a mismatch against the indexed hash (bit rot,
+a truncated write, or the ``concretize.cache.corrupt`` fault) drops
+the entry and falls back to cold concretization.  Telemetry counters:
+``concretize.cache.hit`` / ``.miss`` / ``.invalidate``.
+"""
+
+import hashlib
+import json
+import os
+
+from repro.spec.spec import Spec
+from repro.util.filesystem import mkdirp
+from repro.util.lock import Lock
+
+
+def describe_package_class(cls):
+    """Stable one-line description of a package class's directive state.
+
+    Covers everything concretization can observe: declared versions (and
+    checksums/urls — a checksum change means the package file changed),
+    dependency constraints with predicates, provided interfaces,
+    variants with defaults, compiler feature requirements, conflicts,
+    and patches.
+    """
+    versions = sorted(
+        (str(v), info.get("checksum") or "", info.get("url") or "",
+         str(info.get("when") or ""))
+        for v, info in getattr(cls, "versions", {}).items()
+    )
+    dependencies = sorted(
+        (name, str(dc.spec), str(dc.when) if dc.when is not None else "")
+        for name, constraints in getattr(cls, "dependencies", {}).items()
+        for dc in constraints
+    )
+    provided = sorted(
+        (str(p.spec), str(p.when) if p.when is not None else "")
+        for p in getattr(cls, "provided", ())
+    )
+    variants = sorted(
+        (name, bool(v.default)) for name, v in getattr(cls, "variants", {}).items()
+    )
+    requirements = sorted(
+        (str(feature), str(when) if when is not None else "")
+        for feature, when in getattr(cls, "compiler_requirements", ())
+    )
+    conflicts = sorted(
+        (str(spec), str(when) if when is not None else "", msg or "")
+        for spec, when, msg in getattr(cls, "conflict_specs", ())
+    )
+    patches = sorted(
+        (p.name, str(p.when) if p.when is not None else "")
+        for p in getattr(cls, "patches", ())
+    )
+    return repr((versions, dependencies, provided, variants, requirements,
+                 conflicts, patches))
+
+
+class EnvironmentDigest:
+    """Digest of everything concretization depends on besides the spec.
+
+    The expensive part — walking every package class — is memoized on
+    cheap mutation tokens (:meth:`Repository.mutation_token`,
+    :meth:`Config.mutation_token`, the compiler registry contents), so
+    steady-state calls are a token comparison, while any package
+    registration, config update, or compiler change produces a new
+    digest and thereby invalidates every cache key automatically.
+    """
+
+    def __init__(self, repo, compilers, config, policy):
+        self.repo = repo
+        self.compilers = compilers
+        self.config = config
+        self.policy = policy
+        self._token = None
+        self._digest = None
+
+    def _compiler_fingerprint(self):
+        return tuple(
+            (str(c), tuple(sorted((f, str(v)) for f, v in c.features.items())))
+            for c in self.compilers.all_compilers()
+        )
+
+    def _policy_fingerprint(self):
+        cls = type(self.policy)
+        return "%s.%s" % (cls.__module__, cls.__qualname__)
+
+    def current(self):
+        """The current environment digest (hex), recomputed only when a
+        mutation token changed."""
+        token = (
+            self.repo.mutation_token(),
+            self.config.mutation_token(),
+            self._compiler_fingerprint(),
+            self._policy_fingerprint(),
+        )
+        if token == self._token and self._digest is not None:
+            return self._digest
+        digest = hashlib.sha256()
+        for name in self.repo.all_package_names():
+            digest.update(name.encode())
+            digest.update(describe_package_class(self.repo.get_class(name)).encode())
+        digest.update(
+            json.dumps(self.config.merged(), sort_keys=True, default=str).encode()
+        )
+        digest.update(repr(self._compiler_fingerprint()).encode())
+        digest.update(self._policy_fingerprint().encode())
+        self._token = token
+        self._digest = digest.hexdigest()
+        return self._digest
+
+
+class ConcretizationCache:
+    """On-disk map from (abstract spec, environment, variant) to a
+    serialized concrete spec."""
+
+    def __init__(self, root, telemetry=None, faults=None):
+        self.root = os.path.abspath(root)
+        self.telemetry = telemetry
+        self.faults = faults
+        self._index_lock = Lock(os.path.join(self.root, ".index.lock"))
+        #: stat-validated parse of index.json: (mtime_ns, size) -> dict
+        self._index_stat = None
+        self._index_cache = None
+
+    # -- keys --------------------------------------------------------------
+    @staticmethod
+    def make_key(abstract_text, env_digest, variant):
+        """Cache key: sha256 over the canonical abstract spec text, the
+        environment digest, and the concretizer variant name."""
+        blob = "%s\n%s\n%s" % (abstract_text, env_digest, variant)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    # -- index I/O (buildcache discipline) ---------------------------------
+    def _index_path(self):
+        return os.path.join(self.root, "index.json")
+
+    def read_index(self):
+        """{key: {root, dag_hash, entry}} — empty when absent.
+
+        The parsed index is reused until the file's (mtime, size)
+        changes, so steady-state lookups do one ``stat`` instead of a
+        full read+parse.
+        """
+        path = self._index_path()
+        try:
+            st = os.stat(path)
+            stamp = (st.st_mtime_ns, st.st_size)
+        except OSError:
+            self._index_stat = None
+            self._index_cache = None
+            return {}
+        if stamp == self._index_stat and self._index_cache is not None:
+            return self._index_cache
+        try:
+            with open(path) as f:
+                index = json.load(f)
+        except (OSError, ValueError):
+            return {}
+        self._index_stat = stamp
+        self._index_cache = index
+        return index
+
+    def _update_index(self, mutate):
+        """Read-merge-write ``index.json`` under the cache lock; racing
+        sessions never lose each other's entries."""
+        mkdirp(self.root)
+        with self._index_lock:
+            index = dict(self.read_index())
+            mutate(index)
+            self._atomic_write(
+                self._index_path(),
+                json.dumps(index, indent=1, sort_keys=True).encode(),
+            )
+            self._index_stat = None  # force re-stat on next read
+
+    @staticmethod
+    def _atomic_write(path, data):
+        tmp = "%s.%d.tmp" % (path, os.getpid())
+        with open(tmp, "wb") as f:
+            f.write(data)
+        os.replace(tmp, path)
+
+    # -- payloads ----------------------------------------------------------
+    def _entry_path(self, key):
+        return os.path.join(self.root, key[:2], "%s.json" % key)
+
+    def _count(self, name):
+        if self.telemetry is not None:
+            self.telemetry.count("concretize.cache.%s" % name)
+
+    def _drop(self, key):
+        """Remove a bad entry (corrupt payload or stale hash)."""
+        self._update_index(lambda index: index.pop(key, None))
+        try:
+            os.remove(self._entry_path(key))
+        except OSError:
+            pass
+        self._count("invalidate")
+
+    # -- the cache proper --------------------------------------------------
+    def lookup(self, key):
+        """The cached concrete Spec for ``key``, or None.
+
+        Every hit is verified: the payload is deserialized and its DAG
+        hash recomputed against the indexed one, so corruption — real or
+        injected through the ``concretize.cache.corrupt`` fault site —
+        is caught here and answered by dropping the entry (the caller
+        then re-concretizes from scratch).  Returns a fresh Spec per
+        call; callers own (and may mutate) the result.
+        """
+        entry = self.read_index().get(key)
+        if entry is None:
+            self._count("miss")
+            return None
+        try:
+            with open(self._entry_path(key), "rb") as f:
+                payload = f.read()
+        except OSError:
+            self._drop(key)
+            self._count("miss")
+            return None
+        if self.faults is not None:
+            fault = self.faults.hit(
+                "concretize.cache.corrupt", target=entry.get("root")
+            )
+            if fault is not None:
+                # rot the payload the way a torn write would
+                payload = payload[: max(0, len(payload) // 2)] + b'{"rot":1}'
+        try:
+            spec = Spec.from_dict(json.loads(payload.decode()))
+            dag_hash = spec.dag_hash()
+        except Exception:
+            self._drop(key)
+            self._count("miss")
+            return None
+        if dag_hash != entry.get("dag_hash"):
+            self._drop(key)
+            self._count("miss")
+            return None
+        self._count("hit")
+        return spec
+
+    def store(self, key, spec):
+        """Persist a concrete spec under ``key`` (payload first, then the
+        index entry, so a reader never sees an indexed-but-missing
+        payload)."""
+        entry_path = self._entry_path(key)
+        mkdirp(os.path.dirname(entry_path))
+        payload = json.dumps(spec.to_dict(), sort_keys=True, indent=1)
+        self._atomic_write(entry_path, payload.encode())
+        entry = {
+            "root": spec.name,
+            "dag_hash": spec.dag_hash(),
+            "entry": os.path.join(key[:2], "%s.json" % key),
+        }
+        self._update_index(lambda index: index.__setitem__(key, entry))
+
+    def entries(self):
+        """(key, entry) pairs, deterministically ordered."""
+        return sorted(self.read_index().items())
+
+    def __len__(self):
+        return len(self.read_index())

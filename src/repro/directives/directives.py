@@ -188,15 +188,30 @@ def _merged_dep_maps(bases):
 # The directives themselves.
 # --------------------------------------------------------------------------
 
-def version(ver_string, checksum=None, url=None, when=None):
-    """Declare a known version, optionally with an MD5 checksum and a
-    version-specific download URL (Figure 1, lines 7–8)."""
+def version(ver_string, checksum=None, url=None, when=None, sha256=None,
+            md5=None):
+    """Declare a known version, optionally with a checksum and a
+    version-specific download URL (Figure 1, lines 7–8).
+
+    The checksum may be given positionally (legacy MD5 style) or as an
+    explicit ``sha256=``/``md5=`` keyword; the fetcher picks the digest
+    algorithm from the hex length, so both kinds verify.  New packages
+    (and everything ``repro-spack create`` generates) should use
+    ``sha256=``.
+    """
     v = Version(str(ver_string))
     when_spec = _as_when(when)
+    digests = [d for d in (checksum, sha256, md5) if d is not None]
+    if len(digests) > 1:
+        raise DirectiveError(
+            "version(%r): give exactly one of checksum/sha256/md5"
+            % str(ver_string)
+        )
+    digest = digests[0] if digests else None
 
     def apply_(cls):
         cls.versions = dict(cls.versions)
-        cls.versions[v] = {"checksum": checksum, "url": url, "when": when_spec}
+        cls.versions[v] = {"checksum": digest, "url": url, "when": when_spec}
 
     DirectiveMeta.push(apply_)
 

@@ -25,15 +25,22 @@ class FetchError(ReproError):
 
 
 class ChecksumError(FetchError):
-    """Downloaded bytes do not match the declared MD5 (§3.2.3)."""
+    """Downloaded bytes do not match the declared checksum (§3.2.3)."""
 
-    def __init__(self, url, expected, actual):
+    def __init__(self, url, expected, actual, algorithm="md5"):
         super().__init__(
             "Checksum mismatch for %s" % url,
-            long_message="expected md5 %s, got %s" % (expected, actual),
+            long_message="expected %s %s, got %s" % (algorithm, expected, actual),
         )
         self.expected = expected
         self.actual = actual
+        self.algorithm = algorithm
+
+
+#: declared-digest hex length -> hashlib constructor.  Packages carry one
+#: digest string per version; its length says which algorithm verifies it
+#: (legacy md5 declarations keep working next to sha256 ones).
+DIGEST_ALGORITHMS = {32: ("md5", hashlib.md5), 64: ("sha256", hashlib.sha256)}
 
 
 #: default number of retries after the first attempt of a transient fetch
@@ -212,15 +219,19 @@ class Fetcher:
                 attempt += 1
 
     def _verify(self, pkg, version, content, source):
-        """Check declared MD5s; count verified/unverified/mismatch."""
+        """Check declared digests (md5 or sha256, picked by hex length);
+        count verified/unverified/mismatch."""
         hub = self.telemetry
         expected = pkg.checksum_for(version)
         if expected:
-            actual = hashlib.md5(content).hexdigest()
+            name, algorithm = DIGEST_ALGORITHMS.get(
+                len(expected), DIGEST_ALGORITHMS[32]
+            )
+            actual = algorithm(content).hexdigest()
             if actual != expected:
                 if hub is not None:
                     hub.count("fetch.checksum_mismatch")
-                raise ChecksumError(source, expected, actual)
+                raise ChecksumError(source, expected, actual, algorithm=name)
             if hub is not None:
                 hub.count("fetch.checksum_verified")
         elif hub is not None:

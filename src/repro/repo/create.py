@@ -81,10 +81,10 @@ def create_package_skeleton(session, url, repo_root, name=None):
     for v in sorted(found, reverse=True):
         try:
             content = session.web.get(probe.url_for_version(v))
-            digest = hashlib.md5(content).hexdigest()
-            version_lines.append("    version('%s', '%s')" % (v, digest))
+            digest = hashlib.sha256(content).hexdigest()
+            version_lines.append("    version('%s', sha256='%s')" % (v, digest))
         except Exception:
-            version_lines.append("    # version('%s', md5='FIXME')" % v)
+            version_lines.append("    # version('%s', sha256='FIXME')" % v)
 
     text = _TEMPLATE.format(
         class_name=mod_to_class(name),

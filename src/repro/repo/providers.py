@@ -41,6 +41,9 @@ class ProviderIndex:
 
     def __init__(self, package_classes=None):
         self._index = {}
+        #: memo of providers_for results keyed by the virtual spec's
+        #: canonical DAG tuple; cleared whenever the index changes
+        self._providers_memo = {}
         if package_classes:
             for name, cls in package_classes.items():
                 self.update(name, cls)
@@ -55,6 +58,7 @@ class ProviderIndex:
             self._index.setdefault(interface.spec.name, []).append(
                 ProviderEntry(provider_name, interface.spec, interface.when)
             )
+        self._providers_memo.clear()
 
     # -- queries ------------------------------------------------------------
     def is_virtual(self, name):
@@ -77,6 +81,13 @@ class ProviderIndex:
         vspec = virtual_spec if isinstance(virtual_spec, Spec) else Spec(virtual_spec)
         if vspec.name not in self._index:
             return []
+        # Memo hit: the candidate list for this exact constraint has been
+        # built before.  Return fresh copies — callers constrain/reorder
+        # the candidates, and the memoized originals must stay pristine.
+        memo_key = vspec._dag_key()
+        cached = self._providers_memo.get(memo_key)
+        if cached is not None:
+            return [c.copy() for c in cached]
         candidates = []
         for entry in self._index[vspec.name]:
             if not entry.provided_spec.versions.overlaps(vspec.versions):
@@ -96,7 +107,10 @@ class ProviderIndex:
             except SpecError:
                 continue
             candidates.append(provider)
-        return _dedupe_specs(candidates)
+        result = _dedupe_specs(candidates)
+        if len(self._providers_memo) < 1024:
+            self._providers_memo[memo_key] = [c.copy() for c in result]
+        return result
 
     def providers_for_name(self, virtual_name):
         """All provider package names for a virtual, unconstrained."""

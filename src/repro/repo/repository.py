@@ -57,6 +57,9 @@ class Repository:
         self.namespace = namespace
         self._classes = {}
         self._scanned = False
+        #: bumped on every registration; cheap change detector used to
+        #: invalidate derived digests (see core/conc_cache.py)
+        self._mtoken = 0
 
     # -- registration -----------------------------------------------------
     def add_class(self, name, cls):
@@ -68,7 +71,13 @@ class Repository:
         cls.name = name
         cls.namespace = self.namespace
         self._classes[name] = cls
+        self._mtoken += 1
         return cls
+
+    def mutation_token(self):
+        """Monotonic token changing whenever the package set changes."""
+        self._scan()
+        return self._mtoken
 
     def register(self, name):
         """Decorator form of :meth:`add_class`."""
@@ -203,6 +212,13 @@ class RepoPath:
 
     def append(self, repo):
         self.repos.append(repo)
+
+    def mutation_token(self):
+        """Token combining the stack shape and every member's token."""
+        return tuple(
+            (repo.namespace, repo.root, repo.mutation_token())
+            for repo in self.repos
+        )
 
     def exists(self, name):
         return any(repo.exists(name) for repo in self.repos)

@@ -102,7 +102,50 @@ class CompilerSpec:
 
 
 class VariantMap(dict):
-    """Named boolean build options on one spec node (§3.2.3, "Variants")."""
+    """Named boolean build options on one spec node (§3.2.3, "Variants").
+
+    The map may be *owned* by a Spec node: mutating an owned map
+    invalidates the owner's cached reprs/hashes (see
+    :meth:`Spec.invalidate_caches`), so direct ``spec.variants[x] = True``
+    writes cannot leave stale cached state behind.
+    """
+
+    def __init__(self, owner=None):
+        super().__init__()
+        self._owner_ref = weakref.ref(owner) if owner is not None else None
+
+    def _touch(self):
+        ref = self._owner_ref
+        if ref is not None:
+            owner = ref()
+            if owner is not None:
+                owner.invalidate_caches()
+
+    def __setitem__(self, name, value):
+        super().__setitem__(name, value)
+        self._touch()
+
+    def __delitem__(self, name):
+        super().__delitem__(name)
+        self._touch()
+
+    def update(self, *args, **kwargs):
+        super().update(*args, **kwargs)
+        self._touch()
+
+    def pop(self, *args):
+        result = super().pop(*args)
+        self._touch()
+        return result
+
+    def clear(self):
+        super().clear()
+        self._touch()
+
+    def setdefault(self, name, default=None):
+        result = super().setdefault(name, default)
+        self._touch()
+        return result
 
     def satisfies(self, other, strict=False):
         for name, value in other.items():
@@ -161,8 +204,12 @@ class _DependencyMap(dict):
     def __setitem__(self, name, dep):
         super().__setitem__(name, dep)
         owner = self._owner_ref()
-        if owner is not None and isinstance(dep, Spec):
-            dep._register_parent(owner)
+        if owner is not None:
+            if isinstance(dep, Spec):
+                dep._register_parent(owner)
+            # the owner's DAG just changed shape; its cached DAG repr,
+            # hash, and memo tables are stale (ancestors' too)
+            owner.invalidate_caches()
 
     def __delitem__(self, name):
         dep = self.get(name)
@@ -250,21 +297,61 @@ class Spec:
             self._add_dependency(dep if isinstance(dep, Spec) else Spec(dep))
 
     def _init_empty(self):
-        self.name = None
-        self.versions = any_version()
-        self.compiler = None
-        self.variants = VariantMap()
-        self.architecture = None
-        self.dependencies = _DependencyMap(self)
-        self.external = None
-        self.provided_virtuals = set()
-        self.namespace = None
+        #: id(parent) -> weakref to parents holding an edge to this node;
+        #: maintained by _DependencyMap, consumed by invalidate_caches().
+        #: Set first: the parameter setters below call invalidate_caches.
+        self._dependents = {}
         self._concrete = False
         self._normal = False
         self._hash = None
-        #: id(parent) -> weakref to parents holding an edge to this node;
-        #: maintained by _DependencyMap, consumed by invalidate_caches()
-        self._dependents = {}
+        self._nrepr = None
+        self._dkey = None
+        self._smemo = {}
+        self._p_name = None
+        self._p_versions = any_version()
+        self._p_compiler = None
+        self._p_variants = VariantMap(owner=self)
+        self._p_architecture = None
+        self._p_external = None
+        self.dependencies = _DependencyMap(self)
+        self.provided_virtuals = set()
+        self.namespace = None
+
+    # -- cached-state parameter properties -----------------------------------
+    # Node parameters are properties so that *any* assignment — including
+    # direct writes from tests or package code — invalidates the cached
+    # node/DAG reprs, hash, and memo tables on this node and its ancestors.
+    # Mutation discipline therefore has a single choke point instead of
+    # being scattered across every caller.
+    def _make_param(attr):  # noqa: N805 - class-body helper, deleted below
+        private = "_p_" + attr
+
+        def fget(self):
+            return getattr(self, private)
+
+        def fset(self, value):
+            setattr(self, private, value)
+            self.invalidate_caches()
+
+        return property(fget, fset)
+
+    name = _make_param("name")
+    versions = _make_param("versions")
+    compiler = _make_param("compiler")
+    architecture = _make_param("architecture")
+    external = _make_param("external")
+    del _make_param
+
+    @property
+    def variants(self):
+        return self._p_variants
+
+    @variants.setter
+    def variants(self, value):
+        owned = VariantMap(owner=self)
+        dict.update(owned, value or {})
+        self._p_variants = owned
+        self.invalidate_caches()
 
     def _dup_node(self, other):
         """Copy ``other``'s node-level fields (everything but edges)."""
@@ -292,6 +379,15 @@ class Spec:
         if deps:
             memo = {other.name or id(other): self}
             other._copy_deps_into(self, memo)
+            # edge insertion invalidated the fresh nodes' caches; restore
+            # the stamped concreteness/hash state from the originals
+            originals = {n.name or id(n): n for n in other.traverse()}
+            for key, copied in memo.items():
+                source = originals.get(key)
+                if source is not None:
+                    copied._concrete = source._concrete
+                    copied._normal = source._normal
+                    copied._hash = source._hash
         else:
             self._concrete = False
             self._normal = False
@@ -335,15 +431,29 @@ class Spec:
                 parent, lambda _ref, s=self, k=key: s._dependents.pop(k, None)
             )
 
-    def invalidate_caches(self):
-        """Drop cached hash/concreteness here *and on every ancestor*.
+    def _reset_caches(self):
+        self._hash = None
+        self._concrete = False
+        self._normal = False
+        self._nrepr = None
+        self._dkey = None
+        if self._smemo:
+            self._smemo = {}
 
-        A concrete DAG caches ``_hash`` per node; mutating a shared child
-        (``constrain``, ``_add_dependency``) changes every ancestor's DAG
-        hash too, so invalidation walks the parent back-references —
-        otherwise ancestors keep serving a stale ``_hash`` with
-        ``_concrete`` still True.
+    def invalidate_caches(self):
+        """Drop cached hash/reprs/memos here *and on every ancestor*.
+
+        A concrete DAG caches ``_hash``, its canonical node/DAG reprs,
+        and ``satisfies``/``intersects`` memo entries per node; mutating
+        a shared child (``constrain``, ``_add_dependency``, any parameter
+        assignment) changes every ancestor's DAG state too, so
+        invalidation walks the parent back-references — otherwise
+        ancestors keep serving stale cached state with ``_concrete``
+        still True.
         """
+        if not self._dependents:
+            self._reset_caches()
+            return
         stack = [self]
         seen = set()
         while stack:
@@ -351,9 +461,7 @@ class Spec:
             if id(node) in seen:
                 continue
             seen.add(id(node))
-            node._hash = None
-            node._concrete = False
-            node._normal = False
+            node._reset_caches()
             for ref in list(node._dependents.values()):
                 parent = ref()
                 if parent is not None:
@@ -492,14 +600,35 @@ class Spec:
                 return False
         return True
 
+    #: per-node memo tables stop growing past this many entries; cleared
+    #: wholesale rather than evicted (they refill in one concretizer pass)
+    _MEMO_LIMIT = 512
+
     def satisfies(self, other, strict=False):
         """See the module docstring for the two semantics.
 
         ``other`` may be a Spec or a spec string.  Dependency constraints
         in ``other`` are matched against *any* node of this DAG with the
         same name (names are unique per DAG).
+
+        Outcomes are memoized per node: the memo is keyed by ``other``'s
+        canonical DAG tuple and cleared by :meth:`invalidate_caches`
+        whenever this spec (or any node below it) mutates, so repeated
+        ``when=`` predicate checks during the concretizer's fixed-point
+        iterations cost one dict lookup.
         """
         other = other if isinstance(other, Spec) else Spec(other)
+        memo = self._smemo
+        key = ("sat", other._dag_key(), strict)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit[0]
+        result = self._satisfies_uncached(other, strict)
+        if len(memo) < self._MEMO_LIMIT:
+            memo[key] = (result,)
+        return result
+
+    def _satisfies_uncached(self, other, strict):
         if not self.satisfies_node(other, strict=strict):
             return False
         if not other.dependencies:
@@ -568,24 +697,45 @@ class Spec:
         return changed
 
     def intersects(self, other):
-        """True if a build could satisfy both specs (symmetric overlap)."""
+        """True if a build could satisfy both specs (symmetric overlap).
+
+        Memoized like :meth:`satisfies` — the trial constrain on a copy
+        is one of the concretizer's hottest operations.
+        """
+        other = other if isinstance(other, Spec) else Spec(other)
+        memo = self._smemo
+        key = ("int", other._dag_key())
+        hit = memo.get(key)
+        if hit is not None:
+            return hit[0]
         try:
             self.copy().constrain(other)
-            return True
+            result = True
         except err.UnsatisfiableSpecError:
-            return False
+            result = False
+        if len(memo) < self._MEMO_LIMIT:
+            memo[key] = (result,)
+        return result
 
     # -- hashing -------------------------------------------------------------
     def node_repr(self):
-        """Canonical tuple describing this node, without dependencies."""
-        return (
-            self.name or "",
-            str(self.versions),
-            str(self.compiler) if self.compiler else "",
-            tuple(sorted(self.variants.items())),
-            self.architecture or "",
-            self.external or "",
-        )
+        """Canonical tuple describing this node, without dependencies.
+
+        Cached until the next mutation: every parameter write goes
+        through the property setters (or the owned VariantMap), both of
+        which call :meth:`invalidate_caches`.
+        """
+        nrepr = self._nrepr
+        if nrepr is None:
+            nrepr = self._nrepr = (
+                self.name or "",
+                str(self.versions),
+                str(self.compiler) if self.compiler else "",
+                tuple(sorted(self.variants.items())),
+                self.architecture or "",
+                self.external or "",
+            )
+        return nrepr
 
     def dag_hash(self, length=None):
         """Stable content hash of the full DAG (paper §3.4.2's SHA hash).
@@ -626,21 +776,36 @@ class Spec:
             for name in sorted(self.dependencies)
         )
 
+    def _dag_key(self):
+        """The full-DAG canonical tuple, cached until the next mutation.
+
+        Child mutations propagate here through the dependent
+        back-references, so a cached value is always current.  This is
+        the comparison/memo key for ``__eq__``/``__hash__`` and the
+        satisfies/intersects memo tables.
+        """
+        dkey = self._dkey
+        if dkey is None:
+            dkey = self._dkey = self._dag_repr(set())
+        return dkey
+
     def __eq__(self, other):
+        if self is other:
+            return True
         if not isinstance(other, Spec):
             return NotImplemented
-        return self._dag_repr(set()) == other._dag_repr(set())
+        return self._dag_key() == other._dag_key()
 
     def __ne__(self, other):
         return not self == other
 
     def __hash__(self):
-        return hash(self._dag_repr(set()))
+        return hash(self._dag_key())
 
     def __lt__(self, other):
         if not isinstance(other, Spec):
             return NotImplemented
-        return self._dag_repr(set()) < other._dag_repr(set())
+        return self._dag_key() < other._dag_key()
 
     # -- rendering ---------------------------------------------------------------
     def node_str(self):
@@ -722,22 +887,26 @@ class Spec:
         of the provenance ``spec.json`` files the installer writes
         (§3.4.3) and of the install database.
         """
-        nodes = []
-        for node in self.traverse():
-            nodes.append(
-                {
-                    "name": node.name,
-                    "versions": str(node.versions),
-                    "compiler": str(node.compiler) if node.compiler else None,
-                    "variants": dict(node.variants),
-                    "architecture": node.architecture,
-                    "external": node.external,
-                    "provided_virtuals": sorted(node.provided_virtuals),
-                    "dependencies": sorted(node.dependencies),
-                    "concrete": bool(node._concrete),
-                }
-            )
+        nodes = [node.to_node_dict() for node in self.traverse()]
         return {"root": self.name, "nodes": nodes}
+
+    def to_node_dict(self):
+        """JSON-able representation of this node alone (edges as names).
+
+        One entry of :meth:`to_dict`'s ``nodes`` list; also the unit the
+        concretization-cache equivalence tests compare byte-for-byte.
+        """
+        return {
+            "name": self.name,
+            "versions": str(self.versions),
+            "compiler": str(self.compiler) if self.compiler else None,
+            "variants": dict(self.variants),
+            "architecture": self.architecture,
+            "external": self.external,
+            "provided_virtuals": sorted(self.provided_virtuals),
+            "dependencies": sorted(self.dependencies),
+            "concrete": bool(self._concrete),
+        }
 
     @classmethod
     def from_dict(cls, data):

@@ -1,6 +1,6 @@
 """Seeded selftest campaigns: the engine behind ``repro-spack selftest``.
 
-A campaign has two phases, both driven entirely by one master seed:
+A campaign has three phases, all driven entirely by one master seed:
 
 1. **Concretization sweep** — generate a package universe
    (:class:`~repro.testing.generators.RepoGenerator`) and N abstract
@@ -14,6 +14,14 @@ A campaign has two phases, both driven entirely by one master seed:
    ``len(points)`` plans are fixed single-fault plans, one per fault
    point, so every point is demonstrably reached in every campaign
    regardless of what the random remainder draws.
+3. **Cache-equivalence sweep** — generate K more abstract requests and
+   concretize each one cold (cache bypassed) and warm (served from the
+   persistent concretization cache's on-disk payload), for both the
+   greedy and backtracking variants.  Warm results must be
+   *byte-identical* to cold ones — same ``dag_hash``, same serialized
+   node dicts — including under an armed ``concretize.cache.corrupt``
+   fault, where the cache must detect the rot and fall back to a cold
+   concretization.
 
 The report is JSONL with sorted keys and no timestamps, hostnames, or
 absolute paths, so two same-seed runs produce *byte-identical* files —
@@ -44,7 +52,7 @@ class CampaignConfig:
 
     def __init__(self, seed=None, specs=200, fault_plans=50, packages=40,
                  virtuals=2, max_attempts=64, fault_target="libdwarf",
-                 points=ALL_FAULT_POINTS):
+                 points=ALL_FAULT_POINTS, cache_specs=200):
         self.seed = session_seed() if seed is None else int(seed)
         self.specs = int(specs)
         self.fault_plans = int(fault_plans)
@@ -54,6 +62,8 @@ class CampaignConfig:
         #: the builtin-corpus spec each fault plan installs
         self.fault_target = fault_target
         self.points = tuple(points)
+        #: generated requests for the cache-equivalence sweep (phase 3)
+        self.cache_specs = int(cache_specs)
 
     def to_dict(self):
         return {
@@ -65,6 +75,7 @@ class CampaignConfig:
             "max_attempts": self.max_attempts,
             "fault_target": self.fault_target,
             "points": list(self.points),
+            "cache_specs": self.cache_specs,
         }
 
 
@@ -77,6 +88,8 @@ class CampaignReport:
         self.oracle_cases = []
         #: one dict per fault plan (plan, outcome, injected, recovered)
         self.fault_cases = []
+        #: one dict per (request, variant) cache-equivalence comparison
+        self.cache_cases = []
 
     # -- aggregation --------------------------------------------------------
     def outcome_counts(self):
@@ -101,12 +114,24 @@ class CampaignReport:
     def unrecovered(self):
         return [c for c in self.fault_cases if not c["recovered"]]
 
+    def cache_outcome_counts(self):
+        counts = {}
+        for case in self.cache_cases:
+            counts[case["kind"]] = counts.get(case["kind"], 0) + 1
+        return counts
+
+    def cache_divergences(self):
+        """Warm-cache results that differed from their cold twin."""
+        return [c for c in self.cache_cases if c["kind"] == "divergence"]
+
     @property
     def ok(self):
         """The campaign's verdict: no divergence, no invariant violation,
-        every requested fault point injected at least once, and every
-        faulted store healed.  An oracle-only run (``fault_plans=0``)
-        waives the coverage requirement, not the others."""
+        every requested fault point injected at least once, every
+        faulted store healed, and every warm-cache concretization
+        byte-identical to its cold twin.  An oracle-only run
+        (``fault_plans=0``) waives the coverage requirement, not the
+        others."""
         totals = self.injection_totals()
         covered = self.config.fault_plans == 0 or all(
             totals.get(p, 0) > 0 for p in self.config.points
@@ -115,6 +140,7 @@ class CampaignReport:
             not self.divergences()
             and not self.violations()
             and not self.unrecovered()
+            and not self.cache_divergences()
             and covered
         )
 
@@ -127,6 +153,8 @@ class CampaignReport:
             "invariant_violations": len(self.violations()),
             "injections": self.injection_totals(),
             "unrecovered": len(self.unrecovered()),
+            "cache_outcomes": self.cache_outcome_counts(),
+            "cache_divergences": len(self.cache_divergences()),
             "ok": self.ok,
         }
 
@@ -141,6 +169,8 @@ class CampaignReport:
             yield dump(dict(case, type="oracle-case"))
         for case in self.fault_cases:
             yield dump(dict(case, type="fault-case"))
+        for case in self.cache_cases:
+            yield dump(dict(case, type="cache-case"))
         yield dump(self.summary())
 
     def write(self, path):
@@ -271,6 +301,13 @@ def run_fault_phase(config, report, workdir, log=None):
             shutil.rmtree(warm_root, ignore_errors=True)
             session.enable_buildcache(root=cache_root, pull=True)
 
+        # The target concretization above warmed the session's in-process
+        # memo; a concretize.cache.corrupt fault fires inside the on-disk
+        # lookup, so drop the memo to force the armed install's
+        # concretization back through it.
+        if "concretize.cache.corrupt" in plan.points():
+            session.forget_concretizations()
+
         session.faults.arm(plan)
         outcome, error = "clean", None
         try:
@@ -320,14 +357,89 @@ def run_fault_phase(config, report, workdir, log=None):
     return report
 
 
+# -- phase 3: cache-equivalence sweep ----------------------------------------
+
+def _node_dicts(spec):
+    """Canonical serialization of a concrete DAG for byte comparison."""
+    return json.dumps(
+        [node.to_node_dict() for node in spec.traverse()], sort_keys=True
+    )
+
+
+def run_cache_phase(config, report, workdir, log=None):
+    """Concretize generated requests cold and warm; any byte difference
+    is a divergence.
+
+    Every tenth case arms a ``concretize.cache.corrupt`` fault for the
+    warm lookup, so the sweep also proves the corruption fallback never
+    changes results — the cache must drop the rotten entry and
+    re-concretize to the same answer.
+    """
+    from repro.errors import ReproError
+    from repro.session import Session
+    from repro.spec.spec import Spec
+    from repro.testing.faults import CONCRETIZE_CACHE_CORRUPT, Fault
+
+    repo, _provider_index, compilers, cfg = _oracle_fixture(config)
+    session = Session(
+        os.path.join(workdir, "cache-phase"), repo, config=cfg,
+        compilers=compilers,
+    )
+    generator = SpecGenerator(derive_seed(config.seed, "cache-specs"), repo)
+    for i in range(config.cache_specs):
+        request = generator.spec(i)
+        for backtrack in (False, True):
+            variant = "backtracking" if backtrack else "greedy"
+            with_fault = i % 10 == 0
+            try:
+                cold = session.concretize(
+                    Spec(request), backtrack=backtrack, use_cache=False
+                )
+            except ReproError as e:
+                report.cache_cases.append({
+                    "case": i, "request": request, "variant": variant,
+                    "kind": "error", "error": type(e).__name__,
+                    "fault": False,
+                })
+                continue
+            # First warm call persists the entry; forgetting the
+            # in-process memo forces the second one through the on-disk
+            # payload — the serialization round-trip under test.
+            session.concretize(Spec(request), backtrack=backtrack)
+            session.forget_concretizations()
+            if with_fault:
+                session.faults.arm([Fault(CONCRETIZE_CACHE_CORRUPT)])
+            try:
+                warm = session.concretize(Spec(request), backtrack=backtrack)
+            finally:
+                if with_fault:
+                    session.faults.disarm()
+            same = (
+                warm.dag_hash() == cold.dag_hash()
+                and _node_dicts(warm) == _node_dicts(cold)
+            )
+            report.cache_cases.append({
+                "case": i, "request": request, "variant": variant,
+                "kind": "match" if same else "divergence",
+                "error": None, "fault": with_fault,
+            })
+        if log and (i + 1) % 50 == 0:
+            log("  cache: %d/%d cases" % (i + 1, config.cache_specs))
+    shutil.rmtree(os.path.join(workdir, "cache-phase"), ignore_errors=True)
+    return report
+
+
 def run_campaign(config, workdir, log=None):
-    """Run both phases; returns the :class:`CampaignReport`."""
+    """Run all phases; returns the :class:`CampaignReport`."""
     report = CampaignReport(config)
     if log:
-        log("campaign seed %d: %d specs, %d fault plans"
-            % (config.seed, config.specs, config.fault_plans))
+        log("campaign seed %d: %d specs, %d fault plans, %d cache specs"
+            % (config.seed, config.specs, config.fault_plans,
+               config.cache_specs))
     if config.specs:
         run_oracle_phase(config, report, log=log)
     if config.fault_plans:
         run_fault_phase(config, report, workdir, log=log)
+    if config.cache_specs:
+        run_cache_phase(config, report, workdir, log=log)
     return report

@@ -35,6 +35,11 @@ site                      layer and effect when fired
                           digest check must reject them
                           (:class:`~repro.store.buildcache.DigestMismatchError`)
                           and the executor must fall back to a source build.
+``concretize.cache.corrupt``
+                          :meth:`~repro.core.conc_cache.ConcretizationCache.lookup`
+                          corrupts the cached payload it just read — the
+                          dag-hash verification must drop the entry and the
+                          session must re-concretize from scratch.
 ========================  ====================================================
 
 A :class:`FaultPlan` is a list of :class:`Fault` records, either
@@ -63,6 +68,9 @@ DB_WRITE_RACE = "db.write_race"
 LOCK_TIMEOUT = "lock.timeout"
 #: a build-cache tarball whose bytes rot between index and extraction
 BUILDCACHE_CORRUPT = "buildcache.corrupt"
+#: a concretization-cache payload whose bytes rot before deserialization;
+#: the dag_hash verification must reject it and re-concretize from scratch
+CONCRETIZE_CACHE_CORRUPT = "concretize.cache.corrupt"
 
 ALL_FAULT_POINTS = (
     FETCH_TRANSIENT,
@@ -71,6 +79,7 @@ ALL_FAULT_POINTS = (
     DB_WRITE_RACE,
     LOCK_TIMEOUT,
     BUILDCACHE_CORRUPT,
+    CONCRETIZE_CACHE_CORRUPT,
 )
 
 #: the executor's two crash sites (see the table above)
@@ -325,8 +334,9 @@ class FaultInjector:
             from repro.util.lock import LockTimeoutError
 
             raise LockTimeoutError(target or "<fault-injected>", 0.0)
-        # DB_WRITE_RACE and BUILDCACHE_CORRUPT: the site applies the
-        # effect itself (foreign index write / byte corruption).
+        # DB_WRITE_RACE, BUILDCACHE_CORRUPT, CONCRETIZE_CACHE_CORRUPT:
+        # the site applies the effect itself (foreign index write / byte
+        # corruption of the payload it just read).
         return fault
 
     def __repr__(self):

@@ -1,0 +1,74 @@
+"""Bounded, thread-safe intern pools for parsed value objects.
+
+Concretization re-parses the same handful of constraint atoms thousands
+of times (``bench_profile_hotspots.py``): every ``depends_on`` re-reads
+its ``@2:`` text, every comparison re-derives the same component keys.
+Interning collapses those into one shared immutable object per distinct
+source text, so identity checks short-circuit equality and the parse
+cost is paid once per session instead of once per use.
+
+The pool is *bounded*: once ``maxsize`` distinct keys are live it stops
+admitting new entries (callers keep their un-interned object, which is
+always correct — interning is an optimization, never a semantic).  This
+caps memory on adversarial workloads (e.g. fuzzing campaigns generating
+millions of distinct version strings) without an LRU's bookkeeping cost
+on the hot path.
+"""
+
+import threading
+
+
+class InternPool:
+    """Map hashable keys to canonical values, bounded, thread-safe.
+
+    ``get(key)`` returns the canonical value or None; ``put(key, value)``
+    admits a value (first writer wins) and returns the canonical one.
+    ``intern(key, factory)`` combines both.  Statistics (``hits``,
+    ``misses``) are kept for telemetry and tests.
+    """
+
+    __slots__ = ("maxsize", "_table", "_lock", "hits", "misses")
+
+    def __init__(self, maxsize=65536):
+        self.maxsize = int(maxsize)
+        self._table = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        # dict reads are atomic under the GIL; grab the lock only to write
+        value = self._table.get(key)
+        if value is not None:
+            self.hits += 1
+        return value
+
+    def put(self, key, value):
+        with self._lock:
+            existing = self._table.get(key)
+            if existing is not None:
+                return existing
+            if len(self._table) < self.maxsize:
+                self._table[key] = value
+            self.misses += 1
+            return value
+
+    def intern(self, key, factory):
+        """Canonical value for ``key``, creating it with ``factory()``."""
+        value = self.get(key)
+        if value is not None:
+            return value
+        return self.put(key, factory())
+
+    def __len__(self):
+        return len(self._table)
+
+    def clear(self):
+        with self._lock:
+            self._table.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self):
+        return {"size": len(self._table), "hits": self.hits,
+                "misses": self.misses, "maxsize": self.maxsize}

@@ -30,8 +30,24 @@ def key_ordering(cls):
 
         return comparator
 
-    cls.__eq__ = _compare(lambda a, b: a == b)
-    cls.__ne__ = _compare(lambda a, b: a != b)
+    def _eq(self, other):
+        # Interned value objects (see util/intern.py) hit this identity
+        # check and skip the key comparison entirely.
+        if self is other:
+            return True
+        if not hasattr(other, "_cmp_key"):
+            return NotImplemented
+        return self._cmp_key() == other._cmp_key()
+
+    def _ne(self, other):
+        if self is other:
+            return False
+        if not hasattr(other, "_cmp_key"):
+            return NotImplemented
+        return self._cmp_key() != other._cmp_key()
+
+    cls.__eq__ = _eq
+    cls.__ne__ = _ne
     cls.__lt__ = _compare(lambda a, b: a < b)
     cls.__le__ = _compare(lambda a, b: a <= b)
     cls.__gt__ = _compare(lambda a, b: a > b)

@@ -24,9 +24,27 @@ Version/Range/List combinations.
 import re
 
 from repro.errors import ReproError
+from repro.util.intern import InternPool
 from repro.util.lang import key_ordering
 
 __all__ = ["Version", "VersionRange", "VersionList", "ver", "any_version"]
+
+#: Canonical instances per source text.  Version objects are immutable,
+#: so one shared instance per distinct string is safe; identity then
+#: short-circuits ``==`` before any key comparison (see util/intern.py).
+_VERSION_POOL = InternPool()
+
+#: Parsed constraint tuples per VersionList source text.  Lists are
+#: mutable, so the pool stores immutable tuples of their (immutable)
+#: members and every lookup builds a fresh list around them.
+_LIST_PARSE_POOL = InternPool()
+
+#: Canonical VersionRange per ``lo:hi`` atom text (ranges are immutable).
+_RANGE_POOL = InternPool()
+
+#: Marks "no argument given" in Version.__new__ so pickle's no-arg
+#: reconstruction is distinguishable from an (invalid) Version(None).
+_UNSET = object()
 
 
 class VersionParseError(ReproError):
@@ -63,18 +81,36 @@ class Version:
     original, unnormalized string is preserved for display.
     """
 
-    __slots__ = ("string", "components", "_key")
+    __slots__ = ("string", "components", "_key", "_ival")
 
-    def __init__(self, string):
+    def __new__(cls, string=_UNSET):
+        # The no-arg form exists only for pickle/copy reconstruction.
+        if string is _UNSET:
+            return super().__new__(cls)
         if isinstance(string, (int, float)):
             string = str(string)
+        if cls is Version:
+            cached = _VERSION_POOL.get(string)
+            if cached is not None:
+                return cached
         if not isinstance(string, str) or not _VALID_VERSION.match(string):
             raise VersionParseError("Invalid version string: %r" % (string,))
+        self = super().__new__(cls)
         self.string = string
         self.components = tuple(
             int(seg) if seg.isdigit() else seg for seg in _SEGMENT_RE.findall(string)
         )
         self._key = tuple(_component_key(c) for c in self.components)
+        # Precomputed prefix-family interval: [key, key + (SUP,)].
+        self._ival = (self._key, self._key + (_SUP,))
+        if cls is Version:
+            self = _VERSION_POOL.put(string, self)
+        return self
+
+    def __init__(self, string=_UNSET):
+        # All construction work happens in __new__ so interned instances
+        # are never re-parsed; instances are immutable afterwards.
+        pass
 
     def _cmp_key(self):
         return self._key
@@ -93,13 +129,28 @@ class Version:
         return Version(".".join(str(c) for c in self.components[:index]))
 
     def is_predecessor(self, other):
-        """True if ``other`` is this version with the last component + 1."""
+        """True if ``other`` is this version with the last component + 1.
+
+        Works for numeric components (``1.0`` → ``1.1``) and for alpha
+        suffix components, where "+1" means incrementing the final letter
+        (``1.0a`` → ``1.0b``, ``2.0rc1`` → ``2.0rc2`` via the numeric
+        rule).  ``...z`` has no single-letter successor and returns False.
+        """
         if len(self.components) != len(other.components):
             return False
         if self.components[:-1] != other.components[:-1]:
             return False
         a, b = self.components[-1], other.components[-1]
-        return isinstance(a, int) and isinstance(b, int) and b == a + 1
+        if isinstance(a, int) and isinstance(b, int):
+            return b == a + 1
+        if isinstance(a, str) and isinstance(b, str):
+            return (
+                len(a) == len(b)
+                and a[:-1] == b[:-1]
+                and a[-1] not in "zZ"
+                and ord(b[-1]) == ord(a[-1]) + 1
+            )
+        return False
 
     def __contains__(self, other):
         """Prefix-family membership: ``Version('1.4.2') in Version('1.4')``."""
@@ -109,13 +160,17 @@ class Version:
             return other.components[: len(self.components)] == self.components
         return _interval(other)[0] >= self.key and _interval(other)[1] <= _family_sup(self)
 
-    def satisfies(self, other):
+    def satisfies(self, other, strict=False):
         """True if this version meets the constraint ``other``.
 
         ``other`` may be a Version (family membership), VersionRange,
-        VersionList, or string form of any of these.
+        VersionList, or string form of any of these.  With ``strict``,
+        the whole prefix family this version denotes must be contained
+        in ``other``, not just the point itself.
         """
         other = ver(other)
+        if strict:
+            return VersionList([self]).satisfies(other, strict=True)
         if isinstance(other, Version):
             return self in other
         return other.contains_version(self)
@@ -132,16 +187,16 @@ class Version:
 
 def _family_sup(version):
     """Upper interval endpoint of a version's prefix family."""
-    return version.key + (_SUP,)
+    return version._ival[1]
 
 
 def _interval(constraint):
-    """Map a Version or VersionRange to a closed interval in key space."""
-    if isinstance(constraint, Version):
-        return (constraint.key, _family_sup(constraint))
-    lo = constraint.lo.key if constraint.lo is not None else _NEG_INF
-    hi = _family_sup(constraint.hi) if constraint.hi is not None else _POS_INF
-    return (lo, hi)
+    """Map a Version or VersionRange to a closed interval in key space.
+
+    Both classes precompute the interval at construction (they are
+    immutable), so this is a single attribute read on the hot path.
+    """
+    return constraint._ival
 
 
 def _from_interval(lo_key, hi_key, lo_obj, hi_obj):
@@ -162,7 +217,7 @@ class VersionRange:
     (the paper's "between 2.3 and 2.5.6 inclusive" reading).
     """
 
-    __slots__ = ("lo", "hi")
+    __slots__ = ("lo", "hi", "_ival")
 
     def __init__(self, lo, hi):
         if isinstance(lo, str):
@@ -171,23 +226,30 @@ class VersionRange:
             hi = Version(hi)
         self.lo = lo
         self.hi = hi
-        if lo is not None and hi is not None:
-            ilo, ihi = _interval(self)
-            if ilo > ihi:
-                raise VersionParseError("Empty version range: %s:%s" % (lo, hi))
+        ilo = lo._ival[0] if lo is not None else _NEG_INF
+        ihi = hi._ival[1] if hi is not None else _POS_INF
+        self._ival = (ilo, ihi)
+        if lo is not None and hi is not None and ilo > ihi:
+            raise VersionParseError("Empty version range: %s:%s" % (lo, hi))
 
     def _cmp_key(self):
-        return _interval(self)
+        return self._ival
 
     def contains_version(self, version):
-        lo, hi = _interval(self)
+        lo, hi = self._ival
         return lo <= version.key <= hi
 
     __contains__ = contains_version
 
-    def satisfies(self, other):
-        """Non-strict satisfaction: ranges are compatible if they overlap."""
-        return VersionList([self]).overlaps(other)
+    def satisfies(self, other, strict=False):
+        """Compatibility (overlap) or, with ``strict``, containment.
+
+        The non-strict default answers "could some version satisfy both
+        constraints?"; ``strict=True`` answers "is every version allowed
+        by this range also allowed by ``other``?" — the question provider
+        selection and ``Spec.satisfies(..., strict=True)`` actually ask.
+        """
+        return VersionList([self]).satisfies(other, strict=strict)
 
     def overlaps(self, other):
         return VersionList([self]).overlaps(other)
@@ -206,10 +268,13 @@ def _parse_single(text):
     """Parse one constraint atom: ``1.2``, ``1.2:1.4``, ``:1.4``, ``1.2:``, ``:``."""
     text = text.strip()
     if ":" in text:
+        cached = _RANGE_POOL.get(text)
+        if cached is not None:
+            return cached
         lo_s, _, hi_s = text.partition(":")
         lo = Version(lo_s) if lo_s else None
         hi = Version(hi_s) if hi_s else None
-        return VersionRange(lo, hi)
+        return _RANGE_POOL.put(text, VersionRange(lo, hi))
     return Version(text)
 
 
@@ -226,11 +291,16 @@ class VersionList:
         if constraints is None:
             return
         if isinstance(constraints, str):
+            parsed = _LIST_PARSE_POOL.get(constraints)
+            if parsed is not None:
+                self.constraints = list(parsed)
+                return
             if not constraints.strip():
                 raise VersionParseError("Empty version constraint string")
             parts = [p for p in constraints.split(",")]
             for part in parts:
                 self.add(_parse_single(part))
+            _LIST_PARSE_POOL.put(constraints, tuple(self.constraints))
         elif isinstance(constraints, (Version, VersionRange)):
             self.add(constraints)
         elif isinstance(constraints, VersionList):

@@ -72,6 +72,27 @@ class TestBacktrackFlag:
         assert "Concretized" in out
 
 
+class TestNoConcretizeCacheFlag:
+    def test_bypass_leaves_the_cache_empty(self, root, capsys):
+        code, out, _ = run(
+            capsys, "--root", root, "spec", "--no-concretize-cache", "mpileaks"
+        )
+        assert code == 0
+        assert "Concretized" in out
+        assert not os.path.isdir(
+            os.path.join(root, "cache", "concretize")
+        ) or not os.listdir(os.path.join(root, "cache", "concretize"))
+
+    def test_cached_and_uncached_answers_agree(self, root, capsys):
+        _, warm_out, _ = run(capsys, "--root", root, "spec", "mpileaks")
+        _, cold_out, _ = run(
+            capsys, "--root", root, "spec", "--no-concretize-cache", "mpileaks"
+        )
+        assert warm_out.split("Concretized")[1] == cold_out.split("Concretized")[1]
+        # the default path persisted an entry for the warm run
+        assert os.path.isfile(os.path.join(root, "cache", "concretize", "index.json"))
+
+
 class TestFindByHashAndLocation:
     def test_find_by_hash_prefix(self, root, capsys):
         run(capsys, "--root", root, "install", "libelf")

@@ -58,16 +58,23 @@ class TestCreate:
         pkg_file = os.path.join(repo_dir, "libelf", "package.py")
         text = open(pkg_file).read()
         assert "class Libelf(Package):" in text
-        from repro.fetch.mockweb import mock_checksum
+        # the template emits sha256 digests now, not legacy md5s
+        import hashlib
 
-        assert "version('0.8.13', '%s')" % mock_checksum("libelf", "0.8.13") in text
+        from repro.fetch.mockweb import mock_tarball
+
+        expected = hashlib.sha256(mock_tarball("libelf", "0.8.13")).hexdigest()
+        assert "version('0.8.13', sha256='%s')" % expected in text
+        assert "md5" not in text
 
         # and the generated file actually loads as a repository package
         from repro.repo.repository import Repository
 
         repo = Repository(repo_dir, namespace="created")
         assert repo.exists("libelf")
-        assert len(repo.get_class("libelf").safe_versions()) == 3
+        cls = repo.get_class("libelf")
+        assert len(cls.safe_versions()) == 3
+        assert cls.versions[max(cls.versions)]["checksum"] == expected
 
     def test_guess_name(self):
         from repro.repo.create import guess_name_from_url

@@ -1,0 +1,238 @@
+"""The persistent concretization cache: keys, hits, invalidation,
+integrity, and result equivalence."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.conc_cache import (
+    ConcretizationCache,
+    EnvironmentDigest,
+    describe_package_class,
+)
+from repro.session import Session
+from repro.spec.spec import Spec
+from repro.telemetry import Telemetry
+from repro.telemetry.sinks import MemorySink
+
+
+@pytest.fixture
+def hub():
+    t = Telemetry()
+    t.add_sink(MemorySink())
+    return t
+
+
+@pytest.fixture
+def tsession(tmp_path, hub):
+    return Session.create(str(tmp_path / "universe"), telemetry=hub)
+
+
+class TestSessionCaching:
+    def test_first_call_misses_then_memo_hits(self, tsession, hub):
+        cold = tsession.concretize("mpileaks")
+        assert hub.counter("concretize.cache.miss") == 1
+        warm = tsession.concretize("mpileaks")
+        assert hub.counter("concretize.cache.hit") == 1
+        assert warm.dag_hash() == cold.dag_hash()
+
+    def test_disk_hit_across_sessions(self, tmp_path, hub):
+        s1 = Session.create(str(tmp_path / "u"), telemetry=hub)
+        cold = s1.concretize("dyninst")
+        hub2 = Telemetry()
+        hub2.add_sink(MemorySink())
+        s2 = Session(
+            str(tmp_path / "u"), s1.repo, config=s1.config,
+            compilers=s1.compilers, telemetry=hub2,
+        )
+        warm = s2.concretize("dyninst")
+        assert hub2.counter("concretize.cache.hit") == 1
+        assert warm.dag_hash() == cold.dag_hash()
+        assert warm.concrete
+
+    def test_warm_result_is_byte_identical(self, tsession):
+        cold = tsession.concretize("mpileaks", use_cache=False)
+        tsession.concretize("mpileaks")
+        tsession.forget_concretizations()  # force the disk round-trip
+        warm = tsession.concretize("mpileaks")
+        assert json.dumps(warm.to_dict(), sort_keys=True) == json.dumps(
+            cold.to_dict(), sort_keys=True
+        )
+
+    def test_hits_return_independent_copies(self, tsession):
+        first = tsession.concretize("libdwarf")
+        second = tsession.concretize("libdwarf")
+        assert first is not second
+        first.variants["mangled"] = True
+        assert second == tsession.concretize("libdwarf")
+
+    def test_use_cache_false_bypasses(self, tsession, hub):
+        tsession.concretize("libelf", use_cache=False)
+        assert hub.counter("concretize.cache.miss") == 0
+        assert len(tsession.concretize_cache) == 0
+
+    def test_variants_key_separately(self, tsession, hub):
+        tsession.concretize("mpileaks")
+        tsession.concretize("mpileaks", backtrack=True)
+        # different concretizer variant: its own key, so a miss
+        assert hub.counter("concretize.cache.miss") == 2
+
+    def test_disabled_by_config(self, tmp_path):
+        session = Session.create(
+            str(tmp_path / "u"),
+            config_overrides={"concretize_cache": {"enabled": False}},
+        )
+        assert session.concretize_cache is None
+        assert session.concretize("libelf").concrete
+
+
+class TestDigestInvalidation:
+    def test_register_external_changes_the_answer(self, tsession, hub):
+        before = tsession.concretize("mpileaks")
+        assert not any(n.external for n in before.traverse())
+        tsession.register_external("mvapich2@2.0", create_content=False)
+        after = tsession.concretize("mpileaks")
+        assert hub.counter("concretize.cache.invalidate") >= 1
+        assert after["mvapich2"].external
+
+    def test_config_update_invalidates(self, tsession, hub):
+        tsession.concretize("mpileaks")
+        tsession.config.update(
+            "user", {"preferences": {"compiler_order": ["clang@3.5.0"]}}
+        )
+        after = tsession.concretize("mpileaks")
+        assert hub.counter("concretize.cache.invalidate") >= 1
+        assert str(after.compiler).startswith("clang")
+
+    def test_package_registration_invalidates(self, tsession, hub):
+        from repro.package.package import Package
+
+        tsession.concretize("libelf")
+        owner = tsession.repo.repos[0]
+        owner.add_class("newpkg", type("Newpkg", (Package,), {}))
+        tsession.concretize("libelf")
+        assert hub.counter("concretize.cache.invalidate") >= 1
+
+    def test_digest_is_memoized_on_tokens(self, tsession):
+        digest = tsession._env_digest
+        first = digest.current()
+        assert digest.current() == first  # token unchanged: cached
+        tsession.config.update("user", {"packages": {"zlib": {"buildable": False}}})
+        assert digest.current() != first
+
+    def test_describe_covers_checksums(self, tsession):
+        import types
+
+        cls = tsession.repo.get_class("libelf")
+        versions = dict(cls.versions)
+        key = next(iter(versions))
+        versions[key] = dict(versions[key], checksum="0" * 64)
+        patched = types.SimpleNamespace(versions=versions)
+        base = types.SimpleNamespace(versions=dict(cls.versions))
+        assert describe_package_class(patched) != describe_package_class(base)
+
+
+class TestIntegrity:
+    def test_corrupt_fault_falls_back_cold(self, tsession, hub):
+        from repro.testing.faults import CONCRETIZE_CACHE_CORRUPT, Fault
+
+        cold = tsession.concretize("mpileaks", use_cache=False)
+        tsession.concretize("mpileaks")  # persist the entry
+        tsession.forget_concretizations()
+        tsession.faults.arm([Fault(CONCRETIZE_CACHE_CORRUPT)])
+        try:
+            healed = tsession.concretize("mpileaks")
+        finally:
+            tsession.faults.disarm()
+        assert (CONCRETIZE_CACHE_CORRUPT, "mpileaks", None) in tsession.faults.journal
+        assert hub.counter("concretize.cache.invalidate") >= 1
+        assert healed.dag_hash() == cold.dag_hash()
+        # the rotten entry was dropped and rewritten on the cold path
+        assert len(tsession.concretize_cache) == 1
+
+    def test_on_disk_rot_is_dropped(self, tsession):
+        tsession.concretize("libdwarf")
+        tsession.forget_concretizations()
+        cache = tsession.concretize_cache
+        (key, entry), = cache.entries()
+        with open(os.path.join(cache.root, entry["entry"]), "w") as f:
+            f.write('{"not": "a spec"}')
+        assert cache.lookup(key) is None
+        assert len(cache) == 0
+        # the session transparently re-concretizes and re-stores
+        assert tsession.concretize("libdwarf").concrete
+        assert len(cache) == 1
+
+    def test_stale_hash_is_dropped(self, tmp_path):
+        cache = ConcretizationCache(str(tmp_path / "cc"))
+        spec = Spec("libelf@0.8.13%gcc@4.9.2=linux-x86_64")
+        spec._concrete = True
+        key = ConcretizationCache.make_key("libelf", "d" * 64, "greedy")
+        cache.store(key, spec)
+        index = cache.read_index()
+        index[key]["dag_hash"] = "0" * 32
+        cache._atomic_write(
+            cache._index_path(), json.dumps(index).encode()
+        )
+        cache._index_stat = None
+        assert cache.lookup(key) is None
+        assert len(cache) == 0
+
+
+class TestCacheMechanics:
+    def test_make_key_is_stable_and_input_sensitive(self):
+        key = ConcretizationCache.make_key("mpileaks", "e" * 64, "greedy")
+        assert key == ConcretizationCache.make_key("mpileaks", "e" * 64, "greedy")
+        assert key != ConcretizationCache.make_key("mpileaks", "f" * 64, "greedy")
+        assert key != ConcretizationCache.make_key("mpileaks", "e" * 64, "backtracking")
+        assert key != ConcretizationCache.make_key("mpileaks@2", "e" * 64, "greedy")
+
+    def test_index_merge_preserves_concurrent_writers(self, tmp_path):
+        root = str(tmp_path / "shared")
+        a = ConcretizationCache(root)
+        b = ConcretizationCache(root)
+        spec = Spec("libelf@0.8.13")
+        spec._concrete = True
+        ka = ConcretizationCache.make_key("a", "0" * 64, "greedy")
+        kb = ConcretizationCache.make_key("b", "0" * 64, "greedy")
+        a.store(ka, spec)
+        b.store(kb, spec)
+        assert {k for k, _ in a.entries()} == {ka, kb}
+        assert {k for k, _ in b.entries()} == {ka, kb}
+
+    def test_store_then_lookup_round_trips(self, tmp_path, session):
+        cache = ConcretizationCache(str(tmp_path / "cc"))
+        concrete = session.concretize("libdwarf", use_cache=False)
+        key = ConcretizationCache.make_key("libdwarf", "a" * 64, "greedy")
+        cache.store(key, concrete)
+        out = cache.lookup(key)
+        assert out is not None and out is not concrete
+        assert out.dag_hash() == concrete.dag_hash()
+
+
+class TestCacheEquivalenceSweep:
+    """Satellite 4: a seeded property campaign over >=200 generated
+    specs — warm results must be byte-identical to cold ones for both
+    concretizer variants, including under injected corruption."""
+
+    def test_200_generated_specs_round_trip(self, tmp_path):
+        from repro.testing.campaign import (
+            CampaignConfig,
+            CampaignReport,
+            run_cache_phase,
+        )
+
+        config = CampaignConfig(
+            seed=929, specs=0, fault_plans=0, cache_specs=200
+        )
+        report = CampaignReport(config)
+        run_cache_phase(config, report, str(tmp_path))
+        counts = report.cache_outcome_counts()
+        assert report.cache_divergences() == []
+        # every request yields one case per variant
+        assert len(report.cache_cases) == 2 * config.cache_specs
+        assert counts.get("match", 0) >= 200
+        # corruption was actually exercised on the every-tenth cadence
+        assert any(c["fault"] for c in report.cache_cases if c["kind"] == "match")
+        assert report.ok

@@ -155,3 +155,27 @@ class TestUrlForVersion:
         pkg = Example(Spec("example@1.0"))
         assert pkg.checksum_for("1.0") == "aaaa"
         assert pkg.checksum_for("7.7") is None
+
+
+class TestVersionDigestKeywords:
+    def test_sha256_keyword_stores_the_digest(self):
+        class WithSha(Package):
+            version("1.0", sha256="f" * 64)
+
+        WithSha.name = "withsha"
+        assert WithSha(Spec("withsha@1.0")).checksum_for("1.0") == "f" * 64
+
+    def test_md5_keyword_stores_the_digest(self):
+        class WithMd5(Package):
+            version("1.0", md5="a" * 32)
+
+        WithMd5.name = "withmd5"
+        assert WithMd5(Spec("withmd5@1.0")).checksum_for("1.0") == "a" * 32
+
+    def test_positional_checksum_still_works(self):
+        assert Example(Spec("example@1.0")).checksum_for("1.0") == "aaaa"
+
+    def test_conflicting_digest_kwargs_rejected(self):
+        with pytest.raises(DirectiveError):
+            class Bad(Package):
+                version("1.0", "aaaa", sha256="f" * 64)

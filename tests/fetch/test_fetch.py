@@ -141,3 +141,44 @@ class TestStage:
         _, stage = self._staged(session, tmp_path)
         stage.destroy()
         assert not os.path.exists(stage.path)
+
+
+class TestSha256Verification:
+    """Digest algorithm is picked from the declared hex length: 32 chars
+    verify as md5 (legacy), 64 as sha256 (what ``create`` now emits)."""
+
+    def _sha256_pkg(self, bare_repo_session, digest):
+        from repro.directives.directives import version as version_directive
+        from repro.package.package import Package
+        from repro.spec.spec import Spec
+
+        repo = bare_repo_session.repo.repos[0]
+
+        @repo.register("shapkg")
+        class Shapkg(Package):
+            url = "http://example.com/shapkg-1.0.tar.gz"
+            version_directive("1.0", sha256=digest)
+
+        bare_repo_session.seed_web()
+        return Shapkg(Spec("shapkg@1.0"), session=bare_repo_session)
+
+    def test_sha256_digest_verifies(self, bare_repo_session):
+        digest = hashlib.sha256(mock_tarball("shapkg", "1.0")).hexdigest()
+        pkg = self._sha256_pkg(bare_repo_session, digest)
+        content = bare_repo_session.fetcher.fetch(pkg, "1.0")
+        assert json.loads(content)["name"] == "shapkg"
+
+    def test_sha256_mismatch_names_the_algorithm(self, bare_repo_session):
+        pkg = self._sha256_pkg(bare_repo_session, "0" * 64)
+        with pytest.raises(ChecksumError) as err:
+            bare_repo_session.fetcher.fetch(pkg, "1.0")
+        assert err.value.algorithm == "sha256"
+        assert "sha256" in (err.value.long_message or "")
+
+    def test_md5_still_verifies(self, session):
+        # the entire builtin corpus still declares md5s; one spot check
+        cls = session.repo.get_class("libelf")
+        from repro.spec.spec import Spec
+
+        pkg = cls(Spec("libelf@0.8.13"), session=session)
+        assert session.fetcher.fetch(pkg, "0.8.13")

@@ -118,3 +118,30 @@ class TestProviderIndex:
         providers = index.providers_for(Spec("mpi@2:"))
         assert [p.name for p in providers] == ["openmpi"]
         assert providers[0].versions.universal  # no when => any version
+
+
+class TestProviderMemo:
+    """providers_for memoizes on the virtual spec's DAG key; results are
+    defensive copies and update() invalidates."""
+
+    def test_repeat_queries_are_equal_but_not_shared(self, index):
+        first = index.providers_for(Spec("mpi@2:"))
+        second = index.providers_for(Spec("mpi@2:"))
+        assert first == second
+        assert all(a is not b for a, b in zip(first, second))
+        first[0].variants["mangled"] = True
+        assert index.providers_for(Spec("mpi@2:")) == second
+
+    def test_update_invalidates_the_memo(self, index):
+        before = index.providers_for(Spec("mpi@2:"))
+        repo = Repository(namespace="late")
+
+        @repo.register("newmpi")
+        class Newmpi(Package):
+            version("9.0", "x")
+            provides("mpi@3")
+
+        index.update("newmpi", Newmpi)
+        after = index.providers_for(Spec("mpi@2:"))
+        assert "newmpi" in [p.name for p in after]
+        assert len(after) == len(before) + 1

@@ -13,7 +13,7 @@ def small_campaign(tmp_path_factory):
     """One bounded campaign, shared by every assertion in this module."""
     config = CampaignConfig(seed=11, specs=20,
                             fault_plans=len(ALL_FAULT_POINTS) + 1,
-                            packages=15, max_attempts=32)
+                            packages=15, max_attempts=32, cache_specs=25)
     workdir = tmp_path_factory.mktemp("campaign")
     return config, run_campaign(config, str(workdir))
 
@@ -38,6 +38,18 @@ class TestCampaign:
         config, report = small_campaign
         assert len(report.oracle_cases) == config.specs
         assert [c["case"] for c in report.oracle_cases] == list(range(config.specs))
+
+    def test_cache_phase_has_no_divergences(self, small_campaign):
+        config, report = small_campaign
+        # one case per (request, variant)
+        assert len(report.cache_cases) == 2 * config.cache_specs
+        assert report.cache_divergences() == []
+        counts = report.cache_outcome_counts()
+        assert counts.get("match", 0) > 0
+        # every tenth request runs its warm lookup under an armed
+        # concretize.cache.corrupt fault and must still match
+        faulted = [c for c in report.cache_cases if c["fault"]]
+        assert faulted and all(c["kind"] == "match" for c in faulted)
 
     def test_report_lines_are_valid_jsonl(self, small_campaign):
         config, report = small_campaign

@@ -1,0 +1,103 @@
+"""InternPool: the bounded, thread-safe cache behind version interning."""
+
+import threading
+
+from repro.util.intern import InternPool
+from repro.version import Version, VersionList, ver
+
+
+class TestInternPool:
+    def test_miss_then_hit(self):
+        pool = InternPool()
+        assert pool.get("k") is None
+        obj = object()
+        assert pool.put("k", obj) is obj
+        assert pool.get("k") is obj
+
+    def test_first_writer_wins(self):
+        pool = InternPool()
+        a, b = object(), object()
+        assert pool.put("k", a) is a
+        # a racing second writer gets the canonical (first) object back
+        assert pool.put("k", b) is a
+        assert pool.get("k") is a
+
+    def test_bounded(self):
+        pool = InternPool(maxsize=2)
+        pool.put(1, "a")
+        pool.put(2, "b")
+        pool.put(3, "c")  # over budget: not admitted
+        assert pool.get(1) == "a"
+        assert pool.get(2) == "b"
+        assert pool.get(3) is None
+
+    def test_intern_calls_factory_once_per_key(self):
+        pool = InternPool()
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return object()
+
+        first = pool.intern("k", factory)
+        second = pool.intern("k", factory)
+        assert first is second
+        assert len(calls) == 1
+
+    def test_stats_and_clear(self):
+        pool = InternPool()
+        pool.get("missing")
+        pool.put("k", "v")
+        pool.get("k")
+        stats = pool.stats()
+        assert stats["hits"] >= 1
+        assert stats["misses"] >= 1
+        assert stats["size"] == 1
+        pool.clear()
+        assert pool.get("k") is None
+        assert pool.stats()["size"] == 0
+
+    def test_concurrent_interning_is_consistent(self):
+        pool = InternPool()
+        results = [[] for _ in range(8)]
+
+        def worker(bucket):
+            for i in range(200):
+                bucket.append(pool.intern(i % 20, object))
+
+        threads = [
+            threading.Thread(target=worker, args=(results[t],))
+            for t in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # every thread saw the same canonical object per key
+        for key in range(20):
+            seen = {
+                id(bucket[i])
+                for bucket in results
+                for i in range(key, len(bucket), 20)
+            }
+            assert len(seen) == 1
+
+
+class TestVersionInterning:
+    def test_same_string_is_same_object(self):
+        assert Version("1.2.3") is Version("1.2.3")
+        assert Version("2.0-beta_3") is Version("2.0-beta_3")
+
+    def test_different_strings_differ(self):
+        assert Version("1.2.3") is not Version("1.2.30")
+
+    def test_ranges_interned_through_parse(self):
+        assert ver("1.0:2.0").constraints[0] is ver("1.0:2.0").constraints[0]
+
+    def test_list_parse_pool_returns_fresh_lists(self):
+        a = VersionList("1.0:2.0,3.0")
+        b = VersionList("1.0:2.0,3.0")
+        assert a == b
+        a.intersect(VersionList("3.0"))
+        # the second parse must not share mutable state with the first
+        assert b == VersionList("1.0:2.0,3.0")

@@ -191,3 +191,57 @@ class TestVer:
     def test_bad_type(self):
         with pytest.raises(TypeError):
             ver(object())
+
+
+class TestIsPredecessorLetters:
+    """Letter-suffix successors: ``1.0a`` -> ``1.0b`` (satellite fix)."""
+
+    def test_letter_increment(self):
+        assert Version("1.0a").is_predecessor(Version("1.0b"))
+        assert Version("2.1beta").is_predecessor(Version("2.1betb"))
+
+    def test_letter_gap_is_not_successor(self):
+        assert not Version("1.0a").is_predecessor(Version("1.0c"))
+
+    def test_z_has_no_single_letter_successor(self):
+        assert not Version("1.0z").is_predecessor(Version("1.0a"))
+        assert not Version("1.0z").is_predecessor(Version("1.1"))
+
+    def test_mixed_kinds_never_succeed(self):
+        assert not Version("1.0a").is_predecessor(Version("1.1"))
+        assert not Version("1.0").is_predecessor(Version("1.0a"))
+
+    def test_alpha_rc_numeric_tail_still_works(self):
+        assert Version("2.0rc1").is_predecessor(Version("2.0rc2"))
+
+
+class TestStrictRangeSatisfies:
+    """``satisfies(strict=True)`` on ranges: subset, not overlap.
+
+    Regression for the provider-selection bug where ``mpi@3:`` was
+    accepted for a request of ``mpi@2:`` because the non-strict overlap
+    check was used where a subset check was meant.
+    """
+
+    def test_open_range_subset_asymmetry(self):
+        assert ver("3:").satisfies(ver("2:"), strict=True)
+        assert not ver("2:").satisfies(ver("3:"), strict=True)
+
+    def test_non_strict_overlap_is_symmetric(self):
+        assert ver("3:").satisfies(ver("2:"))
+        assert ver("2:").satisfies(ver("3:"))
+
+    def test_single_version_strict(self):
+        assert Version("1.3").satisfies(ver("1.2:1.4"), strict=True)
+        assert not Version("1.5").satisfies(ver("1.2:1.4"), strict=True)
+
+    def test_range_strict_against_range(self):
+        # prefix-family semantics: ':2' includes all of the 2.x family,
+        # so 1.2:2.5 is a subset of 1:2 while 1.2:3.5 is not
+        assert VersionRange("1.2", "1.3").satisfies(ver("1:2"), strict=True)
+        assert VersionRange("1.2", "2.5").satisfies(ver("1:2"), strict=True)
+        assert not VersionRange("1.2", "3.5").satisfies(ver("1:2"), strict=True)
+
+    def test_list_strict_requires_every_member_inside(self):
+        assert ver("1.2,1.4").satisfies(ver("1:2"), strict=True)
+        assert not ver("1.2,3.0").satisfies(ver("1:2"), strict=True)
