@@ -17,7 +17,7 @@ import time
 from conftest import write_result
 
 from repro.session import Session
-from repro.telemetry import MemorySink, Telemetry
+from repro.telemetry import MemorySink, Telemetry, bench_report
 
 #: modeled build duration of every node (sleep: releases the GIL)
 BUILD_SECONDS = 0.1
@@ -148,18 +148,23 @@ def test_buildcache_cold_vs_warm(tmp_path_factory, benchmark):
     )
 
     speedup = cold_wall / warm_wall
-    report = {
-        "dag_nodes": 16,
-        "build_seconds_per_node": BUILD_SECONDS,
-        "jobs": JOBS,
-        "cold_wall_seconds": round(cold_wall, 4),
-        "warm_wall_seconds": round(warm_wall, 4),
-        "speedup_warm_vs_cold": round(speedup, 3),
-        "warm_build_spans": len(build_spans),
-        "buildcache_hits": hits,
-        "warm_cached_nodes": len(warm_result.cached),
-        "provenance_identical": True,
-    }
+    report = bench_report(
+        "buildcache",
+        {
+            "cold_wall_seconds": round(cold_wall, 4),
+            "warm_wall_seconds": round(warm_wall, 4),
+            "speedup_warm_vs_cold": round(speedup, 3),
+            "warm_build_spans": len(build_spans),
+            "buildcache_hits": hits,
+            "warm_cached_nodes": len(warm_result.cached),
+            "provenance_identical": True,
+        },
+        meta={
+            "dag_nodes": 16,
+            "build_seconds_per_node": BUILD_SECONDS,
+            "jobs": JOBS,
+        },
+    )
     lines = [
         "Binary build cache: cold source build vs. warm cache install",
         "",

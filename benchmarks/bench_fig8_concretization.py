@@ -25,6 +25,7 @@ import time
 from conftest import write_result
 
 from repro.spec.spec import Spec
+from repro.telemetry import bench_report
 
 #: Relative machine factors from the paper's Figure 8 end points.
 MACHINE_FACTORS = [
@@ -131,14 +132,17 @@ def test_concretize_cache_cold_vs_warm(universe_session, benchmark):
     write_result(
         "BENCH_concretize_cache.json",
         json.dumps(
-            {
-                "packages": len(names),
-                "cold_seconds": round(cold_elapsed, 6),
-                "warm_seconds": round(warm_elapsed, 6),
-                "speedup": round(speedup, 2),
-                "divergences": divergences,
-            },
-            indent=2,
+            bench_report(
+                "concretize_cache",
+                {
+                    "cold_seconds": round(cold_elapsed, 6),
+                    "warm_seconds": round(warm_elapsed, 6),
+                    "speedup": round(speedup, 2),
+                    "divergences": len(divergences),
+                },
+                meta={"packages": len(names)},
+            ),
+            indent=1,
             sort_keys=True,
         ) + "\n",
     )

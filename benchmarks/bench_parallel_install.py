@@ -20,6 +20,7 @@ import time
 from conftest import write_result
 
 from repro.session import Session
+from repro.telemetry import bench_report
 
 #: modeled build duration of every node (sleep: releases the GIL)
 BUILD_SECONDS = 0.1
@@ -126,18 +127,14 @@ def test_parallel_install_speedup(tmp_path_factory, benchmark):
         runs[jobs] = (session, spec, result, wall)
 
     serial_wall = runs[1][3]
-    report = {
-        "dag_nodes": len(runs[1][2].built),
-        "build_seconds_per_node": BUILD_SECONDS,
-        "runs": {},
-    }
+    metrics = {}
     lines = ["DAG-parallel install: 16-node diamond-heavy DAG", ""]
     lines.append("%6s %12s %10s %12s" % ("jobs", "wall (s)", "speedup", "aggregate"))
     for jobs in JOBS:
         _, _, result, wall = runs[jobs]
         aggregate = sum(s.real_seconds for s in result.built)
         speedup = serial_wall / wall
-        report["runs"][str(jobs)] = {
+        metrics["j%d" % jobs] = {
             "wall_seconds": round(wall, 4),
             "speedup_vs_serial": round(speedup, 3),
             "aggregate_node_seconds": round(aggregate, 4),
@@ -158,9 +155,17 @@ def test_parallel_install_speedup(tmp_path_factory, benchmark):
 
     # -- the speedup claim -------------------------------------------------
     speedup_j4 = serial_wall / runs[4][3]
-    report["speedup_j4"] = round(speedup_j4, 3)
+    metrics["speedup_j4"] = round(speedup_j4, 3)
     lines.append("")
     lines.append("j=4 speedup: %.2fx (floor: 2.0x)" % speedup_j4)
+    report = bench_report(
+        "parallel_install",
+        metrics,
+        meta={
+            "dag_nodes": len(runs[1][2].built),
+            "build_seconds_per_node": BUILD_SECONDS,
+        },
+    )
     write_result(
         "BENCH_parallel_install.json",
         json.dumps(report, indent=1, sort_keys=True) + "\n",

@@ -10,10 +10,10 @@ concretization loop, run three ways —
 * **enabled** — the hub with a ``MemorySink`` collecting every record.
 
 The contract asserted here (and recorded in
-``results/BENCH_telemetry_overhead.json``): the *disabled* hub costs
-less than 2% over baseline.  Instrumentation may therefore live
-unconditionally in hot paths; only attaching a sink buys the records
-with measurable time.
+``results/BENCH_telemetry_overhead.json``): the *disabled* hub — now
+carrying trace-context bookkeeping on every span — costs less than 3%
+over baseline.  Instrumentation may therefore live unconditionally in
+hot paths; only attaching a sink buys the records with measurable time.
 
 Measurement notes: baseline and disabled loops are interleaved
 (round-robin) and the per-variant minimum over all rounds is compared,
@@ -28,13 +28,16 @@ from conftest import write_result
 
 from repro.core.concretizer import Concretizer
 from repro.spec.spec import Spec
-from repro.telemetry import MemorySink
+from repro.telemetry import MemorySink, bench_report
 
 #: round-robin rounds per variant; minimum-of-rounds is compared
 ROUNDS = 5
 
 #: packages per loop (Figure 8-style population slice)
 LOOP_SIZE = 40
+
+#: maximum tolerated disabled-path overhead over the no-hub baseline
+BUDGET_PCT = 3.0
 
 
 def _time_loop(concretizer, names):
@@ -79,23 +82,29 @@ def test_telemetry_disabled_overhead(universe_session, benchmark):
         session.telemetry.remove_sink(sink)
 
     overhead_pct = (disabled - baseline) / baseline * 100.0
-    result = {
-        "loop_packages": len(names),
-        "rounds": ROUNDS,
-        "baseline_s": baseline,
-        "disabled_s": disabled,
-        "enabled_s": enabled,
-        "enabled_records": records,
-        "disabled_overhead_pct": overhead_pct,
-        "budget_pct": 2.0,
-    }
+    result = bench_report(
+        "telemetry_overhead",
+        {
+            "baseline_s": baseline,
+            "disabled_s": disabled,
+            "enabled_s": enabled,
+            "enabled_records": records,
+            "disabled_overhead_pct": overhead_pct,
+        },
+        meta={
+            "loop_packages": len(names),
+            "rounds": ROUNDS,
+            "budget_pct": BUDGET_PCT,
+        },
+    )
     write_result(
-        "BENCH_telemetry_overhead.json", json.dumps(result, indent=1) + "\n"
+        "BENCH_telemetry_overhead.json",
+        json.dumps(result, indent=1, sort_keys=True) + "\n",
     )
 
-    assert overhead_pct < 2.0, (
+    assert overhead_pct < BUDGET_PCT, (
         "disabled telemetry costs %.2f%% over the no-hub baseline "
-        "(budget: 2%%)" % overhead_pct
+        "(budget: %.0f%%)" % (overhead_pct, BUDGET_PCT)
     )
 
     # benchmark fixture: one instrumented-but-disabled concretization

@@ -608,6 +608,123 @@ def cmd_selftest(args):
     return 1
 
 
+def cmd_diag(args):
+    """``diag trace|critical-path|metrics|compare``: the performance
+    observatory over captured telemetry (``--telemetry-log`` JSONL files
+    and ``repro-bench/v1`` result files)."""
+    from repro.telemetry.analysis import TraceAnalysis
+
+    if args.action == "compare":
+        from repro.telemetry.compare import (
+            compare_reports, format_comparison, load_report,
+        )
+
+        if len(args.files) != 2:
+            print("Error: diag compare needs exactly two result files "
+                  "(baseline, current)", file=sys.stderr)
+            return 1
+        report = compare_reports(
+            load_report(args.files[0]),
+            load_report(args.files[1]),
+            tolerance=args.tolerance,
+        )
+        print(format_comparison(report, verbose=args.verbose), end="")
+        return 0 if report["ok"] else 1
+
+    if len(args.files) != 1:
+        print("Error: diag %s needs exactly one telemetry JSONL file"
+              % args.action, file=sys.stderr)
+        return 1
+    analysis = TraceAnalysis.from_jsonl(args.files[0])
+
+    if args.action == "trace":
+        traces = analysis.traces()
+        print("==> %d records, %d spans, %d traces, %d orphans"
+              % (len(analysis.records), len(analysis.spans), len(traces),
+                 len(analysis.orphans)))
+        path = analysis.render_tree(
+            sys.stdout, min_duration_s=args.min_ms / 1000.0
+        )
+        if path:
+            print("==> critical path (*): %d spans, %.3fs"
+                  % (len(path), analysis.critical_path_seconds(path=path)))
+        return 0
+
+    if args.action == "critical-path":
+        path = analysis.critical_path()
+        if not path:
+            print("==> no finished root span in the log")
+            return 1
+        print("==> critical path of %s (%.3fs wall)"
+              % (path[0].label(), path[0].duration_s))
+        print("    %-44s %12s" % ("span", "self (ms)"))
+        on_path = {s.span_id for s in path}
+        for span in path:
+            covered = sum(
+                c.duration_s for c in span.children
+                if c.span_id in on_path and c.duration_s is not None
+            )
+            self_ms = max(0.0, (span.duration_s or 0.0) - covered) * 1000.0
+            print("    %-44s %12.1f" % (span.label(), self_ms))
+        print("==> critical-path time: %.3fs"
+              % analysis.critical_path_seconds(path=path))
+        return 0
+
+    # metrics: aggregate view (plus optional Prometheus rendering)
+    snapshot = analysis.summary or {"counters": {}, "gauges": {},
+                                    "histograms": {}}
+    if args.prometheus:
+        from repro.telemetry.metrics import prometheus_text
+
+        print(prometheus_text(snapshot), end="")
+        return 0
+    print("==> counters")
+    for name in sorted(snapshot.get("counters", {})):
+        print("    %-40s %d" % (name, snapshot["counters"][name]))
+    print("==> histograms (seconds)")
+    for name in sorted(snapshot.get("histograms", {})):
+        h = snapshot["histograms"][name]
+        print("    %-40s n=%-5d mean=%.4f p50=%s p95=%s p99=%s"
+              % (name, h.get("count", 0), h.get("mean", 0.0),
+                 _ms(h.get("p50")), _ms(h.get("p95")), _ms(h.get("p99"))))
+    rollup = analysis.self_time_rollup()
+    if rollup:
+        print("==> self-time rollup (seconds)")
+        print("    %-40s %6s %10s %10s" % ("span", "count", "total", "self"))
+        ordering = sorted(rollup.items(), key=lambda kv: -kv[1]["self_s"])
+        for name, row in ordering:
+            print("    %-40s %6d %10.4f %10.4f"
+                  % (name, row["count"], row["total_s"], row["self_s"]))
+    conc = analysis.concurrency()
+    if conc["spans"]:
+        print("==> concurrency: max=%d avg=%.2f utilization=%.0f%% "
+              "(%d node spans over %.3fs)"
+              % (conc["max_concurrency"], conc["avg_concurrency"],
+                 conc["utilization"] * 100.0, conc["spans"],
+                 conc["window_seconds"]))
+    caches = analysis.cache_effectiveness()
+    bc, cc = caches["buildcache"], caches["concretize_cache"]
+    if bc["hits"] or bc["misses"] or bc["nodes_from_cache"]:
+        saved = ("%.3fs saved" % bc["time_saved_s"]
+                 if bc["time_saved_s"] is not None else "n/a saved")
+        ratio = ("%.0f%%" % (bc["hit_ratio"] * 100.0)
+                 if bc["hit_ratio"] is not None else "n/a")
+        print("==> buildcache: %d hits / %d misses (%s), %s"
+              % (bc["hits"], bc["misses"], ratio, saved))
+    if cc["hits"] or cc["misses"]:
+        saved = ("~%.3fs saved" % cc["time_saved_s"]
+                 if cc["time_saved_s"] is not None else "n/a saved")
+        ratio = ("%.0f%%" % (cc["hit_ratio"] * 100.0)
+                 if cc["hit_ratio"] is not None else "n/a")
+        print("==> concretize cache: %d hits / %d misses (%s), %s"
+              % (cc["hits"], cc["misses"], ratio, saved))
+    return 0
+
+
+def _ms(value):
+    return "%.4f" % value if value is not None else "-"
+
+
 def cmd_repo_list(args):
     session = _session(args)
     import fnmatch
@@ -672,6 +789,8 @@ def build_parser():
         "create": (cmd_create, "generate package boilerplate from a URL"),
         "dependents": (cmd_dependents, "list packages that depend on one"),
         "selftest": (cmd_selftest, "run a seeded correctness campaign"),
+        "diag": (cmd_diag,
+                 "analyze telemetry traces and compare benchmark results"),
     }
     for name, (func, help_text) in commands.items():
         p = sub.add_parser(name, help=help_text)
@@ -681,6 +800,36 @@ def build_parser():
                 help="publish installed prefixes, install from the cache, "
                      "or show the index",
             )
+        if name == "diag":
+            p.add_argument(
+                "action",
+                choices=("trace", "critical-path", "metrics", "compare"),
+                help="render a span tree, show its critical path, dump "
+                     "aggregate metrics, or diff two benchmark results",
+            )
+            p.add_argument(
+                "files", nargs="*",
+                help="one --telemetry-log JSONL capture (trace/"
+                     "critical-path/metrics) or two result files (compare)",
+            )
+            p.add_argument(
+                "--min-ms", type=float, default=0.0, metavar="MS",
+                help="trace: hide finished spans shorter than MS",
+            )
+            p.add_argument(
+                "--prometheus", action="store_true",
+                help="metrics: render in Prometheus text exposition format",
+            )
+            p.add_argument(
+                "--tolerance", type=float, default=0.20, metavar="FRAC",
+                help="compare: relative regression tolerance (default 0.20)",
+            )
+            p.add_argument(
+                "-v", "--verbose", action="store_true",
+                help="compare: also list metrics within tolerance",
+            )
+            p.set_defaults(func=func)
+            continue
         _add_spec_argument(p)
         p.set_defaults(func=func)
         if name == "install":

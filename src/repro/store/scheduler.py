@@ -84,9 +84,6 @@ class Scheduler:
         self.jobs = max(1, int(jobs))
         self.fail_fast = fail_fast
         self.executor = executor or BuildExecutor(session)
-        #: the live ``scheduler.run`` span, adopted by worker threads so
-        #: their ``install.node`` spans parent correctly across the pool
-        self._span = None
 
     # -- public -------------------------------------------------------------
     def run(self, plan, keep_stage=False):
@@ -101,14 +98,10 @@ class Scheduler:
         with hub.span(
             "scheduler.run", spec=str(plan.spec.name), jobs=self.jobs
         ) as span:
-            self._span = span
-            try:
-                if self.jobs == 1:
-                    self._run_serial(plan, keep_stage)
-                else:
-                    self._run_pooled(plan, keep_stage)
-            finally:
-                self._span = None
+            if self.jobs == 1:
+                self._run_serial(plan, keep_stage)
+            else:
+                self._run_pooled(plan, keep_stage)
             outcome = SchedulerOutcome(
                 plan, self.jobs, time.perf_counter() - start
             )
@@ -158,12 +151,18 @@ class Scheduler:
             in_flight = {}
 
             def dispatch():
+                # captured on the scheduler thread, inside the live
+                # ``scheduler.run`` span: every worker's spans join THIS
+                # trace instead of starting orphaned per-thread ones
+                context = hub.capture()
                 for task in plan.ready_tasks():
                     if len(in_flight) >= self.jobs:
                         break
                     task.to(_plan.BUILDING)
                     hub.event("scheduler.dispatch", package=task.node.name)
-                    in_flight[pool.submit(self._execute, task, keep_stage)] = task
+                    in_flight[
+                        pool.submit(self._execute, task, keep_stage, context)
+                    ] = task
                 hub.gauge("scheduler.queue_depth", len(plan.ready_tasks()))
 
             dispatch()
@@ -197,14 +196,21 @@ class Scheduler:
                 plan.skip_pending()
 
     # -- task execution (worker side) ---------------------------------------
-    def _execute(self, task, keep_stage):
-        """Run one task's action; returns BuildStats or None (trivial)."""
+    def _execute(self, task, keep_stage, context=None):
+        """Run one task's action; returns BuildStats or None (trivial).
+
+        ``context`` is the scheduler thread's :class:`TraceContext` at
+        dispatch time; adopting it parents this worker's spans into the
+        install trace (serial mode runs on the scheduler thread, where
+        the ``scheduler.run`` span is already current — no adoption).
+        """
         import threading
 
         task.worker = threading.current_thread().name
         hub = self.session.telemetry
-        span = self._span if hub.current_span() is None else None
-        with hub.adopt(span):
+        if hub.current_span() is not None:
+            context = None
+        with hub.adopt(context):
             if task.action == _plan.BUILD:
                 return self.executor.execute(task.node, keep_stage=keep_stage)
             if task.action == _plan.CACHED:

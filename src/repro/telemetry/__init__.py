@@ -11,7 +11,16 @@ attribute check per call site.
 See ``docs/observability.md`` for the event taxonomy and sink API.
 """
 
-from repro.telemetry.hub import NULL_SPAN, Histogram, NullSpan, Span, Telemetry
+from repro.telemetry.analysis import SpanNode, TraceAnalysis
+from repro.telemetry.hub import (
+    NULL_SPAN,
+    Histogram,
+    NullSpan,
+    Span,
+    Telemetry,
+    TraceContext,
+)
+from repro.telemetry.metrics import bench_report, prometheus_text
 from repro.telemetry.sinks import JSONLSink, MemorySink, Sink, TreeSink
 
 __all__ = [
@@ -19,9 +28,14 @@ __all__ = [
     "Span",
     "NullSpan",
     "NULL_SPAN",
+    "TraceContext",
     "Histogram",
     "Sink",
     "MemorySink",
     "JSONLSink",
     "TreeSink",
+    "TraceAnalysis",
+    "SpanNode",
+    "bench_report",
+    "prometheus_text",
 ]

@@ -1,4 +1,4 @@
-"""The telemetry hub: spans, counters, histograms — per Session.
+"""The telemetry hub: traces, spans, counters, histograms — per Session.
 
 One :class:`Telemetry` instance hangs off each ``Session`` (DESIGN.md §5:
 no global state — two sessions in one process never share a hub).
@@ -14,16 +14,41 @@ immediately.  Instrumentation can therefore stay unconditionally in hot
 paths (the overhead budget is checked by
 ``benchmarks/bench_telemetry_overhead.py``).
 
+**Trace contexts.**  Every *root* span (one opened with no enclosing
+span on its thread) starts a new trace and is assigned a fresh
+``trace_id``; descendants inherit it, so one ``Session`` operation —
+a concretize, an install — is one trace.  The current-span stack is
+thread-local; cross-thread propagation (the install scheduler's worker
+pool) goes through :meth:`~Telemetry.capture`, which snapshots the
+calling thread's position as a :class:`TraceContext`, and
+:meth:`~Telemetry.adopt`, which parents another thread's spans to it.
+A ``-j 4`` install therefore yields one coherent, single-rooted trace
+tree instead of orphaned per-thread spans
+(:mod:`repro.telemetry.analysis` reconstructs and analyzes it).
+
+**Telemetry never changes outcomes.**  A sink that raises mid-emit (a
+full disk, a closed stream, or the ``telemetry.trace.drop`` fault site)
+has its record dropped and counted on :attr:`Telemetry.drops` — the
+exception is never allowed back into the instrumented operation.
+
 Span records carry monotonically-timed durations (``time.perf_counter``)
-plus wall-clock timestamps, and integer span/parent IDs so a JSONL
-stream can be reassembled into the original tree.  The current-span
-stack is thread-local: concurrent sessions or threads each see their own
-nesting.
+plus wall-clock timestamps, and integer trace/span/parent IDs so a JSONL
+stream can be reassembled into the original forest of trees.
+Aggregates (counters, gauges, histograms) are guarded by one lock so
+:meth:`~Telemetry.snapshot` is safe while worker threads keep emitting.
 """
 
 import itertools
+import random
 import threading
 import time
+
+#: how many raw samples a Histogram retains for percentile estimates
+#: (reservoir sampling: bounded memory however many values stream in)
+RESERVOIR_SIZE = 512
+
+#: percentiles exposed by ``Histogram.to_dict()``
+PERCENTILES = (50, 95, 99)
 
 
 class NullSpan:
@@ -33,6 +58,7 @@ class NullSpan:
 
     span_id = None
     parent_id = None
+    trace_id = None
     name = None
     duration_s = 0.0
 
@@ -53,10 +79,39 @@ class NullSpan:
 NULL_SPAN = NullSpan()
 
 
+class TraceContext:
+    """A portable snapshot of "where am I in the trace tree".
+
+    Carries just the two IDs a child span needs — the trace it belongs
+    to and the span it should parent to — so it can cross thread (or,
+    serialized, process) boundaries.  :meth:`Telemetry.capture` makes
+    one; :meth:`Telemetry.adopt` installs it on another thread.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id, span_id):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def to_dict(self):
+        return {"trace": self.trace_id, "span": self.span_id}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data.get("trace"), data.get("span"))
+
+    def __repr__(self):
+        return "TraceContext(trace=%s, span=%s)" % (self.trace_id, self.span_id)
+
+
 class Span:
     """One timed, attributed unit of work; usable as a context manager."""
 
-    __slots__ = ("hub", "name", "attrs", "span_id", "parent_id", "_start", "duration_s")
+    __slots__ = (
+        "hub", "name", "attrs", "span_id", "parent_id", "trace_id",
+        "_start", "duration_s",
+    )
 
     def __init__(self, hub, name, attrs):
         self.hub = hub
@@ -64,6 +119,7 @@ class Span:
         self.attrs = attrs
         self.span_id = None
         self.parent_id = None
+        self.trace_id = None
         self._start = None
         self.duration_s = None
 
@@ -79,6 +135,7 @@ class Span:
                 "event": "event",
                 "name": name,
                 "span": self.span_id,
+                "trace": self.trace_id,
                 "ts": time.time(),
                 "attrs": attrs,
             }
@@ -87,7 +144,13 @@ class Span:
 
     def __enter__(self):
         stack = self.hub._stack()
-        self.parent_id = stack[-1].span_id if stack else None
+        if stack:
+            parent = stack[-1]
+            self.parent_id = parent.span_id
+            self.trace_id = parent.trace_id
+        else:
+            self.parent_id = None
+            self.trace_id = next(self.hub._trace_ids)
         self.span_id = next(self.hub._ids)
         self._start = time.perf_counter()
         stack.append(self)
@@ -97,6 +160,7 @@ class Span:
                 "name": self.name,
                 "span": self.span_id,
                 "parent": self.parent_id,
+                "trace": self.trace_id,
                 "ts": time.time(),
                 "attrs": dict(self.attrs),
             }
@@ -118,6 +182,7 @@ class Span:
             "name": self.name,
             "span": self.span_id,
             "parent": self.parent_id,
+            "trace": self.trace_id,
             "ts": time.time(),
             "duration_s": self.duration_s,
             "attrs": dict(self.attrs),
@@ -129,19 +194,30 @@ class Span:
         return False
 
     def __repr__(self):
-        return "Span(%r, id=%s, parent=%s)" % (self.name, self.span_id, self.parent_id)
+        return "Span(%r, id=%s, parent=%s, trace=%s)" % (
+            self.name, self.span_id, self.parent_id, self.trace_id,
+        )
 
 
 class Histogram:
-    """Streaming aggregate of observed values (no samples retained)."""
+    """Streaming aggregate of observed values plus a bounded reservoir.
 
-    __slots__ = ("count", "total", "min", "max")
+    Exact count/total/min/max/mean whatever the stream length; on top of
+    that a fixed-size uniform sample (Vitter's algorithm R, deterministic
+    RNG — same insertion order, same reservoir) supports
+    :meth:`percentile` estimates without unbounded memory.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "samples", "_rng")
 
     def __init__(self):
         self.count = 0
         self.total = 0.0
         self.min = None
         self.max = None
+        #: bounded uniform sample of the stream (not time-ordered)
+        self.samples = []
+        self._rng = random.Random(0x5E5A)
 
     def add(self, value):
         value = float(value)
@@ -149,19 +225,41 @@ class Histogram:
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if len(self.samples) < RESERVOIR_SIZE:
+            self.samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < RESERVOIR_SIZE:
+                self.samples[slot] = value
 
     @property
     def mean(self):
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, p):
+        """Nearest-rank percentile estimate from the reservoir (exact
+        while fewer than ``RESERVOIR_SIZE`` values have streamed in);
+        None before the first observation."""
+        if not self.samples:
+            return None
+        import math
+
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1,
+                          int(math.ceil(p / 100.0 * len(ordered))) - 1))
+        return ordered[rank]
+
     def to_dict(self):
-        return {
+        out = {
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
         }
+        for p in PERCENTILES:
+            out["p%d" % p] = self.percentile(p)
+        return out
 
     def __repr__(self):
         return "Histogram(n=%d, mean=%g)" % (self.count, self.mean)
@@ -176,7 +274,16 @@ class Telemetry:
         self.histograms = {}
         self.gauges = {}
         self._ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
         self._local = threading.local()
+        #: guards the aggregate dicts: snapshot() is safe mid-emission
+        self._agg_lock = threading.Lock()
+        #: records dropped because a sink raised mid-emit (telemetry
+        #: must never change outcomes — the exception stops here)
+        self.drops = 0
+        #: optional FaultInjector consulted at the emit fault site
+        #: (bound by Session so ``telemetry.trace.drop`` plans can fire)
+        self._faults = None
 
     # -- sinks ------------------------------------------------------------
     @property
@@ -192,6 +299,12 @@ class Telemetry:
         if sink in self._sinks:
             self._sinks.remove(sink)
         return sink
+
+    def bind_faults(self, injector):
+        """Wire the session's fault switchboard into the emit path so a
+        ``telemetry.trace.drop`` plan can make sinks raise mid-emit."""
+        self._faults = injector
+        return injector
 
     # -- emission ---------------------------------------------------------
     def span(self, name, **attrs):
@@ -209,11 +322,13 @@ class Telemetry:
         if not self._sinks:
             return
         stack = self._stack()
+        current = stack[-1] if stack else None
         self._emit(
             {
                 "event": "event",
                 "name": name,
-                "span": stack[-1].span_id if stack else None,
+                "span": current.span_id if current else None,
+                "trace": current.trace_id if current else None,
                 "ts": time.time(),
                 "attrs": attrs,
             }
@@ -223,58 +338,80 @@ class Telemetry:
         """Bump a counter (aggregate only — no per-increment records)."""
         if not self._sinks:
             return
-        self.counters[name] = self.counters.get(name, 0) + n
+        with self._agg_lock:
+            self.counters[name] = self.counters.get(name, 0) + n
 
     def observe(self, name, value):
         """Feed one value into the named histogram."""
         if not self._sinks:
             return
-        hist = self.histograms.get(name)
-        if hist is None:
-            hist = self.histograms[name] = Histogram()
-        hist.add(value)
-
-    def adopt(self, span):
-        """Parent this *thread's* subsequent spans to an existing span.
-
-        Cross-thread propagation for worker pools: the span stack is
-        thread-local, so a span opened on a worker thread has no parent
-        unless the dispatching thread's span is adopted first.  Accepts
-        (and ignores) ``None`` and the null span.
-        """
-        import contextlib
-
-        @contextlib.contextmanager
-        def _adopted():
-            if span is None or span.span_id is None:
-                yield
-                return
-            stack = self._stack()
-            stack.append(span)
-            try:
-                yield
-            finally:
-                if stack and stack[-1] is span:
-                    stack.pop()
-                else:
-                    try:
-                        stack.remove(span)
-                    except ValueError:
-                        pass
-
-        return _adopted()
+        with self._agg_lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.add(value)
 
     def gauge(self, name, value):
         """Record the current value of a fluctuating quantity.
 
         The latest value is kept (``gauges[name]``) and every sample is
-        folded into a same-named histogram, so min/max/mean of e.g.
-        ``scheduler.queue_depth`` come for free.
+        folded into a same-named histogram, so min/max/mean/percentiles
+        of e.g. ``scheduler.queue_depth`` come for free.
         """
         if not self._sinks:
             return
-        self.gauges[name] = value
-        self.observe(name, value)
+        with self._agg_lock:
+            self.gauges[name] = value
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.add(value)
+
+    # -- trace-context propagation ----------------------------------------
+    def capture(self):
+        """Snapshot this thread's trace position as a
+        :class:`TraceContext` (None when no span is open or telemetry is
+        disabled).  Hand the result to another thread and enter
+        :meth:`adopt` there to keep its spans in this trace."""
+        stack = self._stack()
+        if not stack:
+            return None
+        current = stack[-1]
+        if current.span_id is None:
+            return None
+        return TraceContext(current.trace_id, current.span_id)
+
+    def adopt(self, context):
+        """Parent this *thread's* subsequent spans to an existing trace
+        position.
+
+        Cross-thread propagation for worker pools: the span stack is
+        thread-local, so a span opened on a worker thread starts a new
+        trace unless the dispatching thread's context is adopted first.
+        Accepts a :class:`TraceContext` (from :meth:`capture`), a live
+        :class:`Span`, ``None``, or the null span (the latter two no-op).
+        """
+        import contextlib
+
+        @contextlib.contextmanager
+        def _adopted():
+            if context is None or context.span_id is None:
+                yield
+                return
+            stack = self._stack()
+            stack.append(context)
+            try:
+                yield
+            finally:
+                if stack and stack[-1] is context:
+                    stack.pop()
+                else:
+                    try:
+                        stack.remove(context)
+                    except ValueError:
+                        pass
+
+        return _adopted()
 
     # -- inspection -------------------------------------------------------
     def counter(self, name):
@@ -288,12 +425,18 @@ class Telemetry:
         return stack[-1] if stack else None
 
     def snapshot(self):
-        """Counters + histogram aggregates, JSON-serializable."""
-        return {
-            "counters": dict(self.counters),
-            "gauges": dict(self.gauges),
-            "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
-        }
+        """Counters + gauges + histogram aggregates, JSON-serializable.
+
+        Taken under the aggregate lock: safe to call from any thread
+        while workers keep emitting (the hub never stops).
+        """
+        with self._agg_lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+                "drops": self.drops,
+            }
 
     def emit_summary(self):
         """Emit the aggregate snapshot as a final ``telemetry.summary``
@@ -308,8 +451,17 @@ class Telemetry:
         return stack
 
     def _emit(self, record):
+        faults = self._faults
         for sink in self._sinks:
-            sink.emit(record)
+            try:
+                if faults is not None:
+                    # fault site: the sink "raises" mid-emit
+                    faults.hit("telemetry.trace.drop")
+                sink.emit(record)
+            except Exception:
+                # a broken sink must never break the instrumented
+                # operation — drop the record, keep the count
+                self.drops += 1
 
     def __repr__(self):
         return "Telemetry(%d sinks, %d counters)" % (

@@ -1,0 +1,147 @@
+"""Metrics export: Prometheus text format and the shared bench schema.
+
+Two consumers pull numbers out of a running session's hub:
+
+* **scrapers** — :func:`prometheus_text` renders a
+  :meth:`~repro.telemetry.hub.Telemetry.snapshot` in the Prometheus text
+  exposition format (counters, gauges, and histograms-as-summaries with
+  the reservoir's p50/p95/p99 quantiles), so an operator can point any
+  standard collector at a service-mode endpoint or just cat the file;
+
+* **benchmarks** — every ``benchmarks/bench_*.py`` writes its headline
+  numbers through :func:`bench_report` onto one stable schema
+  (``repro-bench/v1``), which is what makes
+  :mod:`repro.telemetry.compare` and the CI regression gate
+  (``benchmarks/check_regression.py``) possible: old and new runs are
+  comparable because they are the *same shape*.
+
+The ``repro-bench/v1`` schema::
+
+    {
+      "schema":  "repro-bench/v1",
+      "bench":   "parallel_install",        # stable bench name
+      "metrics": {"wall_seconds.j4": 0.72}, # flat str -> number
+      "meta":    {"dag_nodes": 16}          # config, not compared
+    }
+
+``metrics`` holds only scalars (dotted keys for hierarchy) so a
+comparison is a dictionary walk, never a schema negotiation.  ``meta``
+carries run configuration — compared for *identity* (a changed node
+count is a changed experiment), never for tolerance.
+"""
+
+#: schema tag stamped on (and required in) every bench report
+BENCH_SCHEMA = "repro-bench/v1"
+
+
+def flatten_metrics(obj, prefix=""):
+    """Flatten nested dicts to dotted-key scalars.
+
+    Numbers pass through, booleans become 0/1, lists contribute their
+    length (``divergences: []`` -> ``divergences: 0``), strings and
+    None are dropped — the comparable surface of any legacy result file.
+    """
+    flat = {}
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            dotted = "%s.%s" % (prefix, key) if prefix else str(key)
+            flat.update(flatten_metrics(value, dotted))
+    elif isinstance(obj, bool):
+        if prefix:
+            flat[prefix] = int(obj)
+    elif isinstance(obj, (int, float)):
+        if prefix:
+            flat[prefix] = obj
+    elif isinstance(obj, (list, tuple)):
+        if prefix:
+            flat[prefix] = len(obj)
+    return flat
+
+
+def bench_report(bench, metrics, meta=None):
+    """Assemble a ``repro-bench/v1`` report dict.
+
+    ``metrics`` may be nested; it is flattened to dotted scalar keys.
+    Raises ``ValueError`` when a metric survives flattening as nothing
+    (all-string payloads are a schema bug, not a quiet success).
+    """
+    flat = flatten_metrics(metrics)
+    if not flat:
+        raise ValueError("bench %r produced no numeric metrics" % bench)
+    return {
+        "schema": BENCH_SCHEMA,
+        "bench": bench,
+        "metrics": {k: flat[k] for k in sorted(flat)},
+        "meta": dict(meta or {}),
+    }
+
+
+# -- Prometheus text exposition ---------------------------------------------
+
+def _prom_name(prefix, name, suffix=""):
+    """``repro`` + ``buildcache.hit`` -> ``repro_buildcache_hit``."""
+    cleaned = []
+    for ch in name:
+        cleaned.append(ch if ch.isalnum() else "_")
+    base = "%s_%s%s" % (prefix, "".join(cleaned), suffix)
+    if base and base[0].isdigit():
+        base = "_" + base
+    return base
+
+
+def _prom_value(value):
+    if value is None:
+        return "NaN"
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def prometheus_text(snapshot, prefix="repro"):
+    """Render a hub snapshot in the Prometheus text exposition format.
+
+    Counters become ``counter`` samples, gauges become ``gauge``
+    samples, histograms become ``summary`` families: ``_count``,
+    ``_sum``, and one ``{quantile="..."}`` sample per reservoir
+    percentile (plus min/max as labeled quantiles 0 and 1).  Output is
+    sorted, so two snapshots of identical state render byte-identically.
+    """
+    lines = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _prom_name(prefix, name, "_total")
+        lines.append("# HELP %s %s (session counter)" % (metric, name))
+        lines.append("# TYPE %s counter" % metric)
+        lines.append("%s %s" % (metric, _prom_value(snapshot["counters"][name])))
+
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = _prom_name(prefix, name)
+        lines.append("# HELP %s %s (session gauge)" % (metric, name))
+        lines.append("# TYPE %s gauge" % metric)
+        lines.append("%s %s" % (metric, _prom_value(snapshot["gauges"][name])))
+
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        metric = _prom_name(prefix, name, "_seconds")
+        lines.append("# HELP %s %s (span/observation histogram)"
+                     % (metric, name))
+        lines.append("# TYPE %s summary" % metric)
+        quantiles = [("0", hist.get("min"))]
+        for p in (50, 95, 99):
+            quantiles.append(("0.%02d" % p, hist.get("p%d" % p)))
+        quantiles.append(("1", hist.get("max")))
+        for q, value in quantiles:
+            lines.append('%s{quantile="%s"} %s' % (metric, q, _prom_value(value)))
+        lines.append("%s_sum %s" % (metric, _prom_value(hist.get("total", 0.0))))
+        lines.append("%s_count %d" % (metric, hist.get("count", 0)))
+
+    drops = snapshot.get("drops")
+    if drops is not None:
+        metric = _prom_name(prefix, "telemetry.drops", "_total")
+        lines.append("# HELP %s records dropped by raising sinks" % metric)
+        lines.append("# TYPE %s counter" % metric)
+        lines.append("%s %s" % (metric, _prom_value(drops)))
+
+    return "\n".join(lines) + "\n"

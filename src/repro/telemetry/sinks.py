@@ -59,11 +59,17 @@ class JSONLSink(Sink):
     """Append records to a file (or stream), one JSON object per line.
 
     Accepts a path (opened in append mode, closed by :meth:`close`) or an
-    open file-like object (left open — the caller owns it).  Every record
-    is flushed immediately so a crashed process leaves a readable log.
+    open file-like object (left open — the caller owns it).  By default
+    every record is flushed immediately so a crashed process leaves a
+    readable log; pass ``flush_on_emit=False`` for hot loops (a -j N
+    install streaming thousands of spans) to let the OS buffer —
+    :meth:`close` always flushes whatever is pending.
+
+    Usable as a context manager: ``with JSONLSink(path) as sink: ...``
+    guarantees the clean close either way.
     """
 
-    def __init__(self, path_or_stream):
+    def __init__(self, path_or_stream, flush_on_emit=True):
         if hasattr(path_or_stream, "write"):
             self._stream = path_or_stream
             self._owns = False
@@ -72,14 +78,27 @@ class JSONLSink(Sink):
             self._stream = open(path_or_stream, "a")
             self._owns = True
             self.path = path_or_stream
+        self.flush_on_emit = flush_on_emit
 
     def emit(self, record):
         self._stream.write(json.dumps(record, sort_keys=True) + "\n")
-        self._stream.flush()
+        if self.flush_on_emit:
+            self._stream.flush()
 
     def close(self):
-        if self._owns and not self._stream.closed:
+        if self._stream.closed:
+            return
+        if self._owns:
             self._stream.close()
+        elif not self.flush_on_emit:
+            self._stream.flush()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
 
     @staticmethod
     def read(path):

@@ -308,6 +308,15 @@ def run_fault_phase(config, report, workdir, log=None):
         if "concretize.cache.corrupt" in plan.points():
             session.forget_concretizations()
 
+        # The telemetry.trace.drop site lives inside the hub's emit
+        # loop, which only runs while a sink is attached; give such
+        # plans a listener so the point is reachable (the install's
+        # outcome must be identical either way — that is the contract).
+        if "telemetry.trace.drop" in plan.points():
+            from repro.telemetry import MemorySink
+
+            session.telemetry.add_sink(MemorySink())
+
         session.faults.arm(plan)
         outcome, error = "clean", None
         try:

@@ -40,6 +40,11 @@ site                      layer and effect when fired
                           corrupts the cached payload it just read — the
                           dag-hash verification must drop the entry and the
                           session must re-concretize from scratch.
+``telemetry.trace.drop``  :meth:`~repro.telemetry.hub.Telemetry._emit` has a
+                          sink raise :class:`TelemetrySinkError` mid-emit —
+                          the hub must drop the record, count it on
+                          ``Telemetry.drops``, and the instrumented
+                          operation must produce byte-identical results.
 ========================  ====================================================
 
 A :class:`FaultPlan` is a list of :class:`Fault` records, either
@@ -71,6 +76,12 @@ BUILDCACHE_CORRUPT = "buildcache.corrupt"
 #: a concretization-cache payload whose bytes rot before deserialization;
 #: the dag_hash verification must reject it and re-concretize from scratch
 CONCRETIZE_CACHE_CORRUPT = "concretize.cache.corrupt"
+#: a telemetry sink that raises mid-emit; the hub must drop the record
+#: (counting it on ``Telemetry.drops``) and the instrumented operation
+#: must finish with byte-identical results — observability never
+#: changes outcomes.  Only reachable while a sink is attached (with no
+#: sinks the emit path is never entered).
+TELEMETRY_TRACE_DROP = "telemetry.trace.drop"
 
 ALL_FAULT_POINTS = (
     FETCH_TRANSIENT,
@@ -80,10 +91,20 @@ ALL_FAULT_POINTS = (
     LOCK_TIMEOUT,
     BUILDCACHE_CORRUPT,
     CONCRETIZE_CACHE_CORRUPT,
+    TELEMETRY_TRACE_DROP,
 )
 
 #: the executor's two crash sites (see the table above)
 CRASH_SITES = ("post-stage", "post-build")
+
+
+class TelemetrySinkError(Exception):
+    """What the ``telemetry.trace.drop`` site raises mid-emit.
+
+    Deliberately a plain :class:`Exception` (not a ReproError): the
+    hub's emit loop must absorb *any* sink failure, not just the ones
+    it knows about.
+    """
 
 
 class SimulatedKill(BaseException):
@@ -334,6 +355,8 @@ class FaultInjector:
             from repro.util.lock import LockTimeoutError
 
             raise LockTimeoutError(target or "<fault-injected>", 0.0)
+        if point == TELEMETRY_TRACE_DROP:
+            raise TelemetrySinkError("sink raised mid-emit (injected)")
         # DB_WRITE_RACE, BUILDCACHE_CORRUPT, CONCRETIZE_CACHE_CORRUPT:
         # the site applies the effect itself (foreign index write / byte
         # corruption of the payload it just read).

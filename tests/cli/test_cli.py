@@ -154,3 +154,90 @@ class TestParser:
         code, out, _ = run(capsys, "compilers")
         assert code == 0
         assert os.path.isdir(str(tmp_path / "envroot"))
+
+
+class TestDiag:
+    """The performance observatory: trace rendering, critical path,
+    metrics dumps, and benchmark comparison."""
+
+    @pytest.fixture
+    def capture(self, root, tmp_path, capsys):
+        log = str(tmp_path / "capture.jsonl")
+        code, _, _ = run(
+            capsys, "--root", root, "--telemetry-log", log,
+            "install", "-j", "2", "libdwarf",
+        )
+        assert code == 0
+        return log
+
+    def test_trace_renders_single_rooted_tree(self, capture, capsys):
+        code, out, _ = run(capsys, "diag", "trace", capture)
+        assert code == 0
+        assert "orphans" in out and " 0 orphans" in out
+        assert "install [libdwarf]" in out
+        assert "install.node [libelf]" in out
+        # the critical path is starred and summarized
+        assert any(line.startswith("*") for line in out.splitlines())
+        assert "critical path (*)" in out
+
+    def test_critical_path_table(self, capture, capsys):
+        code, out, _ = run(capsys, "diag", "critical-path", capture)
+        assert code == 0
+        assert "critical path of install [libdwarf]" in out
+        assert "critical-path time:" in out
+
+    def test_metrics_dump(self, capture, capsys):
+        code, out, _ = run(capsys, "diag", "metrics", capture)
+        assert code == 0
+        assert "install.built" in out
+        assert "self-time rollup" in out
+        assert "p50=" in out
+
+    def test_metrics_prometheus(self, capture, capsys):
+        code, out, _ = run(capsys, "diag", "metrics", capture, "--prometheus")
+        assert code == 0
+        assert "# TYPE repro_install_built_total counter" in out
+        assert "repro_install_node_seconds_count" in out
+
+    def test_compare_detects_injected_slowdown(self, tmp_path, capsys):
+        """The ISSUE's acceptance bar: a 25% slowdown injected into a
+        result file must be reported and exit nonzero."""
+        import json
+
+        from repro.telemetry import bench_report
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(
+            bench_report("demo", {"wall_seconds": 1.0, "speedup": 2.0})
+        ))
+        new.write_text(json.dumps(
+            bench_report("demo", {"wall_seconds": 1.25, "speedup": 2.0})
+        ))
+        code, out, _ = run(capsys, "diag", "compare", str(old), str(new))
+        assert code == 1
+        assert "REGRESSION" in out and "wall_seconds" in out
+
+        code, out, _ = run(capsys, "diag", "compare", str(old), str(old))
+        assert code == 0
+        assert "OK" in out
+
+    def test_compare_tolerance_flag(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import bench_report
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(bench_report("demo", {"wall_seconds": 1.0})))
+        new.write_text(json.dumps(bench_report("demo", {"wall_seconds": 1.25})))
+        code, _, _ = run(
+            capsys, "diag", "compare", str(old), str(new), "--tolerance", "0.5"
+        )
+        assert code == 0
+
+    def test_diag_usage_errors(self, tmp_path, capsys):
+        code, _, err = run(capsys, "diag", "compare", "only-one.json")
+        assert code == 1 and "exactly two" in err
+        code, _, err = run(capsys, "diag", "trace")
+        assert code == 1 and "exactly one" in err

@@ -17,6 +17,7 @@ from repro.telemetry import (
     MemorySink,
     NullSpan,
     Telemetry,
+    TraceContext,
     TreeSink,
 )
 
@@ -139,6 +140,88 @@ class TestSpans:
             pass
 
 
+class TestTraceContexts:
+    """Every root span starts a trace; children inherit it; capture/
+    adopt carries it across threads (docs/observability.md)."""
+
+    def test_root_spans_get_distinct_trace_ids(self, hub, sink):
+        with hub.span("first") as a:
+            pass
+        with hub.span("second") as b:
+            pass
+        assert a.trace_id is not None
+        assert b.trace_id is not None
+        assert a.trace_id != b.trace_id
+
+    def test_children_inherit_the_trace(self, hub, sink):
+        with hub.span("root") as root:
+            with hub.span("child") as child:
+                with hub.span("grandchild") as grand:
+                    pass
+        assert child.trace_id == root.trace_id
+        assert grand.trace_id == root.trace_id
+
+    def test_records_carry_the_trace_id(self, hub, sink):
+        with hub.span("op") as span:
+            hub.event("checkpoint")
+        for record in sink.records:
+            assert record["trace"] == span.trace_id
+
+    def test_capture_snapshots_the_current_position(self, hub, sink):
+        assert hub.capture() is None  # nothing open
+        with hub.span("root") as root:
+            context = hub.capture()
+        assert isinstance(context, TraceContext)
+        assert context.trace_id == root.trace_id
+        assert context.span_id == root.span_id
+
+    def test_capture_round_trips_through_dict(self, hub, sink):
+        with hub.span("root"):
+            context = hub.capture()
+        again = TraceContext.from_dict(context.to_dict())
+        assert again.trace_id == context.trace_id
+        assert again.span_id == context.span_id
+
+    def test_adopted_context_joins_the_trace_across_threads(self, hub, sink):
+        seen = {}
+
+        def worker(context):
+            with hub.adopt(context):
+                with hub.span("worker-span") as child:
+                    seen["trace"] = child.trace_id
+                    seen["parent"] = child.parent_id
+
+        with hub.span("main-root") as root:
+            context = hub.capture()
+            t = threading.Thread(target=worker, args=(context,))
+            t.start()
+            t.join()
+        assert seen["trace"] == root.trace_id
+        assert seen["parent"] == root.span_id
+
+    def test_parallel_install_yields_one_trace_no_orphans(self, session):
+        """A -j 4 install is one coherent single-rooted trace tree even
+        though node builds run on pool threads."""
+        sink = session.telemetry.add_sink(MemorySink())
+        try:
+            session.install("mpileaks", jobs=4)
+        finally:
+            session.telemetry.remove_sink(sink)
+        install = sink.spans("install")[0]
+        trace = install["trace"]
+        in_trace = [r for r in sink.records if r.get("trace") == trace]
+        spans = [r for r in in_trace if r["event"] == "span-end"]
+        roots = [r for r in spans if r["parent"] is None]
+        assert roots == [install]  # single-rooted
+        ids = {r["span"] for r in spans}
+        for r in spans:  # zero orphans: every parent is in the trace
+            assert r["parent"] is None or r["parent"] in ids
+        # the worker-side spans really are in this trace
+        assert {r["name"] for r in spans} >= {
+            "install", "scheduler.run", "install.node",
+        }
+
+
 class TestAggregates:
     def test_counters_accumulate(self, hub, sink):
         hub.count("fetch.cache_hit")
@@ -191,6 +274,81 @@ class TestAggregates:
         hub.emit_summary()
         summary = sink.events("telemetry.summary")[0]
         assert summary["attrs"]["counters"] == {"install.built": 2}
+
+
+class TestHistogramPercentiles:
+    def test_percentiles_exact_under_reservoir_size(self, hub, sink):
+        for v in range(1, 101):  # 1..100
+            hub.observe("h", float(v))
+        hist = hub.histograms["h"]
+        assert hist.percentile(50) == 50.0
+        assert hist.percentile(95) == 95.0
+        assert hist.percentile(99) == 99.0
+
+    def test_to_dict_exposes_p50_p95_p99(self, hub, sink):
+        hub.observe("h", 1.0)
+        d = hub.histograms["h"].to_dict()
+        assert d["p50"] == 1.0
+        assert d["p95"] == 1.0
+        assert d["p99"] == 1.0
+
+    def test_empty_percentile_is_none(self):
+        from repro.telemetry import Histogram
+
+        assert Histogram().percentile(50) is None
+
+    def test_reservoir_is_bounded_but_exact_stats_are_not(self, hub, sink):
+        from repro.telemetry.hub import RESERVOIR_SIZE
+
+        n = RESERVOIR_SIZE * 3
+        for v in range(n):
+            hub.observe("big", float(v))
+        hist = hub.histograms["big"]
+        assert len(hist.samples) == RESERVOIR_SIZE
+        assert hist.count == n          # exact aggregates keep counting
+        assert hist.min == 0.0
+        assert hist.max == float(n - 1)
+        # the sampled median still lands in the middle of the stream
+        assert n * 0.3 < hist.percentile(50) < n * 0.7
+
+    def test_reservoir_is_deterministic(self):
+        from repro.telemetry import Histogram
+
+        a, b = Histogram(), Histogram()
+        for v in range(2000):
+            a.add(float(v))
+            b.add(float(v))
+        assert a.samples == b.samples
+
+
+class TestCrashProofEmission:
+    """Telemetry must never change outcomes: a raising sink is counted
+    on ``drops``, not propagated into the instrumented operation."""
+
+    class _BrokenSink(MemorySink):
+        def emit(self, record):
+            raise IOError("disk full")
+
+    def test_raising_sink_never_breaks_the_operation(self, hub):
+        hub.add_sink(self._BrokenSink())
+        with hub.span("work"):
+            hub.event("checkpoint")
+        hub.count("c")
+        assert hub.drops == 3  # span-start, event, span-end
+        assert hub.counter("c") == 1  # aggregates unaffected
+
+    def test_drops_split_per_sink(self, hub):
+        healthy = hub.add_sink(MemorySink())
+        hub.add_sink(self._BrokenSink())
+        hub.event("e")
+        assert hub.drops == 1
+        assert len(healthy.records) == 1  # other sinks still served
+
+    def test_snapshot_reports_drops(self, hub):
+        hub.add_sink(self._BrokenSink())
+        hub.event("e")
+        snap = hub.snapshot()
+        assert snap["drops"] == 1
 
 
 class TestDisabledPath:
@@ -273,6 +431,20 @@ class TestJSONLSink:
             hub.event("run")
             jsonl.close()
         assert len(JSONLSink.read(path)) == 2
+
+    def test_buffered_mode_flushes_on_close(self, hub, tmp_path):
+        path = str(tmp_path / "buffered.jsonl")
+        jsonl = hub.add_sink(JSONLSink(path, flush_on_emit=False))
+        hub.event("e")
+        jsonl.close()
+        assert len(JSONLSink.read(path)) == 1
+
+    def test_context_manager_closes_the_stream(self, hub, tmp_path):
+        path = str(tmp_path / "ctx.jsonl")
+        with JSONLSink(path, flush_on_emit=False) as jsonl:
+            hub.add_sink(jsonl)
+            hub.event("inside")
+        assert len(JSONLSink.read(path)) == 1
 
 
 class TestTreeSink:

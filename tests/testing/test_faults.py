@@ -179,3 +179,49 @@ class TestFaultPointsEndToEnd:
         s.faults.disarm()
         s.install("libelf", jobs=1)
         assert s.db.query("libelf")
+
+    def test_telemetry_trace_drop_never_changes_outcomes(
+        self, faulty_session, tmp_path
+    ):
+        """Sinks raising mid-emit cripple the telemetry stream, never
+        the install: records are dropped and counted, and the store's
+        provenance stays byte-identical to an unfaulted session's."""
+        import json
+
+        from repro.store.layout import METADATA_DIR
+
+        def provenance(session, spec):
+            out = {}
+            for node in spec.traverse():
+                meta = os.path.join(
+                    session.store.layout.path_for_spec(node), METADATA_DIR
+                )
+                with open(os.path.join(meta, "spec.json"), "rb") as f:
+                    out[node.dag_hash()] = f.read()
+            return out
+
+        s = faulty_session
+        s.faults.arm([Fault("telemetry.trace.drop", times=10)])
+        spec, result = s.install("libdwarf", jobs=1)
+        s.faults.disarm()
+        assert s.db.query("libdwarf")          # the install succeeded
+        assert s.telemetry.drops == 10          # ...with records lost
+        assert s.faults.injection_counts() == {"telemetry.trace.drop": 10}
+        assert len(result.built) == 2
+
+        clean = Session.create(str(tmp_path / "clean"), install_jobs=1)
+        clean_spec, _ = clean.install("libdwarf", jobs=1)
+        assert clean_spec.dag_hash() == spec.dag_hash()
+        assert provenance(clean, clean_spec) == provenance(s, spec)
+
+    def test_telemetry_trace_drop_concretize_identical(self, faulty_session):
+        """Concretization results are identical whether or not every
+        telemetry record is being dropped."""
+        s = faulty_session
+        quiet = s.concretize("mpileaks", use_cache=False)
+        s.faults.arm([Fault("telemetry.trace.drop", times=100)])
+        noisy = s.concretize("mpileaks", use_cache=False)
+        s.faults.disarm()
+        assert s.telemetry.drops > 0
+        assert noisy.dag_hash() == quiet.dag_hash()
+        assert noisy.to_dict() == quiet.to_dict()
