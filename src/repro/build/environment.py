@@ -20,15 +20,17 @@ import os
 from repro.util.environment import EnvironmentModifications
 
 
-def dependency_prefixes(spec, layout):
+def dependency_prefixes(spec, layout, deptype=None):
     """Ordered ``{name: prefix}`` for every transitive dependency.
 
     Externals keep their configured prefix (§4.4); everything else
     resolves through the layout.  Post-order, so deeper dependencies come
-    first — the order link lines and search paths list them.
+    first — the order link lines and search paths list them.  ``deptype``
+    restricts the traversal to edges of those types (e.g. ``("link",)``
+    for the prefixes a link line may reference).
     """
     prefixes = {}
-    for node in spec.traverse(order="post", root=False):
+    for node in spec.traverse(order="post", root=False, deptype=deptype):
         prefixes[node.name] = node.external or layout.path_for_spec(node)
     return prefixes
 
@@ -45,6 +47,7 @@ def build_environment(
     wrapper_paths=None,
     use_wrappers=True,
     target_flags=(),
+    link_prefixes=None,
 ):
     """The isolated environment dict one package build runs in.
 
@@ -54,6 +57,15 @@ def build_environment(
     applies the same rewrite via ``wrap_compiler_args``.  Either way
     ``CC``/``CXX``/``F77``/``FC`` are what the build system calls and
     ``SPACK_*`` is what the wrapper layer consults.
+
+    ``dep_prefixes`` (every dependency) feeds ``PATH`` and the discovery
+    variables — a build tool must be runnable.  ``link_prefixes`` (the
+    link-edge closure; defaults to ``dep_prefixes``) feeds
+    ``SPACK_LINK_DEPENDENCIES``, the set the wrappers turn into
+    ``-I``/``-L``/``-Wl,-rpath`` flags: build-only tools never leak into
+    installed binaries, which is what makes two specs differing only in
+    build deps binary-equivalent (the splice precondition, §6 future
+    work).
     """
     real = {
         "cc": compiler.cc or "%s-%s" % (compiler.name, compiler.version),
@@ -61,6 +73,8 @@ def build_environment(
         "f77": compiler.f77 or "",
         "fc": compiler.fc or "",
     }
+    if link_prefixes is None:
+        link_prefixes = dep_prefixes
     env = {
         "SPACK_CC": real["cc"],
         "SPACK_CXX": real["cxx"],
@@ -69,6 +83,7 @@ def build_environment(
         "SPACK_COMPILER": "%s-%s" % (compiler.name, compiler.version),
         "SPACK_PREFIX": prefix,
         "SPACK_DEPENDENCIES": os.pathsep.join(dep_prefixes.values()),
+        "SPACK_LINK_DEPENDENCIES": os.pathsep.join(link_prefixes.values()),
         "SPACK_TARGET_FLAGS": " ".join(target_flags),
         "SPACK_SPEC": str(node),
     }
@@ -87,9 +102,9 @@ def build_environment(
 
     path_dirs.extend(_path_list(dep_prefixes, "bin"))
     env["PATH"] = os.pathsep.join(path_dirs)
-    env["PKG_CONFIG_PATH"] = os.pathsep.join(_path_list(dep_prefixes, "lib", "pkgconfig"))
+    env["PKG_CONFIG_PATH"] = os.pathsep.join(_path_list(link_prefixes, "lib", "pkgconfig"))
     env["CMAKE_PREFIX_PATH"] = os.pathsep.join(dep_prefixes.values())
-    env["LD_LIBRARY_PATH"] = os.pathsep.join(_path_list(dep_prefixes, "lib"))
+    env["LD_LIBRARY_PATH"] = os.pathsep.join(_path_list(link_prefixes, "lib"))
     return env
 
 

@@ -17,10 +17,13 @@ Two consumers share :func:`wrap_compiler_args`:
   Figure 10/11's wrapper-overhead numbers model.
 
 The information channel is environment variables, exactly as in the
-original: ``SPACK_CC`` (the real compiler), ``SPACK_DEPENDENCIES``
-(colon-separated dependency prefixes), ``SPACK_PREFIX`` (the install
-prefix whose ``lib`` also gets an RPATH), and ``SPACK_TARGET_FLAGS``
-(per-architecture flags from :mod:`repro.platforms`).
+original: ``SPACK_CC`` (the real compiler), ``SPACK_LINK_DEPENDENCIES``
+(colon-separated prefixes of the link-edge closure — the set that gets
+``-I``/``-L``/``-Wl,-rpath`` flags; falls back to the all-dependency
+``SPACK_DEPENDENCIES`` for callers predating typed edges),
+``SPACK_PREFIX`` (the install prefix whose ``lib`` also gets an RPATH),
+and ``SPACK_TARGET_FLAGS`` (per-architecture flags from
+:mod:`repro.platforms`).
 """
 
 import os
@@ -46,7 +49,13 @@ def wrap_compiler_args(argv, env, slot="cc"):
     """
     argv = list(argv)
     real = env.get(_REAL_COMPILER_VAR.get(slot, "SPACK_CC")) or env.get("SPACK_CC") or argv[0]
-    deps = [p for p in env.get("SPACK_DEPENDENCIES", "").split(os.pathsep) if p]
+    # headers and link flags come from the *link*-edge closure only —
+    # build-only tool prefixes (on PATH, in SPACK_DEPENDENCIES) must not
+    # end up in RPATHs, or binaries would differ with their build tools
+    link_deps = env.get("SPACK_LINK_DEPENDENCIES")
+    if link_deps is None:
+        link_deps = env.get("SPACK_DEPENDENCIES", "")
+    deps = [p for p in link_deps.split(os.pathsep) if p]
     prefix = env.get("SPACK_PREFIX")
     target_flags = env.get("SPACK_TARGET_FLAGS", "").split()
 

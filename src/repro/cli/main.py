@@ -62,6 +62,7 @@ def cmd_install(args):
         jobs=getattr(args, "jobs", None),
         fail_fast=getattr(args, "fail_fast", False),
         use_cache=use_cache,
+        use_splice=getattr(args, "use_splice", None),
     )
     print("==> %s" % spec)
     for stats in result.built:
@@ -70,6 +71,8 @@ def cmd_install(args):
         )
     for stats in result.cached:
         print("    cached %-20s (extracted + relocated)" % stats.spec.name)
+    for stats in result.spliced:
+        print("    spliced %-19s (runtime-hash twin rebased)" % stats.spec.name)
     for node in result.reused:
         print("    reused %s" % node.name)
     for node in result.externals:
@@ -405,14 +408,20 @@ def cmd_compilers(args):
 def cmd_graph(args):
     session = _session(args)
     concrete = session.concretize(_spec_arg(args))
+    deptype = getattr(args, "deptype", None)
+    if deptype:
+        deptype = tuple(t.strip() for t in deptype.split(",") if t.strip())
+    else:
+        deptype = None
     if args.dot:
         from repro.spec.graph import graph_dot
 
-        print(graph_dot(concrete, name=concrete.name))
+        print(graph_dot(concrete, name=concrete.name,
+                        show_deptypes=True, deptype=deptype))
     else:
         from repro.spec.graph import graph_ascii
 
-        print(graph_ascii(concrete))
+        print(graph_ascii(concrete, show_deptypes=True, deptype=deptype))
     return 0
 
 
@@ -569,6 +578,7 @@ def cmd_selftest(args):
         specs=args.specs,
         fault_plans=args.fault_plans,
         cache_specs=getattr(args, "cache_specs", 200),
+        splice_cases=getattr(args, "splice_cases", 6),
     )
     workdir = tempfile.mkdtemp(prefix="repro-selftest-")
     try:
@@ -584,6 +594,11 @@ def cmd_selftest(args):
     print("    oracle: %s" % (summary["oracle_outcomes"] or "skipped"))
     print("    injections: %s" % (summary["injections"] or "skipped"))
     print("    cache: %s" % (summary["cache_outcomes"] or "skipped"))
+    print("    splice: %s" % (
+        "%d cases, %d divergences" % (summary["splice_cases"],
+                                      summary["splice_divergences"])
+        if summary["splice_cases"] else "skipped"
+    ))
     for case in report.divergences():
         print("    DIVERGENCE: %s (minimized: %s)"
               % (case["request"], case["minimized"]))
@@ -596,6 +611,10 @@ def cmd_selftest(args):
     for case in report.cache_divergences():
         print("    CACHE DIVERGENCE: %s (%s)"
               % (case["request"], case["variant"]))
+    for case in report.splice_divergences():
+        print("    SPLICE DIVERGENCE: case %d (%s)"
+              % (case["case"],
+                 "; ".join(case.get("divergence") or []) or case["error"]))
     if report.ok:
         fault_note = (
             "all fault points reached, all stores healed"
@@ -860,6 +879,12 @@ def build_parser():
                 help="build everything from source even when a build cache "
                      "is configured",
             )
+            p.add_argument(
+                "--no-splice", dest="use_splice", action="store_false",
+                default=None,
+                help="never satisfy a cache miss by splicing a runtime-hash "
+                     "twin's binaries; exact dag-hash entries only",
+            )
         if name == "buildcache":
             p.add_argument(
                 "--dir",
@@ -873,6 +898,12 @@ def build_parser():
                            help="show dependency trees")
         if name == "graph":
             p.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+            p.add_argument(
+                "--deptype", metavar="TYPES",
+                help="only draw edges of these comma-separated types "
+                     "(build,link,run) — e.g. --deptype link,run for the "
+                     "runtime closure",
+            )
         if name == "view":
             p.add_argument("--view-root", help="directory for the view")
             p.add_argument("--link", help="projection template for matched specs")
@@ -915,6 +946,11 @@ def build_parser():
                 "--cache-specs", type=int, default=200, metavar="K",
                 help="generated requests for the concretization-cache "
                      "equivalence sweep",
+            )
+            p.add_argument(
+                "--splice-cases", type=int, default=6, metavar="S",
+                help="spliced-vs-built store comparisons for the "
+                     "splice-equivalence sweep",
             )
             p.add_argument(
                 "--report", metavar="FILE",

@@ -157,6 +157,7 @@ class Concretizer:
             )
 
         self._prune_constraint_edges(spec)
+        self._stamp_edge_deptypes(spec)
         self._check_cycles(spec)
         self._validate(spec)
         self._stamp_concrete(spec)
@@ -460,6 +461,35 @@ class Concretizer:
                     % (spec.name, child.name)
                 )
 
+    def _stamp_edge_deptypes(self, spec):
+        """Re-type every surviving edge from its package declarations.
+
+        Edges accumulate with the default ``("build", "link")`` type
+        during expansion — user ``^`` constraints, virtual-provider
+        swaps, and the backtracking solver's trial providers all create
+        untyped edges.  Once the DAG has converged, each parent→child
+        edge's types are exactly the union of the *active* declarations
+        (``when=`` satisfied) naming the child directly or through a
+        virtual it provides.  Run after pruning so only justified edges
+        are stamped; idempotent, so re-concretizing an already-concrete
+        spec leaves hashes unchanged.
+        """
+        for node in spec.traverse():
+            if not self.repo.exists(node.name):
+                continue
+            cls = self.repo.get_class(node.name)
+            for name, child in node.dependencies.items():
+                deptypes = frozenset()
+                for dc_name in (child.name, *sorted(child.provided_virtuals)):
+                    for dc in cls.dependencies.get(dc_name, ()):
+                        if dc.when is not None and not node.satisfies(
+                            dc.when, strict=True
+                        ):
+                            continue
+                        deptypes |= dc.deptypes
+                if deptypes:
+                    node.dependencies.set_deptypes(name, deptypes)
+
     # -- validation -------------------------------------------------------------------------
     def _check_cycles(self, spec):
         """DFS for back edges (the tool disallows circular dependencies)."""
@@ -562,4 +592,6 @@ class Concretizer:
             node._normal = True
             node._concrete = True
             node._hash = None
+            node._rhash = None
         spec.dag_hash()
+        spec.runtime_hash()

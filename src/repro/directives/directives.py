@@ -13,7 +13,7 @@ predicate (evaluated during normalization, §3.4).
 """
 
 from repro.errors import ReproError
-from repro.spec.spec import Spec
+from repro.spec.spec import DEFAULT_DEPTYPES, Spec, canonical_deptype
 from repro.version import Version
 
 
@@ -36,18 +36,25 @@ class Variant:
 
 
 class DependencyConstraint:
-    """One ``depends_on`` declaration: a dep constraint plus a predicate."""
+    """One ``depends_on`` declaration: a dep constraint, a predicate,
+    and the dependency types the edge carries (build/link/run)."""
 
-    __slots__ = ("spec", "when")
+    __slots__ = ("spec", "when", "deptypes")
 
-    def __init__(self, spec, when):
+    def __init__(self, spec, when, deptypes=None):
         self.spec = spec
         self.when = when  # Spec or None (None == unconditional)
+        self.deptypes = (
+            canonical_deptype(deptypes)
+            if deptypes is not None
+            else frozenset(DEFAULT_DEPTYPES)
+        )
 
     def __repr__(self):
-        return "DependencyConstraint(%r, when=%r)" % (
+        return "DependencyConstraint(%r, when=%r, type=%r)" % (
             str(self.spec),
             str(self.when) if self.when else None,
+            tuple(sorted(self.deptypes)),
         )
 
 
@@ -216,13 +223,22 @@ def version(ver_string, checksum=None, url=None, when=None, sha256=None,
     DirectiveMeta.push(apply_)
 
 
-def depends_on(*spec_strings, when=None):
+def depends_on(*spec_strings, when=None, type=None):
     """Declare prerequisite packages (Figure 1, lines 10–11).
 
     Each argument is a spec expression — constraints included, e.g.
     ``depends_on('boost@1.54.0', when='%gcc@:4')`` (§3.2.4).
+
+    ``type=`` names what the edge is *for*: ``"build"`` (needed only to
+    produce the prefix — compilers-adjacent tools like cmake), ``"link"``
+    (an ABI dependency baked into the binaries), ``"run"`` (needed in the
+    environment when the package executes), or any tuple of those.  The
+    default is Spack's ``("build", "link")``.  Build-only edges are
+    excluded from :meth:`Spec.runtime_hash`, which is what makes cached
+    binaries spliceable across build-tool changes.
     """
     when_spec = _as_when(when)
+    deptypes = canonical_deptype(type) if type is not None else None
 
     def apply_(cls):
         cls.dependencies = {k: list(v) for k, v in cls.dependencies.items()}
@@ -233,7 +249,7 @@ def depends_on(*spec_strings, when=None):
                     "depends_on requires a named spec: %r" % spec_string
                 )
             cls.dependencies.setdefault(dep_spec.name, []).append(
-                DependencyConstraint(dep_spec, when_spec)
+                DependencyConstraint(dep_spec, when_spec, deptypes)
             )
 
     DirectiveMeta.push(apply_)
@@ -289,8 +305,10 @@ def extends(spec_string, **kwargs):
         cls.extendees = dict(cls.extendees)
         cls.extendees[ext_spec.name] = (ext_spec, kwargs)
         cls.dependencies = {k: list(v) for k, v in cls.dependencies.items()}
+        # An extendee is imported at build time and activated into the
+        # runtime environment, but never linked against: ("build", "run").
         cls.dependencies.setdefault(ext_spec.name, []).append(
-            DependencyConstraint(ext_spec, None)
+            DependencyConstraint(ext_spec, None, ("build", "run"))
         )
 
     DirectiveMeta.push(apply_)

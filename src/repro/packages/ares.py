@@ -127,13 +127,14 @@ class Ares(Package):
 
     # -- externals ------------------------------------------------------------------
     depends_on("mpi")
-    depends_on("python")          # ARES builds its own Python (§4.4)
-    depends_on("python@2.7.9", when="=bgq")  # BG/Q: native stack lacks 2.7.9
-    depends_on("tcl")
-    depends_on("tk")
-    depends_on("py-scipy", when="~lite")
-    depends_on("py-numpy")
-    depends_on("cmake")
+    # the embedded scripting stack is imported at run time, never linked
+    depends_on("python", type=("build", "run"))  # ARES builds its own Python (§4.4)
+    depends_on("python@2.7.9", when="=bgq", type=("build", "run"))  # BG/Q lacks 2.7.9
+    depends_on("tcl", type=("build", "run"))
+    depends_on("tk", type=("build", "run"))
+    depends_on("py-scipy", when="~lite", type=("build", "run"))
+    depends_on("py-numpy", type=("build", "run"))
+    depends_on("cmake", type="build")  # build orchestration only: spliceable
     depends_on("hpdf", when="~lite")
     depends_on("opclient")
     depends_on("boost")

@@ -166,7 +166,8 @@ class PyScipy(PythonExtension):
     version("0.15.1", mock_checksum("py-scipy", "0.15.1"))
     version("0.14.0", mock_checksum("py-scipy", "0.14.0"))
 
-    depends_on("py-numpy")
+    # numpy is imported, not linked: needed to build and to run
+    depends_on("py-numpy", type=("build", "run"))
     depends_on("blas")
     depends_on("lapack")
 

@@ -46,7 +46,9 @@ def _simple(class_name, pkg_name, url, versions, deps=(), units=12, cost=0.08,
 
     These are ordinary DSL classes (the directives run in the class body
     via ``type()``'s namespace execution); using a factory just avoids
-    sixteen near-identical class statements for leaf libraries.
+    sixteen near-identical class statements for leaf libraries.  A dep
+    may be a plain spec string (default build+link edge) or a
+    ``(spec, type)`` pair forwarded to ``depends_on(..., type=...)``.
     """
     from repro.directives.directives import DirectiveMeta
 
@@ -59,7 +61,10 @@ def _simple(class_name, pkg_name, url, versions, deps=(), units=12, cost=0.08,
         for v in versions:
             version(v, mock_checksum(pkg_name, v))
         for dep in deps:
-            depends_on(dep)
+            if isinstance(dep, tuple):
+                depends_on(dep[0], type=dep[1])
+            else:
+                depends_on(dep)
         for vname, default, desc in variants:
             variant(vname, default=default, description=desc)
 

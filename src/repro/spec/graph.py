@@ -2,42 +2,72 @@
 
 ``graph_ascii`` prints an indented tree with back-edges annotated;
 ``graph_dot`` emits Graphviz for the benchmark harnesses that regenerate
-the paper's DAG figures.
+the paper's DAG figures.  Both understand typed dependency edges:
+``show_deptypes`` annotates each edge with its compact ``blr`` type
+string (``b``\\uild, ``l``\\ink, ``r``\\un), and ``deptype`` restricts the
+rendering to the sub-DAG reachable through edges of those types —
+``deptype=("link", "run")`` draws exactly what a built binary carries at
+run time.
 """
 
-from repro.spec.spec import Spec
+from repro.spec.spec import Spec, canonical_deptype, deptype_chars
 
 
-def graph_ascii(spec, show_params=True):
+def _edge_filter(deptype):
+    """None (keep every edge) or the canonical frozenset to test against."""
+    if deptype is None:
+        return None
+    return canonical_deptype(deptype)
+
+
+def graph_ascii(spec, show_params=True, show_deptypes=False, deptype=None):
     """Indented-tree rendering; repeated nodes are marked with ``*``.
 
     One version of each package appears per DAG (§3.2.1), so a node seen
     again is the same build — the ``*`` marks a shared sub-DAG edge.
+    With ``show_deptypes`` every dependency line gets an ``[blr]``
+    annotation describing the edge it was reached through; ``deptype``
+    prunes edges whose type set does not overlap it.
     """
+    wanted = _edge_filter(deptype)
     lines = []
     seen = set()
 
-    def walk(node, depth):
+    def annotate(line, parent, name):
+        if not show_deptypes or parent is None:
+            return line
+        chars = deptype_chars(parent.dependencies.deptypes(name))
+        return "%s [%s]" % (line, chars or "?")
+
+    def walk(node, depth, parent=None, via=None):
         label = node.node_str() if show_params else (node.name or "?")
         if node.name in seen:
-            lines.append("%s%s *" % ("  " * depth, label))
+            lines.append(annotate("%s%s *" % ("  " * depth, label), parent, via))
             return
         seen.add(node.name)
-        lines.append("%s%s" % ("  " * depth, label))
+        lines.append(annotate("%s%s" % ("  " * depth, label), parent, via))
         for name in sorted(node.dependencies):
-            walk(node.dependencies[name], depth + 1)
+            if wanted is not None and not (
+                node.dependencies.deptypes(name) & wanted
+            ):
+                continue
+            walk(node.dependencies[name], depth + 1, parent=node, via=name)
 
     walk(spec, 0)
     return "\n".join(lines)
 
 
-def graph_dot(spec, name="spec", node_attrs=None):
+def graph_dot(spec, name="spec", node_attrs=None, show_deptypes=False,
+              deptype=None):
     """Graphviz DOT text for a spec DAG.
 
     ``node_attrs`` may be a callable ``spec_node -> dict`` adding per-node
     attributes (Figure 13 colors nodes by package category this way).
+    ``show_deptypes`` labels each edge with its ``blr`` type string;
+    ``deptype`` restricts the graph to edges of those types.
     """
     node_attrs = node_attrs or (lambda node: {})
+    wanted = _edge_filter(deptype)
     lines = ["digraph \"%s\" {" % name, "  rankdir=TB;"]
     emitted = set()
     edges = set()
@@ -54,25 +84,46 @@ def graph_dot(spec, name="spec", node_attrs=None):
             attr_text = ", ".join('%s="%s"' % kv for kv in sorted(attrs.items()))
             lines.append("  %s [%s];" % (nid, attr_text))
         for name in sorted(node.dependencies):
+            types = node.dependencies.deptypes(name)
+            if wanted is not None and not (types & wanted):
+                continue
             child = node.dependencies[name]
             edge = (node.name, child.name)
             walk(child)
             if edge not in edges:
                 edges.add(edge)
-                lines.append("  %s -> %s;" % (nid, node_id(child)))
+                if show_deptypes:
+                    lines.append(
+                        '  %s -> %s [label="%s"];'
+                        % (nid, node_id(child), deptype_chars(types))
+                    )
+                else:
+                    lines.append("  %s -> %s;" % (nid, node_id(child)))
 
     walk(spec if isinstance(spec, Spec) else Spec(spec))
     lines.append("}")
     return "\n".join(lines)
 
 
-def edge_list(spec):
-    """Sorted unique ``(parent, child)`` name pairs — handy for tests."""
+def edge_list(spec, deptypes=False, deptype=None):
+    """Sorted unique edge tuples — handy for tests.
+
+    ``(parent, child)`` name pairs by default; with ``deptypes=True``,
+    ``(parent, child, "blr")`` triples carrying each edge's type string.
+    ``deptype`` restricts the walk to edges of those types.
+    """
+    wanted = _edge_filter(deptype)
     edges = set()
 
     def walk(node):
         for name, child in node.dependencies.items():
-            edge = (node.name, child.name)
+            types = node.dependencies.deptypes(name)
+            if wanted is not None and not (types & wanted):
+                continue
+            if deptypes:
+                edge = (node.name, child.name, deptype_chars(types))
+            else:
+                edge = (node.name, child.name)
             if edge not in edges:
                 edges.add(edge)
                 walk(child)

@@ -30,6 +30,47 @@ from repro.util.lang import key_ordering
 from repro.util.naming import validate_name
 from repro.version import VersionList, any_version, ver
 
+#: every dependency type an edge may carry: needed to *build* the
+#: dependent (compilers, cmake), needed at *link* time (ABI — part of
+#: the runtime identity), needed at *run* time (interpreters, loaders)
+ALL_DEPTYPES = ("build", "link", "run")
+
+#: what a bare ``depends_on`` (and a user ``^`` edge) means — Spack's
+#: historical default: most dependencies are headers + libraries
+DEFAULT_DEPTYPES = ("build", "link")
+
+#: the edge types that contribute to :meth:`Spec.runtime_hash` — the
+#: sub-DAG a built binary actually carries into production
+RUNTIME_DEPTYPES = frozenset(("link", "run"))
+
+
+def canonical_deptype(deptype):
+    """Normalize a deptype argument to a frozenset of valid type names.
+
+    Accepts ``None``/``"all"`` (every type), a single type name, or an
+    iterable of names; raises :class:`~repro.spec.errors.SpecError` for
+    anything outside :data:`ALL_DEPTYPES`.
+    """
+    if deptype is None or deptype == "all":
+        return frozenset(ALL_DEPTYPES)
+    if isinstance(deptype, str):
+        deptype = (deptype,)
+    result = frozenset(deptype)
+    invalid = result - frozenset(ALL_DEPTYPES)
+    if invalid:
+        raise err.SpecError(
+            "Invalid dependency type(s): %s (must be among %s)"
+            % (", ".join(sorted(invalid)), ", ".join(ALL_DEPTYPES))
+        )
+    if not result:
+        raise err.SpecError("Dependency type set cannot be empty")
+    return result
+
+
+def deptype_chars(deptypes):
+    """Compact ``blr``-style rendering of a deptype set (graph output)."""
+    return "".join(t[0] for t in ALL_DEPTYPES if t in deptypes)
+
 
 @key_ordering
 class CompilerSpec:
@@ -185,24 +226,34 @@ class VariantMap(dict):
 class _DependencyMap(dict):
     """Dependency edges of one Spec node, keyed by package name.
 
-    Behaves exactly like the plain dict it replaces, with one addition:
-    inserting an edge registers a *weak* back-reference from the child to
-    its new parent.  Those back-references are what let
-    :meth:`Spec.invalidate_caches` propagate upward — without them,
-    mutating a dependency shared by a concrete DAG would leave every
-    ancestor serving a stale cached ``_hash`` with ``_concrete`` still
-    True.  Removing an edge invalidates the former parent's caches (its
-    DAG just changed) and drops the back-reference.
+    Behaves exactly like the plain dict it replaces, with two additions:
+
+    * inserting an edge registers a *weak* back-reference from the child
+      to its new parent.  Those back-references are what let
+      :meth:`Spec.invalidate_caches` propagate upward — without them,
+      mutating a dependency shared by a concrete DAG would leave every
+      ancestor serving a stale cached ``_hash`` with ``_concrete`` still
+      True.  Removing an edge invalidates the former parent's caches
+      (its DAG just changed) and drops the back-reference.
+    * every edge carries a **dependency type** set (build/link/run).  A
+      plain ``map[name] = dep`` write keeps an existing edge's types, or
+      defaults a new edge to :data:`DEFAULT_DEPTYPES`; ``set_edge``
+      inserts with explicit types; re-typing an edge invalidates the
+      owner's caches the same way reshaping the DAG does, because the
+      types participate in both DAG hashes.
     """
 
-    __slots__ = ("_owner_ref",)
+    __slots__ = ("_owner_ref", "_edge_types")
 
     def __init__(self, owner):
         super().__init__()
         self._owner_ref = weakref.ref(owner)
+        #: name -> frozenset of dependency types for that edge
+        self._edge_types = {}
 
     def __setitem__(self, name, dep):
         super().__setitem__(name, dep)
+        self._edge_types.setdefault(name, frozenset(DEFAULT_DEPTYPES))
         owner = self._owner_ref()
         if owner is not None:
             if isinstance(dep, Spec):
@@ -214,11 +265,40 @@ class _DependencyMap(dict):
     def __delitem__(self, name):
         dep = self.get(name)
         super().__delitem__(name)
+        self._edge_types.pop(name, None)
         owner = self._owner_ref()
         if owner is not None:
             if isinstance(dep, Spec):
                 dep._dependents.pop(id(owner), None)
             owner.invalidate_caches()
+
+    # -- typed-edge API -----------------------------------------------------
+    def set_edge(self, name, dep, deptypes):
+        """Insert (or repoint) an edge with explicit dependency types."""
+        self._edge_types[name] = canonical_deptype(deptypes)
+        self[name] = dep
+
+    def deptypes(self, name):
+        """The dependency-type set of the edge to ``name``."""
+        return self._edge_types.get(name, frozenset(DEFAULT_DEPTYPES))
+
+    def set_deptypes(self, name, deptypes):
+        """Re-type an existing edge; returns True if the types changed."""
+        deptypes = canonical_deptype(deptypes)
+        if self._edge_types.get(name) == deptypes:
+            return False
+        self._edge_types[name] = deptypes
+        owner = self._owner_ref()
+        if owner is not None:
+            # edge types are hashed state: ancestors' cached DAG reprs,
+            # dag_hash, and runtime_hash are all stale now
+            owner.invalidate_caches()
+        return True
+
+    def add_deptypes(self, name, deptypes):
+        """Union ``deptypes`` into an edge; returns True if it changed."""
+        merged = self.deptypes(name) | canonical_deptype(deptypes)
+        return self.set_deptypes(name, merged)
 
 
 class Spec:
@@ -304,6 +384,7 @@ class Spec:
         self._concrete = False
         self._normal = False
         self._hash = None
+        self._rhash = None
         self._nrepr = None
         self._dkey = None
         self._smemo = {}
@@ -366,6 +447,7 @@ class Spec:
         self._concrete = other._concrete
         self._normal = other._normal
         self._hash = other._hash
+        self._rhash = other._rhash
 
     def _dup(self, other, deps=True):
         """Become a copy of ``other`` (used by copy() and __init__).
@@ -388,10 +470,12 @@ class Spec:
                     copied._concrete = source._concrete
                     copied._normal = source._normal
                     copied._hash = source._hash
+                    copied._rhash = source._rhash
         else:
             self._concrete = False
             self._normal = False
             self._hash = None
+            self._rhash = None
 
     def _copy_deps_into(self, new, memo):
         for name, dep in self.dependencies.items():
@@ -402,10 +486,10 @@ class Spec:
                 child._dup_node(dep)
                 memo[key] = child
                 dep._copy_deps_into(child, memo)
-            new.dependencies[name] = child
+            new.dependencies.set_edge(name, child, self.dependencies.deptypes(name))
 
     # -- construction helpers ---------------------------------------------
-    def _add_dependency(self, dep_spec):
+    def _add_dependency(self, dep_spec, deptypes=None):
         if dep_spec.name is None:
             raise err.SpecParseError("Dependency specs must be named")
         if dep_spec.name == self.name:
@@ -418,7 +502,10 @@ class Spec:
             raise err.DuplicateDependencyError(
                 "Cannot depend on %r twice" % dep_spec.name
             )
-        self.dependencies[dep_spec.name] = dep_spec
+        if deptypes is None:
+            self.dependencies[dep_spec.name] = dep_spec
+        else:
+            self.dependencies.set_edge(dep_spec.name, dep_spec, deptypes)
         self.invalidate_caches()
 
     def _register_parent(self, parent):
@@ -433,6 +520,7 @@ class Spec:
 
     def _reset_caches(self):
         self._hash = None
+        self._rhash = None
         self._concrete = False
         self._normal = False
         self._nrepr = None
@@ -524,12 +612,18 @@ class Spec:
         self._prefix = value
 
     # -- traversal ----------------------------------------------------------
-    def traverse(self, order="pre", root=True, depth=False, _visited=None, _d=0):
+    def traverse(self, order="pre", root=True, depth=False, deptype=None,
+                 _visited=None, _d=0):
         """Iterate over the DAG's unique nodes (by name).
 
         ``order``: 'pre' (parents first) or 'post' (children first).
         ``depth``: yield ``(depth, spec)`` tuples instead of specs.
+        ``deptype``: only follow edges whose type set overlaps this
+        (a name, an iterable of names, or None for every edge) — e.g.
+        ``traverse(deptype=("link", "run"))`` walks the runtime closure.
         """
+        if deptype is not None and not isinstance(deptype, frozenset):
+            deptype = canonical_deptype(deptype)
         if _visited is None:
             _visited = set()
         key = self.name or id(self)
@@ -543,11 +637,44 @@ class Spec:
         if order == "pre" and root:
             yield emit()
         for name in sorted(self.dependencies):
+            if deptype is not None and not (
+                self.dependencies.deptypes(name) & deptype
+            ):
+                continue
             yield from self.dependencies[name].traverse(
-                order=order, root=True, depth=depth, _visited=_visited, _d=_d + 1
+                order=order, root=True, depth=depth, deptype=deptype,
+                _visited=_visited, _d=_d + 1
             )
         if order == "post" and root:
             yield emit()
+
+    def link_run_subdag(self):
+        """A copy of this DAG restricted to link/run edges.
+
+        This is the sub-DAG :meth:`runtime_hash` is computed over — what
+        a built binary of this spec actually carries at run time.  Nodes
+        reachable only through build-type edges (compilers, cmake) are
+        absent; surviving edges keep only their runtime-relevant types.
+        """
+        memo = {}
+
+        def build(node):
+            key = node.name or id(node)
+            copied = memo.get(key)
+            if copied is not None:
+                return copied
+            copied = Spec()
+            copied._dup_node(node)
+            memo[key] = copied
+            for name in sorted(node.dependencies):
+                runtime = node.dependencies.deptypes(name) & RUNTIME_DEPTYPES
+                if not runtime:
+                    continue
+                child = build(node.dependencies[name])
+                copied.dependencies.set_edge(name, child, runtime)
+            return copied
+
+        return build(self)
 
     def flat_dependencies(self):
         """All nodes below the root, keyed by name (copies not made)."""
@@ -691,8 +818,11 @@ class Spec:
         for name, odep in other.dependencies.items():
             if name in self.dependencies:
                 changed |= self.dependencies[name].constrain(odep)
+                changed |= self.dependencies.add_deptypes(
+                    name, other.dependencies.deptypes(name))
             else:
-                self.dependencies[name] = odep.copy()
+                self.dependencies.set_edge(
+                    name, odep.copy(), other.dependencies.deptypes(name))
                 changed = True
         return changed
 
@@ -740,39 +870,84 @@ class Spec:
     def dag_hash(self, length=None):
         """Stable content hash of the full DAG (paper §3.4.2's SHA hash).
 
+        Every edge contributes its dependency types, so re-typing an
+        edge changes the hash exactly like reshaping the DAG would.
         Cached once the spec is marked concrete; abstract specs recompute
         since they may still be mutated.
         """
         if self._hash is None or not self._concrete:
             digest = hashlib.sha1()
-            self._hash_into(digest, set())
+            self._hash_into(digest, {})
             h = digest.hexdigest()
             if not self._concrete:
                 return h[:length] if length else h
             self._hash = h
         return self._hash[:length] if length else self._hash
 
+    def _visit_key(self, visited):
+        """Deterministic traversal key: the name, or — for anonymous
+        nodes — a stable per-traversal ordinal.  ``id(self)`` is NOT
+        usable here: it differs across processes, and two anonymous
+        nodes must hash by their *position* in the walk, not by where
+        the allocator happened to put them."""
+        key = self.name if self.name is not None else ("<anon>", id(self))
+        ordinal = visited.get(key)
+        if ordinal is None:
+            visited[key] = len(visited)
+            return None  # first visit
+        return self.name if self.name is not None else "<anon#%d>" % ordinal
+
     def _hash_into(self, digest, visited):
-        key = self.name or id(self)
-        if key in visited:
+        if self._visit_key(visited) is not None:
             return
-        visited.add(key)
         digest.update(repr(self.node_repr()).encode())
         for name in sorted(self.dependencies):
-            digest.update(name.encode())
+            types = ",".join(sorted(self.dependencies.deptypes(name)))
+            digest.update(("^%s[%s]" % (name, types)).encode())
             self.dependencies[name]._hash_into(digest, visited)
+
+    def runtime_hash(self, length=None):
+        """Content hash of only the link/run sub-DAG (the splice key).
+
+        Two concrete specs with equal runtime hashes carry the same
+        binaries at run time even if their *build-only* sub-DAGs differ
+        (a newer cmake, a different compiler-support tool) — which is
+        exactly when the build cache may splice one's prefix in for the
+        other instead of rebuilding ("Bridging the Gap Between Binary
+        and Source Based Package Management in Spack", PAPERS.md).
+        Invalidated alongside ``dag_hash`` by the ancestor back-refs.
+        """
+        if self._rhash is None or not self._concrete:
+            digest = hashlib.sha1()
+            self._runtime_hash_into(digest, {})
+            h = digest.hexdigest()
+            if not self._concrete:
+                return h[:length] if length else h
+            self._rhash = h
+        return self._rhash[:length] if length else self._rhash
+
+    def _runtime_hash_into(self, digest, visited):
+        if self._visit_key(visited) is not None:
+            return
+        digest.update(repr(self.node_repr()).encode())
+        for name in sorted(self.dependencies):
+            runtime = self.dependencies.deptypes(name) & RUNTIME_DEPTYPES
+            if not runtime:
+                continue  # build-only edges are invisible at run time
+            digest.update(("^%s[%s]" % (name, ",".join(sorted(runtime)))).encode())
+            self.dependencies[name]._runtime_hash_into(digest, visited)
 
     # -- equality --------------------------------------------------------------
     def eq_node(self, other):
         return self.node_repr() == other.node_repr()
 
     def _dag_repr(self, visited):
-        key = self.name or id(self)
-        if key in visited:
-            return (self.name,)
-        visited.add(key)
+        marker = self._visit_key(visited)
+        if marker is not None:
+            return (marker,)
         return self.node_repr() + tuple(
-            (name, self.dependencies[name]._dag_repr(visited))
+            (name, tuple(sorted(self.dependencies.deptypes(name))),
+             self.dependencies[name]._dag_repr(visited))
             for name in sorted(self.dependencies)
         )
 
@@ -786,7 +961,7 @@ class Spec:
         """
         dkey = self._dkey
         if dkey is None:
-            dkey = self._dkey = self._dag_repr(set())
+            dkey = self._dkey = self._dag_repr({})
         return dkey
 
     def __eq__(self, other):
@@ -904,7 +1079,10 @@ class Spec:
             "architecture": self.architecture,
             "external": self.external,
             "provided_virtuals": sorted(self.provided_virtuals),
-            "dependencies": sorted(self.dependencies),
+            "dependencies": {
+                name: sorted(self.dependencies.deptypes(name))
+                for name in sorted(self.dependencies)
+            },
             "concrete": bool(self._concrete),
         }
 
@@ -927,8 +1105,14 @@ class Spec:
             node.external = nd["external"]
             node.provided_virtuals = set(nd["provided_virtuals"])
             built[name] = node
-            for dep_name in nd["dependencies"]:
-                node.dependencies[dep_name] = build(dep_name)
+            deps = nd["dependencies"]
+            if isinstance(deps, dict):
+                for dep_name in sorted(deps):
+                    node.dependencies.set_edge(
+                        dep_name, build(dep_name), deps[dep_name])
+            else:  # legacy list form: edges default to ("build", "link")
+                for dep_name in deps:
+                    node.dependencies[dep_name] = build(dep_name)
             node._concrete = bool(nd.get("concrete"))
             node._normal = node._concrete
             return node

@@ -109,6 +109,42 @@ def relocate_tree(prefix, old_root, new_root):
     return rewritten
 
 
+def relocate_paths(prefix, mapping):
+    """Rewrite several path prefixes at once in every file under ``prefix``.
+
+    ``mapping`` is ``{old_path: new_path}``.  One walk applies every
+    replacement (longest keys first, so nested prefixes cannot clobber
+    each other).  This is the *splice* half of relocation: a donor's
+    binaries reference its dependencies' hash-addressed prefixes, and a
+    splice re-targets those onto the requested DAG's prefixes — the
+    by-name equivalent of patchelf'ing new RPATHs into an ELF.
+    Returns the number of files rewritten.
+    """
+    pairs = [
+        (old.encode(), new.encode())
+        for old, new in sorted(
+            mapping.items(), key=lambda kv: (-len(kv[0]), kv[0])
+        )
+        if old != new
+    ]
+    if not pairs:
+        return 0
+    rewritten = 0
+    for dirpath, _dirnames, filenames in os.walk(prefix):
+        for filename in filenames:
+            path = os.path.join(dirpath, filename)
+            with open(path, "rb") as f:
+                data = f.read()
+            new_data = data
+            for old_bytes, new_bytes in pairs:
+                new_data = new_data.replace(old_bytes, new_bytes)
+            if new_data != data:
+                with open(path, "wb") as f:
+                    f.write(new_data)
+                rewritten += 1
+    return rewritten
+
+
 class BuildCache:
     """A directory of relocatable prefix tarballs plus a JSON index."""
 
@@ -176,6 +212,26 @@ class BuildCache:
         """(dag_hash, entry) pairs, deterministically ordered."""
         return sorted(self.read_index().items())
 
+    def find_splice_donor(self, node):
+        """A cached entry whose binaries are reusable for ``node``.
+
+        A donor matches when its *runtime* sub-DAG (link/run closure,
+        :meth:`Spec.runtime_hash`) is identical to the requested node's
+        but its full ``dag_hash`` differs — i.e. the cached prefix was
+        built against the same ABI surface with different build-only
+        tooling.  Returns ``(donor_hash, entry)`` or ``None``; ties are
+        broken by sorted hash so concurrent planners pick the same donor.
+        """
+        runtime_hash = node.runtime_hash()
+        for donor_hash, entry in self.entries():
+            if donor_hash == node.dag_hash():
+                continue
+            if entry.get("name") != node.name:
+                continue
+            if entry.get("runtime_hash") == runtime_hash:
+                return donor_hash, entry
+        return None
+
     def load_sidecar(self, dag_hash):
         """The metadata sidecar: {"spec": dict, "root": str, "digest": str}."""
         try:
@@ -217,7 +273,12 @@ class BuildCache:
         )
         self._update_index(
             dag_hash,
-            {"name": node.name, "version": str(node.version), "digest": digest},
+            {
+                "name": node.name,
+                "version": str(node.version),
+                "digest": digest,
+                "runtime_hash": node.runtime_hash(),
+            },
         )
         if self.telemetry is not None:
             self.telemetry.count("buildcache.push")
@@ -264,13 +325,15 @@ class BuildCache:
         return out.getvalue()
 
     # -- pull --------------------------------------------------------------
-    def fetch_tarball(self, node, dag_hash=None):
+    def fetch_tarball(self, node, dag_hash=None, splice=False):
         """Verified tarball bytes for a cached node.
 
         Re-hashes what was read and (with ``require_digest``) raises
         :class:`DigestMismatchError` on mismatch — the single choke
-        point both real corruption and the ``buildcache.corrupt`` fault
-        must pass through.
+        point both real corruption and the ``buildcache.corrupt`` /
+        ``buildcache.splice_stale`` faults must pass through.  Pass
+        ``splice=True`` when fetching a *donor* tarball for splicing so
+        the splice-specific fault site can arm independently.
         """
         dag_hash = dag_hash or node.dag_hash()
         entry = self.lookup(dag_hash)
@@ -291,6 +354,14 @@ class BuildCache:
             # check, as an on-disk bit-flip or truncated upload would be
             if self.faults.hit("buildcache.corrupt", target=node.name):
                 data = b"\x00CORRUPT\x00" + data[16:]
+            # fault site: a runtime-hash hit whose payload went stale —
+            # the donor was re-uploaded corrupt, or the mirror served a
+            # half-written object.  Must be caught by the digest check
+            # and answered by falling back to a source build.
+            if splice and self.faults.hit(
+                "buildcache.splice_stale", target=node.name
+            ):
+                data = b"\x00STALE-SPLICE\x00" + data[16:]
 
         if self.require_digest:
             actual = hashlib.sha256(data).hexdigest()

@@ -51,7 +51,7 @@ class BuildStats:
     """Per-build accounting: virtual (modeled) and real elapsed seconds."""
 
     def __init__(self, spec, virtual_seconds, real_seconds, counts, phases=None,
-                 cache_hit=False):
+                 cache_hit=False, spliced=False):
         self.spec = spec
         self.virtual_seconds = virtual_seconds
         self.real_seconds = real_seconds
@@ -61,6 +61,8 @@ class BuildStats:
         self.phases = dict(phases or {})
         #: True when this node came from the binary build cache
         self.cache_hit = cache_hit
+        #: True when a runtime-hash twin's binaries were spliced in
+        self.spliced = spliced
 
     def __repr__(self):
         return "BuildStats(%s, %.3fs virtual)" % (self.spec.name, self.virtual_seconds)
@@ -128,6 +130,19 @@ class BuildExecutor:
                 return None
             self._heal_orphan_prefix(node)
             return self._install_from_cache(node, keep_stage=keep_stage)
+
+    def execute_spliced(self, node, donor_hash, keep_stage=False):
+        """Install ``node`` by splicing a cached runtime-hash twin's
+        binaries (same locking discipline as :meth:`execute`); falls back
+        to a source build if the donor is missing, corrupt, or the
+        spliced prefix fails verification."""
+        with self._prefix_lock(node):
+            if self.session.db.installed(node):
+                return None
+            self._heal_orphan_prefix(node)
+            return self._install_from_splice(
+                node, donor_hash, keep_stage=keep_stage
+            )
 
     def _heal_orphan_prefix(self, node):
         """Remove a prefix the database does not know about.
@@ -227,23 +242,166 @@ class BuildExecutor:
                 shutil.rmtree(prefix, ignore_errors=True)
             raise
 
-    def _write_binary_distribution(self, node, prefix, sidecar):
+    # -- splicing one node from a runtime-hash twin -----------------------------
+    def _install_from_splice(self, node, donor_hash, keep_stage=False):
+        """Extract a donor's prefix, relocate it, and re-identify it as
+        ``node``; returns :class:`BuildStats` with ``spliced=True``.
+
+        The donor was built from a DAG whose *full* hash differs from the
+        requested node's — but its link/run closure (the only thing baked
+        into the binaries) is identical, so its artifacts are valid for
+        ``node`` byte-for-byte after relocation.  What must change is the
+        *identity* metadata: ``spec.json`` is rewritten to the requested
+        node's DAG and ``manifest.json``/``binary_distribution.json``
+        record both the new hash and the donor (``spliced_from``) —
+        provenance says what the prefix *is* and where its bytes came
+        from.  Any failure (stale donor payload — including the
+        ``buildcache.splice_stale`` fault — digest mismatch, or
+        post-splice verification issues) tears the prefix down and falls
+        back to a source build: splicing is an accelerator, never a
+        correctness risk.
+        """
+        from repro.store.buildcache import (
+            BuildCacheError,
+            relocate_paths,
+            relocate_tree,
+        )
+        from repro.store.database import InstallRecord
+        from repro.store.verify import verify_install
+
+        session = self.session
+        hub = session.telemetry
+        cache = session.buildcache
+        layout = session.store.layout
+        prefix = None
+        start = time.perf_counter()
+        phases = {}
+        timer = _PhaseTimer(phases, hub, package=node.name)
+        try:
+            with hub.span(
+                "install.spliced",
+                package=node.name,
+                version=str(node.version),
+                worker=threading.current_thread().name,
+            ) as span:
+                with timer.phase("extract"):
+                    data = cache.fetch_tarball(node, donor_hash, splice=True)
+                    sidecar = cache.load_sidecar(donor_hash)
+                    prefix = layout.create_install_directory(node)
+                    files = cache.extract(data, prefix)
+                with timer.phase("relocate"):
+                    old_root = sidecar.get("root") or ""
+                    rewritten = relocate_tree(prefix, old_root, session.root)
+                    hub.count("buildcache.relocations")
+                    hub.count("buildcache.relocated_files", rewritten)
+                with timer.phase("splice"):
+                    # the donor's binaries reference *its* DAG's
+                    # hash-addressed prefixes (own RPATH, link deps);
+                    # re-target every renamed prefix onto the requested
+                    # DAG's paths, then re-identify the metadata
+                    respliced = relocate_paths(
+                        prefix,
+                        self._splice_prefix_map(node, sidecar, layout),
+                    )
+                    hub.count("buildcache.spliced_files", respliced)
+                    self._rewrite_spliced_provenance(node, prefix, donor_hash)
+                with timer.phase("verify"):
+                    issues = verify_install(
+                        session, InstallRecord(node, prefix)
+                    )
+                    if issues:
+                        raise BuildCacheError(
+                            "Spliced prefix for %s failed verification"
+                            % node.name,
+                            long_message="; ".join(str(i) for i in issues),
+                        )
+                self._write_binary_distribution(
+                    node, prefix, sidecar, spliced_from=donor_hash
+                )
+                span.set(files=files, relocated=rewritten,
+                         donor=donor_hash[:8],
+                         digest=sidecar.get("digest", "")[:12])
+                stats = BuildStats(
+                    node, 0.0, time.perf_counter() - start, {},
+                    phases=phases, cache_hit=True, spliced=True,
+                )
+                self._write_timing(node, prefix, stats)
+                return stats
+        except BuildCacheError as e:
+            if prefix and os.path.isdir(prefix):
+                shutil.rmtree(prefix, ignore_errors=True)
+            hub.count("buildcache.splice_fallback")
+            hub.event(
+                "buildcache.splice_fallback",
+                package=node.name,
+                hash=node.dag_hash(8),
+                donor=donor_hash[:8],
+                error=type(e).__name__,
+            )
+            return self._build(node, keep_stage=keep_stage)
+        except Exception:
+            if prefix and os.path.isdir(prefix):
+                shutil.rmtree(prefix, ignore_errors=True)
+            raise
+
+    def _splice_prefix_map(self, node, sidecar, layout):
+        """{donor prefix: target prefix} for every renamed DAG node.
+
+        Matches the donor's nodes to the requested DAG's by name (splice
+        donors have identical link/run closures, so names pair 1:1) and
+        maps every node whose full hash — and therefore hash-addressed
+        prefix path — changed.  Both sides resolve through this session's
+        layout: the donor's root was already rewritten to ours.
+        """
+        from repro.spec.spec import Spec
+
+        targets = {n.name: n for n in node.traverse()}
+        mapping = {}
+        donor_spec = Spec.from_dict(sidecar.get("spec", {}))
+        for dnode in donor_spec.traverse():
+            tnode = targets.get(dnode.name)
+            if tnode is None or tnode.external:
+                continue
+            if dnode.dag_hash() == tnode.dag_hash():
+                continue
+            mapping[layout.path_for_spec(dnode)] = layout.path_for_spec(tnode)
+        return mapping
+
+    def _rewrite_spliced_provenance(self, node, prefix, donor_hash):
+        """Re-identify an extracted donor prefix as ``node``.
+
+        The donor's metadata describes *its* DAG; after splicing, the
+        prefix belongs to the requested spec.  ``spec.json`` becomes the
+        requested node's full DAG (what verification and the database
+        compare against) and the manifest is recomputed over the spliced
+        bytes — the prefix re-targeting rewrote RPATHs beyond what root
+        normalization covers, so the donor's digests no longer describe
+        these files — with a ``spliced_from`` back-pointer recording
+        where the bytes came from.  Integrity against the donor was
+        already enforced upstream by the tarball digest check.
+        """
+        meta = os.path.join(prefix, METADATA_DIR)
+        mkdirp(meta)
+        with open(os.path.join(meta, "spec.json"), "w") as f:
+            json.dump(node.to_dict(), f, indent=1, sort_keys=True)
+        self._write_manifest(node, prefix, spliced_from=donor_hash)
+
+    def _write_binary_distribution(self, node, prefix, sidecar,
+                                   spliced_from=None):
         """Mark the prefix as cache-extracted (origin root + digest)."""
         from repro.store.buildcache import BINARY_DISTRIBUTION
 
         meta = os.path.join(prefix, METADATA_DIR)
         mkdirp(meta)
+        record = {
+            "hash": node.dag_hash(),
+            "digest": sidecar.get("digest"),
+            "relocated_from": sidecar.get("root"),
+        }
+        if spliced_from is not None:
+            record["spliced_from"] = spliced_from
         with open(os.path.join(meta, BINARY_DISTRIBUTION), "w") as f:
-            json.dump(
-                {
-                    "hash": node.dag_hash(),
-                    "digest": sidecar.get("digest"),
-                    "relocated_from": sidecar.get("root"),
-                },
-                f,
-                indent=1,
-                sort_keys=True,
-            )
+            json.dump(record, f, indent=1, sort_keys=True)
 
     # -- building one node ------------------------------------------------------
     def _build(self, node, keep_stage=False):
@@ -289,6 +447,9 @@ class BuildExecutor:
                         "executor.crash", target=node.name, where="post-stage"
                     )
                 dep_prefixes = dependency_prefixes(node, layout)
+                link_prefixes = dependency_prefixes(
+                    node, layout, deptype=("link",)
+                )
                 wrapper_paths = None
                 if session.subprocess_mode and session.use_wrappers:
                     wrapper_paths = write_wrappers(os.path.join(stage.path, "wrappers"))
@@ -301,6 +462,7 @@ class BuildExecutor:
                     wrapper_paths=wrapper_paths,
                     use_wrappers=session.use_wrappers,
                     target_flags=platform.flags_for(compiler.name),
+                    link_prefixes=link_prefixes,
                 )
                 self._apply_env_hooks(pkg, node, env)
 
@@ -400,7 +562,7 @@ class BuildExecutor:
         with open(os.path.join(meta, "applied_patches.json"), "w") as f:
             json.dump(pkg.applied_patches, f)
 
-    def _write_manifest(self, node, prefix):
+    def _write_manifest(self, node, prefix, spliced_from=None):
         """Record every installed artifact with a relocation-invariant digest.
 
         ``.spack/manifest.json`` maps each non-metadata file (relative
@@ -426,17 +588,15 @@ class BuildExecutor:
                 files[rel] = normalized_digest(data, root)
         meta = os.path.join(prefix, METADATA_DIR)
         mkdirp(meta)
+        manifest = {
+            "package": node.name,
+            "hash": node.dag_hash(),
+            "files": files,
+        }
+        if spliced_from is not None:
+            manifest["spliced_from"] = spliced_from
         with open(os.path.join(meta, "manifest.json"), "w") as f:
-            json.dump(
-                {
-                    "package": node.name,
-                    "hash": node.dag_hash(),
-                    "files": files,
-                },
-                f,
-                indent=1,
-                sort_keys=True,
-            )
+            json.dump(manifest, f, indent=1, sort_keys=True)
 
     def _write_timing(self, node, prefix, stats):
         """Persist per-phase wall times next to the other provenance.

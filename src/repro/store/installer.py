@@ -57,6 +57,8 @@ class InstallResult:
         self.externals = []
         #: nodes installed by extracting + relocating a build-cache entry
         self.cached = []
+        #: nodes installed by splicing a runtime-hash twin's binaries
+        self.spliced = []
         #: nodes SKIPPED because a dependency failed (empty on success)
         self.skipped = []
         #: worker-pool width the scheduler ran with
@@ -82,7 +84,7 @@ class Installer:
 
     # -- public ------------------------------------------------------------
     def install(self, spec, explicit=True, keep_stage=False, jobs=None,
-                fail_fast=False, use_cache=None):
+                fail_fast=False, use_cache=None, use_splice=None):
         """Plan, schedule, and execute the install of a concrete spec.
 
         ``jobs`` bounds the worker pool (None: the session's
@@ -90,7 +92,9 @@ class Installer:
         sequential behavior).  With ``fail_fast`` the scheduler stops
         dispatching new tasks after the first failure instead of
         finishing disjoint sub-DAGs.  ``use_cache`` overrides the
-        session's build-cache pull policy for this install.
+        session's build-cache pull policy for this install, and
+        ``use_splice`` its splice policy (whether a runtime-hash twin's
+        cached binaries may stand in for a full-hash miss).
         """
         if not spec.concrete:
             raise InstallError("Only concrete specs can be installed: %s" % spec)
@@ -101,7 +105,9 @@ class Installer:
         result = InstallResult(spec)
 
         with hub.span("install", spec=str(spec.name), jobs=jobs) as span:
-            plan = Planner(session).plan(spec, use_cache=use_cache)
+            plan = Planner(session).plan(
+                spec, use_cache=use_cache, use_splice=use_splice
+            )
             outcome = Scheduler(session, jobs=jobs, fail_fast=fail_fast).run(
                 plan, keep_stage=keep_stage
             )
@@ -109,6 +115,7 @@ class Installer:
             result.reused = outcome.reused
             result.externals = outcome.externals
             result.cached = outcome.cached
+            result.spliced = outcome.spliced
             result.skipped = [t.node for t in outcome.skipped]
             result.jobs = jobs
             result.wall_seconds = outcome.wall_seconds
@@ -122,6 +129,7 @@ class Installer:
                 reused=len(result.reused),
                 externals=len(result.externals),
                 cached=len(result.cached),
+                spliced=len(result.spliced),
                 wall_s=result.wall_seconds,
             )
         return result

@@ -60,6 +60,8 @@ REUSE = "reuse"
 EXTERNAL = "external"
 #: in the binary build cache: extract + relocate instead of building
 CACHED = "cached"
+#: a runtime-hash twin is cached: splice its prefix in instead of building
+SPLICED = "spliced"
 
 
 class PlanError(ReproError):
@@ -72,12 +74,15 @@ class NodeTask:
     __slots__ = (
         "node", "key", "action", "index", "level", "is_root",
         "state", "deps", "dependents", "error", "stats", "worker",
+        "donor",
     )
 
-    def __init__(self, node, action, index, is_root=False):
+    def __init__(self, node, action, index, is_root=False, donor=None):
         self.node = node
         self.key = node.dag_hash()
         self.action = action
+        #: for SPLICED tasks: the cached donor's dag_hash (runtime twin)
+        self.donor = donor
         #: post-order position — the old recursive installer's execution
         #: order, used as the deterministic dispatch tie-break
         self.index = index
@@ -237,7 +242,7 @@ class Planner:
     def __init__(self, session):
         self.session = session
 
-    def plan(self, spec, use_cache=None):
+    def plan(self, spec, use_cache=None, use_splice=None):
         """Level the concrete DAG into tasks with classified actions.
 
         Classification consults the session state exactly as the old
@@ -246,10 +251,13 @@ class Planner:
         (Figure 9's shared sub-DAGs); hashes published in the binary
         build cache are CACHED (extract + relocate instead of build,
         when the session's pull policy — or the per-call ``use_cache``
-        override — allows); everything else is built.  Each node's
-        ``prefix`` attribute is resolved here so downstream layers
-        (environment assembly, RPATH wiring) see it regardless of which
-        worker builds which node.
+        override — allows); nodes that miss on ``dag_hash`` but whose
+        *runtime* sub-DAG matches a cached entry are SPLICED — the
+        donor's binaries are reused because only build-time tooling
+        differs ("Bridging the Gap", PAPERS.md); everything else is
+        built.  Each node's ``prefix`` attribute is resolved here so
+        downstream layers (environment assembly, RPATH wiring) see it
+        regardless of which worker builds which node.
         """
         if not spec.concrete:
             raise PlanError("Only concrete specs can be planned: %s" % spec)
@@ -260,11 +268,17 @@ class Planner:
         cache = session.buildcache
         pull = session.buildcache_pull if use_cache is None else bool(use_cache)
         consult_cache = cache is not None and pull
+        splice = (
+            getattr(session, "buildcache_splice", True)
+            if use_splice is None
+            else bool(use_splice)
+        )
 
         plan = InstallPlan(spec)
         with hub.span("install.plan", spec=str(spec.name)) as span:
             for index, node in enumerate(spec.traverse(order="post")):
                 node.prefix = node.external or layout.path_for_spec(node)
+                donor = None
                 if node.external:
                     action = EXTERNAL
                 elif db.installed(node):
@@ -273,11 +287,24 @@ class Planner:
                     action = CACHED
                     hub.count("buildcache.hit")
                 else:
-                    action = BUILD
+                    found = (
+                        cache.find_splice_donor(node)
+                        if consult_cache and splice
+                        else None
+                    )
+                    if found is not None:
+                        action = SPLICED
+                        donor = found[0]
+                        hub.count("buildcache.splice_hit")
+                    else:
+                        action = BUILD
                     if consult_cache:
                         hub.count("buildcache.miss")
                 plan._add_task(
-                    NodeTask(node, action, index, is_root=(node is spec))
+                    NodeTask(
+                        node, action, index,
+                        is_root=(node is spec), donor=donor,
+                    )
                 )
             plan._wire_edges()
             plan.seed_ready()
@@ -290,6 +317,9 @@ class Planner:
                 ),
                 cached=sum(
                     1 for t in plan.tasks.values() if t.action == CACHED
+                ),
+                spliced=sum(
+                    1 for t in plan.tasks.values() if t.action == SPLICED
                 ),
                 levels=len(plan.levels()),
             )

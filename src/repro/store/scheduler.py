@@ -23,7 +23,7 @@ Two execution modes, one state machine:
 Telemetry: a ``scheduler.run`` span wraps the whole drive; the
 ``scheduler.queue_depth`` gauge tracks the READY backlog at every
 dispatch; per-task ``scheduler.dispatch`` events carry worker
-attribution; ``install.built/cached/reused/external/failed/skipped`` counters
+attribution; ``install.built/cached/spliced/reused/external/failed/skipped`` counters
 aggregate outcomes.
 """
 
@@ -52,7 +52,14 @@ class SchedulerOutcome:
             t.stats
             for t in plan.ordered_tasks()
             if t.state == _plan.INSTALLED and t.stats is not None
-            and t.stats.cache_hit
+            and t.stats.cache_hit and not t.stats.spliced
+        ]
+        #: BuildStats of nodes spliced from a runtime-hash twin's binaries
+        self.spliced = [
+            t.stats
+            for t in plan.ordered_tasks()
+            if t.state == _plan.INSTALLED and t.stats is not None
+            and t.stats.spliced
         ]
         self.reused = [
             t.node
@@ -110,6 +117,7 @@ class Scheduler:
                 reused=len(outcome.reused),
                 externals=len(outcome.externals),
                 cached=len(outcome.cached),
+                spliced=len(outcome.spliced),
                 failed=len(outcome.failed),
                 skipped=len(outcome.skipped),
                 wall_s=outcome.wall_seconds,
@@ -217,6 +225,10 @@ class Scheduler:
                 return self.executor.execute_cached(
                     task.node, keep_stage=keep_stage
                 )
+            if task.action == _plan.SPLICED:
+                return self.executor.execute_spliced(
+                    task.node, task.donor, keep_stage=keep_stage
+                )
             return None  # REUSE and EXTERNAL are pure bookkeeping
 
     # -- completion handling (scheduler side) -------------------------------
@@ -234,14 +246,24 @@ class Scheduler:
         else:
             task.stats = stats
             db.add(node, node.prefix, explicit=False)
-            if stats.cache_hit:
+            push_enabled = (
+                self.session.buildcache is not None
+                and self.session.buildcache_push
+            )
+            if stats.spliced:
+                hub.count("install.spliced")
+                if push_enabled:
+                    # publish the spliced prefix under the *requested*
+                    # hash so the next install of this exact DAG is a
+                    # direct cache hit (the cache converges on splices)
+                    self.session.buildcache.push(
+                        node, node.prefix, self.session.root
+                    )
+            elif stats.cache_hit:
                 hub.count("install.cached")
             else:
                 hub.count("install.built")
-                if (
-                    self.session.buildcache is not None
-                    and self.session.buildcache_push
-                ):
+                if push_enabled:
                     # auto-publish only genuine builds: a cache-extracted
                     # prefix would re-pack with its distribution marker
                     self.session.buildcache.push(

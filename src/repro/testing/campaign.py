@@ -22,6 +22,14 @@ A campaign has three phases, all driven entirely by one master seed:
    node dicts — including under an armed ``concretize.cache.corrupt``
    fault, where the cache must detect the rot and fall back to a cold
    concretization.
+4. **Splice-equivalence sweep** — install a DAG whose build-only tool
+   changed twice: once served by *splicing* runtime-hash twins out of a
+   donor's build cache, once built purely from source.  Both stores
+   must agree on every observable — dag hashes, serialized nodes,
+   per-node manifest file digests — and pass store verification plus
+   the concretization invariant battery; some cases arm a
+   ``buildcache.splice_stale`` fault to prove the corrupted-donor
+   fallback (a source build) is equivalent too.
 
 The report is JSONL with sorted keys and no timestamps, hostnames, or
 absolute paths, so two same-seed runs produce *byte-identical* files —
@@ -33,7 +41,12 @@ import os
 import shutil
 
 from repro.testing import derive_seed, session_seed
-from repro.testing.faults import ALL_FAULT_POINTS, FaultPlan, SimulatedKill
+from repro.testing.faults import (
+    ALL_FAULT_POINTS,
+    BUILDCACHE_SPLICE_STALE,
+    FaultPlan,
+    SimulatedKill,
+)
 from repro.testing.generators import (
     GEN_COMPILERS,
     RepoGenerator,
@@ -52,7 +65,7 @@ class CampaignConfig:
 
     def __init__(self, seed=None, specs=200, fault_plans=50, packages=40,
                  virtuals=2, max_attempts=64, fault_target="libdwarf",
-                 points=ALL_FAULT_POINTS, cache_specs=200):
+                 points=ALL_FAULT_POINTS, cache_specs=200, splice_cases=6):
         self.seed = session_seed() if seed is None else int(seed)
         self.specs = int(specs)
         self.fault_plans = int(fault_plans)
@@ -64,6 +77,8 @@ class CampaignConfig:
         self.points = tuple(points)
         #: generated requests for the cache-equivalence sweep (phase 3)
         self.cache_specs = int(cache_specs)
+        #: spliced-vs-built store comparisons (phase 4)
+        self.splice_cases = int(splice_cases)
 
     def to_dict(self):
         return {
@@ -76,6 +91,7 @@ class CampaignConfig:
             "fault_target": self.fault_target,
             "points": list(self.points),
             "cache_specs": self.cache_specs,
+            "splice_cases": self.splice_cases,
         }
 
 
@@ -90,6 +106,8 @@ class CampaignReport:
         self.fault_cases = []
         #: one dict per (request, variant) cache-equivalence comparison
         self.cache_cases = []
+        #: one dict per spliced-vs-built store comparison
+        self.splice_cases = []
 
     # -- aggregation --------------------------------------------------------
     def outcome_counts(self):
@@ -124,12 +142,18 @@ class CampaignReport:
         """Warm-cache results that differed from their cold twin."""
         return [c for c in self.cache_cases if c["kind"] == "divergence"]
 
+    def splice_divergences(self):
+        """Spliced stores that differed observably from built ones
+        (including cases that errored outright)."""
+        return [c for c in self.splice_cases if c["kind"] != "match"]
+
     @property
     def ok(self):
         """The campaign's verdict: no divergence, no invariant violation,
         every requested fault point injected at least once, every
-        faulted store healed, and every warm-cache concretization
-        byte-identical to its cold twin.  An oracle-only run
+        faulted store healed, every warm-cache concretization
+        byte-identical to its cold twin, and every spliced store
+        indistinguishable from its built twin.  An oracle-only run
         (``fault_plans=0``) waives the coverage requirement, not the
         others."""
         totals = self.injection_totals()
@@ -141,6 +165,7 @@ class CampaignReport:
             and not self.violations()
             and not self.unrecovered()
             and not self.cache_divergences()
+            and not self.splice_divergences()
             and covered
         )
 
@@ -155,6 +180,8 @@ class CampaignReport:
             "unrecovered": len(self.unrecovered()),
             "cache_outcomes": self.cache_outcome_counts(),
             "cache_divergences": len(self.cache_divergences()),
+            "splice_cases": len(self.splice_cases),
+            "splice_divergences": len(self.splice_divergences()),
             "ok": self.ok,
         }
 
@@ -171,6 +198,8 @@ class CampaignReport:
             yield dump(dict(case, type="fault-case"))
         for case in self.cache_cases:
             yield dump(dict(case, type="cache-case"))
+        for case in self.splice_cases:
+            yield dump(dict(case, type="splice-case"))
         yield dump(self.summary())
 
     def write(self, path):
@@ -252,6 +281,51 @@ def run_oracle_phase(config, report, log=None):
 
 # -- phase 2: fault sweep ----------------------------------------------------
 
+#: the splice scenario's requests: the two DAGs differ only in the
+#: build-only tool's version, so every link/run sub-DAG is a
+#: runtime-hash twin — the splice precondition
+SPLICE_DONOR_REQUEST = "splicetop ^splicetool@1.0"
+SPLICE_TARGET_REQUEST = "splicetop ^splicetool@2.0"
+
+
+def _splice_repo():
+    """A three-package universe built for splice scenarios.
+
+    ``splicetop`` links ``splicelib`` and needs ``splicetool`` only at
+    build time; ``splicelib`` itself is built with the tool too.
+    Retargeting the tool's version changes every node's ``dag_hash``
+    but nobody's ``runtime_hash``.  Packages use the default
+    configure/make build so artifacts carry genuine RPATHs — what the
+    splice relocation must re-target.
+    """
+    from repro.directives import depends_on, version
+    from repro.directives.directives import DirectiveMeta
+    from repro.fetch.mockweb import mock_checksum
+    from repro.package.package import Package
+    from repro.repo.repository import Repository
+    from repro.util.naming import mod_to_class
+
+    repo = Repository(namespace="splice")
+    decls = [
+        ("splicetool", ("1.0", "2.0"), []),
+        ("splicelib", ("1.0",), [("splicetool", "build")]),
+        ("splicetop", ("1.0",), [("splicelib", None), ("splicetool", "build")]),
+    ]
+    for name, versions, deps in decls:
+        ns = {
+            "url": "https://mock.example.org/%s/%s-1.0.tar.gz" % (name, name),
+            "__doc__": "splice scenario package %s" % name,
+            "build_units": 2,
+            "unit_cost": 0.001,
+        }
+        for v in versions:
+            version(v, mock_checksum(name, v))
+        for dep, deptype in deps:
+            depends_on(dep, type=deptype)
+        repo.add_class(name, DirectiveMeta(mod_to_class(name), (Package,), ns))
+    return repo
+
+
 def _fault_plan(config, index, targets):
     """Plan ``index``: fixed single-fault coverage plans first, then
     seeded random ones."""
@@ -291,8 +365,30 @@ def run_fault_phase(config, report, workdir, log=None):
         # plan carrying it gets a build cache warmed by a sibling session:
         # the faulted install pulls, the corruption is injected, the
         # digest check rejects it, and the executor falls back to source.
+        # A buildcache.splice_stale fault fires only while fetching a
+        # runtime-hash *twin*, which the builtin target can never produce
+        # — those plans swap in the splice universe: a donor publishes
+        # the old-tool closure, the faulted install requests the
+        # new-tool DAG, and every unchanged link/run sub-DAG arrives by
+        # splice (where the fault corrupts the payload and the digest
+        # check forces the source-build fallback).
         cache_root = None
-        if "buildcache.corrupt" in plan.points():
+        install_target = target
+        if BUILDCACHE_SPLICE_STALE in plan.points():
+            srepo = _splice_repo()
+            cache_root = os.path.join(workdir, "plan-%03d-cache" % p)
+            warm_root = os.path.join(workdir, "plan-%03d-warm" % p)
+            warm = Session.create(warm_root, packages=srepo, install_jobs=1)
+            warm.seed_web()
+            warm.enable_buildcache(root=cache_root, push=True)
+            warm.install(SPLICE_DONOR_REQUEST, jobs=1)
+            shutil.rmtree(warm_root, ignore_errors=True)
+            shutil.rmtree(root, ignore_errors=True)
+            session = Session.create(root, packages=srepo, install_jobs=1)
+            session.seed_web()
+            session.enable_buildcache(root=cache_root, pull=True)
+            install_target = SPLICE_TARGET_REQUEST
+        elif "buildcache.corrupt" in plan.points():
             cache_root = os.path.join(workdir, "plan-%03d-cache" % p)
             warm_root = os.path.join(workdir, "plan-%03d-warm" % p)
             warm = Session.create(warm_root, install_jobs=1)
@@ -320,7 +416,7 @@ def run_fault_phase(config, report, workdir, log=None):
         session.faults.arm(plan)
         outcome, error = "clean", None
         try:
-            session.install(target, jobs=1)
+            session.install(install_target, jobs=1)
         except SimulatedKill:
             outcome, error = "crashed", "SimulatedKill"
         except ReproError as e:
@@ -335,12 +431,12 @@ def run_fault_phase(config, report, workdir, log=None):
         recovered = True
         recovery_error = None
         try:
-            session.install(target, jobs=1)
+            session.install(install_target, jobs=1)
             issues = [
                 i for i in verify_store(session)
                 if i.spec.name != FOREIGN_NAME
             ]
-            if issues or not session.db.query(target):
+            if issues or not session.db.query(install_target.split()[0]):
                 recovered = False
                 recovery_error = "; ".join(str(i) for i in issues) or "not installed"
         except (ReproError, SimulatedKill) as e:
@@ -438,17 +534,147 @@ def run_cache_phase(config, report, workdir, log=None):
     return report
 
 
+# -- phase 4: splice-equivalence sweep ---------------------------------------
+
+def _manifest_files(session, spec):
+    """{node name: manifest ``files`` dict} over an installed DAG.
+
+    The digests are root-normalized, so two stores under different
+    roots are byte-comparable; ``spliced_from`` and the rest of the
+    manifest envelope are deliberately excluded — provenance may say
+    where bytes came from, the bytes themselves must not differ.
+    """
+    from repro.store.layout import METADATA_DIR
+
+    layout = session.store.layout
+    out = {}
+    for node in spec.traverse():
+        path = os.path.join(
+            layout.path_for_spec(node), METADATA_DIR, "manifest.json"
+        )
+        with open(path) as f:
+            out[node.name] = json.load(f)["files"]
+    return out
+
+
+def run_splice_phase(config, report, workdir, log=None):
+    """Install the splice scenario spliced and from source; any
+    observable difference between the two stores is a divergence.
+
+    Per case: a donor session publishes the old-tool closure to a build
+    cache; a pulling session installs the new-tool DAG, whose unchanged
+    link/run sub-DAGs must arrive by splice; a third session builds the
+    same DAG purely from source.  The spliced and built stores must
+    agree on ``dag_hash``, serialized node dicts, and per-node manifest
+    file digests, and both must pass store verification and the
+    concretization invariant battery.  Every third case arms a
+    ``buildcache.splice_stale`` fault, so the corrupted-donor fallback
+    (a source build mid-splice) is proven equivalent too.
+    """
+    from repro.core.concretizer import Concretizer
+    from repro.errors import ReproError
+    from repro.repo.providers import ProviderIndex
+    from repro.session import Session
+    from repro.store.verify import verify_store
+    from repro.testing.faults import Fault
+
+    for i in range(config.splice_cases):
+        base = os.path.join(workdir, "splice-%03d" % i)
+        with_fault = i % 3 == 2
+        srepo = _splice_repo()
+        case = {
+            "case": i,
+            "request": SPLICE_TARGET_REQUEST,
+            "fault": with_fault,
+            "error": None,
+        }
+        try:
+            cache_root = os.path.join(base, "cache")
+            donor = Session.create(
+                os.path.join(base, "donor"), packages=srepo, install_jobs=1
+            )
+            donor.seed_web()
+            donor.enable_buildcache(root=cache_root, push=True)
+            donor.install(SPLICE_DONOR_REQUEST, jobs=1)
+
+            spliced = Session.create(
+                os.path.join(base, "spliced"), packages=srepo, install_jobs=1
+            )
+            spliced.seed_web()
+            spliced.enable_buildcache(root=cache_root, pull=True)
+            if with_fault:
+                spliced.faults.arm([Fault(BUILDCACHE_SPLICE_STALE)])
+            try:
+                sspec, sresult = spliced.install(SPLICE_TARGET_REQUEST, jobs=1)
+            finally:
+                if with_fault:
+                    spliced.faults.disarm()
+
+            built = Session.create(
+                os.path.join(base, "built"), packages=srepo, install_jobs=1
+            )
+            built.seed_web()
+            bspec, _ = built.install(SPLICE_TARGET_REQUEST, jobs=1)
+        except (ReproError, OSError) as e:
+            case.update(kind="error", error=type(e).__name__,
+                        divergence=[], spliced=[], violations=[])
+            report.splice_cases.append(case)
+            shutil.rmtree(base, ignore_errors=True)
+            continue
+
+        divergence = []
+        if sspec.dag_hash() != bspec.dag_hash():
+            divergence.append("dag-hash")
+        if _node_dicts(sspec) != _node_dicts(bspec):
+            divergence.append("node-dicts")
+        if _manifest_files(spliced, sspec) != _manifest_files(built, bspec):
+            divergence.append("manifests")
+        if verify_store(spliced):
+            divergence.append("spliced-verify")
+        if verify_store(built):
+            divergence.append("built-verify")
+        spliced_names = sorted(s.spec.name for s in sresult.spliced)
+        injected = spliced.faults.injection_counts()
+        if not with_fault and not spliced_names:
+            # the whole point of the scenario: unchanged link/run
+            # sub-DAGs must be served by splice, not rebuilt
+            divergence.append("no-splice")
+        if with_fault and not injected.get(BUILDCACHE_SPLICE_STALE):
+            divergence.append("fault-not-injected")
+        provider_index = ProviderIndex.from_repo(srepo)
+        violations = check_all(
+            SPLICE_TARGET_REQUEST, sspec, srepo, provider_index,
+            Concretizer(srepo, provider_index, built.compilers, built.config),
+        )
+        if violations:
+            divergence.append("invariants")
+        case.update(
+            kind="match" if not divergence else "divergence",
+            divergence=divergence,
+            spliced=spliced_names,
+            violations=violations,
+        )
+        report.splice_cases.append(case)
+        shutil.rmtree(base, ignore_errors=True)
+        if log:
+            log("  splice: %d/%d cases" % (i + 1, config.splice_cases))
+    return report
+
+
 def run_campaign(config, workdir, log=None):
     """Run all phases; returns the :class:`CampaignReport`."""
     report = CampaignReport(config)
     if log:
-        log("campaign seed %d: %d specs, %d fault plans, %d cache specs"
+        log("campaign seed %d: %d specs, %d fault plans, %d cache specs, "
+            "%d splice cases"
             % (config.seed, config.specs, config.fault_plans,
-               config.cache_specs))
+               config.cache_specs, config.splice_cases))
     if config.specs:
         run_oracle_phase(config, report, log=log)
     if config.fault_plans:
         run_fault_phase(config, report, workdir, log=log)
     if config.cache_specs:
         run_cache_phase(config, report, workdir, log=log)
+    if config.splice_cases:
+        run_splice_phase(config, report, workdir, log=log)
     return report

@@ -35,6 +35,13 @@ site                      layer and effect when fired
                           digest check must reject them
                           (:class:`~repro.store.buildcache.DigestMismatchError`)
                           and the executor must fall back to a source build.
+``buildcache.splice_stale``
+                          :meth:`~repro.store.buildcache.BuildCache.fetch_tarball`
+                          (``splice=True`` — fetching a *donor* for binary
+                          splicing) corrupts the runtime-hash twin's payload
+                          — the digest check must reject it and the
+                          executor must fall back to a source build of the
+                          requested node.
 ``concretize.cache.corrupt``
                           :meth:`~repro.core.conc_cache.ConcretizationCache.lookup`
                           corrupts the cached payload it just read — the
@@ -73,6 +80,9 @@ DB_WRITE_RACE = "db.write_race"
 LOCK_TIMEOUT = "lock.timeout"
 #: a build-cache tarball whose bytes rot between index and extraction
 BUILDCACHE_CORRUPT = "buildcache.corrupt"
+#: a splice donor (runtime-hash twin) served with a stale/corrupt payload;
+#: the digest check must reject it and splicing must fall back to source
+BUILDCACHE_SPLICE_STALE = "buildcache.splice_stale"
 #: a concretization-cache payload whose bytes rot before deserialization;
 #: the dag_hash verification must reject it and re-concretize from scratch
 CONCRETIZE_CACHE_CORRUPT = "concretize.cache.corrupt"
@@ -90,6 +100,7 @@ ALL_FAULT_POINTS = (
     DB_WRITE_RACE,
     LOCK_TIMEOUT,
     BUILDCACHE_CORRUPT,
+    BUILDCACHE_SPLICE_STALE,
     CONCRETIZE_CACHE_CORRUPT,
     TELEMETRY_TRACE_DROP,
 )
@@ -357,9 +368,10 @@ class FaultInjector:
             raise LockTimeoutError(target or "<fault-injected>", 0.0)
         if point == TELEMETRY_TRACE_DROP:
             raise TelemetrySinkError("sink raised mid-emit (injected)")
-        # DB_WRITE_RACE, BUILDCACHE_CORRUPT, CONCRETIZE_CACHE_CORRUPT:
-        # the site applies the effect itself (foreign index write / byte
-        # corruption of the payload it just read).
+        # DB_WRITE_RACE, BUILDCACHE_CORRUPT, BUILDCACHE_SPLICE_STALE,
+        # CONCRETIZE_CACHE_CORRUPT: the site applies the effect itself
+        # (foreign index write / byte corruption of the payload it just
+        # read).
         return fault
 
     def __repr__(self):

@@ -71,6 +71,81 @@ class TestAncestorInvalidation:
         assert via_dict.concrete
         assert via_dict.dag_hash() == spec.dag_hash()
 
+    def test_retyping_an_edge_invalidates_both_hashes(self, session):
+        """set_deptypes on a deep edge must reach every ancestor's
+        ``_hash`` AND ``_rhash``: both tiers key on edge types."""
+        spec = _concrete_mpileaks(session)
+        old_dag = spec.dag_hash()
+        old_runtime = spec.runtime_hash()
+        parents = [
+            node for node in spec.traverse()
+            if "libelf" in node.dependencies
+        ]
+        assert len(parents) >= 2
+
+        for parent in parents:
+            changed = parent.dependencies.set_deptypes("libelf", ("run",))
+            assert changed
+
+        assert spec._hash is None and spec._rhash is None
+        for parent in parents:
+            assert parent._hash is None and parent._rhash is None
+        spec._concrete = True  # re-stamp after the deliberate mutation
+        for node in spec.traverse():
+            node._concrete = True
+        assert spec.dag_hash() != old_dag
+        # libelf moved from the link closure to run-only: the runtime
+        # edge label changes, so the runtime hash must change too
+        assert spec.runtime_hash() != old_runtime
+
+    def test_retyping_to_the_same_types_is_a_no_op(self, session):
+        spec = _concrete_mpileaks(session)
+        old_dag = spec.dag_hash()
+        parent = spec["libdwarf"]
+        current = parent.dependencies.deptypes("libelf")
+
+        assert not parent.dependencies.set_deptypes("libelf", current)
+        # caches untouched: no invalidation propagated
+        assert spec._hash is not None
+        assert spec.dag_hash() == old_dag
+
+    def test_removing_an_edge_invalidates_ancestors(self, session):
+        spec = _concrete_mpileaks(session)
+        old_dag = spec.dag_hash()
+        old_runtime = spec.runtime_hash()
+        parent = spec["libdwarf"]
+
+        del parent.dependencies["libelf"]
+
+        assert "libelf" not in parent.dependencies
+        assert "libelf" not in parent.dependencies._edge_types
+        assert spec._hash is None and spec._rhash is None
+        assert not spec._concrete
+        for node in spec.traverse():
+            node._concrete = True
+        assert spec.dag_hash() != old_dag
+        assert spec.runtime_hash() != old_runtime
+
+    def test_build_component_retype_keeps_runtime_hash(self, session):
+        """Dropping only the *build* component of a build+link edge
+        changes dag_hash but not runtime_hash — the splice-matching
+        property: binaries do not carry build-only distinctions."""
+        spec = _concrete_mpileaks(session)
+        old_runtime = spec.runtime_hash()
+        old_dag = spec.dag_hash()
+        parent = spec["libdwarf"]
+        assert parent.dependencies.deptypes("libelf") == frozenset(
+            ("build", "link")
+        )
+
+        assert parent.dependencies.set_deptypes("libelf", ("link",))
+        for node in spec.traverse():
+            node._concrete = True
+        assert spec.dag_hash() != old_dag
+        # the link component is unchanged, so the runtime closure and
+        # its hash are too
+        assert spec.runtime_hash() == old_runtime
+
     def test_dead_parents_are_dropped(self, session):
         """Parent back-references are weak: a released parent must not
         leak in the child's dependents map."""

@@ -1,0 +1,204 @@
+"""Typed dependency edges: declaration, traversal, and the two-tier hash."""
+
+import pytest
+
+from repro.spec.errors import SpecError
+from repro.spec.spec import (
+    ALL_DEPTYPES,
+    DEFAULT_DEPTYPES,
+    RUNTIME_DEPTYPES,
+    Spec,
+    canonical_deptype,
+    deptype_chars,
+)
+
+
+class TestCanonicalDeptype:
+    def test_none_and_all_mean_every_type(self):
+        assert canonical_deptype(None) == frozenset(ALL_DEPTYPES)
+        assert canonical_deptype("all") == frozenset(ALL_DEPTYPES)
+
+    def test_single_name_and_iterables(self):
+        assert canonical_deptype("build") == frozenset(("build",))
+        assert canonical_deptype(("build", "run")) == frozenset(("build", "run"))
+        assert canonical_deptype(["link"]) == frozenset(("link",))
+
+    def test_invalid_name_raises(self):
+        with pytest.raises(SpecError):
+            canonical_deptype("compile")
+        with pytest.raises(SpecError):
+            canonical_deptype(("build", "bogus"))
+
+    def test_chars_are_ordered_and_compact(self):
+        assert deptype_chars(frozenset(("run", "build", "link"))) == "blr"
+        assert deptype_chars(frozenset(("link",))) == "l"
+        assert deptype_chars(frozenset()) == ""
+
+    def test_spack_default_is_build_link(self):
+        assert frozenset(DEFAULT_DEPTYPES) == frozenset(("build", "link"))
+        assert RUNTIME_DEPTYPES == frozenset(("link", "run"))
+
+
+class TestDirectiveThreading:
+    """``depends_on(..., type=...)`` lands on concretized edges."""
+
+    def test_untyped_directive_gets_the_default(self, session):
+        spec = session.concretize("libdwarf")
+        assert spec.dependencies.deptypes("libelf") == frozenset(
+            DEFAULT_DEPTYPES
+        )
+
+    def test_build_tool_edge_is_build_only(self, session):
+        spec = session.concretize("ares")
+        assert spec.dependencies.deptypes("cmake") == frozenset(("build",))
+
+    def test_interpreter_edge_is_build_run(self, session):
+        spec = session.concretize("ares")
+        assert spec.dependencies.deptypes("python") == frozenset(
+            ("build", "run")
+        )
+
+    def test_virtual_provider_edge_inherits_declared_types(self, session):
+        spec = session.concretize("mpileaks")
+        mpi_provider = spec["mpi"]
+        assert spec.dependencies.deptypes(mpi_provider.name) == frozenset(
+            DEFAULT_DEPTYPES
+        )
+
+
+class TestTypedTraversal:
+    def test_deptype_filter_prunes_build_only_subdags(self, session):
+        spec = session.concretize("ares")
+        everyone = {n.name for n in spec.traverse()}
+        runtime = {n.name for n in spec.traverse(deptype=("link", "run"))}
+        assert "cmake" in everyone
+        assert "cmake" not in runtime
+        assert "python" in runtime  # build+run edge overlaps the filter
+
+    def test_link_run_subdag_drops_build_tools(self, session):
+        spec = session.concretize("ares")
+        sub = spec.link_run_subdag()
+        names = {n.name for n in sub.traverse()}
+        assert "cmake" not in names
+        assert spec.name in names
+        # the copy keeps only runtime-relevant types on surviving edges
+        assert sub.dependencies.deptypes("python") == frozenset(("run",))
+
+    def test_original_dag_unchanged_by_subdag_copy(self, session):
+        spec = session.concretize("ares")
+        before = spec.dag_hash()
+        spec.link_run_subdag()
+        assert spec.dag_hash() == before
+
+
+class TestTwoTierHash:
+    def test_runtime_hash_ignores_build_only_changes(self, session):
+        plain = session.concretize("ares")
+        retooled = session.concretize("ares ^cmake@2.8.12")
+        assert plain.dag_hash() != retooled.dag_hash()
+        assert plain.runtime_hash() == retooled.runtime_hash()
+
+    def test_runtime_hash_tracks_link_changes(self, session):
+        plain = session.concretize("mpileaks")
+        other = session.concretize("mpileaks ^mpich")
+        assert plain.runtime_hash() != other.runtime_hash()
+
+    def test_runtime_hash_is_cached_on_concrete_specs(self, session):
+        spec = session.concretize("libdwarf")
+        value = spec.runtime_hash()
+        assert spec._rhash is not None
+        assert spec.runtime_hash() == value
+
+    def test_runtime_hash_length_clamp(self, session):
+        spec = session.concretize("libdwarf")
+        assert spec.runtime_hash(8) == spec.runtime_hash()[:8]
+
+    def test_hash_distinguishes_edge_types(self):
+        a, b = Spec("top"), Spec("top")
+        child_a, child_b = Spec("leaf"), Spec("leaf")
+        a.dependencies.set_edge("leaf", child_a, ("build",))
+        b.dependencies.set_edge("leaf", child_b, ("link",))
+        assert a.dag_hash() != b.dag_hash()
+
+
+class TestSerialization:
+    def test_round_trip_preserves_edge_types(self, session):
+        spec = session.concretize("ares")
+        rebuilt = Spec.from_dict(spec.to_dict())
+        assert rebuilt.dag_hash() == spec.dag_hash()
+        assert rebuilt.runtime_hash() == spec.runtime_hash()
+        assert rebuilt.dependencies.deptypes("cmake") == frozenset(("build",))
+
+    def test_node_dict_lists_sorted_types(self, session):
+        spec = session.concretize("ares")
+        deps = spec.to_node_dict()["dependencies"]
+        assert deps["cmake"] == ["build"]
+        assert deps["python"] == ["build", "run"]
+
+    def test_legacy_list_dependencies_get_default_types(self, session):
+        spec = session.concretize("libdwarf")
+        data = spec.to_dict()
+        for node in data["nodes"]:
+            node["dependencies"] = sorted(node["dependencies"])
+        rebuilt = Spec.from_dict(data)
+        assert rebuilt.dependencies.deptypes("libelf") == frozenset(
+            DEFAULT_DEPTYPES
+        )
+
+
+class TestAnonymousDeterminism:
+    """Hashes of unnamed nodes must not depend on ``id()`` ordering."""
+
+    def test_anonymous_specs_hash_equal(self):
+        a, b = Spec("+debug"), Spec("+debug")
+        assert a.name is None
+        assert a.dag_hash() == b.dag_hash()
+
+    def test_distinct_anonymous_children_keep_distinct_ordinals(self):
+        def build():
+            root = Spec("root")
+            # two distinct anonymous nodes cannot collide by name
+            first, second = Spec("+a"), Spec("+b")
+            root.dependencies.set_edge("x", first, ("build",))
+            root.dependencies.set_edge("y", second, ("link",))
+            return root
+
+        assert build().dag_hash() == build().dag_hash()
+
+
+class TestGraphRendering:
+    def test_ascii_annotations_follow_the_shared_marker(self, session):
+        from repro.spec.graph import graph_ascii
+
+        spec = session.concretize("mpileaks")
+        text = graph_ascii(spec, show_deptypes=True)
+        assert "[bl]" in text
+        plain = graph_ascii(spec)
+        assert "[bl]" not in plain
+
+    def test_ascii_deptype_filter(self, session):
+        from repro.spec.graph import graph_ascii
+
+        spec = session.concretize("ares")
+        runtime = graph_ascii(spec, deptype=("link", "run"))
+        assert "cmake" not in runtime
+
+    def test_dot_edge_labels_opt_in(self, session):
+        from repro.spec.graph import graph_dot
+
+        spec = session.concretize("libdwarf")
+        labeled = graph_dot(spec, show_deptypes=True)
+        assert '[label="bl"]' in labeled
+        plain = graph_dot(spec)
+        assert '"libdwarf" -> "libelf";' in plain
+
+    def test_edge_list_triples(self, session):
+        from repro.spec.graph import edge_list
+
+        spec = session.concretize("ares")
+        triples = edge_list(spec, deptypes=True)
+        assert ("ares", "cmake", "b") in triples
+        pairs = edge_list(spec)
+        assert all(len(e) == 2 for e in pairs)
+        filtered = edge_list(spec, deptype=("link",))
+        assert ("ares", "cmake") not in filtered

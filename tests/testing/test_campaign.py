@@ -51,6 +51,18 @@ class TestCampaign:
         faulted = [c for c in report.cache_cases if c["fault"]]
         assert faulted and all(c["kind"] == "match" for c in faulted)
 
+    def test_splice_phase_proves_equivalence(self, small_campaign):
+        config, report = small_campaign
+        assert len(report.splice_cases) == config.splice_cases
+        assert report.splice_divergences() == []
+        # non-fault cases must actually exercise the splice path...
+        clean = [c for c in report.splice_cases if not c["fault"]]
+        assert clean and all(c["spliced"] for c in clean)
+        # ...and fault cases prove the stale-donor fallback still
+        # converges to the source-built store
+        faulted = [c for c in report.splice_cases if c["fault"]]
+        assert faulted and all(c["kind"] == "match" for c in faulted)
+
     def test_report_lines_are_valid_jsonl(self, small_campaign):
         config, report = small_campaign
         lines = list(report.lines())
