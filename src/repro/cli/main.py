@@ -57,8 +57,14 @@ def cmd_install(args):
         # opt-in with no configured cache: enable the default one and
         # publish what we build, so the next install can pull it
         session.enable_buildcache(push=True)
+    request = _spec_arg(args)
+    concretizer = getattr(args, "concretizer", None)
+    if concretizer is not None:
+        # pre-concretize with the chosen variant; install() skips
+        # concretization for an already-concrete spec
+        request = session.concretize(request, concretizer=concretizer)
     spec, result = session.install(
-        _spec_arg(args),
+        request,
         jobs=getattr(args, "jobs", None),
         fail_fast=getattr(args, "fail_fast", False),
         use_cache=use_cache,
@@ -187,13 +193,17 @@ def cmd_spec(args):
         print("------------------------------")
         sink = session.telemetry.add_sink(_TraceSink())
         try:
-            concrete = session.concretize(abstract, use_cache=use_cache)
+            concrete = session.concretize(
+                abstract, use_cache=use_cache,
+                concretizer=getattr(args, "concretizer", None),
+            )
         finally:
             session.telemetry.remove_sink(sink)
     else:
         concrete = session.concretize(
             abstract, backtrack=getattr(args, "backtrack", False),
             use_cache=use_cache,
+            concretizer=getattr(args, "concretizer", None),
         )
     print("Concretized")
     print("------------------------------")
@@ -579,6 +589,7 @@ def cmd_selftest(args):
         fault_plans=args.fault_plans,
         cache_specs=getattr(args, "cache_specs", 200),
         splice_cases=getattr(args, "splice_cases", 6),
+        solver_cases=getattr(args, "solver_cases", 200),
     )
     workdir = tempfile.mkdtemp(prefix="repro-selftest-")
     try:
@@ -599,6 +610,12 @@ def cmd_selftest(args):
                                       summary["splice_divergences"])
         if summary["splice_cases"] else "skipped"
     ))
+    print("    solver: %s" % (
+        "%s, %d rescues, %d divergences" % (
+            summary["solver_outcomes"], summary["solver_rescues"],
+            summary["solver_divergences"])
+        if summary["solver_cases"] else "skipped"
+    ))
     for case in report.divergences():
         print("    DIVERGENCE: %s (minimized: %s)"
               % (case["request"], case["minimized"]))
@@ -615,6 +632,9 @@ def cmd_selftest(args):
         print("    SPLICE DIVERGENCE: case %d (%s)"
               % (case["case"],
                  "; ".join(case.get("divergence") or []) or case["error"]))
+    for case in report.solver_divergences():
+        print("    SOLVER DIVERGENCE: %s (%s)"
+              % (case["request"], case["kind"]))
     if report.ok:
         fault_note = (
             "all fault points reached, all stores healed"
@@ -885,6 +905,12 @@ def build_parser():
                 help="never satisfy a cache miss by splicing a runtime-hash "
                      "twin's binaries; exact dag-hash entries only",
             )
+            p.add_argument(
+                "--concretizer", choices=("greedy", "backtracking", "solver"),
+                default=None,
+                help="concretizer variant for the install's concretization "
+                     "(default: the session's `concretizer:` config key)",
+            )
         if name == "buildcache":
             p.add_argument(
                 "--dir",
@@ -911,6 +937,13 @@ def build_parser():
             p.add_argument(
                 "--backtrack", action="store_true",
                 help="explore provider alternatives if greedy concretization fails",
+            )
+            p.add_argument(
+                "--concretizer", choices=("greedy", "backtracking", "solver"),
+                default=None,
+                help="concretizer variant: the paper's greedy pass, the §4.5 "
+                     "provider search, or the optimizing full-choice-space "
+                     "solver (default: the session's `concretizer:` config key)",
             )
             p.add_argument(
                 "--trace", action="store_true",
@@ -951,6 +984,12 @@ def build_parser():
                 "--splice-cases", type=int, default=6, metavar="S",
                 help="spliced-vs-built store comparisons for the "
                      "splice-equivalence sweep",
+            )
+            p.add_argument(
+                "--solver-cases", type=int, default=200, metavar="C",
+                help="generated requests for the three-way "
+                     "(greedy/backtracking/solver) oracle sweep over a "
+                     "conflict-rich universe",
             )
             p.add_argument(
                 "--report", metavar="FILE",

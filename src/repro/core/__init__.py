@@ -12,6 +12,7 @@ explicit (§4.5).
 from repro.core.concretizer import (
     ConcretizationError,
     Concretizer,
+    ConflictError,
     CyclicDependencyError,
     NoBuildableProviderError,
     NoSatisfyingVersionError,
@@ -19,13 +20,17 @@ from repro.core.concretizer import (
 )
 from repro.core.backtracking import BacktrackingConcretizer, BacktrackLimitError
 from repro.core.policies import DefaultPolicy
+from repro.core.solver import SolverConcretizer, SolverLimitError
 
 __all__ = [
     "Concretizer",
     "BacktrackingConcretizer",
     "BacktrackLimitError",
+    "SolverConcretizer",
+    "SolverLimitError",
     "DefaultPolicy",
     "ConcretizationError",
+    "ConflictError",
     "UnknownPackageError",
     "NoSatisfyingVersionError",
     "NoBuildableProviderError",

@@ -67,6 +67,10 @@ class CyclicDependencyError(ConcretizationError):
         )
 
 
+class ConflictError(ConcretizationError):
+    """A concretized node hit a package's declared ``conflicts()``."""
+
+
 #: Safety bound on fixed-point iterations; real DAGs converge in a handful.
 MAX_ITERATIONS = 128
 
@@ -543,8 +547,16 @@ class Concretizer:
                     "configured external satisfies %s" % (node.name, node)
                 )
             self._validate_dependencies(node, cls)
+            from repro.package.package import PackageError
+
             pkg = cls(node)
-            pkg.validate_conflicts()
+            try:
+                pkg.validate_conflicts()
+            except PackageError as e:
+                # a declared conflicts() hit is a *concretization* dead
+                # end — type it so the backtracking and solver searches
+                # (and the differential oracle) can treat it as one
+                raise ConflictError(str(e)) from e
 
     def _validate_dependencies(self, node, cls):
         """Every active depends_on must be satisfied by the resolved edge."""

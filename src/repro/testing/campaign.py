@@ -30,6 +30,19 @@ A campaign has three phases, all driven entirely by one master seed:
    the concretization invariant battery; some cases arm a
    ``buildcache.splice_stale`` fault to prove the corrupted-donor
    fallback (a source build) is equivalent too.
+5. **Solver sweep** — generate a *conflict-rich* universe (the
+   generator's ``conflict_density``/``when_depth``/``provider_overlap``
+   knobs turned up, so greedy dead-ends on a meaningful fraction of
+   requests) and run every request through the *three-way* oracle:
+   greedy vs. backtracking vs. the optimizing solver.  Solver successes
+   are re-checked against the concretization invariant battery, and
+   every tenth case re-concretizes through a Session with an armed
+   ``concretize.cache.corrupt`` fault — the corrupted-cache fallback
+   must reproduce the oracle's answer byte-for-byte.  Rescues and
+   ``improvement`` outcomes (the solver strictly beating a greedy
+   success on its own objective) are counted — they are the point of
+   the solver; ``divergence`` and ``optimality-divergence`` fail the
+   campaign.
 
 The report is JSONL with sorted keys and no timestamps, hostnames, or
 absolute paths, so two same-seed runs produce *byte-identical* files —
@@ -65,7 +78,8 @@ class CampaignConfig:
 
     def __init__(self, seed=None, specs=200, fault_plans=50, packages=40,
                  virtuals=2, max_attempts=64, fault_target="libdwarf",
-                 points=ALL_FAULT_POINTS, cache_specs=200, splice_cases=6):
+                 points=ALL_FAULT_POINTS, cache_specs=200, splice_cases=6,
+                 solver_cases=200):
         self.seed = session_seed() if seed is None else int(seed)
         self.specs = int(specs)
         self.fault_plans = int(fault_plans)
@@ -79,6 +93,8 @@ class CampaignConfig:
         self.cache_specs = int(cache_specs)
         #: spliced-vs-built store comparisons (phase 4)
         self.splice_cases = int(splice_cases)
+        #: three-way oracle cases over the conflict-rich universe (phase 5)
+        self.solver_cases = int(solver_cases)
 
     def to_dict(self):
         return {
@@ -92,6 +108,7 @@ class CampaignConfig:
             "points": list(self.points),
             "cache_specs": self.cache_specs,
             "splice_cases": self.splice_cases,
+            "solver_cases": self.solver_cases,
         }
 
 
@@ -108,6 +125,8 @@ class CampaignReport:
         self.cache_cases = []
         #: one dict per spliced-vs-built store comparison
         self.splice_cases = []
+        #: one dict per three-way solver-sweep case
+        self.solver_cases = []
 
     # -- aggregation --------------------------------------------------------
     def outcome_counts(self):
@@ -147,6 +166,27 @@ class CampaignReport:
         (including cases that errored outright)."""
         return [c for c in self.splice_cases if c["kind"] != "match"]
 
+    def solver_outcome_counts(self):
+        counts = {}
+        for case in self.solver_cases:
+            counts[case["kind"]] = counts.get(case["kind"], 0) + 1
+        return counts
+
+    def solver_rescues(self):
+        return [c for c in self.solver_cases if c["kind"] == "rescue"]
+
+    def solver_divergences(self):
+        """Three-way cases where something is wrong: mismatched hashes,
+        a suboptimal solver answer, an invariant violation on a solver
+        success, or a corrupted-cache re-concretization that did not
+        reproduce the oracle's answer."""
+        return [
+            c for c in self.solver_cases
+            if c["kind"] in ("divergence", "optimality-divergence")
+            or c.get("violations")
+            or c.get("fault") == "mismatch"
+        ]
+
     @property
     def ok(self):
         """The campaign's verdict: no divergence, no invariant violation,
@@ -166,6 +206,7 @@ class CampaignReport:
             and not self.unrecovered()
             and not self.cache_divergences()
             and not self.splice_divergences()
+            and not self.solver_divergences()
             and covered
         )
 
@@ -182,6 +223,10 @@ class CampaignReport:
             "cache_divergences": len(self.cache_divergences()),
             "splice_cases": len(self.splice_cases),
             "splice_divergences": len(self.splice_divergences()),
+            "solver_cases": len(self.solver_cases),
+            "solver_outcomes": self.solver_outcome_counts(),
+            "solver_rescues": len(self.solver_rescues()),
+            "solver_divergences": len(self.solver_divergences()),
             "ok": self.ok,
         }
 
@@ -200,6 +245,8 @@ class CampaignReport:
             yield dump(dict(case, type="cache-case"))
         for case in self.splice_cases:
             yield dump(dict(case, type="splice-case"))
+        for case in self.solver_cases:
+            yield dump(dict(case, type="solver-case"))
         yield dump(self.summary())
 
     def write(self, path):
@@ -258,7 +305,9 @@ def run_oracle_phase(config, report, log=None):
                 request, concrete, repo, provider_index, oracle.greedy
             )
         elif comparison.kind == RESCUE:
-            concrete = oracle.backtracking.concretize(Spec(request))
+            # the solver always holds the rescue (backtracking may have
+            # failed too — its provider-only space is a strict subset)
+            concrete = oracle.solver.concretize(Spec(request))
             violations = check_concretization(
                 request, concrete, repo, provider_index
             )
@@ -661,14 +710,134 @@ def run_splice_phase(config, report, workdir, log=None):
     return report
 
 
+# -- phase 5: three-way solver sweep ------------------------------------------
+
+def _solver_fixture(config):
+    """Like :func:`_oracle_fixture` but conflict-rich: the generator's
+    dead-end knobs are turned up so greedy demonstrably fails on part of
+    the stream and the solver's rescues are exercised for real."""
+    from repro.compilers.registry import Compiler, CompilerRegistry
+    from repro.config.config import Config
+    from repro.repo.providers import ProviderIndex
+
+    repo = RepoGenerator(
+        derive_seed(config.seed, "solver-repo"),
+        count=config.packages,
+        virtuals=max(3, config.virtuals),
+        conflict_density=1.0,
+        when_depth=3,
+        provider_overlap=0.8,
+    ).build()
+    provider_index = ProviderIndex.from_repo(repo)
+    registry = CompilerRegistry(
+        Compiler(*cs.split("@")) for cs in GEN_COMPILERS
+    )
+    cfg = Config()
+    cfg.update(
+        "defaults",
+        {
+            "preferences": {
+                "compiler_order": [GEN_COMPILERS[0]],
+                "architecture": "linux-x86_64",
+            }
+        },
+    )
+    return repo, provider_index, registry, cfg
+
+
+def run_solver_phase(config, report, workdir, log=None):
+    """Three-way differential sweep over the conflict-rich universe.
+
+    Every case goes through the full greedy/backtracking/solver oracle;
+    solver successes are re-checked against the concretization
+    invariants.  Every tenth case additionally re-concretizes through a
+    Session whose on-disk concretization cache is corrupted by an armed
+    ``concretize.cache.corrupt`` fault — the fallback must both fire
+    (the fault injects) and reproduce the oracle's solver answer.
+    """
+    from repro.session import Session
+    from repro.spec.spec import Spec
+    from repro.testing.faults import CONCRETIZE_CACHE_CORRUPT, Fault
+
+    repo, provider_index, compilers, cfg = _solver_fixture(config)
+    oracle = DifferentialOracle(
+        repo, provider_index, compilers, cfg, max_attempts=config.max_attempts
+    )
+    generator = SpecGenerator(derive_seed(config.seed, "solver-specs"), repo)
+    session = Session(
+        os.path.join(workdir, "solver-phase"), repo, config=cfg,
+        compilers=compilers,
+    )
+
+    for i in range(config.solver_cases):
+        request = generator.spec(i)
+        comparison = oracle.compare(request)
+        violations = []
+        if comparison.solver_hash is not None:
+            concrete = oracle.solver.concretize(Spec(request))
+            violations = check_concretization(
+                request, concrete, repo, provider_index
+            )
+
+        fault = None
+        if i % 10 == 0 and comparison.solver_hash is not None:
+            cold = session.concretize(
+                Spec(request), concretizer="solver", use_cache=False
+            )
+            # persist the entry, then force the armed lookup through the
+            # on-disk payload the fault corrupts
+            session.concretize(Spec(request), concretizer="solver")
+            session.forget_concretizations()
+            before = session.faults.injection_counts().get(
+                CONCRETIZE_CACHE_CORRUPT, 0
+            )
+            session.faults.arm([Fault(CONCRETIZE_CACHE_CORRUPT)])
+            try:
+                warm = session.concretize(
+                    Spec(request), concretizer="solver"
+                )
+            finally:
+                session.faults.disarm()
+            fired = session.faults.injection_counts().get(
+                CONCRETIZE_CACHE_CORRUPT, 0
+            ) - before
+            same = (
+                fired > 0
+                and cold.dag_hash() == comparison.solver_hash
+                and warm.dag_hash() == comparison.solver_hash
+            )
+            fault = "match" if same else "mismatch"
+
+        report.solver_cases.append(
+            {
+                "case": i,
+                "request": request,
+                "kind": comparison.kind,
+                "greedy_error": comparison.greedy_error,
+                "backtracking_error": comparison.backtracking_error,
+                "solver_error": comparison.solver_error,
+                "solver_attempts": comparison.solver_attempts,
+                "solver_score": comparison.solver_score,
+                "best_score": comparison.best_score,
+                "minimized": comparison.minimized,
+                "violations": violations,
+                "fault": fault,
+            }
+        )
+        if log and (i + 1) % 50 == 0:
+            log("  solver: %d/%d cases" % (i + 1, config.solver_cases))
+    shutil.rmtree(os.path.join(workdir, "solver-phase"), ignore_errors=True)
+    return report
+
+
 def run_campaign(config, workdir, log=None):
     """Run all phases; returns the :class:`CampaignReport`."""
     report = CampaignReport(config)
     if log:
         log("campaign seed %d: %d specs, %d fault plans, %d cache specs, "
-            "%d splice cases"
+            "%d splice cases, %d solver cases"
             % (config.seed, config.specs, config.fault_plans,
-               config.cache_specs, config.splice_cases))
+               config.cache_specs, config.splice_cases, config.solver_cases))
     if config.specs:
         run_oracle_phase(config, report, log=log)
     if config.fault_plans:
@@ -677,4 +846,6 @@ def run_campaign(config, workdir, log=None):
         run_cache_phase(config, report, workdir, log=log)
     if config.splice_cases:
         run_splice_phase(config, report, workdir, log=log)
+    if config.solver_cases:
+        run_solver_phase(config, report, workdir, log=log)
     return report

@@ -23,7 +23,7 @@ live inside ``tests/spec/test_parser_fuzz.py`` and
 
 import random
 
-from repro.directives import depends_on, provides, variant, version
+from repro.directives import conflicts, depends_on, provides, variant, version
 from repro.directives.directives import DirectiveMeta
 from repro.fetch.mockweb import mock_checksum
 from repro.package.package import Package
@@ -41,12 +41,16 @@ GEN_ARCHES = ("linux-x86_64", "bgq")
 GEN_VARIANT_NAMES = ("shared", "debug", "mpi", "threads")
 
 
-def _make_package(name, versions, dep_decls, provided=None, variants=()):
+def _make_package(name, versions, dep_decls, provided=None, variants=(),
+                  conflict_decls=()):
     """Build one Package subclass via the real directive machinery.
 
     ``dep_decls`` is a list of ``(dep_name, constraint_suffix, when)``
     tuples; constraint suffix is appended to the dependency name (e.g.
-    ``"@2:"``), ``when`` is a predicate string or None.
+    ``"@2:"``), ``when`` is a predicate string or None.  ``provided``
+    may be one virtual name or a tuple of them (overlap providers);
+    ``conflict_decls`` is a list of ``conflicts()`` spec strings — the
+    greedy dead ends the solver universes are seeded with.
     """
     ns = {
         "homepage": "https://mock.example.org/%s" % name,
@@ -60,10 +64,14 @@ def _make_package(name, versions, dep_decls, provided=None, variants=()):
     for dep_name, suffix, when in dep_decls:
         depends_on(dep_name + suffix, when=when)
     if provided:
-        provides(provided)
+        names = (provided,) if isinstance(provided, str) else provided
+        for vname in names:
+            provides(vname)
     for vname in variants:
         variant(vname, default=(vname == "shared"),
                 description="generated variant %s" % vname)
+    for conflict_spec in conflict_decls:
+        conflicts(conflict_spec)
     return DirectiveMeta(mod_to_class(name), (Package,), ns)
 
 
@@ -78,13 +86,38 @@ class RepoGenerator:
       introduce a cycle;
     * every virtual has at least two providers, so the backtracking
       concretizer always has a real choice point to explore.
+
+    Three *conflict knobs* turn a benign universe into one that forces
+    real search (all default to off, and their draws come from seeds
+    derived separately from the base stream, so a knobless build is
+    byte-identical to what older seeds produced):
+
+    * ``conflict_density`` (0..1) — per virtual, probability of adding
+      an hwloc-style dead-end cluster: a new *alphabetically preferred*
+      provider pinned to ``anchor-i@1.0`` plus a ``clash-i`` consumer
+      that needs ``anchor-i@2.0`` (greedy picks the poisoned provider
+      and dies; provider search rescues).  Also scales a family of
+      solver-only dead ends — packages whose *default* compiler,
+      variant, or version hits a declared ``conflicts()``, which no
+      amount of provider re-enumeration can fix.
+    * ``when_depth`` (int) — adds conditional dependency chains
+      ``chain-k-0 → … → chain-k-(depth-1)`` whose every edge is gated
+      on ``when="@2:"``, exercising fixpoint re-expansion under version
+      deviations.
+    * ``provider_overlap`` (0..1) — per adjacent virtual pair,
+      probability of one leaf provider implementing *both* interfaces,
+      coupling otherwise independent provider choices.
     """
 
-    def __init__(self, seed, count=40, virtuals=2, namespace="generated"):
+    def __init__(self, seed, count=40, virtuals=2, namespace="generated",
+                 conflict_density=0.0, when_depth=0, provider_overlap=0.0):
         self.seed = int(seed)
         self.count = max(4, int(count))
         self.virtuals = max(0, int(virtuals))
         self.namespace = namespace
+        self.conflict_density = float(conflict_density)
+        self.when_depth = max(0, int(when_depth))
+        self.provider_overlap = float(provider_overlap)
 
     def virtual_name(self, i):
         return "vif-%d" % i
@@ -122,7 +155,108 @@ class RepoGenerator:
             cls = _make_package(name, versions, dep_decls, variants=variants)
             repo.add_class(name, cls)
             names.append(name)
+
+        # conflict knobs draw from their own derived streams so the
+        # base universe above never shifts under older seeds
+        if self.conflict_density > 0:
+            self._add_conflict_clusters(repo, provider_of)
+            self._add_solver_dead_ends(repo)
+        if self.when_depth > 0:
+            self._add_when_chains(repo)
+        if self.provider_overlap > 0:
+            self._add_overlap_providers(repo)
         return repo
+
+    # -- conflict knobs ------------------------------------------------------
+    def _knob_rng(self, stream):
+        from repro.testing import derive_seed
+
+        return random.Random(derive_seed(self.seed, "knob", stream))
+
+    def _add_conflict_clusters(self, repo, provider_of):
+        """Per virtual: a poisoned *preferred* provider plus a consumer
+        whose anchor pin contradicts it (the paper's §4.5 hwloc shape).
+
+        The new provider is named ``vif-i-aaa-impl`` so the default
+        policy's name tie-break ranks it *first*; it pins
+        ``anchor-i@1.0`` while ``clash-i`` needs ``anchor-i@2.0``, so
+        greedy dies inside the preferred provider and only provider
+        search (or better) escapes to ``vif-i-impl-0``.
+        """
+        rng = self._knob_rng("conflict")
+        for vi in range(self.virtuals):
+            if rng.random() >= self.conflict_density:
+                continue
+            vname = self.virtual_name(vi)
+            anchor = "anchor-%d" % vi
+            repo.add_class(anchor, _make_package(anchor, ["1.0", "2.0"], []))
+            poisoned = "%s-aaa-impl" % vname
+            repo.add_class(poisoned, _make_package(
+                poisoned, ["1.0"], [(anchor, "@1.0", None)], provided=vname,
+            ))
+            clash = "clash-%d" % vi
+            repo.add_class(clash, _make_package(
+                clash, ["1.0"], [(vname, "", None), (anchor, "@2.0", None)],
+            ))
+
+    def _add_solver_dead_ends(self, repo):
+        """Packages whose policy-*default* choice hits a declared
+        ``conflicts()``: only a variant flip, version deviation, or
+        compiler change rescues them — greedy and the provider-only
+        backtracker both fail, the optimizing solver succeeds."""
+        rng = self._knob_rng("dead-ends")
+        n = max(1, int(round(self.conflict_density * self.count / 5.0)))
+        for i in range(n):
+            kind = ("hardpick", "varpick", "verpick")[i % 3]
+            name = "%s-%d" % (kind, i)
+            if kind == "hardpick":
+                # default compiler_order is gcc-first everywhere
+                cls = _make_package(name, ["1.0"], [],
+                                    conflict_decls=["%gcc"])
+            elif kind == "varpick":
+                cls = _make_package(name, ["1.0"], [], variants=("shared",),
+                                    conflict_decls=["+shared"])
+            else:
+                # 2.0 is newest (and checksummed) so policy prefers it
+                cls = _make_package(name, ["1.0", "2.0"], [],
+                                    conflict_decls=["@2.0"])
+            repo.add_class(name, cls)
+            # occasionally bury the dead end one level down so rescue
+            # requires deviating a *dependency's* parameters
+            if rng.random() < 0.5:
+                consumer = "needs-%s" % name
+                repo.add_class(consumer, _make_package(
+                    consumer, ["1.0"], [(name, "", None)],
+                ))
+
+    def _add_when_chains(self, repo):
+        """Conditional chains: every edge is gated on ``when="@2:"`` and
+        every member's preferred version activates it, so deviating any
+        member's version to 1.x prunes the rest of the chain."""
+        chains = max(1, self.count // 10)
+        for k in range(chains):
+            # build leaf-first so each link's dependency already exists
+            for j in reversed(range(self.when_depth)):
+                name = "chain-%d-%d" % (k, j)
+                deps = []
+                if j + 1 < self.when_depth:
+                    deps.append(("chain-%d-%d" % (k, j + 1), "", "@2:"))
+                repo.add_class(name, _make_package(name, ["1.5", "2.5"], deps))
+
+    def _add_overlap_providers(self, repo):
+        """One leaf provider implementing two adjacent virtuals; its
+        ``aaa`` name makes it the preferred pick for both, so choosing
+        a provider for one interface constrains the other."""
+        rng = self._knob_rng("overlap")
+        for vi in range(self.virtuals - 1):
+            if rng.random() >= self.provider_overlap:
+                continue
+            name = "dual-%d-aaa-impl" % vi
+            repo.add_class(name, _make_package(
+                name, ["1.0"],
+                [],
+                provided=(self.virtual_name(vi), self.virtual_name(vi + 1)),
+            ))
 
     # -- draws -------------------------------------------------------------
     def _draw_versions(self, rng):
@@ -157,6 +291,100 @@ class RepoGenerator:
                 suffix = "@%d:" % rng.randint(1, 2)
             decls.append((dep, suffix, self._draw_when(rng, variants, versions)))
         return decls
+
+
+class DeadEndScenario:
+    """One known greedy-dead-end universe: a tiny repo, the request that
+    kills the greedy concretizer, which searcher is expected to rescue
+    it (``"backtracking"`` — provider re-enumeration suffices — or
+    ``"solver"`` — a version/variant/compiler deviation is required),
+    and config preference overrides the scenario assumes."""
+
+    def __init__(self, label, repo, request, rescuer, config=None):
+        self.label = label
+        self.repo = repo
+        self.request = request
+        self.rescuer = rescuer
+        self.config = config or {}
+
+    def __repr__(self):
+        return "DeadEndScenario(%r, rescuer=%r)" % (self.label, self.rescuer)
+
+
+def greedy_dead_end_corpus():
+    """Hand-built scenarios where greedy provably dead-ends (§4.5).
+
+    Deterministic — no randomness at all — so the corpus doubles as a
+    regression suite: every scenario's greedy run must fail with a
+    typed error, and the named rescuer must succeed.  Scenarios assume
+    the :data:`GEN_COMPILERS` registry and gcc-first compiler order.
+    """
+    scenarios = []
+
+    # 1. The paper's hwloc case: preferred MPI pins the wrong hwloc.
+    repo = Repository(namespace="deadend.hwloc")
+    repo.add_class("hwloc", _make_package("hwloc", ["1.9", "1.8"], []))
+    repo.add_class("ampi", _make_package(
+        "ampi", ["1.0"], [("hwloc", "@1.8", None)], provided="mpi2"))
+    repo.add_class("bmpi", _make_package(
+        "bmpi", ["1.0"], [("hwloc", "@1.9", None)], provided="mpi2"))
+    repo.add_class("app", _make_package(
+        "app", ["1.0"], [("hwloc", "@1.9", None), ("mpi2", "", None)]))
+    scenarios.append(DeadEndScenario(
+        "hwloc-version-pin", repo, "app", "backtracking",
+        config={"preferences": {"providers": {"mpi2": ["ampi", "bmpi"]}}},
+    ))
+
+    # 2. Two coupled virtuals: only the dispreferred pair is consistent.
+    repo = Repository(namespace="deadend.pair")
+    repo.add_class("libx", _make_package("libx", ["2", "1"], []))
+    for vname, tag in (("vinta", "a"), ("vintb", "b")):
+        repo.add_class("%s1" % tag, _make_package(
+            "%s1" % tag, ["1.0"], [("libx", "@1", None)], provided=vname))
+        repo.add_class("%s2" % tag, _make_package(
+            "%s2" % tag, ["1.0"], [("libx", "@2", None)], provided=vname))
+    repo.add_class("pairapp", _make_package(
+        "pairapp", ["1.0"],
+        [("vinta", "", None), ("vintb", "", None), ("libx", "@2", None)]))
+    scenarios.append(DeadEndScenario(
+        "provider-pair", repo, "pairapp", "backtracking",
+        config={"preferences": {"providers": {"vinta": ["a1", "a2"],
+                                              "vintb": ["b1", "b2"]}}},
+    ))
+
+    # 3. Default compiler conflicts: only a %-deviation rescues.
+    repo = Repository(namespace="deadend.compiler")
+    repo.add_class("nogcc", _make_package(
+        "nogcc", ["1.0"], [], conflict_decls=["%gcc"]))
+    scenarios.append(DeadEndScenario(
+        "compiler-conflict", repo, "nogcc", "solver"))
+
+    # 4. Default variant conflicts: only a flip rescues.
+    repo = Repository(namespace="deadend.variant")
+    repo.add_class("noshared", _make_package(
+        "noshared", ["1.0"], [], variants=("shared",),
+        conflict_decls=["+shared"]))
+    scenarios.append(DeadEndScenario(
+        "variant-conflict", repo, "noshared", "solver"))
+
+    # 5. Preferred version conflicts: only an older pick rescues.
+    repo = Repository(namespace="deadend.version")
+    repo.add_class("nonewest", _make_package(
+        "nonewest", ["1.0", "2.0"], [], conflict_decls=["@2.0"]))
+    scenarios.append(DeadEndScenario(
+        "version-conflict", repo, "nonewest", "solver"))
+
+    # 6. A when= chain ending at an impossible pin: deviating the chain
+    # head's version to 1.x prunes the poisoned tail.
+    repo = Repository(namespace="deadend.chain")
+    repo.add_class("pin", _make_package("pin", ["9"], []))
+    repo.add_class("tail", _make_package(
+        "tail", ["1.0"], [("pin", "@1:2", None)]))
+    repo.add_class("head", _make_package(
+        "head", ["1.5", "2.5"], [("tail", "", "@2:")]))
+    scenarios.append(DeadEndScenario("deep-chain", repo, "head", "solver"))
+
+    return scenarios
 
 
 class SpecGenerator:

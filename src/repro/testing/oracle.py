@@ -1,31 +1,49 @@
-"""Differential oracle: greedy vs. backtracking concretization.
+"""Differential oracle: greedy vs. backtracking vs. solver concretization.
 
-The two concretizers implement the same contract by different
+The three concretizers implement the same contract by different
 strategies, which makes them oracles for each other (the technique
 ASP-based solvers later formalized: divergence between implementations
 is evidence of a bug even when neither answer is obviously wrong).
+The solver adds a second axis: it *scores* every answer, so the oracle
+can also catch a solution that is consistent but suboptimal.
 
 Outcome classification for one abstract request:
 
 ``agree-success``
-    Both succeed with the *same DAG hash*.  This is the strong case:
-    :class:`~repro.core.backtracking.BacktrackingConcretizer` runs the
-    greedy pass first, so whenever greedy succeeds the two must be
-    byte-identical — any hash mismatch is a real bug.
+    All three succeed with the *same DAG hash*.  The common case: both
+    searches run the greedy pass as their zero-deviation baseline, so
+    whenever greedy's answer is optimal all three are byte-identical.
+``improvement``
+    Greedy succeeded but the solver returned a *strictly
+    better-scoring* DAG (the backtracking search, whose zeroth attempt
+    is greedy's, must still reproduce greedy exactly).  Benign and
+    expected on conflict-rich universes: greedy's myopic provider pick
+    can drag in a version pin a cheap provider deviation avoids — the
+    reason real Spack moved to an optimizing solver.  A solver hash
+    mismatch *without* a strictly better score stays a divergence:
+    same-score different-hash is nondeterminism, worse-score is an
+    optimality bug.
 ``rescue``
-    Greedy fails, backtracking finds a solution.  Benign **by design**:
-    exploring provider alternatives after a greedy dead end is the
-    entire point of the backtracking search (the paper's §4.5 hwloc
-    example).  Campaigns count rescues but do not flag them.
+    Greedy fails and the solver finds a solution (the backtracking
+    search may rescue too — the provider-only subspace — or may not:
+    the solver also explores version/variant/compiler deviations, and
+    a backtracking failure on a solver-rescued request is benign).
+    Campaigns count rescues but do not flag them.
 ``agree-error``
-    Both fail with typed errors.  Benign: the error *types* may differ
-    (greedy reports the first contradiction, the search reports
+    All three fail with typed errors.  Benign: the error *types* may
+    differ (greedy reports the first contradiction, the searches report
     exhaustion) and that difference is allowlisted; what matters is
-    that neither invented a solution the other proves impossible.
+    that none invented a solution the others prove impossible.
+``optimality-divergence``
+    The solver succeeded, but another variant found a *strictly
+    better-scoring* DAG under the solver's own objective.  Always a
+    bug: the solver's whole contract is that its first answer is the
+    best-scoring consistent one.
 ``divergence``
-    Anything else — both succeeded with different hashes, or greedy
-    succeeded where backtracking failed.  Always a bug; the oracle
-    attaches a minimized reproducer.
+    Anything else — successes with mismatched hashes, or a more general
+    strategy failing where a less general one succeeded (greedy ok but
+    a search failed; backtracking ok but the solver failed).  Always a
+    bug; the oracle attaches a minimized reproducer.
 """
 
 import re
@@ -33,15 +51,18 @@ import re
 from repro.compilers.registry import CompilerError
 from repro.core.backtracking import BacktrackingConcretizer
 from repro.core.concretizer import ConcretizationError, Concretizer
+from repro.core.solver import SolverConcretizer
 from repro.spec.errors import SpecError
 from repro.spec.spec import Spec
 from repro.version import VersionParseError
 
-#: benign outcome kinds (everything except DIVERGENCE)
+#: benign outcome kinds (everything except the two divergence kinds)
 AGREE_SUCCESS = "agree-success"
 AGREE_ERROR = "agree-error"
 RESCUE = "rescue"
+IMPROVEMENT = "improvement"
 DIVERGENCE = "divergence"
+OPTIMALITY_DIVERGENCE = "optimality-divergence"
 
 #: error families the oracle treats as "typed, clean failure"
 TYPED_ERRORS = (ConcretizationError, SpecError, VersionParseError,
@@ -65,22 +86,31 @@ class Comparison:
 
     def __init__(self, request, kind, greedy_hash=None, backtracking_hash=None,
                  greedy_error=None, backtracking_error=None, attempts=1,
-                 minimized=None):
+                 minimized=None, solver_hash=None, solver_error=None,
+                 solver_attempts=0, solver_score=None, best_score=None):
         self.request = request
         self.kind = kind
         self.greedy_hash = greedy_hash
         self.backtracking_hash = backtracking_hash
+        self.solver_hash = solver_hash
         #: error *type name*, kept as a string so reports stay JSON-able
         self.greedy_error = greedy_error
         self.backtracking_error = backtracking_error
+        self.solver_error = solver_error
         #: greedy passes the backtracking search consumed
         self.attempts = attempts
-        #: smallest request string that still diverges (DIVERGENCE only)
+        #: assignments the solver search evaluated
+        self.solver_attempts = solver_attempts
+        #: objective value of the solver's DAG (None when it failed)
+        self.solver_score = solver_score
+        #: best objective any variant achieved (None when all failed)
+        self.best_score = best_score
+        #: smallest request string that still diverges (divergences only)
         self.minimized = minimized
 
     @property
     def divergent(self):
-        return self.kind == DIVERGENCE
+        return self.kind in (DIVERGENCE, OPTIMALITY_DIVERGENCE)
 
     def to_dict(self):
         return {
@@ -88,9 +118,14 @@ class Comparison:
             "kind": self.kind,
             "greedy_hash": self.greedy_hash,
             "backtracking_hash": self.backtracking_hash,
+            "solver_hash": self.solver_hash,
             "greedy_error": self.greedy_error,
             "backtracking_error": self.backtracking_error,
+            "solver_error": self.solver_error,
             "attempts": self.attempts,
+            "solver_attempts": self.solver_attempts,
+            "solver_score": self.solver_score,
+            "best_score": self.best_score,
             "minimized": self.minimized,
         }
 
@@ -99,15 +134,24 @@ class Comparison:
 
 
 class DifferentialOracle:
-    """Runs both concretizers on requests and classifies the outcomes."""
+    """Runs all three concretizers on requests and classifies outcomes."""
 
     def __init__(self, repo, provider_index, compilers, config, policy=None,
-                 max_attempts=256):
+                 max_attempts=256, solver_max_attempts=None):
         self.greedy = Concretizer(repo, provider_index, compilers, config,
                                   policy=policy)
         self.backtracking = BacktrackingConcretizer(
             repo, provider_index, compilers, config, policy=policy,
             max_attempts=max_attempts,
+        )
+        # the solver's space is a superset of the provider space, so its
+        # default budget is a multiple of the backtracking one: whatever
+        # backtracking can rescue must stay within the solver's reach
+        if solver_max_attempts is None:
+            solver_max_attempts = max_attempts * 8
+        self.solver = SolverConcretizer(
+            repo, provider_index, compilers, config, policy=policy,
+            max_attempts=solver_max_attempts,
         )
 
     # -- running one side ---------------------------------------------------
@@ -129,27 +173,66 @@ class DifferentialOracle:
         g_hash, g_spec, g_err = self._run(self.greedy, request)
         b_hash, b_spec, b_err = self._run(self.backtracking, request)
         attempts = self.backtracking.last_attempts
+        s_hash, s_spec, s_err = self._run(self.solver, request)
+        solver_attempts = self.solver.last_attempts
 
-        if g_hash is not None and b_hash is not None:
-            kind = AGREE_SUCCESS if g_hash == b_hash else DIVERGENCE
-        elif g_hash is None and b_hash is None:
-            kind = AGREE_ERROR
-        elif g_hash is None:
-            kind = RESCUE
-        else:
-            # greedy found a solution the search could not reproduce:
-            # the search is strictly more general, so this is a bug
-            kind = DIVERGENCE
+        # score every success on the solver's objective scale
+        s_score = self.solver.score(s_spec) if s_spec is not None else None
+        g_score = self.solver.score(g_spec) if g_spec is not None else None
+        b_score = self.solver.score(b_spec) if b_spec is not None else None
+        alt_scores = [a for a in (g_score, b_score) if a is not None]
+        scores = alt_scores + ([s_score] if s_score is not None else [])
+        best_score = min(scores) if scores else None
+
+        kind = self._classify(
+            g_hash, b_hash, s_hash, g_score, s_score, alt_scores
+        )
 
         minimized = None
-        if kind == DIVERGENCE and minimize:
+        if kind in (DIVERGENCE, OPTIMALITY_DIVERGENCE) and minimize:
             minimized = self.minimize(request)
         return Comparison(
             request, kind,
-            greedy_hash=g_hash, backtracking_hash=b_hash,
-            greedy_error=g_err, backtracking_error=b_err,
-            attempts=attempts, minimized=minimized,
+            greedy_hash=g_hash, backtracking_hash=b_hash, solver_hash=s_hash,
+            greedy_error=g_err, backtracking_error=b_err, solver_error=s_err,
+            attempts=attempts, solver_attempts=solver_attempts,
+            solver_score=s_score, best_score=best_score, minimized=minimized,
         )
+
+    @staticmethod
+    def _classify(g_hash, b_hash, s_hash, g_score, s_score, alt_scores):
+        # a consistent solution exists but the solver's is worse (or
+        # missing): the optimization contract is broken
+        if s_score is not None and any(a < s_score for a in alt_scores):
+            return OPTIMALITY_DIVERGENCE
+        if g_hash is not None:
+            if b_hash != g_hash:
+                # backtracking's zeroth attempt IS the greedy pass: any
+                # mismatch on a greedy success is a real bug
+                return DIVERGENCE
+            if s_hash == g_hash:
+                return AGREE_SUCCESS
+            if (
+                s_hash is not None
+                and s_score is not None
+                and g_score is not None
+                and s_score < g_score
+            ):
+                # the solver beat greedy on its own objective — the
+                # optimization working as designed, not a bug
+                return IMPROVEMENT
+            # different hash without a strictly better score: either
+            # nondeterminism (same score) or a lost solution
+            return DIVERGENCE
+        if s_hash is not None:
+            # greedy failed, solver rescued; backtracking may or may not
+            # (its provider-only space is a strict subset)
+            return RESCUE
+        if b_hash is not None:
+            # the solver's space subsumes backtracking's: failing where
+            # the weaker search succeeded is a bug
+            return DIVERGENCE
+        return AGREE_ERROR
 
     # -- reproducer minimization -------------------------------------------
     def _diverges(self, request):

@@ -116,3 +116,96 @@ def test_request_stream_is_replayable(universe):
     generator = SpecGenerator(derive_seed(seed, "specs"), repo)
     for i in (0, CASES // 2, CASES - 1):
         assert generator.spec(i) == requests[i]
+
+
+def _solver_for(universe, **kwargs):
+    from repro.core.solver import SolverConcretizer
+
+    seed, repo, index, concretizer, _requests = universe
+    return SolverConcretizer(
+        repo, index, concretizer.compilers, concretizer.config, **kwargs
+    )
+
+
+def test_solver_reproduces_every_greedy_success(universe):
+    """The optimizing solver's contract includes greedy hash-identity:
+    preferences dominate its objective, so whenever greedy succeeds the
+    zero-deviation solution is the unique optimum."""
+    solver = _solver_for(universe)
+    for context, _request, concrete in _each_success(universe):
+        solved = solver.concretize(Spec(_request))
+        assert solved.dag_hash() == concrete.dag_hash(), context
+        assert solver.last_proven_optimal, context
+
+
+def test_solver_successes_uphold_the_invariant_battery(universe):
+    """Solver answers are real concretizations: the full §3.4 battery
+    holds for them exactly as it does for greedy answers."""
+    seed, repo, index, _concretizer, _requests = universe
+    solver = _solver_for(universe)
+    checked = 0
+    for context, request, _concrete in _each_success(universe):
+        concrete = solver.concretize(Spec(request))
+        assert_invariants(
+            request, concrete, repo, index, solver, context=context
+        )
+        checked += 1
+    assert checked > CASES // 2
+
+
+def test_solver_answer_is_optimal_by_exhaustive_enumeration():
+    """Ground truth on a small conflict-rich universe: brute-force every
+    assignment in the solver's deviation space and assert no consistent
+    DAG scores below the solver's first answer."""
+    import itertools
+
+    from repro.core.concretizer import ConcretizationError
+    from repro.core.solver import SolverConcretizer
+    from repro.spec.errors import SpecError
+
+    seed = derive_seed(session_seed(), "concretize-properties-opt")
+    repo = RepoGenerator(
+        derive_seed(seed, "repo"), count=6, virtuals=1, conflict_density=1.0
+    ).build()
+    index = ProviderIndex.from_repo(repo)
+    registry = CompilerRegistry(
+        Compiler(*cs.split("@")) for cs in GEN_COMPILERS[:2]
+    )
+    config = Config()
+    config.update(
+        "site",
+        {"preferences": {"compiler_order": [GEN_COMPILERS[0]],
+                         "architecture": "linux-x86_64"}},
+    )
+    solver = SolverConcretizer(repo, index, registry, config)
+    checked = 0
+    for name in repo.all_package_names():
+        variables = solver._choice_variables(Spec(name))
+        space = 1
+        for v in variables:
+            space *= len(v.domain)
+        if space > 5000:
+            continue
+        scores = []
+        for combo in itertools.product(
+            *[range(len(v.domain)) for v in variables]
+        ):
+            assignment = {i: idx for i, idx in enumerate(combo) if idx}
+            try:
+                candidate = solver._materialize(
+                    Spec(name), variables, assignment
+                )
+                scores.append(solver.score(solver._fixed_point(candidate)))
+            except (ConcretizationError, SpecError):
+                continue
+        try:
+            concrete = solver.concretize(name)
+        except ConcretizationError:
+            assert not scores, "seed=%d %s: solver missed a solution" % (
+                seed, name
+            )
+            continue
+        assert solver.last_score == min(scores), "seed=%d %s" % (seed, name)
+        assert solver.score(concrete) == solver.last_score
+        checked += 1
+    assert checked >= 4  # the property ran over real packages

@@ -13,7 +13,8 @@ def small_campaign(tmp_path_factory):
     """One bounded campaign, shared by every assertion in this module."""
     config = CampaignConfig(seed=11, specs=20,
                             fault_plans=len(ALL_FAULT_POINTS) + 1,
-                            packages=15, max_attempts=32, cache_specs=25)
+                            packages=15, max_attempts=32, cache_specs=25,
+                            solver_cases=80)
     workdir = tmp_path_factory.mktemp("campaign")
     return config, run_campaign(config, str(workdir))
 
@@ -63,6 +64,26 @@ class TestCampaign:
         faulted = [c for c in report.splice_cases if c["fault"]]
         assert faulted and all(c["kind"] == "match" for c in faulted)
 
+    def test_solver_phase_rescues_without_divergence(self, small_campaign):
+        config, report = small_campaign
+        assert len(report.solver_cases) == config.solver_cases
+        assert report.solver_divergences() == []
+        # the conflict-rich universe must produce real greedy dead ends
+        # the solver survives — otherwise the sweep proves nothing
+        assert report.solver_rescues()
+        for case in report.solver_rescues():
+            assert case["greedy_error"] is not None
+            assert case["solver_error"] is None
+        counts = report.solver_outcome_counts()
+        assert counts.get("agree-success", 0) > 0
+
+    def test_solver_phase_fault_cases_match(self, small_campaign):
+        """Every tenth solver case re-concretizes through a corrupted
+        on-disk cache; the fallback must fire and agree with the oracle."""
+        _, report = small_campaign
+        faulted = [c for c in report.solver_cases if c["fault"]]
+        assert faulted and all(c["fault"] == "match" for c in faulted)
+
     def test_report_lines_are_valid_jsonl(self, small_campaign):
         config, report = small_campaign
         lines = list(report.lines())
@@ -85,8 +106,10 @@ class TestCampaign:
             assert f.read().splitlines() == list(report.lines())
 
     def test_different_seed_changes_the_stream(self, tmp_path):
-        a = CampaignConfig(seed=1, specs=10, fault_plans=0, packages=10)
-        b = CampaignConfig(seed=2, specs=10, fault_plans=0, packages=10)
+        a = CampaignConfig(seed=1, specs=10, fault_plans=0, packages=10,
+                           cache_specs=0, splice_cases=0, solver_cases=0)
+        b = CampaignConfig(seed=2, specs=10, fault_plans=0, packages=10,
+                           cache_specs=0, splice_cases=0, solver_cases=0)
         ra = run_campaign(a, str(tmp_path / "a"))
         rb = run_campaign(b, str(tmp_path / "b"))
         assert [c["request"] for c in ra.oracle_cases] != [

@@ -1,12 +1,44 @@
 """Generative models: determinism, replayability, and plannability."""
 
+import pytest
+
 from repro.testing import derive_seed, session_seed
 from repro.testing.generators import (
     FUZZ_ALPHABET,
+    GEN_COMPILERS,
     RepoGenerator,
     SpecGenerator,
     SpecTextGenerator,
+    greedy_dead_end_corpus,
 )
+
+
+def _concretizer_stack(repo, extra_config=None, compilers=GEN_COMPILERS):
+    """(greedy, backtracking, solver) over one repo with the generated
+    universes' standard gcc-first configuration."""
+    from repro.compilers.registry import Compiler, CompilerRegistry
+    from repro.config.config import Config
+    from repro.core.backtracking import BacktrackingConcretizer
+    from repro.core.concretizer import Concretizer
+    from repro.core.solver import SolverConcretizer
+    from repro.repo.providers import ProviderIndex
+
+    index = ProviderIndex.from_repo(repo)
+    registry = CompilerRegistry([Compiler(*cs.split("@")) for cs in compilers])
+    config = Config()
+    config.update(
+        "defaults",
+        {"preferences": {"compiler_order": [GEN_COMPILERS[0]],
+                         "architecture": "linux-x86_64"}},
+    )
+    if extra_config:
+        config.update("user", extra_config)
+    args = (repo, index, registry, config)
+    return (
+        Concretizer(*args),
+        BacktrackingConcretizer(*args),
+        SolverConcretizer(*args, max_attempts=128),
+    )
 
 
 def _fingerprint(repo):
@@ -91,6 +123,152 @@ class TestRepoGenerator:
         for name in repo.all_package_names():
             concrete = concretizer.concretize(Spec(name))
             assert concrete.concrete
+
+
+class TestConflictKnobs:
+    def test_default_knobs_preserve_old_universes(self):
+        """Knobless builds must stay byte-identical to pre-knob builds:
+        campaign seeds recorded before the knobs existed still replay."""
+        plain = RepoGenerator(33, count=20, virtuals=2).build()
+        explicit = RepoGenerator(33, count=20, virtuals=2,
+                                 conflict_density=0.0, when_depth=0,
+                                 provider_overlap=0.0).build()
+        assert _fingerprint(plain) == _fingerprint(explicit)
+
+    def test_knobbed_universe_is_deterministic(self):
+        kwargs = dict(count=20, virtuals=3, conflict_density=0.8,
+                      when_depth=2, provider_overlap=0.5)
+        a = RepoGenerator(77, **kwargs).build()
+        b = RepoGenerator(77, **kwargs).build()
+        assert _fingerprint(a) == _fingerprint(b)
+
+    def test_conflict_density_adds_dead_end_families(self):
+        repo = RepoGenerator(77, count=20, virtuals=3,
+                             conflict_density=1.0).build()
+        names = repo.all_package_names()
+        assert any(n.startswith("clash-") for n in names)
+        assert any(n.endswith("-aaa-impl") for n in names)
+        assert any(n.startswith("hardpick-") for n in names)
+        assert any(n.startswith("varpick-") for n in names)
+        assert any(n.startswith("verpick-") for n in names)
+
+    def test_poisoned_provider_is_preferred(self):
+        """The -aaa-impl provider must outrank the benign ones under the
+        default name tie-break, or greedy would never dead-end on it."""
+        from repro.core.policies import DefaultPolicy
+        from repro.config.config import Config
+        from repro.repo.providers import ProviderIndex
+
+        repo = RepoGenerator(77, count=20, virtuals=3,
+                             conflict_density=1.0).build()
+        index = ProviderIndex.from_repo(repo)
+        policy = DefaultPolicy(Config())
+        for vname in index.virtual_names():
+            ordered = policy.order_providers(
+                vname, index.providers_for(vname))
+            assert ordered[0].name.endswith("-aaa-impl"), vname
+
+    def test_when_depth_builds_conditional_chains(self):
+        repo = RepoGenerator(77, count=20, when_depth=3).build()
+        cls = repo.get_class("chain-0-0")
+        (dc,) = cls.dependencies["chain-0-1"]
+        assert str(dc.when) == "@2:"
+        # the tail link is a leaf
+        assert not repo.get_class("chain-0-2").dependencies
+
+    def test_overlap_provider_serves_adjacent_virtuals(self):
+        from repro.repo.providers import ProviderIndex
+
+        repo = RepoGenerator(77, count=20, virtuals=3,
+                             provider_overlap=1.0).build()
+        index = ProviderIndex.from_repo(repo)
+        cls = repo.get_class("dual-0-aaa-impl")
+        assert sorted(str(p.spec) for p in cls.provided) == ["vif-0", "vif-1"]
+        assert "dual-0-aaa-impl" in [
+            p.name for p in index.providers_for("vif-0")
+        ]
+
+    def test_conflict_universe_fails_typed_or_concretizes(self):
+        """Every package either concretizes or fails with a *typed*
+        concretization error — never an untyped crash — under all three
+        concretizers."""
+        from repro.core.concretizer import ConcretizationError
+        from repro.spec.errors import SpecError
+
+        repo = RepoGenerator(77, count=15, virtuals=2, conflict_density=1.0,
+                             when_depth=2, provider_overlap=0.5).build()
+        greedy, bt, solver = _concretizer_stack(repo)
+        for name in repo.all_package_names():
+            for concretizer in (greedy, bt, solver):
+                try:
+                    concrete = concretizer.concretize(name)
+                    assert concrete.concrete
+                except (ConcretizationError, SpecError):
+                    pass
+
+    def test_solver_rescues_what_the_knobs_poison(self):
+        """The knobs must actually produce greedy-dead-end requests the
+        solver rescues — the whole point of a conflict-rich universe."""
+        from repro.core.concretizer import ConcretizationError
+
+        repo = RepoGenerator(77, count=20, virtuals=3,
+                             conflict_density=1.0).build()
+        greedy, _, solver = _concretizer_stack(repo)
+        rescued = 0
+        for name in repo.all_package_names():
+            try:
+                greedy.concretize(name)
+                continue
+            except ConcretizationError:
+                pass
+            concrete = solver.concretize(name)
+            assert concrete.concrete
+            rescued += 1
+        assert rescued >= 3
+
+
+class TestDeadEndCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return greedy_dead_end_corpus()
+
+    def test_corpus_is_deterministic(self, corpus):
+        again = greedy_dead_end_corpus()
+        assert [s.label for s in corpus] == [s.label for s in again]
+        assert [s.request for s in corpus] == [s.request for s in again]
+
+    def test_covers_both_rescuer_classes(self, corpus):
+        rescuers = {s.rescuer for s in corpus}
+        assert rescuers == {"backtracking", "solver"}
+
+    def test_greedy_always_dead_ends(self, corpus):
+        from repro.core.concretizer import ConcretizationError
+
+        for scenario in corpus:
+            greedy, _, _ = _concretizer_stack(scenario.repo, scenario.config)
+            with pytest.raises(ConcretizationError):
+                greedy.concretize(scenario.request)
+
+    def test_named_rescuer_succeeds(self, corpus):
+        from repro.core.concretizer import ConcretizationError
+
+        for scenario in corpus:
+            _, bt, solver = _concretizer_stack(scenario.repo, scenario.config)
+            concrete = solver.concretize(scenario.request)
+            assert concrete.concrete, scenario.label
+            assert solver.last_proven_optimal, scenario.label
+            if scenario.rescuer == "backtracking":
+                assert bt.concretize(scenario.request).concrete
+            else:
+                # provider re-enumeration alone cannot fix these
+                with pytest.raises(ConcretizationError):
+                    bt.concretize(scenario.request)
+
+    def test_solver_learns_nogoods_on_dead_ends(self, corpus):
+        for scenario in corpus:
+            _, _, solver = _concretizer_stack(scenario.repo, scenario.config)
+            solver.concretize(scenario.request)
+            assert solver.last_nogoods >= 1, scenario.label
 
 
 class TestSpecGenerator:

@@ -1,25 +1,28 @@
-"""The differential oracle: outcome classification and the minimizer."""
+"""The three-way differential oracle: classification and the minimizer."""
 
 import pytest
 
 from repro.compilers.registry import Compiler, CompilerRegistry
 from repro.config.config import Config
 from repro.repo.providers import ProviderIndex
+from repro.repo.repository import Repository
 from repro.spec.spec import Spec
-from repro.testing.generators import RepoGenerator, SpecGenerator
+from repro.testing.generators import RepoGenerator, SpecGenerator, _make_package
 from repro.testing.oracle import (
     AGREE_ERROR,
     AGREE_SUCCESS,
     DIVERGENCE,
+    IMPROVEMENT,
+    OPTIMALITY_DIVERGENCE,
     RESCUE,
     Comparison,
     DifferentialOracle,
 )
 
 
-@pytest.fixture(scope="module")
-def oracle():
-    repo = RepoGenerator(55, count=20, virtuals=2).build()
+def _build_oracle(conflict_density=0.0, **kwargs):
+    repo = RepoGenerator(55, count=20, virtuals=2,
+                         conflict_density=conflict_density).build()
     index = ProviderIndex.from_repo(repo)
     registry = CompilerRegistry(
         [Compiler("gcc", "4.9.2"), Compiler("intel", "15.0.1")]
@@ -30,7 +33,19 @@ def oracle():
         {"preferences": {"compiler_order": ["gcc@4.9.2"],
                          "architecture": "linux-x86_64"}},
     )
-    return DifferentialOracle(repo, index, registry, config, max_attempts=64)
+    return DifferentialOracle(repo, index, registry, config,
+                              max_attempts=64, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return _build_oracle()
+
+
+@pytest.fixture(scope="module")
+def conflict_oracle():
+    """An oracle over a conflict-rich universe: real greedy dead ends."""
+    return _build_oracle(conflict_density=1.0)
 
 
 class TestClassification:
@@ -38,14 +53,18 @@ class TestClassification:
         comparison = oracle.compare("gen-000")
         assert comparison.kind == AGREE_SUCCESS
         assert comparison.greedy_hash == comparison.backtracking_hash
+        assert comparison.greedy_hash == comparison.solver_hash
+        assert comparison.solver_score == comparison.best_score
         assert not comparison.divergent
 
     def test_agreement_on_impossible_request(self, oracle):
-        # no compiler named pgi is registered: both must fail, typed
+        # no compiler named pgi is registered: all three must fail, typed
         comparison = oracle.compare("gen-000 %pgi")
         assert comparison.kind == AGREE_ERROR
         assert comparison.greedy_error is not None
         assert comparison.backtracking_error is not None
+        assert comparison.solver_error is not None
+        assert comparison.solver_score is None
 
     def test_generated_stream_never_diverges(self, oracle):
         generator = SpecGenerator(31, oracle.greedy.repo)
@@ -53,12 +72,66 @@ class TestClassification:
         for i in range(60):
             comparison = oracle.compare(generator.spec(i))
             kinds.add(comparison.kind)
-            assert comparison.kind != DIVERGENCE, comparison.to_dict()
+            assert not comparison.divergent, comparison.to_dict()
         assert AGREE_SUCCESS in kinds  # the stream exercises real successes
+
+    def test_real_rescue_on_conflict_universe(self, conflict_oracle):
+        """Requests for the knob-generated dead ends classify as benign
+        rescues with the solver's search statistics attached."""
+        names = conflict_oracle.greedy.repo.all_package_names()
+        rescue_kinds = set()
+        for name in names:
+            if not (name.startswith(("hardpick", "varpick", "verpick",
+                                     "clash", "needs-"))):
+                continue
+            comparison = conflict_oracle.compare(name)
+            assert not comparison.divergent, comparison.to_dict()
+            rescue_kinds.add(comparison.kind)
+        assert RESCUE in rescue_kinds
+
+    def test_improvement_when_solver_beats_a_greedy_success(self):
+        """Greedy's myopic provider pick drags in a version downgrade a
+        cheap provider deviation avoids entirely: the solver's strictly
+        better score makes the hash mismatch benign, not a divergence."""
+        repo = Repository(namespace="oracle.improve")
+        repo.add_class("anchor", _make_package("anchor", ["2.0", "1.0"], []))
+        # the alphabetically-preferred provider pins anchor to its
+        # non-newest version (a W_STEP consequence greedy cannot see)
+        repo.add_class("vpick-aaa", _make_package(
+            "vpick-aaa", ["1.0"], [("anchor", "@1.0", None)],
+            provided="vgood"))
+        repo.add_class("vpick-zzz", _make_package(
+            "vpick-zzz", ["1.0"], [], provided="vgood"))
+        repo.add_class("top", _make_package(
+            "top", ["1.0"], [("vgood", "", None)]))
+        index = ProviderIndex.from_repo(repo)
+        registry = CompilerRegistry(
+            [Compiler("gcc", "4.9.2"), Compiler("intel", "15.0.1")]
+        )
+        config = Config()
+        config.update(
+            "defaults",
+            {"preferences": {"compiler_order": ["gcc@4.9.2"],
+                             "architecture": "linux-x86_64"}},
+        )
+        poisoned = DifferentialOracle(repo, index, registry, config,
+                                      max_attempts=64)
+        comparison = poisoned.compare("top")
+        assert comparison.kind == IMPROVEMENT
+        assert not comparison.divergent
+        assert comparison.greedy_hash == comparison.backtracking_hash
+        assert comparison.solver_hash != comparison.greedy_hash
+        assert comparison.solver_score == comparison.best_score
+        # backtracking must still reproduce greedy exactly...
+        assert poisoned.solver.last_deviations == {("provider", "vgood"): 1}
+        # ...and the improved DAG drops the poisoned subtree entirely
+        greedy_score = poisoned.solver.score(
+            poisoned.greedy.concretize(Spec("top")))
+        assert comparison.solver_score < greedy_score
 
     def test_rescue_classified_when_only_greedy_fails(self, oracle, monkeypatch):
         """Greedy dead ends that the search survives are benign rescues —
-        backtracking exists precisely to explore past them (§4.5)."""
+        the searches exist precisely to explore past them (§4.5)."""
         from repro.core.concretizer import ConcretizationError
 
         real_run = DifferentialOracle._run
@@ -70,6 +143,24 @@ class TestClassification:
 
         monkeypatch.setattr(DifferentialOracle, "_run",
                             staticmethod(run_with_greedy_dead_end))
+        comparison = oracle.compare("gen-000")
+        assert comparison.kind == RESCUE
+        assert not comparison.divergent
+
+    def test_rescue_when_backtracking_also_fails(self, oracle, monkeypatch):
+        """Solver-only rescues are benign: the solver explores deviations
+        (versions, variants, compilers) the provider-only search cannot."""
+        from repro.core.concretizer import ConcretizationError
+
+        real_run = DifferentialOracle._run
+
+        def run_with_only_solver_succeeding(concretizer, request):
+            if concretizer is oracle.solver:
+                return real_run(concretizer, request)
+            return None, None, ConcretizationError.__name__
+
+        monkeypatch.setattr(DifferentialOracle, "_run",
+                            staticmethod(run_with_only_solver_succeeding))
         comparison = oracle.compare("gen-000")
         assert comparison.kind == RESCUE
         assert not comparison.divergent
@@ -105,6 +196,91 @@ class TestClassification:
         comparison = oracle.compare("gen-000", minimize=False)
         assert comparison.kind == DIVERGENCE
 
+    def test_divergence_when_solver_loses_a_solution(self, oracle,
+                                                     monkeypatch):
+        """The solver's space subsumes both others: any solution it
+        cannot reproduce is a bug, never a benign miss."""
+        from repro.core.concretizer import ConcretizationError
+
+        real_run = DifferentialOracle._run
+
+        def run_with_solver_failure(concretizer, request):
+            if concretizer is oracle.solver:
+                return None, None, ConcretizationError.__name__
+            return real_run(concretizer, request)
+
+        monkeypatch.setattr(DifferentialOracle, "_run",
+                            staticmethod(run_with_solver_failure))
+        comparison = oracle.compare("gen-000", minimize=False)
+        assert comparison.kind == DIVERGENCE
+
+    def test_divergence_when_only_backtracking_succeeds(self, oracle,
+                                                        monkeypatch):
+        from repro.core.concretizer import ConcretizationError
+
+        real_run = DifferentialOracle._run
+
+        def run_with_only_backtracking(concretizer, request):
+            if concretizer is oracle.backtracking:
+                return real_run(concretizer, request)
+            return None, None, ConcretizationError.__name__
+
+        monkeypatch.setattr(DifferentialOracle, "_run",
+                            staticmethod(run_with_only_backtracking))
+        comparison = oracle.compare("gen-000", minimize=False)
+        assert comparison.kind == DIVERGENCE
+
+    def test_optimality_divergence_when_solver_scores_worse(self, oracle,
+                                                            monkeypatch):
+        """If another variant's DAG scores strictly better on the
+        solver's own objective, the optimization contract is broken."""
+        real_score = oracle.solver.score
+        real_run = DifferentialOracle._run
+
+        def run_with_private_solver_spec(concretizer, request):
+            result = real_run(concretizer, request)
+            if concretizer is oracle.solver:
+                # hand the score shim a distinct spec object to inflate
+                monkeypatch.setattr(
+                    oracle.solver, "score",
+                    lambda c: real_score(c) + (1 if c is result[1] else 0),
+                )
+            return result
+
+        monkeypatch.setattr(DifferentialOracle, "_run",
+                            staticmethod(run_with_private_solver_spec))
+        comparison = oracle.compare("gen-000", minimize=False)
+        assert comparison.kind == OPTIMALITY_DIVERGENCE
+        assert comparison.divergent
+        assert comparison.solver_score > comparison.best_score
+
+    def test_classify_matrix(self):
+        """The full decision table, driven directly (no concretizer).
+        Arguments: greedy/backtracking/solver hash, greedy score,
+        solver score, scores of the non-solver successes."""
+        classify = DifferentialOracle._classify
+        # all succeed, same hash
+        assert classify("h", "h", "h", 5, 5, [5, 5]) == AGREE_SUCCESS
+        # solver hash differs with a strictly better score: benign
+        assert classify("h", "h", "x", 9, 5, [9, 9]) == IMPROVEMENT
+        # solver hash differs at the same score: nondeterminism
+        assert classify("h", "h", "x", 5, 5, [5, 5]) == DIVERGENCE
+        # solver worse than an alternative
+        assert classify("h", "h", "x", 5, 9, [5, 5]) == OPTIMALITY_DIVERGENCE
+        assert classify(None, "h", "x", None, 9, [5]) == OPTIMALITY_DIVERGENCE
+        # backtracking must reproduce greedy even when the solver improves
+        assert classify("h", "x", "y", 9, 5, [9, 9]) == DIVERGENCE
+        # greedy fails, solver rescues (backtracking either way)
+        assert classify(None, None, "x", None, 9, []) == RESCUE
+        assert classify(None, "h", "x", None, 5, [5]) == RESCUE
+        # greedy ok, a search failed
+        assert classify("h", None, "h", 5, 5, [5]) == DIVERGENCE
+        assert classify("h", "h", None, 5, None, [5, 5]) == DIVERGENCE
+        # solver failed where backtracking succeeded
+        assert classify(None, "h", None, None, None, [5]) == DIVERGENCE
+        # everyone failed
+        assert classify(None, None, None, None, None, []) == AGREE_ERROR
+
 
 class TestMinimizer:
     def test_minimizer_strips_irrelevant_components(self, oracle, monkeypatch):
@@ -127,9 +303,27 @@ class TestMinimizer:
         # every component strippable: reduces to the bare name
         assert oracle.minimize("gen-013@2:%gcc+shared") == "gen-013"
 
+    def test_optimality_divergence_is_minimized_too(self, oracle, monkeypatch):
+        """Both divergence kinds feed ddmin: Comparison.divergent is the
+        single switch the minimizer keys on."""
+        comparison = Comparison("r", OPTIMALITY_DIVERGENCE)
+        assert comparison.divergent
+        monkeypatch.setattr(
+            oracle, "compare",
+            lambda request, minimize=False: Comparison(
+                request,
+                OPTIMALITY_DIVERGENCE if "+shared" in request else AGREE_SUCCESS,
+            ),
+        )
+        assert oracle.minimize("gen-013@2:+shared") == "gen-013+shared"
+
     def test_comparison_serializes(self):
         comparison = Comparison("a", AGREE_SUCCESS, greedy_hash="h",
-                                backtracking_hash="h", attempts=3)
+                                backtracking_hash="h", solver_hash="h",
+                                attempts=3, solver_attempts=7, solver_score=12)
         data = comparison.to_dict()
         assert data["kind"] == AGREE_SUCCESS
         assert data["attempts"] == 3
+        assert data["solver_attempts"] == 7
+        assert data["solver_score"] == 12
+        assert data["solver_hash"] == "h"
