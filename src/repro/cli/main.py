@@ -764,6 +764,60 @@ def _ms(value):
     return "%.4f" % value if value is not None else "-"
 
 
+def cmd_serve(args):
+    """Run the resident service daemon (docs/service.md)."""
+    from repro.service import (
+        ENDPOINTS,
+        ServiceDaemon,
+        SocketTransport,
+        StdioTransport,
+    )
+
+    session = _session(args)
+    daemon = ServiceDaemon(session, workers=args.workers)
+    if args.stdio:
+        # stdio mode: keep stdout clean for the JSON-lines protocol
+        print("==> repro-spack service on stdio (%d workers)"
+              % daemon.workers, file=sys.stderr)
+        StdioTransport(daemon).serve_until_shutdown()
+        return 0
+    server = SocketTransport(daemon, host=args.host, port=args.port)
+    host, port = server.address
+    print("==> repro-spack service listening on %s:%d (%d workers)"
+          % (host, port, daemon.workers))
+    print("==> endpoints: %s" % ", ".join(ENDPOINTS))
+    try:
+        server.serve_until_shutdown()
+    except KeyboardInterrupt:
+        server.server_close()
+        daemon.close()
+    print("==> service stopped after %d requests" % daemon._served)
+    return 0
+
+
+def cmd_client(args):
+    """One request against a running service daemon."""
+    import json as _json
+
+    from repro.service import ServiceClient
+
+    argument = " ".join(args.spec)
+    endpoint = args.endpoint
+    params = {}
+    if endpoint in ("spack_spec", "spack_install"):
+        params["spec"] = argument
+        if getattr(args, "concretizer", None):
+            params["concretizer"] = args.concretizer
+    elif endpoint == "spack_info":
+        params["package"] = argument
+    elif endpoint in ("spack_list", "spack_find") and argument:
+        params["query"] = argument
+    with ServiceClient(args.host, args.port) as client:
+        result = client.call(endpoint, **params)
+    print(_json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_repo_list(args):
     session = _session(args)
     import fnmatch
@@ -830,6 +884,9 @@ def build_parser():
         "selftest": (cmd_selftest, "run a seeded correctness campaign"),
         "diag": (cmd_diag,
                  "analyze telemetry traces and compare benchmark results"),
+        "serve": (cmd_serve,
+                  "run the resident concretize/install/query daemon"),
+        "client": (cmd_client, "send one request to a running daemon"),
     }
     for name, (func, help_text) in commands.items():
         p = sub.add_parser(name, help=help_text)
@@ -866,6 +923,52 @@ def build_parser():
             p.add_argument(
                 "-v", "--verbose", action="store_true",
                 help="compare: also list metrics within tolerance",
+            )
+            p.set_defaults(func=func)
+            continue
+        if name == "serve":
+            p.add_argument(
+                "--host", default="127.0.0.1",
+                help="interface to bind (default 127.0.0.1)",
+            )
+            p.add_argument(
+                "--port", type=int, default=0, metavar="N",
+                help="TCP port for the JSON-lines protocol "
+                     "(default 0: pick an ephemeral port and print it)",
+            )
+            p.add_argument(
+                "--stdio", action="store_true",
+                help="serve the JSON-lines protocol on stdin/stdout "
+                     "instead of a socket (MCP-style tool hosts)",
+            )
+            p.add_argument(
+                "--workers", type=int, default=4, metavar="N",
+                help="bounded request worker pool width (default 4)",
+            )
+            p.set_defaults(func=func)
+            continue
+        if name == "client":
+            p.add_argument(
+                "endpoint",
+                choices=("spack_list", "spack_info", "spack_spec",
+                         "spack_install", "spack_find", "status",
+                         "shutdown"),
+                help="service endpoint to call",
+            )
+            p.add_argument(
+                "spec", nargs="*",
+                help="endpoint argument: a spec (spack_spec/spack_install), "
+                     "a package name (spack_info), or a query "
+                     "(spack_list/spack_find)",
+            )
+            p.add_argument("--host", default="127.0.0.1",
+                           help="daemon host (default 127.0.0.1)")
+            p.add_argument("--port", type=int, required=True, metavar="N",
+                           help="daemon port (printed by `serve`)")
+            p.add_argument(
+                "--concretizer", choices=("greedy", "backtracking", "solver"),
+                default=None,
+                help="concretizer variant for spack_spec/spack_install",
             )
             p.set_defaults(func=func)
             continue

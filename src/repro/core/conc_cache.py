@@ -30,6 +30,7 @@ the entry and falls back to cold concretization.  Telemetry counters:
 import hashlib
 import json
 import os
+import tempfile
 
 from repro.spec.spec import Spec
 from repro.util.filesystem import mkdirp
@@ -141,9 +142,10 @@ class ConcretizationCache:
         self.telemetry = telemetry
         self.faults = faults
         self._index_lock = Lock(os.path.join(self.root, ".index.lock"))
-        #: stat-validated parse of index.json: (mtime_ns, size) -> dict
-        self._index_stat = None
-        self._index_cache = None
+        #: stat-validated parse of index.json, held as one atomic
+        #: ((mtime_ns, size), dict) pair — separate stamp/dict slots let
+        #: a concurrent reader pair a fresh stamp with a stale parse
+        self._index_memo = None
 
     # -- keys --------------------------------------------------------------
     @staticmethod
@@ -169,18 +171,17 @@ class ConcretizationCache:
             st = os.stat(path)
             stamp = (st.st_mtime_ns, st.st_size)
         except OSError:
-            self._index_stat = None
-            self._index_cache = None
+            self._index_memo = None
             return {}
-        if stamp == self._index_stat and self._index_cache is not None:
-            return self._index_cache
+        memo = self._index_memo  # one read: racing writers can't tear it
+        if memo is not None and memo[0] == stamp:
+            return memo[1]
         try:
             with open(path) as f:
                 index = json.load(f)
         except (OSError, ValueError):
             return {}
-        self._index_stat = stamp
-        self._index_cache = index
+        self._index_memo = (stamp, index)
         return index
 
     def _update_index(self, mutate):
@@ -194,14 +195,28 @@ class ConcretizationCache:
                 self._index_path(),
                 json.dumps(index, indent=1, sort_keys=True).encode(),
             )
-            self._index_stat = None  # force re-stat on next read
+            self._index_memo = None  # force re-stat on next read
 
     @staticmethod
     def _atomic_write(path, data):
-        tmp = "%s.%d.tmp" % (path, os.getpid())
-        with open(tmp, "wb") as f:
-            f.write(data)
-        os.replace(tmp, path)
+        # the tmp name must be unique per *writer*, not per process: two
+        # daemon worker threads share a pid, and a fixed name lets one
+        # writer truncate (or os.replace away) the other's half-written
+        # file.  mkstemp gives each call its own exclusively-created file.
+        fd, tmp = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".", suffix=".tmp",
+            dir=os.path.dirname(path),
+        )
+        try:
+            with os.fdopen(fd, "wb") as f:
+                f.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
 
     # -- payloads ----------------------------------------------------------
     def _entry_path(self, key):

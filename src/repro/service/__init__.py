@@ -1,0 +1,23 @@
+"""Service mode: a resident concretize/install/query daemon.
+
+See :mod:`repro.service.daemon` for the dispatcher,
+:mod:`repro.service.snapshot` for the snapshot-isolated read state, and
+:mod:`repro.service.transport` for the JSON-lines socket/stdio wire.
+"""
+
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.daemon import ENDPOINTS, ServiceDaemon, ServiceError
+from repro.service.snapshot import SnapshotManager, StateSnapshot
+from repro.service.transport import SocketTransport, StdioTransport
+
+__all__ = [
+    "ENDPOINTS",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceDaemon",
+    "ServiceError",
+    "SnapshotManager",
+    "SocketTransport",
+    "StateSnapshot",
+    "StdioTransport",
+]

@@ -1,0 +1,297 @@
+"""Snapshot-isolated read state for the service daemon.
+
+A resident daemon serves hundreds of concurrent concretize/query
+requests, but the code under it — ``Repository``, ``Config``,
+``ProviderIndex`` — was written for a single-threaded owner: repos can
+gain packages mid-request, config scopes merge in place, and the
+provider index clears its memo on every update.  Rather than sprinkle
+locks through every read path (contention on exactly the hottest
+lookups), the daemon freezes the whole read side into an immutable
+:class:`StateSnapshot` keyed by the environment digest of
+:mod:`repro.core.conc_cache`:
+
+* every in-flight request holds a reference to the snapshot it started
+  on and finishes there, however the live session mutates meanwhile
+  (snapshot isolation — the Guix daemon's model);
+* a mutation (new package, config update, compiler change) is noticed
+  by :class:`SnapshotManager` through the same cheap mutation tokens
+  the concretization cache uses, and the *next* request gets a freshly
+  forked snapshot with the new digest;
+* immutable state needs no locks, so concurrent requests share one warm
+  intern pool, the per-snapshot concretization memo, and the persistent
+  on-disk cache without serializing on the read path.
+
+Snapshots are cheap to fork: package *classes* are shared by reference
+(they are immutable directive state), the config is one deep-copied
+merged dict, and the provider index is rebuilt once per fork — only
+mutations pay, never steady-state requests.
+"""
+
+import copy
+import fnmatch
+import threading
+
+from repro.config.config import Config, ConfigError
+from repro.core.conc_cache import ConcretizationCache, EnvironmentDigest
+from repro.core.concretizer import Concretizer
+from repro.core.policies import DefaultPolicy
+from repro.repo.providers import ProviderIndex
+from repro.spec.spec import Spec
+
+
+class RepoSnapshot:
+    """An immutable view of a repo stack: the read API of
+    :class:`~repro.repo.repository.RepoPath`, frozen at fork time.
+
+    Package classes are shared by reference — a class's directive state
+    never mutates in place (re-registration replaces the table entry,
+    which this copy does not see).
+    """
+
+    def __init__(self, repo):
+        from repro.repo.repository import NoSuchPackageError
+
+        self._no_such = NoSuchPackageError
+        self._classes = dict(repo.all_classes())
+        self._token = repo.mutation_token()
+
+    def mutation_token(self):
+        """Frozen at fork time: a snapshot never changes."""
+        return self._token
+
+    def exists(self, name):
+        return name in self._classes
+
+    def get_class(self, name):
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise self._no_such(name, "snapshot") from None
+
+    def all_package_names(self):
+        return sorted(self._classes)
+
+    def all_classes(self):
+        return dict(self._classes)
+
+    def __contains__(self, name):
+        return name in self._classes
+
+    def __len__(self):
+        return len(self._classes)
+
+    def __repr__(self):
+        return "RepoSnapshot(%d packages, token=%r)" % (
+            len(self._classes), self._token,
+        )
+
+
+class FrozenConfig(Config):
+    """A :class:`~repro.config.config.Config` collapsed to one immutable
+    pre-merged scope.
+
+    ``merged()`` is the hot call under the concretizer (every
+    ``config.get`` goes through it); the live implementation re-merges
+    the scope stack per call, which this freeze turns into returning one
+    precomputed dict.  Mutation is refused — fork a new snapshot instead.
+    """
+
+    def __init__(self, merged_data):
+        super().__init__()
+        self._frozen = False
+        super().update("defaults", copy.deepcopy(merged_data))
+        self._merged = super().merged()
+        self._frozen = True
+
+    def merged(self):
+        return self._merged
+
+    def push_scope(self, scope):
+        if getattr(self, "_frozen", False):
+            raise ConfigError("FrozenConfig is immutable; fork a new snapshot")
+        super().push_scope(scope)
+
+    def update(self, scope_name, data):
+        if getattr(self, "_frozen", False):
+            raise ConfigError("FrozenConfig is immutable; fork a new snapshot")
+        super().update(scope_name, data)
+
+
+class StateSnapshot:
+    """Everything a read-only request needs, frozen and digest-keyed.
+
+    Holds the frozen repo/config, a compiler registry copy, a policy
+    bound to the frozen config, a provider index built over the frozen
+    classes, and the environment digest those produce — byte-identical
+    to the digest a single-threaded ``Session`` computes for the same
+    state, so daemon and CLI share persistent concretization-cache
+    entries.
+    """
+
+    def __init__(self, session):
+        self.repo = RepoSnapshot(session.repo)
+        self.config = FrozenConfig(session.config.merged())
+        from repro.compilers.registry import CompilerRegistry
+
+        self.compilers = CompilerRegistry(session.compilers.all_compilers())
+        # rebind config-driven policies to the frozen config; opaque
+        # custom policies are shared as-is (they fingerprint by class)
+        live_policy = session.policy
+        if isinstance(live_policy, DefaultPolicy) or hasattr(live_policy, "config"):
+            self.policy = type(live_policy)(self.config)
+        else:
+            self.policy = live_policy
+        self.provider_index = ProviderIndex.from_repo(self.repo)
+        self.telemetry = session.telemetry
+        #: the shared persistent cache (thread-safe; may be None)
+        self.conc_cache = session.concretize_cache
+        self.env_digest = EnvironmentDigest(
+            self.repo, self.compilers, self.config, self.policy
+        ).current()
+        #: in-process memo: cache key -> concrete Spec (master copy);
+        #: guarded — many worker threads share one snapshot
+        self._memo = {}
+        self._memo_lock = threading.Lock()
+
+    # -- concretization ----------------------------------------------------
+    def cache_digest(self, variant, database=None):
+        """The digest cache keys embed: the environment digest, plus the
+        installed-set fingerprint for the solver variant (its reuse
+        objective reads the database)."""
+        if variant == "solver" and database is not None:
+            import hashlib
+
+            hashes = sorted(r.spec.dag_hash() for r in database.query())
+            return "%s/%s" % (
+                self.env_digest,
+                hashlib.sha256("\n".join(hashes).encode()).hexdigest(),
+            )
+        return self.env_digest
+
+    def concretize(self, spec, variant="greedy", database=None):
+        """Concretize against this snapshot; returns a fresh Spec.
+
+        Served from the snapshot memo, then the shared persistent cache,
+        then a cold run of the requested concretizer variant — all built
+        solely from frozen state, so any number of threads may call this
+        at once.
+        """
+        if isinstance(spec, str):
+            spec = Spec(spec)
+        key = ConcretizationCache.make_key(
+            str(spec), self.cache_digest(variant, database), variant
+        )
+        with self._memo_lock:
+            master = self._memo.get(key)
+        if master is not None:
+            self.telemetry.count("concretize.cache.hit")
+            return master.copy()
+        cached = self.conc_cache.lookup(key) if self.conc_cache else None
+        if cached is not None:
+            with self._memo_lock:
+                self._memo[key] = cached
+            return cached.copy()
+        concrete = self._concretize_cold(spec, variant, database)
+        if self.conc_cache is not None:
+            self.conc_cache.store(key, concrete)
+        with self._memo_lock:
+            self._memo[key] = concrete.copy()
+        return concrete
+
+    def _concretize_cold(self, spec, variant, database=None):
+        args = (self.repo, self.provider_index, self.compilers,
+                self.config, self.policy)
+        if variant == "backtracking":
+            from repro.core.backtracking import BacktrackingConcretizer
+
+            return BacktrackingConcretizer(
+                *args, telemetry=self.telemetry
+            ).concretize(spec)
+        if variant == "solver":
+            from repro.core.solver import SolverConcretizer
+
+            return SolverConcretizer(
+                *args, telemetry=self.telemetry, database=database
+            ).concretize(spec)
+        return Concretizer(*args, telemetry=self.telemetry).concretize(spec)
+
+    # -- read-only queries -------------------------------------------------
+    def list_packages(self, pattern=None):
+        """Package names, optionally substring/glob filtered
+        (``spack_list``)."""
+        names = self.repo.all_package_names()
+        if pattern:
+            names = [n for n in names if fnmatch.fnmatch(n, "*%s*" % pattern)]
+        return names
+
+    def package_info(self, name):
+        """JSON-able metadata for one package (``spack_info``)."""
+        cls = self.repo.get_class(name)
+        doc = (cls.__doc__ or "").strip()
+        return {
+            "name": name,
+            "homepage": cls.homepage,
+            "url": cls.url,
+            "description": doc.splitlines()[0] if doc else None,
+            "versions": [str(v) for v in sorted(cls.versions, reverse=True)],
+            "safe_versions": [str(v) for v in cls.safe_versions()],
+            "variants": {
+                vname: {"default": bool(v.default),
+                        "description": v.description}
+                for vname, v in sorted(cls.variants.items())
+            },
+            "dependencies": [
+                {"spec": str(dc.spec),
+                 "when": str(dc.when) if dc.when is not None else None,
+                 "types": sorted(dc.deptypes)}
+                for _, constraints in sorted(cls.dependencies.items())
+                for dc in constraints
+            ],
+            "provides": [
+                {"spec": str(p.spec),
+                 "when": str(p.when) if p.when is not None else None}
+                for p in cls.provided
+            ],
+        }
+
+    def __repr__(self):
+        return "StateSnapshot(%s, %d packages)" % (
+            self.env_digest[:12], len(self.repo),
+        )
+
+
+class SnapshotManager:
+    """Forks a fresh :class:`StateSnapshot` when the session's mutation
+    tokens move; hands out the current one otherwise.
+
+    ``current()`` is what the dispatcher calls per request: steady state
+    is one token comparison under a short lock, and the expensive fork
+    runs at most once per mutation however many requests race past it.
+    """
+
+    def __init__(self, session):
+        self.session = session
+        self._lock = threading.Lock()
+        self._snapshot = None
+        self._token = None
+        self.forks = 0
+
+    def _live_token(self):
+        session = self.session
+        return (
+            session.repo.mutation_token(),
+            session.config.mutation_token(),
+            tuple(str(c) for c in session.compilers.all_compilers()),
+            type(session.policy),
+        )
+
+    def current(self):
+        """The snapshot matching the session's present state."""
+        token = self._live_token()
+        with self._lock:
+            if self._snapshot is None or token != self._token:
+                self._snapshot = StateSnapshot(self.session)
+                self._token = token
+                self.forks += 1
+                self.session.telemetry.count("service.snapshot.fork")
+            return self._snapshot

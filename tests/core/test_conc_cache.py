@@ -3,6 +3,7 @@ integrity, and result equivalence."""
 
 import json
 import os
+import threading
 
 import pytest
 
@@ -209,6 +210,77 @@ class TestCacheMechanics:
         out = cache.lookup(key)
         assert out is not None and out is not concrete
         assert out.dag_hash() == concrete.dag_hash()
+
+
+class TestConcurrentWriters:
+    """Regression: ``_atomic_write`` used one fixed pid-derived temp
+    name, so two *threads* of the same process (the service daemon's
+    worker pool) truncated and ``os.replace``d each other's half-written
+    files.  mkstemp gives every call its own exclusively-created file."""
+
+    def test_atomic_write_hammer(self, tmp_path):
+        cache = ConcretizationCache(str(tmp_path / "cc"))
+        os.makedirs(cache.root, exist_ok=True)
+        target = os.path.join(cache.root, "target.json")
+        n_threads, n_writes = 8, 60
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def worker(tid):
+            payload = json.dumps({"writer": tid}).encode()
+            barrier.wait()
+            try:
+                for _ in range(n_writes):
+                    cache._atomic_write(target, payload)
+            except Exception as e:  # pre-fix: FileNotFoundError on replace
+                errors.append(e)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # the survivor is one writer's complete payload, never a tear
+        with open(target, "rb") as f:
+            assert "writer" in json.loads(f.read())
+        # and no orphaned temp files were left behind
+        leftovers = [n for n in os.listdir(cache.root) if n.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_concurrent_store_keeps_every_entry(self, tmp_path, session):
+        cache = ConcretizationCache(str(tmp_path / "cc"))
+        concrete = session.concretize("libdwarf", use_cache=False)
+        keys = [
+            ConcretizationCache.make_key("spec-%d" % i, "0" * 64, "greedy")
+            for i in range(16)
+        ]
+        barrier = threading.Barrier(len(keys))
+        errors = []
+
+        def worker(key):
+            barrier.wait()
+            try:
+                cache.store(key, concrete)
+            except Exception as e:
+                errors.append(e)
+
+        threads = [
+            threading.Thread(target=worker, args=(k,)) for k in keys
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert {k for k, _ in cache.entries()} == set(keys)
+        for key in keys:
+            hit = cache.lookup(key)
+            assert hit is not None
+            assert hit.dag_hash() == concrete.dag_hash()
 
 
 class TestCacheEquivalenceSweep:

@@ -1,0 +1,151 @@
+"""Snapshot-isolated read state: digest parity with the live session,
+immutability under mid-flight mutation, and fork-on-token-change."""
+
+import json
+
+import pytest
+
+from repro.config.config import ConfigError
+from repro.repo.repository import NoSuchPackageError
+from repro.service.snapshot import SnapshotManager, StateSnapshot
+from repro.session import Session
+from repro.telemetry import Telemetry
+from repro.telemetry.sinks import MemorySink
+
+
+@pytest.fixture
+def hub():
+    t = Telemetry()
+    t.add_sink(MemorySink())
+    return t
+
+
+@pytest.fixture
+def tsession(tmp_path, hub):
+    return Session.create(str(tmp_path / "universe"), telemetry=hub)
+
+
+class TestDigestParity:
+    def test_snapshot_digest_matches_session(self, tsession):
+        snapshot = StateSnapshot(tsession)
+        assert snapshot.env_digest == tsession._env_digest.current()
+
+    def test_concretization_matches_session_per_variant(self, tsession):
+        snapshot = StateSnapshot(tsession)
+        for variant in ("greedy", "backtracking", "solver"):
+            database = tsession.db if variant == "solver" else None
+            from_snapshot = snapshot.concretize(
+                "mpileaks", variant, database=database
+            )
+            from_session = tsession.concretize("mpileaks", concretizer=variant)
+            assert from_snapshot.dag_hash() == from_session.dag_hash()
+            assert from_snapshot.concrete
+
+    def test_snapshot_reads_session_warmed_disk_cache(self, tsession, hub):
+        cold = tsession.concretize("dyninst")  # persists under the digest
+        snapshot = StateSnapshot(tsession)
+        hits_before = hub.counter("concretize.cache.hit")
+        warm = snapshot.concretize("dyninst")
+        # the digests agree, so the snapshot's key found the entry the
+        # session stored — a disk hit, not a second cold concretization
+        assert hub.counter("concretize.cache.hit") == hits_before + 1
+        assert warm.dag_hash() == cold.dag_hash()
+
+    def test_session_reads_snapshot_warmed_disk_cache(self, tsession, hub):
+        snapshot = StateSnapshot(tsession)
+        cold = snapshot.concretize("libdwarf")
+        hits_before = hub.counter("concretize.cache.hit")
+        warm = tsession.concretize("libdwarf")
+        assert hub.counter("concretize.cache.hit") == hits_before + 1
+        assert warm.dag_hash() == cold.dag_hash()
+
+    def test_memo_returns_independent_copies(self, tsession):
+        snapshot = StateSnapshot(tsession)
+        first = snapshot.concretize("libelf")
+        second = snapshot.concretize("libelf")
+        assert first is not second
+        first.variants["mangled"] = True
+        assert snapshot.concretize("libelf") == second
+
+
+class TestFrozenState:
+    def test_frozen_config_refuses_mutation(self, tsession):
+        snapshot = StateSnapshot(tsession)
+        with pytest.raises(ConfigError):
+            snapshot.config.update("user", {"concretizer": "solver"})
+
+    def test_snapshot_survives_live_mutation(self, tsession):
+        snapshot = StateSnapshot(tsession)
+        names_before = snapshot.list_packages()
+        digest_before = snapshot.env_digest
+        from repro.package.package import Package
+
+        tsession.repo.repos[0].add_class(
+            "brandnew", type("Brandnew", (Package,), {})
+        )
+        tsession.config.update(
+            "user", {"preferences": {"compiler_order": ["clang@3.5.0"]}}
+        )
+        # the snapshot still answers from its frozen state
+        assert snapshot.list_packages() == names_before
+        assert "brandnew" not in snapshot.repo
+        assert snapshot.env_digest == digest_before
+        assert str(snapshot.concretize("mpileaks").compiler).startswith("gcc")
+
+    def test_missing_package_raises_no_such(self, tsession):
+        snapshot = StateSnapshot(tsession)
+        with pytest.raises(NoSuchPackageError):
+            snapshot.repo.get_class("no-such-package")
+
+    def test_list_packages_filters(self, tsession):
+        snapshot = StateSnapshot(tsession)
+        everything = snapshot.list_packages()
+        assert "mpileaks" in everything
+        assert snapshot.list_packages("mpi") == [
+            n for n in everything if "mpi" in n
+        ]
+
+    def test_package_info_is_json_able(self, tsession):
+        snapshot = StateSnapshot(tsession)
+        info = snapshot.package_info("mpileaks")
+        json.dumps(info)  # must round-trip the wire
+        assert info["name"] == "mpileaks"
+        assert info["versions"]
+        assert any(d["spec"].startswith("mpi") for d in info["dependencies"])
+
+
+class TestSnapshotManager:
+    def test_steady_state_shares_one_snapshot(self, tsession):
+        manager = SnapshotManager(tsession)
+        first = manager.current()
+        assert manager.current() is first
+        assert manager.forks == 1
+
+    def test_mutation_forks_a_new_snapshot(self, tsession, hub):
+        manager = SnapshotManager(tsession)
+        old = manager.current()
+        tsession.config.update(
+            "user", {"preferences": {"compiler_order": ["clang@3.5.0"]}}
+        )
+        new = manager.current()
+        assert new is not old
+        assert new.env_digest != old.env_digest
+        assert manager.forks == 2
+        assert hub.counter("service.snapshot.fork") == 2
+        # the fork sees the new preference; the old snapshot still
+        # answers with its frozen one
+        assert str(new.concretize("mpileaks").compiler).startswith("clang")
+        assert str(old.concretize("mpileaks").compiler).startswith("gcc")
+
+    def test_package_registration_forks(self, tsession):
+        from repro.package.package import Package
+
+        manager = SnapshotManager(tsession)
+        old = manager.current()
+        tsession.repo.repos[0].add_class(
+            "newpkg", type("Newpkg", (Package,), {})
+        )
+        new = manager.current()
+        assert new is not old
+        assert "newpkg" in new.repo
+        assert "newpkg" not in old.repo

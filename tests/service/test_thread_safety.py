@@ -1,0 +1,108 @@
+"""Regression tests for the Session-level races the daemon exposed.
+
+``Session.concretize`` keeps an in-process memo that must be cleared
+when the environment digest moves.  Pre-fix, the digest check, the
+invalidating ``clear()``, and the memo read ran unlocked — two threads
+racing past a config change would both see the stale digest, both
+clear (double-counting the invalidation), and the slower ``clear()``
+would wipe the entry the faster thread had just stored for the *new*
+digest.  The test makes that interleaving deterministic by parking the
+first thread inside its ``clear()`` while a second thread runs the
+same path to completion."""
+
+import threading
+
+from repro.session import Session
+from repro.telemetry import Telemetry
+from repro.telemetry.sinks import MemorySink
+
+
+class _BlockingMemo(dict):
+    """A memo dict whose first ``clear()`` parks mid-invalidation, giving
+    a second thread a deterministic window to race into the same cycle."""
+
+    def __init__(self, entered, proceed):
+        super().__init__()
+        self._entered = entered
+        self._proceed = proceed
+        self._first = True
+        self.clears = 0
+
+    def clear(self):
+        self.clears += 1
+        if self._first:
+            self._first = False
+            self._entered.set()
+            # post-fix the second thread blocks on the session lock and
+            # can never signal us; the timeout keeps the test moving
+            self._proceed.wait(timeout=2.0)
+        super().clear()
+
+
+class TestConcMemoInvalidation:
+    def test_digest_invalidation_is_atomic_with_memo_access(self, tmp_path):
+        hub = Telemetry()
+        hub.add_sink(MemorySink())
+        session = Session.create(str(tmp_path / "universe"), telemetry=hub)
+        session.concretize("libelf")  # seeds the memo and the last digest
+
+        entered, proceed = threading.Event(), threading.Event()
+        memo = _BlockingMemo(entered, proceed)
+        memo.update(session._conc_memo)
+        session._conc_memo = memo
+        # the environment moves: the next concretize must invalidate
+        session.config.update(
+            "user", {"packages": {"zlib": {"buildable": False}}}
+        )
+
+        errors = []
+
+        def concretize(spec):
+            try:
+                session.concretize(spec)
+            except Exception as e:  # pragma: no cover - failure detail
+                errors.append(e)
+
+        first = threading.Thread(target=concretize, args=("libelf",))
+        first.start()
+        assert entered.wait(timeout=30)  # first is inside its clear()
+        second = threading.Thread(target=concretize, args=("libdwarf",))
+        second.start()
+        second.join(timeout=30)
+        proceed.set()
+        first.join(timeout=30)
+        assert not first.is_alive() and not second.is_alive()
+        assert errors == []
+
+        # one environment change: exactly one invalidation, one clear —
+        # pre-fix both threads cleared and the counter read 2
+        assert memo.clears == 1
+        assert hub.counter("concretize.cache.invalidate") == 1
+        # and the second thread's fresh entry survived — pre-fix the
+        # parked clear() wiped it after it was stored
+        assert len(session._conc_memo) == 2
+
+    def test_concurrent_concretize_same_spec_is_consistent(self, tmp_path):
+        hub = Telemetry()
+        hub.add_sink(MemorySink())
+        session = Session.create(str(tmp_path / "universe"), telemetry=hub)
+        results, errors = [], []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            try:
+                barrier.wait()
+                for _ in range(3):
+                    results.append(session.concretize("mpileaks").dag_hash())
+            except Exception as e:  # pragma: no cover - failure detail
+                errors.append(e)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(set(results)) == 1
+        # a stable environment never invalidates
+        assert hub.counter("concretize.cache.invalidate") == 0

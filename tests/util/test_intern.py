@@ -1,5 +1,6 @@
 """InternPool: the bounded, thread-safe cache behind version interning."""
 
+import sys
 import threading
 
 from repro.util.intern import InternPool
@@ -81,6 +82,95 @@ class TestInternPool:
                 for i in range(key, len(bucket), 20)
             }
             assert len(seen) == 1
+
+    def test_hammered_hit_count_is_exact(self):
+        """Regression: ``get`` bumped a shared ``hits`` counter without a
+        lock, so concurrent readers interleaved the read-modify-write and
+        lost updates.  Per-thread cells must make the folded total exact.
+
+        CPython's scheduler only preempts at function entries and loop
+        back-edges, which makes a one-statement ``+=`` look atomic and
+        hides the race from a naive hammer — so each worker installs an
+        opcode-granular trace on ``get`` that yields the GIL before every
+        instruction, exposing every interleaving the language allows."""
+        import time
+
+        pool = InternPool()
+        pool.put("hot", "value")
+        pool.get("hot")  # this thread's tally: 1 hit
+        n_threads, n_iters = 4, 300
+        barrier = threading.Barrier(n_threads)
+        get_code = InternPool.get.__code__
+
+        def preempt_every_opcode(frame, event, arg):
+            if event == "opcode":
+                time.sleep(0)  # drop the GIL: let another worker run
+            return preempt_every_opcode
+
+        def global_trace(frame, event, arg):
+            if event == "call" and frame.f_code is get_code:
+                frame.f_trace_opcodes = True
+                return preempt_every_opcode
+            return None
+
+        def worker():
+            sys.settrace(global_trace)
+            try:
+                barrier.wait()
+                for _ in range(n_iters):
+                    pool.get("hot")
+            finally:
+                sys.settrace(None)
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            threads = [
+                threading.Thread(target=worker) for _ in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert pool.stats()["hits"] == n_threads * n_iters + 1
+
+    def test_hammered_miss_count_is_exact(self):
+        """Misses are counted under the admission lock; racing writers
+        over disjoint keys must each count exactly once."""
+        pool = InternPool()
+        n_threads, n_keys = 8, 500
+        barrier = threading.Barrier(n_threads)
+
+        def worker(tid):
+            barrier.wait()
+            for i in range(n_keys):
+                pool.put((tid, i), object())
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert pool.stats()["misses"] == n_threads * n_keys
+
+    def test_stats_survive_worker_thread_death(self):
+        pool = InternPool()
+        pool.put("k", "v")
+
+        def worker():
+            for _ in range(10):
+                pool.get("k")
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        # the dead thread's cell is still folded into the totals
+        assert pool.stats()["hits"] == 10
 
 
 class TestVersionInterning:
