@@ -55,6 +55,15 @@ TOLERANCE_OVERRIDES = (
     # requests/second on shared runners jitters like raw wall time; the
     # deterministic coalescing counts next to it stay strict
     ("*throughput*", 0.75),
+    # the environment lockfile's warm path is millisecond-scale, so its
+    # cold/warm ratio inherits the raw-seconds jitter (unlike the
+    # parallel-install speedups, whose numerators are full seconds);
+    # the benchmark itself asserts the >=2x floor
+    ("*warm_speedup*", 0.75),
+    # per-lookup microseconds and RSS vary with the runner's
+    # CPU/allocator; the scale benchmark asserts flatness across tiers
+    ("*lookup_us*", 0.75),
+    ("*_rss_mb*", 0.50),
 )
 
 

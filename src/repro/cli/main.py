@@ -590,6 +590,7 @@ def cmd_selftest(args):
         cache_specs=getattr(args, "cache_specs", 200),
         splice_cases=getattr(args, "splice_cases", 6),
         solver_cases=getattr(args, "solver_cases", 200),
+        env_cases=getattr(args, "env_cases", 25),
     )
     workdir = tempfile.mkdtemp(prefix="repro-selftest-")
     try:
@@ -616,6 +617,11 @@ def cmd_selftest(args):
             summary["solver_divergences"])
         if summary["solver_cases"] else "skipped"
     ))
+    print("    env: %s" % (
+        "%s, %d divergences" % (summary["env_outcomes"],
+                                summary["env_divergences"])
+        if summary["env_cases"] else "skipped"
+    ))
     for case in report.divergences():
         print("    DIVERGENCE: %s (minimized: %s)"
               % (case["request"], case["minimized"]))
@@ -635,6 +641,9 @@ def cmd_selftest(args):
     for case in report.solver_divergences():
         print("    SOLVER DIVERGENCE: %s (%s)"
               % (case["request"], case["kind"]))
+    for case in report.env_divergences():
+        print("    ENV DIVERGENCE: case %d (%s)"
+              % (case["case"], "; ".join(case.get("issues") or [])))
     if report.ok:
         fault_note = (
             "all fault points reached, all stores healed"
@@ -810,12 +819,106 @@ def cmd_client(args):
             params["concretizer"] = args.concretizer
     elif endpoint == "spack_info":
         params["package"] = argument
+    elif endpoint == "spack_env":
+        params["roots"] = list(args.spec)
+        if getattr(args, "concretizer", None):
+            params["concretizer"] = args.concretizer
     elif endpoint in ("spack_list", "spack_find") and argument:
         params["query"] = argument
     with ServiceClient(args.host, args.port) as client:
         result = client.call(endpoint, **params)
     print(_json.dumps(result, indent=2, sort_keys=True))
     return 0
+
+
+def cmd_env(args):
+    """``env list|add|remove|concretize|status|install``: many abstract
+    roots managed — and concretized — as one unit (docs/environments.md)."""
+    session = _session(args)
+    if args.action == "list":
+        names = session.environment_names()
+        print("==> %d environment%s" % (len(names), "s" if len(names) != 1 else ""))
+        for name in names:
+            env = session.environment(name)
+            print("    %-20s %d root%s, lock %s"
+                  % (name, len(env.roots),
+                     "s" if len(env.roots) != 1 else "",
+                     env.lock_state(session)))
+        return 0
+    if not args.name:
+        print("Error: env %s needs an environment name" % args.action,
+              file=sys.stderr)
+        return 1
+    env = session.environment(args.name)
+
+    if args.action in ("add", "remove"):
+        if not args.specs:
+            print("Error: env %s needs at least one spec" % args.action,
+                  file=sys.stderr)
+            return 1
+        for text in args.specs:
+            if args.action == "add":
+                changed = env.add(text)
+                print("==> %s %s" % ("added" if changed else "already present", text))
+            else:
+                changed = env.remove(text)
+                print("==> %s %s" % ("removed" if changed else "not found", text))
+        print("==> %s: %d root%s" % (env.name, len(env.roots),
+                                     "s" if len(env.roots) != 1 else ""))
+        return 0
+
+    if args.action == "status":
+        report = env.status(session)
+        print("==> environment %s (%s)" % (report["name"], report["path"]))
+        print("    lock: %s" % report["lock"])
+        for root in report["roots"]:
+            h = report.get("root_hashes", {}).get(root)
+            print("    root %s%s" % (root, "  [%s]" % h[:8] if h else ""))
+        if "unique_nodes" in report:
+            print("    unified: %d unique node%s, %d installed"
+                  % (report["unique_nodes"],
+                     "s" if report["unique_nodes"] != 1 else "",
+                     report["installed"]))
+        return 0
+
+    if args.action == "concretize":
+        unified = env.concretize(
+            session, jobs=args.jobs, concretizer=args.concretizer,
+            force=args.force,
+        )
+        stats = unified.stats()
+        warm = stats["resolves"] == 0
+        print("==> %s: %d root%s unified%s"
+              % (env.name, stats["roots"],
+                 "s" if stats["roots"] != 1 else "",
+                 " (restored from lock)" if warm else
+                 " in %d round%s (%d solves, %d pin%s)"
+                 % (stats["rounds"], "s" if stats["rounds"] != 1 else "",
+                    stats["resolves"], stats["pins"],
+                    "s" if stats["pins"] != 1 else "")))
+        print("==> %d unique nodes, %d shared across roots"
+              % (stats["unique_nodes"], stats["shared_packages"]))
+        for text, concrete in unified.roots:
+            print("    %s  %s" % (concrete.dag_hash()[:8], text))
+        for package, pin in sorted(unified.pins.items()):
+            print("    pinned %s -> %s" % (package, pin))
+        return 0
+
+    if args.action == "install":
+        unified, results = env.install(session, jobs=args.jobs)
+        print("==> %s: installed %d root%s (%d unique nodes)"
+              % (env.name, len(results),
+                 "s" if len(results) != 1 else "",
+                 len(unified.nodes())))
+        for text, concrete, result in results:
+            built = len(result.built)
+            print("    %s  %s (%d built, %d reused)"
+                  % (concrete.dag_hash()[:8], text, built,
+                     len(result.reused)))
+        return 0
+
+    print("Error: unknown env action %r" % args.action, file=sys.stderr)
+    return 1
 
 
 def cmd_repo_list(args):
@@ -887,6 +990,8 @@ def build_parser():
         "serve": (cmd_serve,
                   "run the resident concretize/install/query daemon"),
         "client": (cmd_client, "send one request to a running daemon"),
+        "env": (cmd_env,
+                "manage environments: many roots concretized together"),
     }
     for name, (func, help_text) in commands.items():
         p = sub.add_parser(name, help=help_text)
@@ -947,17 +1052,52 @@ def build_parser():
             )
             p.set_defaults(func=func)
             continue
+        if name == "env":
+            p.add_argument(
+                "action",
+                choices=("list", "add", "remove", "concretize", "status",
+                         "install"),
+                help="list environments, edit a root set, concretize all "
+                     "roots together, report lock/install state, or "
+                     "install the unified set",
+            )
+            p.add_argument(
+                "name", nargs="?",
+                help="environment name (everything except `list`)",
+            )
+            p.add_argument(
+                "specs", nargs="*",
+                help="abstract root specs (add/remove)",
+            )
+            p.add_argument(
+                "-j", "--jobs", type=int, default=None, metavar="N",
+                help="concurrent per-root solves (concretize/install); "
+                     "the unified result is identical at any width",
+            )
+            p.add_argument(
+                "--concretizer", choices=("greedy", "backtracking", "solver"),
+                default=None,
+                help="concretizer variant for every root "
+                     "(default: the session's `concretizer:` config key)",
+            )
+            p.add_argument(
+                "--force", action="store_true",
+                help="concretize: ignore a fresh lockfile and re-unify",
+            )
+            p.set_defaults(func=func)
+            continue
         if name == "client":
             p.add_argument(
                 "endpoint",
                 choices=("spack_list", "spack_info", "spack_spec",
-                         "spack_install", "spack_find", "status",
-                         "shutdown"),
+                         "spack_install", "spack_find", "spack_env",
+                         "status", "shutdown"),
                 help="service endpoint to call",
             )
             p.add_argument(
                 "spec", nargs="*",
                 help="endpoint argument: a spec (spack_spec/spack_install), "
+                     "root specs, one per argument (spack_env), "
                      "a package name (spack_info), or a query "
                      "(spack_list/spack_find)",
             )
@@ -1093,6 +1233,12 @@ def build_parser():
                 help="generated requests for the three-way "
                      "(greedy/backtracking/solver) oracle sweep over a "
                      "conflict-rich universe",
+            )
+            p.add_argument(
+                "--env-cases", type=int, default=25, metavar="E",
+                help="environment root-set unifications over a prefixed "
+                     "hub-biased universe (coherence + pool-width "
+                     "determinism)",
             )
             p.add_argument(
                 "--report", metavar="FILE",

@@ -10,15 +10,20 @@ keyed by content digest can be reused indefinitely without a
 correctness risk: change any input and the key changes with it.
 
 Layout (same locked read-merge-write discipline as
-:mod:`repro.store.buildcache`'s index)::
+:mod:`repro.store.buildcache`'s index, but sharded)::
 
-    <root>/index.json                 {key: {root, dag_hash, entry}}
+    <root>/index/<kk>.json            {key: {root, dag_hash, entry}}
     <root>/<kk>/<key>.json            serialized concrete spec (to_dict)
 
 where ``<kk>`` is the first two key characters (fanout).  The index is
-small (one line per entry); payloads are content-addressed per entry so
-concurrent writers never rewrite each other's payloads, and the index
-merge happens under an advisory :class:`~repro.util.lock.Lock`.
+*sharded* by key prefix: a store rewrites one ~n/256-entry shard
+instead of the whole index, so warming a 10k-root universe is O(n) in
+index bytes rather than O(n²).  Payloads are content-addressed per
+entry so concurrent writers never rewrite each other's payloads, and
+every shard merge happens under one advisory
+:class:`~repro.util.lock.Lock`.  A legacy monolithic
+``<root>/index.json`` (the pre-shard layout) is migrated into shards
+once, on first access, under the same lock.
 
 Integrity is hash-first: a looked-up payload is deserialized and its
 ``dag_hash`` recomputed; a mismatch against the indexed hash (bit rot,
@@ -142,10 +147,10 @@ class ConcretizationCache:
         self.telemetry = telemetry
         self.faults = faults
         self._index_lock = Lock(os.path.join(self.root, ".index.lock"))
-        #: stat-validated parse of index.json, held as one atomic
-        #: ((mtime_ns, size), dict) pair — separate stamp/dict slots let
-        #: a concurrent reader pair a fresh stamp with a stale parse
-        self._index_memo = None
+        #: stat-validated parses, one per shard: {kk: ((mtime_ns, size),
+        #: dict)} — each value is one atomic pair so a concurrent reader
+        #: can't pair a fresh stamp with a stale parse
+        self._shard_memos = {}
 
     # -- keys --------------------------------------------------------------
     @staticmethod
@@ -155,47 +160,106 @@ class ConcretizationCache:
         blob = "%s\n%s\n%s" % (abstract_text, env_digest, variant)
         return hashlib.sha256(blob.encode()).hexdigest()
 
-    # -- index I/O (buildcache discipline) ---------------------------------
-    def _index_path(self):
+    # -- index I/O (buildcache discipline, sharded) ------------------------
+    def _legacy_index_path(self):
         return os.path.join(self.root, "index.json")
 
-    def read_index(self):
-        """{key: {root, dag_hash, entry}} — empty when absent.
+    def _shard_dir(self):
+        return os.path.join(self.root, "index")
 
-        The parsed index is reused until the file's (mtime, size)
-        changes, so steady-state lookups do one ``stat`` instead of a
-        full read+parse.
-        """
-        path = self._index_path()
+    def _shard_path(self, kk):
+        return os.path.join(self._shard_dir(), "%s.json" % kk)
+
+    def _migrate_legacy(self):
+        """Fold a pre-shard monolithic ``index.json`` into the sharded
+        layout.  Runs at most once per on-disk cache (the legacy file is
+        removed after its entries land in their shards); the steady-state
+        cost is one ``os.path.exists`` stat."""
+        legacy_path = self._legacy_index_path()
+        if not os.path.exists(legacy_path):
+            return
+        mkdirp(self._shard_dir())
+        with self._index_lock:
+            if not os.path.exists(legacy_path):  # another session won
+                return
+            try:
+                with open(legacy_path) as f:
+                    legacy = json.load(f)
+            except (OSError, ValueError):
+                legacy = {}
+            by_shard = {}
+            for key, entry in legacy.items():
+                by_shard.setdefault(key[:2], {})[key] = entry
+            for kk, entries in sorted(by_shard.items()):
+                merged = self._read_shard_unmemoized(kk)
+                # shard entries win: they are newer than the legacy file
+                merged = dict(entries, **merged)
+                self._atomic_write(
+                    self._shard_path(kk),
+                    json.dumps(merged, indent=1, sort_keys=True).encode(),
+                )
+            os.remove(legacy_path)
+            self._shard_memos = {}
+
+    def _read_shard_unmemoized(self, kk):
+        try:
+            with open(self._shard_path(kk)) as f:
+                return json.load(f)
+        except (OSError, ValueError):
+            return {}
+
+    def read_shard(self, kk):
+        """{key: {root, dag_hash, entry}} for one shard — empty when
+        absent.  The parsed shard is reused until the file's (mtime,
+        size) changes, so steady-state lookups do one ``stat`` instead
+        of a full read+parse."""
+        path = self._shard_path(kk)
         try:
             st = os.stat(path)
             stamp = (st.st_mtime_ns, st.st_size)
         except OSError:
-            self._index_memo = None
+            self._shard_memos.pop(kk, None)
             return {}
-        memo = self._index_memo  # one read: racing writers can't tear it
+        memo = self._shard_memos.get(kk)  # one read: writers can't tear it
         if memo is not None and memo[0] == stamp:
             return memo[1]
         try:
             with open(path) as f:
-                index = json.load(f)
+                shard = json.load(f)
         except (OSError, ValueError):
             return {}
-        self._index_memo = (stamp, index)
+        self._shard_memos[kk] = (stamp, shard)
+        return shard
+
+    def read_index(self):
+        """The merged {key: entry} view across every shard.  O(total
+        entries) — diagnostics and tests only; the hot paths read one
+        shard."""
+        self._migrate_legacy()
+        index = {}
+        try:
+            shard_files = sorted(os.listdir(self._shard_dir()))
+        except OSError:
+            return index
+        for name in shard_files:
+            if name.endswith(".json"):
+                index.update(self.read_shard(name[:-len(".json")]))
         return index
 
-    def _update_index(self, mutate):
-        """Read-merge-write ``index.json`` under the cache lock; racing
-        sessions never lose each other's entries."""
-        mkdirp(self.root)
+    def _update_shard(self, kk, mutate):
+        """Read-merge-write one shard under the cache lock; racing
+        sessions never lose each other's entries, and the bytes written
+        scale with the shard (~n/256), not the whole index."""
+        self._migrate_legacy()
+        mkdirp(self._shard_dir())
         with self._index_lock:
-            index = dict(self.read_index())
-            mutate(index)
+            shard = dict(self._read_shard_unmemoized(kk))
+            mutate(shard)
             self._atomic_write(
-                self._index_path(),
-                json.dumps(index, indent=1, sort_keys=True).encode(),
+                self._shard_path(kk),
+                json.dumps(shard, indent=1, sort_keys=True).encode(),
             )
-            self._index_memo = None  # force re-stat on next read
+            self._shard_memos.pop(kk, None)  # force re-stat on next read
 
     @staticmethod
     def _atomic_write(path, data):
@@ -228,7 +292,7 @@ class ConcretizationCache:
 
     def _drop(self, key):
         """Remove a bad entry (corrupt payload or stale hash)."""
-        self._update_index(lambda index: index.pop(key, None))
+        self._update_shard(key[:2], lambda shard: shard.pop(key, None))
         try:
             os.remove(self._entry_path(key))
         except OSError:
@@ -246,7 +310,8 @@ class ConcretizationCache:
         then re-concretizes from scratch).  Returns a fresh Spec per
         call; callers own (and may mutate) the result.
         """
-        entry = self.read_index().get(key)
+        self._migrate_legacy()
+        entry = self.read_shard(key[:2]).get(key)
         if entry is None:
             self._count("miss")
             return None
@@ -291,7 +356,7 @@ class ConcretizationCache:
             "dag_hash": spec.dag_hash(),
             "entry": os.path.join(key[:2], "%s.json" % key),
         }
-        self._update_index(lambda index: index.__setitem__(key, entry))
+        self._update_shard(key[:2], lambda shard: shard.__setitem__(key, entry))
 
     def entries(self):
         """(key, entry) pairs, deterministically ordered."""

@@ -13,9 +13,17 @@ each with the interface versions it offers and the provider constraint
 under which it offers them.
 """
 
+import threading
+from collections import OrderedDict
+
 from repro.spec.spec import Spec
 from repro.spec.errors import SpecError
 from repro.version import any_version
+
+#: per-virtual memo shards hold at most this many distinct constraint
+#: keys; beyond it the least-recently-used entry is evicted (the memo
+#: keeps serving hot constraints instead of freezing at the cap)
+MEMO_SHARD_CAP = 1024
 
 
 class ProviderEntry:
@@ -41,9 +49,15 @@ class ProviderIndex:
 
     def __init__(self, package_classes=None):
         self._index = {}
-        #: memo of providers_for results keyed by the virtual spec's
-        #: canonical DAG tuple; cleared whenever the index changes
-        self._providers_memo = {}
+        #: memo of providers_for results, sharded by virtual name: each
+        #: shard is a bounded LRU (OrderedDict) keyed by the virtual
+        #: spec's canonical DAG tuple.  update() drops only the shards
+        #: of the virtuals the new provider touches, so registering one
+        #: package does not flush memo state for unrelated interfaces.
+        self._memo_shards = {}
+        self._memo_lock = threading.Lock()
+        self.memo_hits = 0
+        self.memo_misses = 0
         if package_classes:
             for name, cls in package_classes.items():
                 self.update(name, cls)
@@ -54,11 +68,16 @@ class ProviderIndex:
         return cls(repo.all_classes())
 
     def update(self, provider_name, package_class):
+        touched = set()
         for interface in getattr(package_class, "provided", ()):
             self._index.setdefault(interface.spec.name, []).append(
                 ProviderEntry(provider_name, interface.spec, interface.when)
             )
-        self._providers_memo.clear()
+            touched.add(interface.spec.name)
+        if touched:
+            with self._memo_lock:
+                for vname in touched:
+                    self._memo_shards.pop(vname, None)
 
     # -- queries ------------------------------------------------------------
     def is_virtual(self, name):
@@ -85,9 +104,14 @@ class ProviderIndex:
         # built before.  Return fresh copies — callers constrain/reorder
         # the candidates, and the memoized originals must stay pristine.
         memo_key = vspec._dag_key()
-        cached = self._providers_memo.get(memo_key)
-        if cached is not None:
-            return [c.copy() for c in cached]
+        with self._memo_lock:
+            shard = self._memo_shards.get(vspec.name)
+            cached = shard.get(memo_key) if shard is not None else None
+            if cached is not None:
+                shard.move_to_end(memo_key)
+                self.memo_hits += 1
+                return [c.copy() for c in cached]
+            self.memo_misses += 1
         candidates = []
         for entry in self._index[vspec.name]:
             if not entry.provided_spec.versions.overlaps(vspec.versions):
@@ -108,8 +132,12 @@ class ProviderIndex:
                 continue
             candidates.append(provider)
         result = _dedupe_specs(candidates)
-        if len(self._providers_memo) < 1024:
-            self._providers_memo[memo_key] = [c.copy() for c in result]
+        with self._memo_lock:
+            shard = self._memo_shards.setdefault(vspec.name, OrderedDict())
+            shard[memo_key] = [c.copy() for c in result]
+            shard.move_to_end(memo_key)
+            while len(shard) > MEMO_SHARD_CAP:
+                shard.popitem(last=False)
         return result
 
     def providers_for_name(self, virtual_name):

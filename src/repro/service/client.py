@@ -69,6 +69,10 @@ class ServiceClient:
     def spack_find(self, query=None):
         return self.call("spack_find", query=query)
 
+    def spack_env(self, roots, concretizer=None, jobs=None):
+        return self.call("spack_env", roots=list(roots),
+                         concretizer=concretizer, jobs=jobs)
+
     def status(self):
         return self.call("status")
 

@@ -44,6 +44,7 @@ ENDPOINTS = (
     "spack_spec",
     "spack_install",
     "spack_find",
+    "spack_env",
     "status",
     "shutdown",
 )
@@ -237,6 +238,44 @@ class ServiceDaemon:
             "reused": [n.name for n in result.reused],
             "externals": [n.name for n in result.externals],
             "wall_seconds": result.wall_seconds,
+            "env_digest": snapshot.env_digest,
+        }
+
+    def _ep_spack_env(self, roots, concretizer=None, jobs=None):
+        """Concretize many roots together (repro.env.unify) against the
+        snapshot current at dispatch — the whole environment resolves
+        under ONE consistent package/config state even if a mutation
+        lands mid-unification.  Per-root solves go through the batched
+        ``_concretize`` path, so two clients unifying overlapping
+        environments coalesce their shared roots."""
+        from repro.env.unify import unify_roots
+
+        if not isinstance(roots, (list, tuple)) or not roots:
+            raise ServiceError(
+                "spack_env needs a non-empty `roots` list of abstract specs"
+            )
+        snapshot = self.snapshots.current()
+        variant = self._variant(concretizer)
+        jobs = max(1, int(jobs or 1))
+        unified = unify_roots(
+            [str(r) for r in roots],
+            lambda spec: self._concretize(snapshot, str(spec), variant),
+            jobs=jobs,
+            telemetry=self.session.telemetry,
+        )
+        stats = unified.stats()
+        return {
+            "roots": [
+                {"root": text, "spec": str(concrete),
+                 "dag_hash": concrete.dag_hash()}
+                for text, concrete in unified.roots
+            ],
+            "unique_nodes": stats["unique_nodes"],
+            "shared_packages": stats["shared_packages"],
+            "rounds": stats["rounds"],
+            "resolves": stats["resolves"],
+            "pins": dict(unified.pins),
+            "concretizer": variant,
             "env_digest": snapshot.env_digest,
         }
 

@@ -1,6 +1,6 @@
 """Seeded selftest campaigns: the engine behind ``repro-spack selftest``.
 
-A campaign has three phases, all driven entirely by one master seed:
+A campaign has six phases, all driven entirely by one master seed:
 
 1. **Concretization sweep** — generate a package universe
    (:class:`~repro.testing.generators.RepoGenerator`) and N abstract
@@ -43,6 +43,12 @@ A campaign has three phases, all driven entirely by one master seed:
    success on its own objective) are counted — they are the point of
    the solver; ``divergence`` and ``optimality-divergence`` fail the
    campaign.
+6. **Environment-unification sweep** — over a *name-prefixed*,
+   hub-biased universe (shared sub-DAGs by construction), draw seeded
+   root sets and unify each one serially and with a 2-wide solve pool.
+   A coherent result (one node per shared package, one provider per
+   virtual, pool-width-independent ``dag_hash`` set) or a typed
+   conflict/root diagnostic passes; anything else is a divergence.
 
 The report is JSONL with sorted keys and no timestamps, hostnames, or
 absolute paths, so two same-seed runs produce *byte-identical* files —
@@ -79,7 +85,7 @@ class CampaignConfig:
     def __init__(self, seed=None, specs=200, fault_plans=50, packages=40,
                  virtuals=2, max_attempts=64, fault_target="libdwarf",
                  points=ALL_FAULT_POINTS, cache_specs=200, splice_cases=6,
-                 solver_cases=200):
+                 solver_cases=200, env_cases=25):
         self.seed = session_seed() if seed is None else int(seed)
         self.specs = int(specs)
         self.fault_plans = int(fault_plans)
@@ -95,6 +101,8 @@ class CampaignConfig:
         self.splice_cases = int(splice_cases)
         #: three-way oracle cases over the conflict-rich universe (phase 5)
         self.solver_cases = int(solver_cases)
+        #: environment unification cases (phase 6)
+        self.env_cases = int(env_cases)
 
     def to_dict(self):
         return {
@@ -109,6 +117,7 @@ class CampaignConfig:
             "cache_specs": self.cache_specs,
             "splice_cases": self.splice_cases,
             "solver_cases": self.solver_cases,
+            "env_cases": self.env_cases,
         }
 
 
@@ -127,6 +136,8 @@ class CampaignReport:
         self.splice_cases = []
         #: one dict per three-way solver-sweep case
         self.solver_cases = []
+        #: one dict per environment-unification case
+        self.env_cases = []
 
     # -- aggregation --------------------------------------------------------
     def outcome_counts(self):
@@ -187,6 +198,20 @@ class CampaignReport:
             or c.get("fault") == "mismatch"
         ]
 
+    def env_outcome_counts(self):
+        counts = {}
+        for case in self.env_cases:
+            counts[case["kind"]] = counts.get(case["kind"], 0) + 1
+        return counts
+
+    def env_divergences(self):
+        """Environment cases where unification is wrong: a shared
+        package resolved to more than one node, a shared virtual to more
+        than one provider, the unified result depended on the solve pool
+        width, or the engine failed with something other than a typed
+        per-root/conflict diagnostic."""
+        return [c for c in self.env_cases if c["kind"] == "divergence"]
+
     @property
     def ok(self):
         """The campaign's verdict: no divergence, no invariant violation,
@@ -207,6 +232,7 @@ class CampaignReport:
             and not self.cache_divergences()
             and not self.splice_divergences()
             and not self.solver_divergences()
+            and not self.env_divergences()
             and covered
         )
 
@@ -227,6 +253,9 @@ class CampaignReport:
             "solver_outcomes": self.solver_outcome_counts(),
             "solver_rescues": len(self.solver_rescues()),
             "solver_divergences": len(self.solver_divergences()),
+            "env_cases": len(self.env_cases),
+            "env_outcomes": self.env_outcome_counts(),
+            "env_divergences": len(self.env_divergences()),
             "ok": self.ok,
         }
 
@@ -247,6 +276,8 @@ class CampaignReport:
             yield dump(dict(case, type="splice-case"))
         for case in self.solver_cases:
             yield dump(dict(case, type="solver-case"))
+        for case in self.env_cases:
+            yield dump(dict(case, type="env-case"))
         yield dump(self.summary())
 
     def write(self, path):
@@ -830,6 +861,146 @@ def run_solver_phase(config, report, workdir, log=None):
     return report
 
 
+# -- phase 6: environment-unification sweep -----------------------------------
+
+def _env_fixture(config):
+    """A *prefixed*, hub-biased universe for environment cases.
+
+    ``name_prefix`` keeps generated names out of the builtin corpus's
+    namespace (the collision bug this PR fixes); ``hub_bias`` funnels
+    dependency edges through a few hub packages so random root sets
+    genuinely share sub-DAGs — the thing unification is for.
+    """
+    from repro.compilers.registry import Compiler, CompilerRegistry
+    from repro.config.config import Config
+
+    repo = RepoGenerator(
+        derive_seed(config.seed, "env-repo"),
+        count=config.packages,
+        virtuals=config.virtuals,
+        name_prefix="env",
+        hub_bias=0.6,
+    ).build()
+    registry = CompilerRegistry(
+        Compiler(*cs.split("@")) for cs in GEN_COMPILERS
+    )
+    cfg = Config()
+    cfg.update(
+        "defaults",
+        {
+            "preferences": {
+                "compiler_order": [GEN_COMPILERS[0]],
+                "architecture": "linux-x86_64",
+            }
+        },
+    )
+    return repo, registry, cfg
+
+
+def _env_coherence(unified):
+    """Violation strings when a unified environment is *not* coherent:
+    every shared package must be one node, every virtual one provider."""
+    by_name = {}
+    by_virtual = {}
+    for _, concrete in unified.roots:
+        for node in concrete.traverse():
+            by_name.setdefault(node.name, set()).add(node.dag_hash())
+            for vname in getattr(node, "provided_virtuals", ()):
+                by_virtual.setdefault(vname, set()).add(node.name)
+    issues = []
+    for name in sorted(by_name):
+        if len(by_name[name]) > 1:
+            issues.append("package %s has %d nodes" % (name, len(by_name[name])))
+    for vname in sorted(by_virtual):
+        if len(by_virtual[vname]) > 1:
+            issues.append(
+                "virtual %s has providers %s"
+                % (vname, ", ".join(sorted(by_virtual[vname])))
+            )
+    return issues
+
+
+def run_env_phase(config, report, workdir, log=None):
+    """Unify seeded root sets over the prefixed hub-biased universe.
+
+    Each case draws 2–8 generated abstract requests as an environment's
+    roots and unifies them twice — serial and with a 2-wide solve pool.
+    A case is a divergence when the unified result is incoherent (a
+    shared package with two nodes, a virtual with two providers), when
+    the two pool widths disagree on the unified ``dag_hash`` set, or
+    when unification dies with anything other than a typed per-root
+    error or a :class:`~repro.env.unify.EnvironmentConflictError`
+    (both are legitimate outcomes for random root sets and recorded as
+    such).
+    """
+    import random
+
+    from repro.env.unify import EnvironmentConflictError, unify_roots
+    from repro.errors import ReproError
+    from repro.session import Session
+
+    repo, compilers, cfg = _env_fixture(config)
+    session = Session(
+        os.path.join(workdir, "env-phase"), repo, config=cfg,
+        compilers=compilers,
+    )
+    generator = SpecGenerator(derive_seed(config.seed, "env-specs"), repo)
+    rng = random.Random(derive_seed(config.seed, "env-cases"))
+    serial = 0
+
+    def concretize(spec):
+        return session.concretize(spec, use_cache=False)
+
+    for i in range(config.env_cases):
+        width = rng.randint(2, 8)
+        # pre-screen to individually-solvable roots: a root that cannot
+        # concretize alone tells us nothing about *unification* (the
+        # oracle phases already cover per-root failures exhaustively)
+        roots = []
+        for _ in range(width * 8):
+            if len(roots) >= width:
+                break
+            request = generator.spec(serial)
+            serial += 1
+            if request in roots:
+                continue
+            try:
+                concretize(request)
+            except ReproError:
+                continue
+            roots.append(request)
+        case = {"case": i, "roots": roots, "error": None}
+        try:
+            unified = unify_roots(roots, concretize, jobs=1)
+        except EnvironmentConflictError as e:
+            case.update(kind="conflict", error=e.message,
+                        demands=sorted({r for r, _ in e.demands}))
+            report.env_cases.append(case)
+            continue
+        except ReproError as e:
+            case.update(kind="root-error", error=type(e).__name__)
+            report.env_cases.append(case)
+            continue
+
+        issues = _env_coherence(unified)
+        pooled = unify_roots(roots, concretize, jobs=2)
+        if pooled.dag_hashes() != unified.dag_hashes():
+            issues.append("jobs=2 produced a different unified node set")
+        case.update(
+            kind="divergence" if issues else "unified",
+            issues=issues,
+            unique_nodes=len(unified.nodes()),
+            shared_packages=len(unified.shared_packages()),
+            rounds=unified.rounds,
+            pins=len(unified.pins),
+        )
+        report.env_cases.append(case)
+        if log and (i + 1) % 10 == 0:
+            log("  env: %d/%d cases" % (i + 1, config.env_cases))
+    shutil.rmtree(os.path.join(workdir, "env-phase"), ignore_errors=True)
+    return report
+
+
 def run_campaign(config, workdir, log=None):
     """Run all phases; returns the :class:`CampaignReport`."""
     report = CampaignReport(config)
@@ -848,4 +1019,6 @@ def run_campaign(config, workdir, log=None):
         run_splice_phase(config, report, workdir, log=log)
     if config.solver_cases:
         run_solver_phase(config, report, workdir, log=log)
+    if config.env_cases:
+        run_env_phase(config, report, workdir, log=log)
     return report

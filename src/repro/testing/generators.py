@@ -110,7 +110,8 @@ class RepoGenerator:
     """
 
     def __init__(self, seed, count=40, virtuals=2, namespace="generated",
-                 conflict_density=0.0, when_depth=0, provider_overlap=0.0):
+                 conflict_density=0.0, when_depth=0, provider_overlap=0.0,
+                 name_prefix=None, hub_bias=0.0, max_deps=3):
         self.seed = int(seed)
         self.count = max(4, int(count))
         self.virtuals = max(0, int(virtuals))
@@ -118,12 +119,27 @@ class RepoGenerator:
         self.conflict_density = float(conflict_density)
         self.when_depth = max(0, int(when_depth))
         self.provider_overlap = float(provider_overlap)
+        #: every generated package name gets this dash-joined prefix, so
+        #: two generated universes (or a generated universe plus the
+        #: builtin corpus) can share one Session's RepoPath without one
+        #: repo's names shadowing the other's
+        self.name_prefix = name_prefix
+        #: preferential attachment toward low-index "hub" packages — the
+        #: cmake/python/mpi shape real repositories have; 0 keeps the
+        #: historic uniform draw (and its exact byte stream)
+        self.hub_bias = float(hub_bias)
+        self.max_deps = max(0, int(max_deps))
+
+    def _pname(self, base):
+        if self.name_prefix:
+            return "%s-%s" % (self.name_prefix, base)
+        return base
 
     def virtual_name(self, i):
-        return "vif-%d" % i
+        return self._pname("vif-%d" % i)
 
     def package_name(self, i):
-        return "gen-%03d" % i
+        return self._pname("gen-%03d" % i)
 
     def build(self):
         """Generate and return the Repository."""
@@ -188,13 +204,13 @@ class RepoGenerator:
             if rng.random() >= self.conflict_density:
                 continue
             vname = self.virtual_name(vi)
-            anchor = "anchor-%d" % vi
+            anchor = self._pname("anchor-%d" % vi)
             repo.add_class(anchor, _make_package(anchor, ["1.0", "2.0"], []))
             poisoned = "%s-aaa-impl" % vname
             repo.add_class(poisoned, _make_package(
                 poisoned, ["1.0"], [(anchor, "@1.0", None)], provided=vname,
             ))
-            clash = "clash-%d" % vi
+            clash = self._pname("clash-%d" % vi)
             repo.add_class(clash, _make_package(
                 clash, ["1.0"], [(vname, "", None), (anchor, "@2.0", None)],
             ))
@@ -208,7 +224,7 @@ class RepoGenerator:
         n = max(1, int(round(self.conflict_density * self.count / 5.0)))
         for i in range(n):
             kind = ("hardpick", "varpick", "verpick")[i % 3]
-            name = "%s-%d" % (kind, i)
+            name = self._pname("%s-%d" % (kind, i))
             if kind == "hardpick":
                 # default compiler_order is gcc-first everywhere
                 cls = _make_package(name, ["1.0"], [],
@@ -237,7 +253,7 @@ class RepoGenerator:
         for k in range(chains):
             # build leaf-first so each link's dependency already exists
             for j in reversed(range(self.when_depth)):
-                name = "chain-%d-%d" % (k, j)
+                name = self._pname("chain-%d-%d" % (k, j))
                 deps = []
                 if j + 1 < self.when_depth:
                     deps.append(("chain-%d-%d" % (k, j + 1), "", "@2:"))
@@ -251,7 +267,7 @@ class RepoGenerator:
         for vi in range(self.virtuals - 1):
             if rng.random() >= self.provider_overlap:
                 continue
-            name = "dual-%d-aaa-impl" % vi
+            name = self._pname("dual-%d-aaa-impl" % vi)
             repo.add_class(name, _make_package(
                 name, ["1.0"],
                 [],
@@ -283,14 +299,34 @@ class RepoGenerator:
     def _draw_dependencies(self, rng, names, variants, versions):
         if not names:
             return []
+        if self.hub_bias > 0:
+            deps = self._draw_hubbed_deps(rng, names)
+        else:
+            # the historic uniform draw — byte-for-byte what older seeds
+            # consumed from the stream, so knobless universes never shift
+            deps = rng.sample(names, min(len(names), rng.randint(0, 3)))
         decls = []
-        for dep in rng.sample(names, min(len(names), rng.randint(0, 3))):
+        for dep in deps:
             suffix = ""
             if rng.random() < 0.2:
                 # a version-range constraint on the dependency edge
                 suffix = "@%d:" % rng.randint(1, 2)
             decls.append((dep, suffix, self._draw_when(rng, variants, versions)))
         return decls
+
+    def _draw_hubbed_deps(self, rng, names):
+        """Preferential attachment: a slice of each dependency draw goes
+        to the earliest ~2% of packages (the universe's cmake/python/mpi
+        analogues), the rest stays uniform — real repositories are a few
+        hubs with enormous in-degree plus a long uniform tail."""
+        hubs = names[: max(1, len(names) // 50)]
+        picked = []
+        for _ in range(rng.randint(0, self.max_deps)):
+            pool = hubs if rng.random() < self.hub_bias else names
+            dep = pool[rng.randrange(len(pool))]
+            if dep not in picked:
+                picked.append(dep)
+        return picked
 
 
 class DeadEndScenario:

@@ -1,0 +1,73 @@
+"""CLI tests for the ``env`` command family."""
+
+import pytest
+
+from repro.cli.main import main
+
+
+@pytest.fixture
+def root(tmp_path):
+    return str(tmp_path / "universe")
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestEnvCommand:
+    def test_add_concretize_status_roundtrip(self, root, capsys):
+        code, out, _ = run(capsys, "--root", root, "env", "add", "dev",
+                           "mpileaks", "dyninst ^libelf@0.8.12")
+        assert code == 0
+        assert "added mpileaks" in out
+        assert "dev: 2 roots" in out
+
+        code, out, _ = run(capsys, "--root", root, "env", "concretize",
+                           "dev", "-j", "2")
+        assert code == 0
+        assert "2 roots unified" in out
+        assert "pinned libelf -> libelf@0.8.12" in out
+
+        # second concretize restores from the lock
+        code, out, _ = run(capsys, "--root", root, "env", "concretize", "dev")
+        assert code == 0
+        assert "restored from lock" in out
+
+        code, out, _ = run(capsys, "--root", root, "env", "status", "dev")
+        assert code == 0
+        assert "lock: fresh" in out
+        assert "root mpileaks" in out
+
+        code, out, _ = run(capsys, "--root", root, "env", "list")
+        assert code == 0
+        assert "dev" in out and "2 roots" in out
+
+    def test_install_unifies_and_reuses(self, root, capsys):
+        run(capsys, "--root", root, "env", "add", "dev",
+            "mpileaks", "libdwarf")
+        code, out, _ = run(capsys, "--root", root, "env", "install", "dev")
+        assert code == 0
+        assert "installed 2 roots" in out
+        code, out, _ = run(capsys, "--root", root, "env", "status", "dev")
+        assert code == 0
+        # every unified node installed; the count line shows X of X
+        assert "installed" in out
+
+    def test_conflict_is_one_diagnostic_naming_both_roots(self, root, capsys):
+        run(capsys, "--root", root, "env", "add", "bad",
+            "mpileaks ^libelf@0.8.11", "dyninst ^libelf@0.8.12")
+        code, _, err = run(capsys, "--root", root, "env", "concretize", "bad")
+        assert code == 1
+        assert "mpileaks ^libelf@0.8.11" in err
+        assert "dyninst ^libelf@0.8.12" in err
+        assert "cannot unify environment" in err
+
+    def test_remove_and_missing_name(self, root, capsys):
+        run(capsys, "--root", root, "env", "add", "dev", "mpileaks")
+        code, out, _ = run(capsys, "--root", root, "env", "remove", "dev",
+                           "mpileaks")
+        assert code == 0 and "removed mpileaks" in out
+        code, _, err = run(capsys, "--root", root, "env", "concretize")
+        assert code == 1 and "needs an environment name" in err

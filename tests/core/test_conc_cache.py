@@ -171,12 +171,12 @@ class TestIntegrity:
         spec._concrete = True
         key = ConcretizationCache.make_key("libelf", "d" * 64, "greedy")
         cache.store(key, spec)
-        index = cache.read_index()
-        index[key]["dag_hash"] = "0" * 32
+        shard = dict(cache.read_shard(key[:2]))
+        shard[key]["dag_hash"] = "0" * 32
         cache._atomic_write(
-            cache._index_path(), json.dumps(index).encode()
+            cache._shard_path(key[:2]), json.dumps(shard).encode()
         )
-        cache._index_stat = None
+        cache._shard_memos = {}
         assert cache.lookup(key) is None
         assert len(cache) == 0
 
@@ -210,6 +210,80 @@ class TestCacheMechanics:
         out = cache.lookup(key)
         assert out is not None and out is not concrete
         assert out.dag_hash() == concrete.dag_hash()
+
+
+class TestShardedIndex:
+    """Regression: the index was one monolithic ``index.json`` rewritten
+    in full on every store — warming n roots rewrote O(n²) index bytes.
+    Sharding by key prefix keeps the bytes-per-store flat, and a legacy
+    monolithic index migrates into shards on first access."""
+
+    @staticmethod
+    def _concrete_spec():
+        spec = Spec("libelf@0.8.13%gcc@4.9.2=linux-x86_64")
+        spec._concrete = True
+        return spec
+
+    def test_bytes_per_store_stay_flat_as_entries_grow(self, tmp_path):
+        cache = ConcretizationCache(str(tmp_path / "cc"))
+        spec = self._concrete_spec()
+        index_writes = []
+        real_write = cache._atomic_write
+
+        def counting_write(path, data):
+            if os.sep + "index" in path or os.path.basename(path).startswith(
+                "index"
+            ):
+                index_writes.append(len(data))
+            return real_write(path, data)
+
+        cache._atomic_write = counting_write
+        total = 512
+        for i in range(total):
+            key = ConcretizationCache.make_key("spec-%d" % i, "0" * 64, "greedy")
+            cache.store(key, spec)
+        assert len(index_writes) == total
+        head = sum(index_writes[:64]) / 64.0
+        tail = sum(index_writes[-64:]) / 64.0
+        # pre-fix the whole index was rewritten per store, so the last
+        # writes were ~8x the first; sharded writes stay near-constant
+        assert tail < 3.0 * head, (head, tail)
+        assert len(cache) == total
+
+    def test_legacy_monolithic_index_migrates(self, tmp_path):
+        root = str(tmp_path / "cc")
+        cache = ConcretizationCache(root)
+        spec = self._concrete_spec()
+        keys = [
+            ConcretizationCache.make_key("legacy-%d" % i, "0" * 64, "greedy")
+            for i in range(8)
+        ]
+        # lay out the pre-shard format by hand: per-entry payloads plus
+        # one monolithic index.json, exactly what older caches left
+        legacy = {}
+        for key in keys:
+            entry_path = cache._entry_path(key)
+            os.makedirs(os.path.dirname(entry_path), exist_ok=True)
+            with open(entry_path, "w") as f:
+                json.dump(spec.to_dict(), f, sort_keys=True)
+            legacy[key] = {
+                "root": spec.name,
+                "dag_hash": spec.dag_hash(),
+                "entry": os.path.join(key[:2], "%s.json" % key),
+            }
+        with open(os.path.join(root, "index.json"), "w") as f:
+            json.dump(legacy, f)
+
+        fresh = ConcretizationCache(root)
+        hit = fresh.lookup(keys[0])
+        assert hit is not None and hit.dag_hash() == spec.dag_hash()
+        # the legacy file was folded into shards and removed
+        assert not os.path.exists(os.path.join(root, "index.json"))
+        assert {k for k, _ in fresh.entries()} == set(keys)
+        # a store after migration keeps every migrated entry visible
+        extra = ConcretizationCache.make_key("post", "0" * 64, "greedy")
+        fresh.store(extra, spec)
+        assert {k for k, _ in fresh.entries()} == set(keys) | {extra}
 
 
 class TestConcurrentWriters:

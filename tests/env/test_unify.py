@@ -1,0 +1,193 @@
+"""The merge/unify engine: coherence, reconciliation, and conflicts."""
+
+import pytest
+
+from repro.env.unify import (
+    EnvironmentConflictError,
+    UnifiedEnvironment,
+    unify_roots,
+)
+from repro.spec.errors import UnsatisfiableVersionSpecError
+from repro.telemetry import Telemetry
+from repro.telemetry.sinks import MemorySink
+
+
+def _concretize_fn(session):
+    return lambda spec: session.concretize(spec)
+
+
+def _nodes_by_name(unified):
+    """{package name: set of dag_hashes} over every root DAG."""
+    out = {}
+    for _, concrete in unified.roots:
+        for node in concrete.traverse():
+            out.setdefault(node.name, set()).add(node.dag_hash())
+    return out
+
+
+class TestCoherence:
+    def test_empty_environment(self, session):
+        unified = unify_roots([], _concretize_fn(session))
+        assert unified.roots == []
+        assert unified.dag_hashes() == []
+
+    def test_shared_subdag_is_one_node_per_package(self, session):
+        unified = unify_roots(
+            ["mpileaks", "dyninst", "libdwarf"], _concretize_fn(session)
+        )
+        for name, hashes in _nodes_by_name(unified).items():
+            assert len(hashes) == 1, "%s resolved to %d nodes" % (
+                name, len(hashes),
+            )
+        # dyninst and libdwarf both carry libelf/libdwarf sub-DAGs
+        assert unified.shared_packages()
+
+    def test_eight_root_environment_unifies(self, session):
+        """The acceptance-scale case: many roots, heavy sharing, every
+        shared package exactly one concrete node environment-wide."""
+        roots = [
+            "mpileaks", "dyninst", "libdwarf", "libelf",
+            "callpath", "hdf5", "silo", "py-numpy",
+        ]
+        unified = unify_roots(roots, _concretize_fn(session), jobs=4)
+        assert len(unified.roots) == 8
+        by_name = _nodes_by_name(unified)
+        assert all(len(h) == 1 for h in by_name.values())
+        shared = unified.shared_packages()
+        assert len(shared) >= 2  # libelf, libdwarf at minimum
+        # the unified install set is smaller than the sum of the parts
+        total = sum(
+            len(list(c.traverse())) for _, c in unified.roots
+        )
+        assert len(unified.nodes()) < total
+
+    def test_stats_shape(self, session):
+        unified = unify_roots(["mpileaks"], _concretize_fn(session))
+        stats = unified.stats()
+        assert stats["roots"] == 1
+        assert stats["resolves"] == 1
+        assert stats["rounds"] == 0
+        assert stats["unique_nodes"] == len(unified.nodes())
+
+
+class TestReconciliation:
+    def test_agreement_via_different_ranges(self, session):
+        """Two roots constrain a shared package through *different*
+        version ranges that overlap: both greedy picks land on the same
+        concrete version, so unification needs no pins at all."""
+        unified = unify_roots(
+            ["libdwarf ^libelf@:0.8.12", "dyninst ^libelf@0.8.11:0.8.12"],
+            _concretize_fn(session),
+        )
+        assert unified.pins == {}
+        assert unified.rounds == 0
+        hashes = _nodes_by_name(unified)["libelf"]
+        assert len(hashes) == 1
+
+    def test_range_vs_unconstrained_reconciles_by_pinning(self, session):
+        """One root caps libelf below the default pick, the other says
+        nothing: initial solves diverge (0.8.12 vs 0.8.13) and the
+        merge phase must pin the version every root can live with."""
+        unified = unify_roots(
+            ["libdwarf ^libelf@:0.8.12", "dyninst"],
+            _concretize_fn(session),
+        )
+        assert "libelf" in unified.pins
+        assert "@0.8.12" in unified.pins["libelf"]
+        assert unified.rounds >= 1
+        assert len(_nodes_by_name(unified)["libelf"]) == 1
+        # dyninst's whole chain re-converged around the pinned libelf
+        assert len(_nodes_by_name(unified)["libdwarf"]) == 1
+
+    def test_root_that_is_a_dependency_of_another_root(self, session):
+        """An explicit `libelf@0.8.12` root must be *the same node* as
+        the libelf inside libdwarf's DAG — a root is not special, it is
+        one more constraint on the shared package."""
+        unified = unify_roots(
+            ["libdwarf", "libelf@0.8.12"], _concretize_fn(session)
+        )
+        roots = dict(unified.roots)
+        libelf_root = roots["libelf@0.8.12"]
+        libdwarf = roots["libdwarf"]
+        embedded = [
+            n for n in libdwarf.traverse() if n.name == "libelf"
+        ]
+        assert len(embedded) == 1
+        assert embedded[0].dag_hash() == libelf_root.dag_hash()
+        assert str(libelf_root.version) == "0.8.12"
+
+    def test_jobs_width_does_not_change_the_result(self, session):
+        """-j1 and -jN must produce byte-identical unified DAG sets:
+        per-root solves are pure, merge order is deterministic."""
+        roots = ["mpileaks", "dyninst", "libdwarf ^libelf@:0.8.12",
+                 "callpath", "hdf5"]
+        serial = unify_roots(roots, _concretize_fn(session), jobs=1)
+        pooled = unify_roots(roots, _concretize_fn(session), jobs=4)
+        assert serial.dag_hashes() == pooled.dag_hashes()
+        assert serial.pins == pooled.pins
+        assert [
+            (t, c.dag_hash()) for t, c in serial.roots
+        ] == [(t, c.dag_hash()) for t, c in pooled.roots]
+
+    def test_pooled_solves_adopt_the_callers_trace(self, session):
+        hub = Telemetry()
+        sink = MemorySink()
+        hub.add_sink(sink)
+        with hub.span("env.test"):
+            unify_roots(
+                ["mpileaks", "libdwarf"],
+                _concretize_fn(session),
+                jobs=2,
+                telemetry=hub,
+            )
+        trace_ids = {r["trace"] for r in sink.spans()}
+        assert len(trace_ids) == 1  # one coherent trace, no orphans
+
+
+class TestConflicts:
+    def test_conflict_names_both_roots(self, session):
+        """Incompatible demands on a shared package: ONE diagnostic
+        naming each root and what it insists on."""
+        with pytest.raises(EnvironmentConflictError) as err:
+            unify_roots(
+                ["libdwarf ^libelf@0.8.11", "dyninst ^libelf@0.8.12"],
+                _concretize_fn(session),
+            )
+        e = err.value
+        assert e.package == "libelf"
+        text = str(e)
+        assert "libdwarf ^libelf@0.8.11" in text
+        assert "dyninst ^libelf@0.8.12" in text
+        # rejected candidates carry the typed per-root error
+        assert "rejected" in text
+        assert UnsatisfiableVersionSpecError.__name__ in text
+
+    def test_unpinned_root_failure_propagates_typed(self, session):
+        """A root that cannot solve on its own terms raises its own
+        typed error, not a conflict (nothing is contested)."""
+        with pytest.raises(Exception) as err:
+            unify_roots(
+                ["mpileaks", "no-such-package"], _concretize_fn(session)
+            )
+        assert "ConflictError" not in type(err.value).__name__
+        assert "no-such-package" in str(err.value)
+
+    def test_conflicting_roots_fail_identically_at_any_width(self, session):
+        roots = ["libdwarf ^libelf@0.8.11", "dyninst ^libelf@0.8.12"]
+        for jobs in (1, 3):
+            with pytest.raises(EnvironmentConflictError) as err:
+                unify_roots(roots, _concretize_fn(session), jobs=jobs)
+            assert err.value.package == "libelf"
+
+
+class TestUnifiedEnvironment:
+    def test_nodes_dedup_by_dag_hash(self, session):
+        concrete = session.concretize("mpileaks")
+        unified = UnifiedEnvironment(
+            [("a", concrete), ("b", concrete.copy())],
+            rounds=0, resolves=2, pins={},
+        )
+        assert len(unified.nodes()) == len(list(concrete.traverse()))
+        assert set(unified.shared_packages()) == {
+            n.name for n in concrete.traverse()
+        }

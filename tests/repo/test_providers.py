@@ -145,3 +145,46 @@ class TestProviderMemo:
         after = index.providers_for(Spec("mpi@2:"))
         assert "newmpi" in [p.name for p in after]
         assert len(after) == len(before) + 1
+
+    def test_update_keeps_unrelated_virtual_shards(self, figure5_repo, index):
+        repo = Repository(namespace="late2")
+
+        @repo.register("netlib-blas")
+        class NetlibBlas(Package):
+            version("3.0", "x")
+            provides("blas@1:")
+
+        index.update("netlib-blas", NetlibBlas)
+        index.providers_for(Spec("mpi@2:"))  # prime the mpi shard
+        hits = index.memo_hits
+
+        @repo.register("openblas")
+        class Openblas(Package):
+            version("0.3", "x")
+            provides("blas@2:")
+
+        index.update("openblas", Openblas)  # touches blas, not mpi
+        index.providers_for(Spec("mpi@2:"))
+        assert index.memo_hits == hits + 1
+
+    def test_memo_keeps_evicting_past_1024_distinct_specs(self, index):
+        """Regression: the memo used a fixed admission cap — after 1024
+        distinct virtual specs it stopped memoizing entirely, so every
+        later providers_for call was a cold scan (hit-rate pinned to
+        zero for the rest of the process).  Bounded LRU eviction keeps
+        recent constraints hot no matter how many have been seen."""
+        from repro.repo.providers import MEMO_SHARD_CAP
+
+        total = MEMO_SHARD_CAP + 64
+        for i in range(total):
+            index.providers_for(Spec("mpi@:%d.%d" % (i // 10 + 1, i % 10)))
+        # re-query the most recent constraints: with LRU these are all
+        # still resident; with the old admission cap none of the post-cap
+        # keys were ever stored, so every one of these would miss
+        hits_before = index.memo_hits
+        for i in range(total - 32, total):
+            index.providers_for(Spec("mpi@:%d.%d" % (i // 10 + 1, i % 10)))
+        assert index.memo_hits - hits_before == 32
+        # and the shard stayed bounded while the hit-rate stayed > 0
+        assert len(index._memo_shards["mpi"]) <= MEMO_SHARD_CAP
+        assert index.memo_hits > 0

@@ -81,6 +81,40 @@ class TestEndpoints:
         filtered = daemon.call("spack_find", {"query": "libelf"})
         assert filtered["count"] == 1
 
+    def test_spack_env_unifies_roots(self, daemon):
+        result = daemon.call("spack_env", {
+            "roots": ["mpileaks", "dyninst ^libelf@0.8.12", "libdwarf"],
+            "jobs": 3,
+        })
+        assert [r["root"] for r in result["roots"]] == [
+            "mpileaks", "dyninst ^libelf@0.8.12", "libdwarf",
+        ]
+        assert all(r["dag_hash"] for r in result["roots"])
+        assert result["shared_packages"] >= 1
+        assert result["pins"].get("libelf", "").startswith("libelf@0.8.12")
+        assert result["env_digest"]
+        # the unified set dedups shared sub-DAGs
+        assert result["unique_nodes"] < sum(
+            len(daemon.call("spack_spec", {"spec": r})["nodes"])
+            for r in ("mpileaks", "dyninst ^libelf@0.8.12", "libdwarf")
+        )
+
+    def test_spack_env_conflict_is_one_diagnostic(self, daemon):
+        from repro.env.unify import EnvironmentConflictError
+
+        with pytest.raises(EnvironmentConflictError) as err:
+            daemon.call("spack_env", {
+                "roots": ["mpileaks ^libelf@0.8.11", "dyninst ^libelf@0.8.12"],
+            })
+        assert "mpileaks ^libelf@0.8.11" in str(err.value)
+        assert "dyninst ^libelf@0.8.12" in str(err.value)
+
+    def test_spack_env_rejects_bad_roots(self, daemon):
+        with pytest.raises(ServiceError, match="roots"):
+            daemon.call("spack_env", {"roots": []})
+        with pytest.raises(ServiceError, match="roots"):
+            daemon.call("spack_env", {"roots": "mpileaks"})
+
     def test_status(self, daemon):
         daemon.call("spack_list")
         status = daemon.call("status")

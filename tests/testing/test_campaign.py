@@ -84,6 +84,21 @@ class TestCampaign:
         faulted = [c for c in report.solver_cases if c["fault"]]
         assert faulted and all(c["fault"] == "match" for c in faulted)
 
+    def test_env_phase_unifies_without_divergence(self, small_campaign):
+        config, report = small_campaign
+        assert len(report.env_cases) == config.env_cases
+        assert report.env_divergences() == []
+        counts = report.env_outcome_counts()
+        # the hub-biased universe must produce real sharing AND real
+        # reconciliation work — otherwise the sweep proves nothing
+        assert counts.get("unified", 0) > 0
+        assert any(c.get("shared_packages") for c in report.env_cases)
+        assert any(c.get("pins") for c in report.env_cases)
+        # conflicts are legitimate outcomes and carry their demands
+        for case in report.env_cases:
+            if case["kind"] == "conflict":
+                assert case["demands"]
+
     def test_report_lines_are_valid_jsonl(self, small_campaign):
         config, report = small_campaign
         lines = list(report.lines())
@@ -107,9 +122,11 @@ class TestCampaign:
 
     def test_different_seed_changes_the_stream(self, tmp_path):
         a = CampaignConfig(seed=1, specs=10, fault_plans=0, packages=10,
-                           cache_specs=0, splice_cases=0, solver_cases=0)
+                           cache_specs=0, splice_cases=0, solver_cases=0,
+                           env_cases=0)
         b = CampaignConfig(seed=2, specs=10, fault_plans=0, packages=10,
-                           cache_specs=0, splice_cases=0, solver_cases=0)
+                           cache_specs=0, splice_cases=0, solver_cases=0,
+                           env_cases=0)
         ra = run_campaign(a, str(tmp_path / "a"))
         rb = run_campaign(b, str(tmp_path / "b"))
         assert [c["request"] for c in ra.oracle_cases] != [

@@ -125,6 +125,57 @@ class TestRepoGenerator:
             assert concrete.concrete
 
 
+class TestNamePrefixing:
+    """Regression: generated universes used unprefixed names (gen-NNN,
+    vif-N), so registering two generated repos — or a generated repo
+    next to another corpus — in one Session silently shadowed packages:
+    the RepoPath answers with the first repo's class and the second
+    universe's constraints are never seen."""
+
+    def test_two_generated_repos_collide_without_prefixes(self):
+        a = RepoGenerator(11, count=10, virtuals=1).build()
+        b = RepoGenerator(22, count=10, virtuals=1).build()
+        # the hazard this fixes: same names, different directive bodies
+        assert set(a.all_package_names()) & set(b.all_package_names())
+
+    def test_name_prefix_makes_universes_disjoint(self):
+        a = RepoGenerator(11, count=10, virtuals=1, name_prefix="alpha").build()
+        b = RepoGenerator(22, count=10, virtuals=1, name_prefix="beta").build()
+        assert not set(a.all_package_names()) & set(b.all_package_names())
+        assert all(n.startswith("alpha-") for n in a.all_package_names())
+
+    def test_prefixed_knob_packages_stay_disjoint_too(self):
+        kwargs = dict(count=12, virtuals=2, conflict_density=1.0,
+                      when_depth=2, provider_overlap=1.0)
+        a = RepoGenerator(11, name_prefix="alpha", **kwargs).build()
+        b = RepoGenerator(11, name_prefix="beta", **kwargs).build()
+        assert not set(a.all_package_names()) & set(b.all_package_names())
+
+    def test_mixed_corpora_in_one_session_both_resolve(self, tmp_path):
+        """A generated universe registered next to the builtin corpus:
+        every name resolves to its own repo's class, and both sides
+        concretize inside one Session."""
+        from repro.session import Session
+
+        session = Session.create(str(tmp_path / "u"))
+        extra = RepoGenerator(11, count=8, virtuals=1,
+                              namespace="gen.alpha", name_prefix="alpha").build()
+        session.add_repo(extra)
+        builtin_names = set(session.repo.repos[-1].all_package_names())
+        assert not builtin_names & set(extra.all_package_names())
+        assert session.concretize("mpileaks").concrete
+        assert session.concretize(extra.all_package_names()[0]).concrete
+
+    def test_prefixed_universe_concretizes(self):
+        from repro.spec.spec import Spec
+
+        repo = RepoGenerator(8, count=15, virtuals=2, name_prefix="px",
+                             hub_bias=0.6, max_deps=4).build()
+        greedy, _, _ = _concretizer_stack(repo)
+        for name in repo.all_package_names():
+            assert greedy.concretize(Spec(name)).concrete
+
+
 class TestConflictKnobs:
     def test_default_knobs_preserve_old_universes(self):
         """Knobless builds must stay byte-identical to pre-knob builds:
